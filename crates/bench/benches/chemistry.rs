@@ -1,0 +1,22 @@
+//! Criterion bench: chemistry kernel probe simulation (Figures 15/16).
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::arch::GpuArch;
+use singe_bench::{build, timing_report, Kind, Variant};
+
+fn bench(c: &mut Criterion) {
+    let mech = chemkin::synth::dme();
+    let arch = GpuArch::kepler_k20c();
+    let base = build(Kind::Chemistry, &mech, &arch, Variant::Baseline);
+    let ws = build(Kind::Chemistry, &mech, &arch, Variant::WarpSpecialized);
+    let mut g = c.benchmark_group("chemistry_dme_kepler");
+    g.sample_size(10);
+    g.bench_function("baseline_probe", |b| {
+        b.iter(|| timing_report(&base, &arch, 32 * 32 * 32).points_per_sec)
+    });
+    g.bench_function("warp_specialized_probe", |b| {
+        b.iter(|| timing_report(&ws, &arch, 32 * 32 * 32).points_per_sec)
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

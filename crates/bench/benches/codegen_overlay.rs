@@ -1,0 +1,31 @@
+//! Criterion bench: Figure 9 — naive warp-switch vs overlaid codegen at a
+//! mid warp count, measuring full compile times of both generators.
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::arch::GpuArch;
+use singe::config::{CompileOptions, Placement};
+use singe_bench::{build_with_options, Kind, Variant};
+
+fn bench(c: &mut Criterion) {
+    let mech = chemkin::synth::dme();
+    let arch = GpuArch::kepler_k20c();
+    let opts = CompileOptions {
+        warps: 10,
+        point_iters: 4,
+        placement: Placement::Store,
+        ..Default::default()
+    };
+    let mut g = c.benchmark_group("fig9_codegen");
+    g.sample_size(10);
+    g.bench_function("naive_compile", |b| {
+        b.iter(|| build_with_options(Kind::Viscosity, &mech, &arch, Variant::Naive, &opts).unwrap())
+    });
+    g.bench_function("overlaid_compile", |b| {
+        b.iter(|| {
+            build_with_options(Kind::Viscosity, &mech, &arch, Variant::WarpSpecialized, &opts)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench: individual compiler stages (mapping, scheduling,
+//! barrier allocation) on the heptane chemistry graph — the paper's most
+//! demanding kernel.
+use criterion::{criterion_group, criterion_main, Criterion};
+use chemkin::reference::tables::ChemistrySpec;
+use singe::barrier_alloc::allocate;
+use singe::config::{CompileOptions, Placement};
+use singe::kernels::chemistry::chemistry_dfg;
+use singe::mapping::map_ops;
+use singe::sync::schedule;
+
+fn bench(c: &mut Criterion) {
+    let mech = chemkin::synth::heptane();
+    let spec = ChemistrySpec::build(&mech);
+    let dfg = chemistry_dfg(&spec, 16);
+    let opts = CompileOptions {
+        warps: 16,
+        point_iters: 2,
+        placement: Placement::Buffer(176),
+        w_locality: 1.0,
+        ..Default::default()
+    };
+    let mut g = c.benchmark_group("compiler_stages_heptane_chemistry");
+    g.sample_size(10);
+    g.bench_function("mapping", |b| b.iter(|| map_ops(&dfg, &opts).unwrap()));
+    let mapping = map_ops(&dfg, &opts).unwrap();
+    g.bench_function("scheduling", |b| b.iter(|| schedule(&dfg, &mapping, &opts).unwrap()));
+    let sched = schedule(&dfg, &mapping, &opts).unwrap();
+    g.bench_function("barrier_allocation", |b| b.iter(|| allocate(&sched).unwrap()));
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench: viscosity kernel compile + one-CTA simulation, baseline
+//! vs warp-specialized, DME mechanism (Figures 11/12 machinery).
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::arch::GpuArch;
+use singe_bench::{build, timing_report, Kind, Variant};
+
+fn bench(c: &mut Criterion) {
+    let mech = chemkin::synth::dme();
+    let arch = GpuArch::kepler_k20c();
+    let base = build(Kind::Viscosity, &mech, &arch, Variant::Baseline);
+    let ws = build(Kind::Viscosity, &mech, &arch, Variant::WarpSpecialized);
+    let mut g = c.benchmark_group("viscosity_dme_kepler");
+    g.sample_size(10);
+    g.bench_function("baseline_probe", |b| {
+        b.iter(|| timing_report(&base, &arch, 32 * 32 * 32).points_per_sec)
+    });
+    g.bench_function("warp_specialized_probe", |b| {
+        b.iter(|| timing_report(&ws, &arch, 32 * 32 * 32).points_per_sec)
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,266 @@
+//! Evaluation harness: builds every kernel variant of the paper's §6 and
+//! produces the rows behind each table and figure.
+//!
+//! Timing methodology: each kernel is executed functionally for one CTA on
+//! the simulator (gathering the event counts), and the analytic timing
+//! model extrapolates to the paper's grid sizes (32^3, 64^3, 128^3) —
+//! mirroring how the per-point kernels scale across a homogeneous grid.
+
+use chemkin::reference::tables::{ChemistrySpec, DiffusionTables, ViscosityTables};
+use chemkin::state::{GridDims, GridState};
+use chemkin::Mechanism;
+use gpu_sim::arch::GpuArch;
+use gpu_sim::isa::Kernel;
+use gpu_sim::launch::{launch, LaunchInputs, LaunchMode};
+use gpu_sim::timing::{estimate, SimReport};
+use serde::Serialize;
+use singe::baseline::compile_baseline;
+use singe::codegen::{compile_dfg, CompileStats};
+use singe::config::{CompileOptions, Placement};
+use singe::kernels::{chemistry, diffusion, launch_arrays, viscosity};
+use singe::naive::compile_naive;
+
+/// Kernel selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// §3.2 viscosity.
+    Viscosity,
+    /// §3.3 diffusion.
+    Diffusion,
+    /// §3.4 chemistry.
+    Chemistry,
+}
+
+impl Kind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kind::Viscosity => "viscosity",
+            Kind::Diffusion => "diffusion",
+            Kind::Chemistry => "chemistry",
+        }
+    }
+}
+
+/// Compiler variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Optimized data-parallel CUDA baseline (§6).
+    Baseline,
+    /// Warp-specialized Singe output.
+    WarpSpecialized,
+    /// Naïve warp switch (Figure 9).
+    Naive,
+}
+
+impl Variant {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Baseline => "baseline",
+            Variant::WarpSpecialized => "warp-specialized",
+            Variant::Naive => "naive",
+        }
+    }
+}
+
+/// A built kernel plus metadata.
+pub struct Built {
+    /// The kernel.
+    pub kernel: Kernel,
+    /// Warp-specialization statistics (None for baseline).
+    pub stats: Option<CompileStats>,
+    /// Transported species count.
+    pub n_species: usize,
+}
+
+/// Pick a warp count for the warp-specialized viscosity kernel: prefer a
+/// divisor of the species count (Figure 9: "peaks for warp counts that
+/// evenly divide the number of species").
+pub fn viscosity_warps(n: usize) -> usize {
+    for w in (4..=14).rev() {
+        if n % w == 0 {
+            return w;
+        }
+    }
+    8
+}
+
+/// Default warp-specialized options per kernel kind.
+pub fn ws_options(kind: Kind, n_species: usize, arch: &GpuArch) -> CompileOptions {
+    match kind {
+        Kind::Viscosity => CompileOptions {
+            warps: viscosity_warps(n_species),
+            point_iters: 4,
+            placement: Placement::Store,
+            ..Default::default()
+        },
+        Kind::Diffusion => CompileOptions {
+            warps: 8,
+            point_iters: 4,
+            placement: Placement::Mixed(176),
+            ..Default::default()
+        },
+        Kind::Chemistry => CompileOptions {
+            // 16-20 warps per SM at one CTA (§6.3).
+            warps: if arch.max_warps_per_sm >= 64 { 16 } else { 20 },
+            point_iters: 2,
+            placement: Placement::Buffer(176),
+            w_locality: 1.0,
+            ..Default::default()
+        },
+    }
+}
+
+/// Build a kernel variant for a mechanism on an architecture.
+pub fn build(kind: Kind, mech: &Mechanism, arch: &GpuArch, variant: Variant) -> Built {
+    let n = mech.n_transported();
+    let opts = ws_options(kind, n, arch);
+    let dfg = match kind {
+        Kind::Viscosity => viscosity::viscosity_dfg(&ViscosityTables::build(mech), opts.warps),
+        Kind::Diffusion => diffusion::diffusion_dfg(&DiffusionTables::build(mech), opts.warps),
+        Kind::Chemistry => chemistry::chemistry_dfg(&ChemistrySpec::build(mech), opts.warps),
+    };
+    match variant {
+        Variant::Baseline => {
+            let c = compile_baseline(&dfg, &CompileOptions::with_warps(8), arch)
+                .expect("baseline compiles");
+            Built { kernel: c.kernel, stats: None, n_species: n }
+        }
+        Variant::WarpSpecialized => {
+            let c = compile_dfg(&dfg, &opts, arch).expect("warp-specialized compiles");
+            Built { kernel: c.kernel, stats: Some(c.stats), n_species: n }
+        }
+        Variant::Naive => {
+            let c = compile_naive(&dfg, &opts, arch).expect("naive compiles");
+            Built { kernel: c.kernel, stats: Some(c.stats), n_species: n }
+        }
+    }
+}
+
+/// Build with explicit options (Figure 9 warp sweeps, ablations).
+pub fn build_with_options(
+    kind: Kind,
+    mech: &Mechanism,
+    arch: &GpuArch,
+    variant: Variant,
+    opts: &CompileOptions,
+) -> Result<Built, singe::CompileError> {
+    let n = mech.n_transported();
+    let dfg = match kind {
+        Kind::Viscosity => viscosity::viscosity_dfg(&ViscosityTables::build(mech), opts.warps),
+        Kind::Diffusion => diffusion::diffusion_dfg(&DiffusionTables::build(mech), opts.warps),
+        Kind::Chemistry => chemistry::chemistry_dfg(&ChemistrySpec::build(mech), opts.warps),
+    };
+    let (kernel, stats) = match variant {
+        Variant::Baseline => {
+            let c = compile_baseline(&dfg, opts, arch)?;
+            (c.kernel, None)
+        }
+        Variant::WarpSpecialized => {
+            let c = compile_dfg(&dfg, opts, arch)?;
+            (c.kernel, Some(c.stats))
+        }
+        Variant::Naive => {
+            let c = compile_naive(&dfg, opts, arch)?;
+            (c.kernel, Some(c.stats))
+        }
+    };
+    Ok(Built { kernel, stats, n_species: n })
+}
+
+/// Run one CTA functionally and extrapolate the timing model to
+/// `grid_points` points. Returns the simulation report.
+pub fn timing_report(built: &Built, arch: &GpuArch, grid_points: usize) -> SimReport {
+    let probe = built.kernel.points_per_cta;
+    let g = GridState::random(GridDims { nx: probe, ny: 1, nz: 1 }, built.n_species, 1234);
+    let arrays = launch_arrays(&built.kernel.global_arrays, &g);
+    let out = launch(&built.kernel, arch, &LaunchInputs { arrays }, probe, LaunchMode::Full)
+        .expect("probe launch");
+    estimate(&built.kernel, arch, &out.report.counts, grid_points)
+}
+
+/// One output row (a point in a paper figure).
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Figure/experiment id ("fig11", ...).
+    pub figure: String,
+    /// Kernel name.
+    pub kernel: String,
+    /// Mechanism name.
+    pub mechanism: String,
+    /// Architecture name.
+    pub arch: String,
+    /// Compiler variant.
+    pub variant: String,
+    /// Grid edge (points = edge^3) or warp count for Figure 9.
+    pub x: usize,
+    /// Grid points per second (the paper's throughput metric).
+    pub points_per_sec: f64,
+    /// Achieved GFLOPS.
+    pub gflops: f64,
+    /// Achieved bandwidth GB/s.
+    pub bandwidth_gbs: f64,
+    /// Spill bytes per thread.
+    pub spilled_bytes: usize,
+    /// Limiting resource per the timing model.
+    pub limiter: String,
+    /// Simulated seconds.
+    pub seconds: f64,
+}
+
+/// Produce a row from a report.
+pub fn row(figure: &str, kind: Kind, mech: &str, arch: &GpuArch, variant: Variant, x: usize, r: &SimReport) -> Row {
+    Row {
+        figure: figure.into(),
+        kernel: kind.name().into(),
+        mechanism: mech.into(),
+        arch: arch.name.into(),
+        variant: variant.name().into(),
+        x,
+        points_per_sec: r.points_per_sec,
+        gflops: r.gflops,
+        bandwidth_gbs: r.bandwidth_gbs,
+        spilled_bytes: r.spilled_bytes_per_thread,
+        limiter: r.limiter.into(),
+        seconds: r.seconds,
+    }
+}
+
+/// The paper's three grid sizes.
+pub const GRIDS: [usize; 3] = [32, 64, 128];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chemkin::synth;
+
+    #[test]
+    fn viscosity_warp_choice_divides_species() {
+        assert_eq!(viscosity_warps(30), 10);
+        assert_eq!(viscosity_warps(52), 13);
+        assert_eq!(viscosity_warps(31), 8); // prime fallback
+    }
+
+    #[test]
+    fn small_mech_builds_all_variants() {
+        let m = synth::via_text(&synth::SynthConfig {
+            name: "bh".into(),
+            n_species: 8,
+            n_reactions: 10,
+            n_qssa: 2,
+            n_stiff: 2,
+            seed: 3,
+        });
+        let arch = GpuArch::kepler_k20c();
+        for kind in [Kind::Viscosity, Kind::Diffusion, Kind::Chemistry] {
+            for variant in [Variant::Baseline, Variant::WarpSpecialized] {
+                let mut opts = ws_options(kind, m.n_transported(), &arch);
+                opts.warps = opts.warps.min(4);
+                let b = build_with_options(kind, &m, &arch, variant, &opts).unwrap();
+                let r = timing_report(&b, &arch, 32 * 32 * 32);
+                assert!(r.points_per_sec > 0.0, "{kind:?} {variant:?}");
+            }
+        }
+    }
+}

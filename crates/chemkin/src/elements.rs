@@ -1,0 +1,102 @@
+//! The subset of the periodic table needed by combustion mechanisms.
+//!
+//! Combustion chemistry for hydrocarbon fuels (the paper's DME and
+//! n-heptane mechanisms) only involves a handful of elements; we model the
+//! common CHEMKIN set plus argon and helium for bath gases.
+
+use crate::error::{ChemError, Result};
+
+/// A chemical element appearing in species composition lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Element {
+    H,
+    C,
+    O,
+    N,
+    Ar,
+    He,
+}
+
+impl Element {
+    /// All supported elements in declaration order.
+    pub const ALL: [Element; 6] = [
+        Element::H,
+        Element::C,
+        Element::O,
+        Element::N,
+        Element::Ar,
+        Element::He,
+    ];
+
+    /// Standard atomic weight in g/mol (CODATA, truncated).
+    pub fn atomic_weight(self) -> f64 {
+        match self {
+            Element::H => 1.00794,
+            Element::C => 12.0107,
+            Element::O => 15.9994,
+            Element::N => 14.0067,
+            Element::Ar => 39.948,
+            Element::He => 4.002602,
+        }
+    }
+
+    /// Canonical CHEMKIN symbol (upper case).
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Element::H => "H",
+            Element::C => "C",
+            Element::O => "O",
+            Element::N => "N",
+            Element::Ar => "AR",
+            Element::He => "HE",
+        }
+    }
+
+    /// Parse a (case-insensitive) element symbol.
+    pub fn parse(sym: &str) -> Result<Element> {
+        match sym.to_ascii_uppercase().as_str() {
+            "H" => Ok(Element::H),
+            "C" => Ok(Element::C),
+            "O" => Ok(Element::O),
+            "N" => Ok(Element::N),
+            "AR" => Ok(Element::Ar),
+            "HE" => Ok(Element::He),
+            other => Err(ChemError::UnknownElement(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        for e in Element::ALL {
+            assert_eq!(Element::parse(e.symbol()).unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn parse_is_case_insensitive() {
+        assert_eq!(Element::parse("ar").unwrap(), Element::Ar);
+        assert_eq!(Element::parse("h").unwrap(), Element::H);
+    }
+
+    #[test]
+    fn unknown_element_is_rejected() {
+        assert!(matches!(
+            Element::parse("XE"),
+            Err(ChemError::UnknownElement(_))
+        ));
+    }
+
+    #[test]
+    fn weights_are_positive_and_ordered_sensibly() {
+        assert!(Element::H.atomic_weight() < Element::C.atomic_weight());
+        assert!(Element::C.atomic_weight() < Element::Ar.atomic_weight());
+        for e in Element::ALL {
+            assert!(e.atomic_weight() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type shared by all chemkin parsing and validation stages.
+
+use std::fmt;
+
+/// Errors produced while parsing or validating mechanism inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChemError {
+    /// A syntax error in one of the input files, with line number context.
+    Parse {
+        /// Which file kind the error occurred in ("CHEMKIN", "THERMO", ...).
+        file: &'static str,
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// A reference to a species name that was never declared.
+    UnknownSpecies(String),
+    /// A reference to an element symbol outside the supported periodic table.
+    UnknownElement(String),
+    /// Mechanism-level consistency violation (e.g. missing thermo data).
+    Validation(String),
+}
+
+impl fmt::Display for ChemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChemError::Parse { file, line, msg } => {
+                write!(f, "{file} parse error at line {line}: {msg}")
+            }
+            ChemError::UnknownSpecies(s) => write!(f, "unknown species '{s}'"),
+            ChemError::UnknownElement(s) => write!(f, "unknown element '{s}'"),
+            ChemError::Validation(s) => write!(f, "mechanism validation failed: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ChemError {}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ChemError>;
+
+impl ChemError {
+    /// Helper for constructing parse errors.
+    pub fn parse(file: &'static str, line: usize, msg: impl Into<String>) -> Self {
+        ChemError::Parse {
+            file,
+            line,
+            msg: msg.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location() {
+        let e = ChemError::parse("CHEMKIN", 12, "bad token");
+        let s = e.to_string();
+        assert!(s.contains("CHEMKIN"));
+        assert!(s.contains("12"));
+        assert!(s.contains("bad token"));
+    }
+
+    #[test]
+    fn display_unknown_species() {
+        assert_eq!(
+            ChemError::UnknownSpecies("xy2".into()).to_string(),
+            "unknown species 'xy2'"
+        );
+    }
+}

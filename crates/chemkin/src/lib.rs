@@ -1,0 +1,47 @@
+//! `chemkin` — combustion-chemistry substrate for the Singe reproduction.
+//!
+//! This crate provides everything the Singe compiler (PPoPP 2014) consumes:
+//!
+//! * a data model for chemical mechanisms (species, reactions, thermodynamic
+//!   and transport coefficients) following the CHEMKIN-III conventions the
+//!   paper's declarative data DSL is based on (paper §3.1),
+//! * parsers for the four input files Singe reads: the CHEMKIN reaction
+//!   file (paper Figure 4), the THERMO file, the TRANSPORT file, and the
+//!   optional QSSA/stiffness file,
+//! * a writer that regenerates the text format (round-trip tested),
+//! * deterministic synthetic mechanism generators reproducing the paper's
+//!   Figure 3 characteristics for DME and n-heptane,
+//! * scalar CPU **reference implementations** of the three kernels the paper
+//!   studies — viscosity (§3.2), diffusion (§3.3) and chemistry (§3.4) —
+//!   which serve as ground truth for every compiled GPU kernel, and
+//! * structure-of-arrays grid state helpers matching the field layout the
+//!   paper describes (each field contiguous for coalesced loads).
+
+pub mod elements;
+pub mod error;
+pub mod mechanism;
+pub mod parser;
+pub mod reaction;
+pub mod reference;
+pub mod species;
+pub mod state;
+pub mod synth;
+pub mod thermo;
+pub mod transport;
+pub mod writer;
+
+pub use error::{ChemError, Result};
+pub use mechanism::{Mechanism, QssaSpec, SpeciesId};
+pub use reaction::{Arrhenius, RateModel, Reaction, ReverseSpec, ThirdBody, TroeParams};
+pub use species::Species;
+pub use state::{GridDims, GridState};
+pub use thermo::NasaPoly;
+pub use transport::{PairDiffusion, TransportFit};
+
+/// Universal gas constant in cal/(mol·K) — CHEMKIN activation energies are
+/// conventionally given in cal/mol.
+pub const R_CAL: f64 = 1.987_204_258_640_83;
+/// Standard atmosphere in dyn/cm^2 (CGS), the unit system CHEMKIN uses.
+pub const P_ATM: f64 = 1.013_25e6;
+/// Minimum molar fraction used by the diffusion clamp (paper §3.3, `eps`).
+pub const MIN_MOLE_FRAC: f64 = 1.0e-12;

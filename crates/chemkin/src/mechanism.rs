@@ -1,0 +1,351 @@
+//! The validated mechanism aggregate: species + thermo + transport +
+//! reactions + optional QSSA/stiffness specification.
+
+use crate::error::{ChemError, Result};
+use crate::reaction::Reaction;
+use crate::species::Species;
+use crate::thermo::NasaPoly;
+use crate::transport::{PairDiffusion, TransportFit};
+
+/// Index of a species within its mechanism.
+pub type SpeciesId = usize;
+
+/// The optional fourth Singe input: quasi-steady-state-approximation and
+/// stiffness species sets (paper §3.1).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QssaSpec {
+    /// Species removed from the transported set and reconstructed
+    /// algebraically inside the chemistry kernel.
+    pub qssa: Vec<SpeciesId>,
+    /// Species requiring the stiffness correction computation.
+    pub stiff: Vec<SpeciesId>,
+}
+
+/// Summary row of the paper's Figure 3 table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Characteristics {
+    /// Number of reactions.
+    pub reactions: usize,
+    /// Number of species (before QSSA reduction).
+    pub species: usize,
+    /// Number of QSSA species.
+    pub qssa: usize,
+    /// Number of stiff species.
+    pub stiff: usize,
+}
+
+/// A full chemical mechanism, the unit of input to the Singe compiler.
+#[derive(Debug, Clone)]
+pub struct Mechanism {
+    /// Mechanism name ("dme", "heptane", ...).
+    pub name: String,
+    /// All species, including QSSA species.
+    pub species: Vec<Species>,
+    /// NASA-7 thermodynamics, parallel to `species`.
+    pub thermo: Vec<NasaPoly>,
+    /// Raw transport parameters, parallel to `species`.
+    pub transport: Vec<TransportFit>,
+    /// All reactions.
+    pub reactions: Vec<Reaction>,
+    /// QSSA / stiffness specification (possibly empty).
+    pub qssa: QssaSpec,
+}
+
+impl Mechanism {
+    /// Number of species including QSSA species.
+    pub fn n_species(&self) -> usize {
+        self.species.len()
+    }
+
+    /// Number of reactions.
+    pub fn n_reactions(&self) -> usize {
+        self.reactions.len()
+    }
+
+    /// Species that remain after QSSA reduction — the `N` of the viscosity
+    /// and diffusion kernels (e.g. heptane: 68 - 16 = 52, paper §3.1).
+    pub fn transported(&self) -> Vec<SpeciesId> {
+        (0..self.n_species())
+            .filter(|s| !self.qssa.qssa.contains(s))
+            .collect()
+    }
+
+    /// Number of transported species.
+    pub fn n_transported(&self) -> usize {
+        self.n_species() - self.qssa.qssa.len()
+    }
+
+    /// Molecular weights for all species.
+    pub fn weights(&self) -> Vec<f64> {
+        self.species.iter().map(|s| s.molecular_weight()).collect()
+    }
+
+    /// Figure 3 row for this mechanism.
+    pub fn characteristics(&self) -> Characteristics {
+        Characteristics {
+            reactions: self.n_reactions(),
+            species: self.n_species(),
+            qssa: self.qssa.qssa.len(),
+            stiff: self.qssa.stiff.len(),
+        }
+    }
+
+    /// Index of a species by (case-insensitive) name.
+    pub fn species_index(&self, name: &str) -> Result<SpeciesId> {
+        let lower = name.to_ascii_lowercase();
+        self.species
+            .iter()
+            .position(|s| s.name == lower)
+            .ok_or_else(|| ChemError::UnknownSpecies(name.to_string()))
+    }
+
+    /// Viscosity-exponent polynomials for the transported species, in
+    /// transported order (the `eta` table of paper §3.2).
+    pub fn viscosity_polys(&self) -> Vec<[f64; 4]> {
+        let w = self.weights();
+        self.transported()
+            .iter()
+            .map(|&s| self.transport[s].viscosity_poly(w[s]))
+            .collect()
+    }
+
+    /// Molecular weights of the transported species, in transported order.
+    pub fn transported_weights(&self) -> Vec<f64> {
+        let w = self.weights();
+        self.transported().iter().map(|&s| w[s]).collect()
+    }
+
+    /// Pair diffusion coefficient matrix over the transported species
+    /// (the symmetric `N x N x 4` `delta` of paper §3.3).
+    pub fn pair_diffusion(&self) -> PairDiffusion {
+        let ids = self.transported();
+        let fits: Vec<TransportFit> = ids.iter().map(|&s| self.transport[s].clone()).collect();
+        let w = self.weights();
+        let ws: Vec<f64> = ids.iter().map(|&s| w[s]).collect();
+        PairDiffusion::derive(&fits, &ws)
+    }
+
+    /// Bytes of double-precision constants the viscosity kernel needs: two
+    /// constants per ordered pair of distinct transported species
+    /// (paper §3.2 — 13.9 KB for DME, 42.4 KB for heptane).
+    pub fn viscosity_constant_bytes(&self) -> usize {
+        let n = self.n_transported();
+        n * (n - 1) * 2 * 8
+    }
+
+    /// Indices (into `reactions`) of reactions involving any QSSA species —
+    /// the rates the QSSA phase consumes (paper §3.4: "usually between half
+    /// and two-thirds of the reaction rates").
+    pub fn qssa_reactions(&self) -> Vec<usize> {
+        self.reactions
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| self.qssa.qssa.iter().any(|&q| r.involves(q)))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The QSSA dependence DAG: edge `(a, b)` (indices into `qssa.qssa`)
+    /// means species `b`'s algebraic reconstruction consumes species `a`'s.
+    ///
+    /// Derived from reaction structure: QSSA species `a` feeds `b` when some
+    /// reaction consumes `a` and produces `b`. Edges are oriented from the
+    /// earlier to the later species in QSSA declaration order, which makes
+    /// the graph acyclic by construction — mirroring the solvable ordering
+    /// that mechanism-reduction tools emit (paper §3.4, Figure 7).
+    pub fn qssa_dag(&self) -> Vec<(usize, usize)> {
+        let q = &self.qssa.qssa;
+        let mut edges = Vec::new();
+        for (ai, &a) in q.iter().enumerate() {
+            for (bi, &b) in q.iter().enumerate() {
+                if ai >= bi {
+                    continue;
+                }
+                let coupled = self.reactions.iter().any(|r| {
+                    (r.reactants.iter().any(|(s, _)| *s == a)
+                        && r.products.iter().any(|(s, _)| *s == b))
+                        || (r.reactants.iter().any(|(s, _)| *s == b)
+                            && r.products.iter().any(|(s, _)| *s == a))
+                });
+                if coupled {
+                    edges.push((ai, bi));
+                }
+            }
+        }
+        edges
+    }
+
+    /// Validate internal consistency; returns `self` for chaining.
+    pub fn validate(self) -> Result<Mechanism> {
+        let n = self.n_species();
+        if self.thermo.len() != n {
+            return Err(ChemError::Validation(format!(
+                "{} thermo entries for {} species",
+                self.thermo.len(),
+                n
+            )));
+        }
+        if self.transport.len() != n {
+            return Err(ChemError::Validation(format!(
+                "{} transport entries for {} species",
+                self.transport.len(),
+                n
+            )));
+        }
+        for (i, r) in self.reactions.iter().enumerate() {
+            for (s, c) in r.reactants.iter().chain(r.products.iter()) {
+                if *s >= n {
+                    return Err(ChemError::Validation(format!(
+                        "reaction {i} references species id {s} out of range"
+                    )));
+                }
+                if *c <= 0.0 {
+                    return Err(ChemError::Validation(format!(
+                        "reaction {i} has non-positive stoichiometric coefficient"
+                    )));
+                }
+            }
+            if r.reactants.is_empty() || r.products.is_empty() {
+                return Err(ChemError::Validation(format!(
+                    "reaction {i} must have reactants and products"
+                )));
+            }
+            if let Some(tb) = &r.third_body {
+                for (s, _) in &tb.efficiencies {
+                    if *s >= n {
+                        return Err(ChemError::Validation(format!(
+                            "reaction {i} third-body references species id {s}"
+                        )));
+                    }
+                }
+            }
+        }
+        for &s in self.qssa.qssa.iter().chain(self.qssa.stiff.iter()) {
+            if s >= n {
+                return Err(ChemError::Validation(format!(
+                    "QSSA/stiff species id {s} out of range"
+                )));
+            }
+        }
+        // A species cannot be both QSSA (reconstructed) and stiff (transported
+        // with a correction).
+        for s in &self.qssa.stiff {
+            if self.qssa.qssa.contains(s) {
+                return Err(ChemError::Validation(format!(
+                    "species id {s} is both QSSA and stiff"
+                )));
+            }
+        }
+        Ok(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reaction::{Arrhenius, RateModel, ReverseSpec};
+
+    fn tiny() -> Mechanism {
+        let species: Vec<Species> = ["h2", "o2", "h2o", "oh"]
+            .iter()
+            .map(|n| Species::from_formula(n).unwrap())
+            .collect();
+        let thermo = species
+            .iter()
+            .map(|s| NasaPoly::plausible(s.molecular_weight(), s.atom_count(), 0.0))
+            .collect();
+        let transport = species
+            .iter()
+            .map(|_| TransportFit {
+                shape: 1,
+                eps_over_k: 100.0,
+                sigma: 3.0,
+                dipole: 0.0,
+                polarizability: 1.0,
+                zrot: 1.0,
+            })
+            .collect();
+        let r = Reaction {
+            label: "1".into(),
+            reactants: vec![(0, 1.0), (1, 1.0)],
+            products: vec![(3, 2.0)],
+            rate: RateModel::Arrhenius(Arrhenius::new(1e13, 0.0, 5000.0)),
+            reverse: ReverseSpec::Equilibrium,
+            third_body: None,
+        };
+        Mechanism {
+            name: "tiny".into(),
+            species,
+            thermo,
+            transport,
+            reactions: vec![r],
+            qssa: QssaSpec::default(),
+        }
+    }
+
+    #[test]
+    fn validates_ok() {
+        assert!(tiny().validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_out_of_range_species() {
+        let mut m = tiny();
+        m.reactions[0].products.push((17, 1.0));
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_mismatched_thermo() {
+        let mut m = tiny();
+        m.thermo.pop();
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_qssa_stiff_overlap() {
+        let mut m = tiny();
+        m.qssa.qssa = vec![3];
+        m.qssa.stiff = vec![3];
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn transported_excludes_qssa() {
+        let mut m = tiny();
+        m.qssa.qssa = vec![1];
+        assert_eq!(m.transported(), vec![0, 2, 3]);
+        assert_eq!(m.n_transported(), 3);
+    }
+
+    #[test]
+    fn viscosity_constant_bytes_formula() {
+        let m = tiny(); // 4 transported species
+        assert_eq!(m.viscosity_constant_bytes(), 4 * 3 * 2 * 8);
+    }
+
+    #[test]
+    fn species_index_case_insensitive() {
+        let m = tiny();
+        assert_eq!(m.species_index("H2O").unwrap(), 2);
+        assert!(m.species_index("xx").is_err());
+    }
+
+    #[test]
+    fn qssa_dag_is_forward_oriented() {
+        let mut m = tiny();
+        // oh (3) and o2 (1) QSSA; reaction consumes o2 and produces oh.
+        m.qssa.qssa = vec![1, 3];
+        let dag = m.qssa_dag();
+        assert_eq!(dag, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn qssa_reactions_detects_involvement() {
+        let mut m = tiny();
+        m.qssa.qssa = vec![3];
+        assert_eq!(m.qssa_reactions(), vec![0]);
+        m.qssa.qssa = vec![2];
+        assert!(m.qssa_reactions().is_empty());
+    }
+}

@@ -1,0 +1,583 @@
+//! Parser for the CHEMKIN reaction file — the Figure 4 input format.
+//!
+//! ```text
+//! ELEMENTS
+//! h c o n
+//! END
+//! SPECIES
+//! ch4 ch3 h h2 h2o oh
+//! END
+//! REACTIONS
+//! !1 ch3+h(+m) = ch4(+m)  2.138e+15 -0.40 0.000E+00
+//!   low / 3.310E+30 -4.00 2108. /
+//!   troe/0.0 1.E-15 1.E-15 40./
+//!   h2/2/ h2o/5/
+//! !2 ch4+h = ch3+h2  1.727E+04 3.00 8.224E+03
+//!   rev / 6.610E+02 3.00 7.744E+03 /
+//! END
+//! ```
+
+use super::{parse_f64, strip_comment, Skeleton};
+use crate::elements::Element;
+use crate::error::{ChemError, Result};
+use crate::reaction::{Arrhenius, RateModel, Reaction, ReverseSpec, ThirdBody, TroeParams};
+use crate::species::Species;
+
+const FILE: &str = "CHEMKIN";
+
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+enum Section {
+    None,
+    Elements,
+    Species,
+    Reactions,
+}
+
+/// Parse the reaction file into a [`Skeleton`] (species + reactions).
+pub fn parse_chemkin(text: &str) -> Result<Skeleton> {
+    let mut section = Section::None;
+    let mut species: Vec<Species> = Vec::new();
+    let mut reactions: Vec<PendingReaction> = Vec::new();
+    // Elements are parsed for validation but composition comes from names.
+    let mut declared_elements: Vec<Element> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = if section == Section::Reactions {
+            // In the reactions section a leading '!' is a label (Figure 4).
+            let t = raw.trim();
+            if t.starts_with('!') && !t.contains('=') {
+                continue; // pure comment
+            }
+            if t.starts_with('!') {
+                t.to_string()
+            } else {
+                strip_comment(raw).to_string()
+            }
+        } else {
+            let t = raw.trim();
+            if t.starts_with('!') {
+                continue;
+            }
+            strip_comment(raw).to_string()
+        };
+        if line.is_empty() {
+            continue;
+        }
+        let upper = line.to_ascii_uppercase();
+        match upper.as_str() {
+            "ELEMENTS" | "ELEM" => {
+                section = Section::Elements;
+                continue;
+            }
+            "SPECIES" | "SPEC" => {
+                section = Section::Species;
+                continue;
+            }
+            "REACTIONS" | "REAC" => {
+                section = Section::Reactions;
+                continue;
+            }
+            "END" => {
+                section = Section::None;
+                continue;
+            }
+            _ => {}
+        }
+        match section {
+            Section::None => {
+                return Err(ChemError::parse(
+                    FILE,
+                    lineno,
+                    format!("unexpected content outside a section: '{line}'"),
+                ));
+            }
+            Section::Elements => {
+                for tok in line.split_whitespace() {
+                    declared_elements.push(Element::parse(tok)?);
+                }
+            }
+            Section::Species => {
+                parse_species_line(&line, lineno, &mut species)?;
+            }
+            Section::Reactions => {
+                if line.contains('=') && !is_aux_line(&line) {
+                    reactions.push(parse_reaction_line(&line, lineno)?);
+                } else {
+                    let last = reactions.last_mut().ok_or_else(|| {
+                        ChemError::parse(FILE, lineno, "auxiliary line before any reaction")
+                    })?;
+                    parse_aux_line(&line, lineno, last)?;
+                }
+            }
+        }
+    }
+
+    let skeleton_species = species;
+    let sk = Skeleton {
+        species: skeleton_species,
+        reactions: Vec::new(),
+    };
+    let mut resolved = Vec::with_capacity(reactions.len());
+    for p in reactions {
+        resolved.push(p.resolve(&sk)?);
+    }
+    Ok(Skeleton {
+        species: sk.species,
+        reactions: resolved,
+    })
+}
+
+/// Species declarations: bare names (composition derived from the name as a
+/// molecular formula, ignoring parenthesized suffixes like `ch2(s)`), or
+/// explicit composition `name / h2 c1 / `.
+fn parse_species_line(line: &str, lineno: usize, out: &mut Vec<Species>) -> Result<()> {
+    let mut rest = line;
+    while !rest.trim().is_empty() {
+        let rest_t = rest.trim_start();
+        let name_end = rest_t
+            .find(|c: char| c.is_whitespace() || c == '/')
+            .unwrap_or(rest_t.len());
+        let name = &rest_t[..name_end];
+        if name.is_empty() {
+            return Err(ChemError::parse(FILE, lineno, "empty species name"));
+        }
+        let after = rest_t[name_end..].trim_start();
+        if let Some(stripped) = after.strip_prefix('/') {
+            // Explicit composition: tokens like "c2" "h6" up to closing '/'.
+            let close = stripped.find('/').ok_or_else(|| {
+                ChemError::parse(FILE, lineno, "unterminated composition block")
+            })?;
+            let comp_str = &stripped[..close];
+            let mut comp = Vec::new();
+            for tok in comp_str.split_whitespace() {
+                let split = tok
+                    .find(|c: char| c.is_ascii_digit())
+                    .unwrap_or(tok.len());
+                let elem = Element::parse(&tok[..split])?;
+                let count: u32 = if split == tok.len() {
+                    1
+                } else {
+                    tok[split..].parse().map_err(|_| {
+                        ChemError::parse(FILE, lineno, format!("bad element count '{tok}'"))
+                    })?
+                };
+                comp.push((elem, count));
+            }
+            out.push(Species::new(name, comp));
+            rest = &stripped[close + 1..];
+        } else {
+            // Derive composition from the name; strip parenthetical suffixes.
+            let base: String = name.chars().filter(|c| c.is_ascii_alphanumeric()).collect();
+            let sp = Species::from_formula(&base).map_err(|_| {
+                ChemError::parse(
+                    FILE,
+                    lineno,
+                    format!("cannot derive composition for species '{name}' — use 'name / el# ... /'"),
+                )
+            })?;
+            out.push(Species::new(name, sp.composition));
+            rest = after;
+        }
+    }
+    Ok(())
+}
+
+/// One side of a reaction equation, pre-resolution.
+#[derive(Debug, Default, Clone)]
+struct SideSpec {
+    terms: Vec<(String, f64)>,
+    /// `(+m)` falloff marker present.
+    falloff: bool,
+    /// bare `+m` third-body term present.
+    three_body: bool,
+}
+
+#[derive(Debug, Clone)]
+struct PendingReaction {
+    label: String,
+    lhs: SideSpec,
+    rhs: SideSpec,
+    arrhenius: Arrhenius,
+    reversible: bool,
+    low: Option<Arrhenius>,
+    troe: Option<TroeParams>,
+    rev: Option<Arrhenius>,
+    lt: Option<(f64, f64)>,
+    efficiencies: Vec<(String, f64)>,
+    lineno: usize,
+}
+
+impl PendingReaction {
+    fn resolve(self, sk: &Skeleton) -> Result<Reaction> {
+        let to_ids = |side: &SideSpec| -> Result<Vec<(usize, f64)>> {
+            side.terms
+                .iter()
+                .map(|(n, c)| sk.species_index(n).map(|i| (i, *c)))
+                .collect()
+        };
+        let reactants = to_ids(&self.lhs)?;
+        let products = to_ids(&self.rhs)?;
+        let falloff = self.lhs.falloff || self.rhs.falloff;
+        let three_body = self.lhs.three_body || self.rhs.three_body;
+
+        let rate = match (&self.low, &self.troe, &self.lt) {
+            (Some(low), Some(troe), None) => RateModel::Troe {
+                high: self.arrhenius,
+                low: *low,
+                troe: *troe,
+            },
+            (Some(low), None, None) => RateModel::Lindemann {
+                high: self.arrhenius,
+                low: *low,
+            },
+            (None, None, Some((b, c))) => RateModel::LandauTeller {
+                arrhenius: self.arrhenius,
+                b: *b,
+                c: *c,
+            },
+            (None, None, None) => RateModel::Arrhenius(self.arrhenius),
+            _ => {
+                return Err(ChemError::parse(
+                    FILE,
+                    self.lineno,
+                    "inconsistent auxiliary data (troe without low, or lt mixed with falloff)",
+                ))
+            }
+        };
+        if rate.is_falloff() && !falloff {
+            return Err(ChemError::parse(
+                FILE,
+                self.lineno,
+                "low/troe given for a reaction without (+m)",
+            ));
+        }
+
+        let third_body = if falloff || three_body {
+            let mut eff = Vec::new();
+            for (name, v) in &self.efficiencies {
+                eff.push((sk.species_index(name)?, *v));
+            }
+            Some(ThirdBody { efficiencies: eff })
+        } else if !self.efficiencies.is_empty() {
+            return Err(ChemError::parse(
+                FILE,
+                self.lineno,
+                "third-body efficiencies on a reaction without m",
+            ));
+        } else {
+            None
+        };
+
+        let reverse = match (self.rev, self.reversible) {
+            (Some(a), true) => ReverseSpec::Explicit(a),
+            (Some(_), false) => {
+                return Err(ChemError::parse(
+                    FILE,
+                    self.lineno,
+                    "rev/ given for an irreversible reaction",
+                ))
+            }
+            (None, true) => ReverseSpec::Equilibrium,
+            (None, false) => ReverseSpec::Irreversible,
+        };
+
+        Ok(Reaction {
+            label: self.label,
+            reactants,
+            products,
+            rate,
+            reverse,
+            third_body,
+        })
+    }
+}
+
+fn is_aux_line(line: &str) -> bool {
+    let l = line.trim_start().to_ascii_lowercase();
+    l.starts_with("low")
+        || l.starts_with("troe")
+        || l.starts_with("rev")
+        || l.starts_with("lt")
+        || l.starts_with("dup")
+        || is_efficiency_line(&l)
+}
+
+fn is_efficiency_line(l: &str) -> bool {
+    // "h2/2/ h2o/5/" — name/value/ pairs, no '=' sign.
+    !l.contains('=')
+        && l.split_whitespace()
+            .all(|tok| tok.matches('/').count() == 2 && tok.ends_with('/'))
+        && !l.trim().is_empty()
+}
+
+fn parse_reaction_line(line: &str, lineno: usize) -> Result<PendingReaction> {
+    let mut s = line.trim();
+    let mut label = String::new();
+    if let Some(stripped) = s.strip_prefix('!') {
+        let mut it = stripped.splitn(2, char::is_whitespace);
+        label = it.next().unwrap_or_default().to_string();
+        s = it.next().unwrap_or("").trim();
+    }
+    // Split off the trailing three Arrhenius numbers.
+    let toks: Vec<&str> = s.split_whitespace().collect();
+    if toks.len() < 4 {
+        return Err(ChemError::parse(FILE, lineno, "reaction line too short"));
+    }
+    let nums: Vec<f64> = toks[toks.len() - 3..]
+        .iter()
+        .map(|t| parse_f64(t))
+        .collect::<Option<Vec<_>>>()
+        .ok_or_else(|| ChemError::parse(FILE, lineno, "bad Arrhenius numbers"))?;
+    let eq = toks[..toks.len() - 3].join(" ");
+
+    let (lhs_str, rhs_str, reversible) = if let Some(i) = eq.find("<=>") {
+        (&eq[..i], &eq[i + 3..], true)
+    } else if let Some(i) = eq.find("=>") {
+        (&eq[..i], &eq[i + 2..], false)
+    } else if let Some(i) = eq.find('=') {
+        (&eq[..i], &eq[i + 1..], true)
+    } else {
+        return Err(ChemError::parse(FILE, lineno, "no '=' in reaction"));
+    };
+
+    let lhs = parse_side(lhs_str, lineno)?;
+    let rhs = parse_side(rhs_str, lineno)?;
+    Ok(PendingReaction {
+        label,
+        lhs,
+        rhs,
+        arrhenius: Arrhenius::new(nums[0], nums[1], nums[2]),
+        reversible,
+        low: None,
+        troe: None,
+        rev: None,
+        lt: None,
+        efficiencies: Vec::new(),
+        lineno,
+    })
+}
+
+fn parse_side(side: &str, lineno: usize) -> Result<SideSpec> {
+    let mut spec = SideSpec::default();
+    let mut s = side.replace(' ', "");
+    // Falloff marker.
+    if let Some(i) = s.to_ascii_lowercase().find("(+m)") {
+        spec.falloff = true;
+        s.replace_range(i..i + 4, "");
+    }
+    for term in s.split('+').filter(|t| !t.is_empty()) {
+        if term.eq_ignore_ascii_case("m") {
+            spec.three_body = true;
+            continue;
+        }
+        // Leading integer coefficient, e.g. "2oh".
+        let digits = term.chars().take_while(|c| c.is_ascii_digit()).count();
+        // Careful: names can start with digits? No — CHEMKIN species start
+        // with a letter or are quoted; ours start with a letter.
+        let (coeff, name) = if digits > 0 && term[digits..].starts_with(|c: char| c.is_ascii_alphabetic()) {
+            let c: f64 = term[..digits].parse().map_err(|_| {
+                ChemError::parse(FILE, lineno, format!("bad coefficient in '{term}'"))
+            })?;
+            (c, &term[digits..])
+        } else {
+            (1.0, term)
+        };
+        if name.is_empty() {
+            return Err(ChemError::parse(FILE, lineno, "empty species term"));
+        }
+        spec.terms.push((name.to_ascii_lowercase(), coeff));
+    }
+    if spec.terms.is_empty() {
+        return Err(ChemError::parse(FILE, lineno, "reaction side has no species"));
+    }
+    Ok(spec)
+}
+
+fn parse_aux_line(line: &str, lineno: usize, r: &mut PendingReaction) -> Result<()> {
+    let l = line.trim();
+    let lower = l.to_ascii_lowercase();
+    if lower.starts_with("dup") {
+        return Ok(()); // duplicates allowed implicitly
+    }
+    if lower.starts_with("low") || lower.starts_with("troe") || lower.starts_with("rev")
+        || (lower.starts_with("lt") && lower[2..].trim_start().starts_with('/'))
+    {
+        let open = l.find('/').ok_or_else(|| {
+            ChemError::parse(FILE, lineno, "auxiliary keyword without '/'")
+        })?;
+        let close = l.rfind('/').unwrap();
+        if close <= open {
+            return Err(ChemError::parse(FILE, lineno, "unterminated auxiliary block"));
+        }
+        let nums: Vec<f64> = l[open + 1..close]
+            .split_whitespace()
+            .map(parse_f64)
+            .collect::<Option<Vec<_>>>()
+            .ok_or_else(|| ChemError::parse(FILE, lineno, "bad auxiliary numbers"))?;
+        if lower.starts_with("low") {
+            if nums.len() != 3 {
+                return Err(ChemError::parse(FILE, lineno, "low/ needs 3 numbers"));
+            }
+            r.low = Some(Arrhenius::new(nums[0], nums[1], nums[2]));
+        } else if lower.starts_with("troe") {
+            if nums.len() != 3 && nums.len() != 4 {
+                return Err(ChemError::parse(FILE, lineno, "troe/ needs 3 or 4 numbers"));
+            }
+            r.troe = Some(TroeParams {
+                a: nums[0],
+                t3: nums[1],
+                t1: nums[2],
+                t2: nums.get(3).copied(),
+            });
+        } else if lower.starts_with("rev") {
+            if nums.len() != 3 {
+                return Err(ChemError::parse(FILE, lineno, "rev/ needs 3 numbers"));
+            }
+            r.rev = Some(Arrhenius::new(nums[0], nums[1], nums[2]));
+        } else {
+            if nums.len() != 2 {
+                return Err(ChemError::parse(FILE, lineno, "lt/ needs 2 numbers"));
+            }
+            r.lt = Some((nums[0], nums[1]));
+        }
+        return Ok(());
+    }
+    if is_efficiency_line(&lower) {
+        for tok in l.split_whitespace() {
+            let mut parts = tok.split('/');
+            let name = parts.next().unwrap_or_default();
+            let val = parts
+                .next()
+                .and_then(parse_f64)
+                .ok_or_else(|| ChemError::parse(FILE, lineno, format!("bad efficiency '{tok}'")))?;
+            r.efficiencies.push((name.to_ascii_lowercase(), val));
+        }
+        return Ok(());
+    }
+    Err(ChemError::parse(
+        FILE,
+        lineno,
+        format!("unrecognized auxiliary line '{l}'"),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+ELEMENTS
+h c o
+END
+SPECIES
+ch4 ch3 h h2 oh h2o
+END
+REACTIONS
+!1 ch3+h(+m) = ch4(+m)  2.138e+15 -0.40 0.000E+00
+  low / 3.310E+30 -4.00 2108. /
+  troe/0.0 1.E-15 1.E-15 40./
+  h2/2/ h2o/5/
+!2 ch4+h = ch3+h2  1.727E+04 3.00 8.224E+03
+  rev / 6.610E+02 3.00 7.744E+03 /
+!3 ch4+oh => ch3+h2o  1.930E+05 2.40 2.106E+03
+END
+"#;
+
+    #[test]
+    fn parses_figure4_sample() {
+        let sk = parse_chemkin(SAMPLE).unwrap();
+        assert_eq!(sk.species.len(), 6);
+        assert_eq!(sk.reactions.len(), 3);
+
+        let r1 = &sk.reactions[0];
+        assert_eq!(r1.label, "1");
+        assert!(matches!(r1.rate, RateModel::Troe { .. }));
+        let tb = r1.third_body.as_ref().unwrap();
+        assert_eq!(tb.efficiencies.len(), 2);
+        assert!(matches!(r1.reverse, ReverseSpec::Equilibrium));
+
+        let r2 = &sk.reactions[1];
+        assert!(matches!(r2.rate, RateModel::Arrhenius(_)));
+        assert!(matches!(r2.reverse, ReverseSpec::Explicit(_)));
+
+        let r3 = &sk.reactions[2];
+        assert!(matches!(r3.reverse, ReverseSpec::Irreversible));
+    }
+
+    #[test]
+    fn troe_numbers_survive() {
+        let sk = parse_chemkin(SAMPLE).unwrap();
+        if let RateModel::Troe { low, troe, .. } = &sk.reactions[0].rate {
+            assert!((low.a - 3.310e30).abs() / 3.31e30 < 1e-12);
+            assert_eq!(troe.t2, Some(40.0));
+        } else {
+            panic!("expected troe");
+        }
+    }
+
+    #[test]
+    fn coefficients_parse() {
+        let text = "SPECIES\noh h2o o2\nEND\nREACTIONS\n2oh = h2o + o2 1.0 0.0 0.0\nEND\n";
+        // Note: unbalanced chemistry, but the parser doesn't care.
+        let sk = parse_chemkin(text).unwrap();
+        assert_eq!(sk.reactions[0].reactants, vec![(0, 2.0)]);
+        assert_eq!(sk.reactions[0].products.len(), 2);
+    }
+
+    #[test]
+    fn bare_third_body() {
+        let text = "SPECIES\nh oh h2o\nEND\nREACTIONS\nh + oh + m = h2o + m 1.0 0.0 0.0\nEND\n";
+        let sk = parse_chemkin(text).unwrap();
+        let r = &sk.reactions[0];
+        assert!(r.third_body.is_some());
+        assert!(matches!(r.rate, RateModel::Arrhenius(_)));
+    }
+
+    #[test]
+    fn landau_teller() {
+        let text = "SPECIES\nh oh\nEND\nREACTIONS\nh + h = oh 1.0 0.0 100.0\n lt / 50.0 -10.0 /\nEND\n";
+        let sk = parse_chemkin(text).unwrap();
+        assert!(matches!(
+            sk.reactions[0].rate,
+            RateModel::LandauTeller { b, c, .. } if b == 50.0 && c == -10.0
+        ));
+    }
+
+    #[test]
+    fn unknown_species_rejected() {
+        let text = "SPECIES\nh\nEND\nREACTIONS\nh + xx = h 1.0 0.0 0.0\nEND\n";
+        assert!(matches!(
+            parse_chemkin(text),
+            Err(ChemError::UnknownSpecies(_))
+        ));
+    }
+
+    #[test]
+    fn aux_before_reaction_rejected() {
+        let text = "SPECIES\nh\nEND\nREACTIONS\nlow / 1 2 3 /\nEND\n";
+        assert!(parse_chemkin(text).is_err());
+    }
+
+    #[test]
+    fn troe_without_low_rejected() {
+        let text =
+            "SPECIES\nh h2\nEND\nREACTIONS\nh+h(+m) = h2(+m) 1.0 0.0 0.0\n troe/0.5 1 1/\nEND\n";
+        assert!(parse_chemkin(text).is_err());
+    }
+
+    #[test]
+    fn explicit_composition_species() {
+        let text = "SPECIES\nch2(s) / c1 h2 /\nfuel / c7 h16 /\nEND\nREACTIONS\nch2(s) = fuel 1 0 0\nEND\n";
+        let sk = parse_chemkin(text).unwrap();
+        assert_eq!(sk.species[0].name, "ch2(s)");
+        assert!((sk.species[1].molecular_weight() - 100.2).abs() < 0.1);
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let text = "! header\nSPECIES\nh ! the atom\nEND\nREACTIONS\n! pure comment\nh + h = h 1 0 0\nEND\n";
+        let sk = parse_chemkin(text).unwrap();
+        assert_eq!(sk.reactions.len(), 1);
+    }
+}

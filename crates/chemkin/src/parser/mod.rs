@@ -1,0 +1,107 @@
+//! Parsers for the four Singe input files (paper §3.1):
+//!
+//! * the CHEMKIN reaction file (Figure 4 syntax) — [`chemkin_file`],
+//! * the THERMO file of NASA-7 coefficients — [`thermo_file`],
+//! * the TRANSPORT file of molecular parameters — [`transport_file`],
+//! * the optional QSSA/stiffness file — [`qssa_file`].
+//!
+//! The formats follow CHEMKIN-III conventions with whitespace-separated
+//! fields (the historical fixed-column layout is relaxed; everything else —
+//! section keywords, auxiliary `low/`, `troe/`, `rev/`, `lt/` lines,
+//! third-body efficiencies, `(+m)` falloff markers — matches Figure 4).
+
+pub mod chemkin_file;
+pub mod qssa_file;
+pub mod thermo_file;
+pub mod transport_file;
+
+use crate::error::Result;
+use crate::mechanism::Mechanism;
+
+pub use chemkin_file::parse_chemkin;
+pub use qssa_file::parse_qssa;
+pub use thermo_file::parse_thermo;
+pub use transport_file::parse_transport;
+
+/// Parse a complete mechanism from its (up to four) input files, then
+/// validate it — the full Singe input path.
+pub fn parse_mechanism(
+    name: &str,
+    chemkin_text: &str,
+    thermo_text: &str,
+    transport_text: &str,
+    qssa_text: Option<&str>,
+) -> Result<Mechanism> {
+    let skeleton = parse_chemkin(chemkin_text)?;
+    let thermo = parse_thermo(thermo_text, &skeleton)?;
+    let transport = parse_transport(transport_text, &skeleton)?;
+    let qssa = match qssa_text {
+        Some(t) => parse_qssa(t, &skeleton)?,
+        None => Default::default(),
+    };
+    Mechanism {
+        name: name.to_string(),
+        species: skeleton.species,
+        thermo,
+        transport,
+        reactions: skeleton.reactions,
+        qssa,
+    }
+    .validate()
+}
+
+/// Intermediate result of parsing just the CHEMKIN reaction file: species
+/// list plus reactions, before thermo/transport data is attached.
+#[derive(Debug, Clone)]
+pub struct Skeleton {
+    /// Declared species in declaration order.
+    pub species: Vec<crate::species::Species>,
+    /// Parsed reactions.
+    pub reactions: Vec<crate::reaction::Reaction>,
+}
+
+impl Skeleton {
+    /// Resolve a species name to its index.
+    pub fn species_index(&self, name: &str) -> Result<usize> {
+        let lower = name.to_ascii_lowercase();
+        self.species
+            .iter()
+            .position(|s| s.name == lower)
+            .ok_or_else(|| crate::error::ChemError::UnknownSpecies(name.to_string()))
+    }
+}
+
+/// Strip a trailing `!...` comment (when the `!` is not the label marker at
+/// the start of a reaction line) and surrounding whitespace.
+pub(crate) fn strip_comment(line: &str) -> &str {
+    // A '!' at column 0 is handled by the reaction parser (Figure 4 labels);
+    // elsewhere it begins a comment.
+    match line.char_indices().skip(1).find(|(_, c)| *c == '!') {
+        Some((i, _)) => line[..i].trim(),
+        None => line.trim(),
+    }
+}
+
+/// Parse an f64 accepting Fortran-style `D` exponents (`1.0d+3`).
+pub(crate) fn parse_f64(tok: &str) -> Option<f64> {
+    let s = tok.replace(['d', 'D'], "e");
+    s.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strip_comment_keeps_leading_bang() {
+        assert_eq!(strip_comment("!1 a = b  1 2 3"), "!1 a = b  1 2 3");
+        assert_eq!(strip_comment("a = b ! note"), "a = b");
+    }
+
+    #[test]
+    fn fortran_exponents() {
+        assert_eq!(parse_f64("1.5d3"), Some(1500.0));
+        assert_eq!(parse_f64("2.0E-2"), Some(0.02));
+        assert_eq!(parse_f64("x"), None);
+    }
+}

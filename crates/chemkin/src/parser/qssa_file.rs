@@ -1,0 +1,113 @@
+//! Parser for the optional QSSA/stiffness file (the fourth Singe input,
+//! paper §3.1):
+//!
+//! ```text
+//! QSSA
+//! ch2 ch2(s) hco
+//! END
+//! STIFF
+//! h o oh ho2
+//! END
+//! ```
+
+use super::{strip_comment, Skeleton};
+use crate::error::{ChemError, Result};
+use crate::mechanism::QssaSpec;
+
+const FILE: &str = "QSSA";
+
+/// Parse the QSSA/STIFF species lists.
+pub fn parse_qssa(text: &str, sk: &Skeleton) -> Result<QssaSpec> {
+    #[derive(PartialEq)]
+    enum Sec {
+        None,
+        Qssa,
+        Stiff,
+    }
+    let mut sec = Sec::None;
+    let mut spec = QssaSpec::default();
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = strip_comment(raw);
+        if line.is_empty() || line.starts_with('!') {
+            continue;
+        }
+        if line.eq_ignore_ascii_case("qssa") {
+            sec = Sec::Qssa;
+            continue;
+        }
+        if line.eq_ignore_ascii_case("stiff") {
+            sec = Sec::Stiff;
+            continue;
+        }
+        if line.eq_ignore_ascii_case("end") {
+            sec = Sec::None;
+            continue;
+        }
+        if sec == Sec::None {
+            return Err(ChemError::parse(
+                FILE,
+                lineno,
+                "species list outside QSSA/STIFF section",
+            ));
+        }
+        for tok in line.split_whitespace() {
+            let idx = sk.species_index(tok)?;
+            let list = if sec == Sec::Qssa {
+                &mut spec.qssa
+            } else {
+                &mut spec.stiff
+            };
+            if list.contains(&idx) {
+                return Err(ChemError::parse(
+                    FILE,
+                    lineno,
+                    format!("duplicate species '{tok}'"),
+                ));
+            }
+            list.push(idx);
+        }
+    }
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::species::Species;
+
+    fn sk() -> Skeleton {
+        Skeleton {
+            species: ["h", "o", "oh", "h2o"]
+                .iter()
+                .map(|n| Species::from_formula(n).unwrap())
+                .collect(),
+            reactions: vec![],
+        }
+    }
+
+    #[test]
+    fn parses_both_sections() {
+        let text = "QSSA\noh\nEND\nSTIFF\nh o\nEND\n";
+        let q = parse_qssa(text, &sk()).unwrap();
+        assert_eq!(q.qssa, vec![2]);
+        assert_eq!(q.stiff, vec![0, 1]);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let text = "QSSA\noh oh\nEND\n";
+        assert!(parse_qssa(text, &sk()).is_err());
+    }
+
+    #[test]
+    fn outside_section_rejected() {
+        assert!(parse_qssa("oh\n", &sk()).is_err());
+    }
+
+    #[test]
+    fn empty_file_is_empty_spec() {
+        let q = parse_qssa("", &sk()).unwrap();
+        assert!(q.qssa.is_empty() && q.stiff.is_empty());
+    }
+}

@@ -1,0 +1,171 @@
+//! Parser for the THERMO file: NASA-7 coefficients, two ranges per species.
+//!
+//! Relaxed CHEMKIN layout — one header line with the default temperature
+//! ranges, then four lines per species (header + 14 coefficients, upper
+//! range first, matching the NASA convention):
+//!
+//! ```text
+//! THERMO
+//! 300.0 1000.0 5000.0
+//! ch4 300.0 1000.0 5000.0
+//!  1.0 2.0e-3 -3.0e-7 4.0e-11 -5.0e-16
+//!  -1.2e4 8.0 0.9 1.8e-3 -2.5e-7
+//!  3.0e-11 -4.0e-16 -1.19e4 9.0
+//! END
+//! ```
+
+use super::{parse_f64, strip_comment, Skeleton};
+use crate::error::{ChemError, Result};
+use crate::thermo::NasaPoly;
+
+const FILE: &str = "THERMO";
+
+/// Parse THERMO text, returning polynomials in the skeleton's species order.
+pub fn parse_thermo(text: &str, sk: &Skeleton) -> Result<Vec<NasaPoly>> {
+    let lines: Vec<(usize, String)> = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, strip_comment(l).to_string()))
+        .filter(|(_, l)| !l.is_empty())
+        .collect();
+
+    let mut it = lines.iter().peekable();
+    // Optional THERMO keyword.
+    if let Some((_, l)) = it.peek() {
+        if l.eq_ignore_ascii_case("thermo") {
+            it.next();
+        }
+    }
+    // Default ranges line.
+    let (ln, defaults) = it
+        .next()
+        .ok_or_else(|| ChemError::parse(FILE, 0, "empty THERMO file"))?;
+    let def: Vec<f64> = defaults
+        .split_whitespace()
+        .map(parse_f64)
+        .collect::<Option<Vec<_>>>()
+        .ok_or_else(|| ChemError::parse(FILE, *ln, "bad default temperature ranges"))?;
+    if def.len() != 3 {
+        return Err(ChemError::parse(FILE, *ln, "expected 'Tlow Tmid Thigh'"));
+    }
+
+    let mut result: Vec<Option<NasaPoly>> = vec![None; sk.species.len()];
+    while let Some((ln, header)) = it.next() {
+        if header.eq_ignore_ascii_case("end") {
+            break;
+        }
+        let mut toks = header.split_whitespace();
+        let name = toks
+            .next()
+            .ok_or_else(|| ChemError::parse(FILE, *ln, "missing species name"))?;
+        let ranges: Vec<f64> = toks.map(parse_f64).collect::<Option<Vec<_>>>().ok_or_else(
+            || ChemError::parse(FILE, *ln, "bad species temperature ranges"),
+        )?;
+        let (t_low, t_mid, t_high) = match ranges.len() {
+            0 => (def[0], def[1], def[2]),
+            3 => (ranges[0], ranges[1], ranges[2]),
+            _ => {
+                return Err(ChemError::parse(
+                    FILE,
+                    *ln,
+                    "species header needs 0 or 3 temperatures",
+                ))
+            }
+        };
+        let mut coeffs = Vec::with_capacity(14);
+        while coeffs.len() < 14 {
+            let (cl, cline) = it
+                .next()
+                .ok_or_else(|| ChemError::parse(FILE, *ln, "truncated coefficient block"))?;
+            for tok in cline.split_whitespace() {
+                coeffs.push(parse_f64(tok).ok_or_else(|| {
+                    ChemError::parse(FILE, *cl, format!("bad coefficient '{tok}'"))
+                })?);
+            }
+        }
+        if coeffs.len() != 14 {
+            return Err(ChemError::parse(FILE, *ln, "expected exactly 14 coefficients"));
+        }
+        let idx = sk.species_index(name)?;
+        let mut high = [0.0; 7];
+        let mut low = [0.0; 7];
+        high.copy_from_slice(&coeffs[..7]);
+        low.copy_from_slice(&coeffs[7..]);
+        result[idx] = Some(NasaPoly {
+            t_low,
+            t_mid,
+            t_high,
+            low,
+            high,
+        });
+    }
+
+    result
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| {
+            p.ok_or_else(|| {
+                ChemError::Validation(format!(
+                    "missing THERMO data for species '{}'",
+                    sk.species[i].name
+                ))
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::species::Species;
+
+    fn sk() -> Skeleton {
+        Skeleton {
+            species: vec![
+                Species::from_formula("h2").unwrap(),
+                Species::from_formula("o2").unwrap(),
+            ],
+            reactions: vec![],
+        }
+    }
+
+    const TEXT: &str = "THERMO\n300 1000 5000\n\
+o2\n 3.2 1e-3 -1e-7 1e-11 -1e-15\n -1000 4.0 3.1 0.9e-3 -1e-7\n 1e-11 -1e-15 -990 4.2\n\
+h2 200 900 6000\n 2.9 1e-3 -1e-7 1e-11 -1e-15\n -800 3.0 2.8 0.8e-3 -1e-7\n 1e-11 -1e-15 -795 3.1\n\
+END\n";
+
+    #[test]
+    fn parses_in_species_order() {
+        let polys = parse_thermo(TEXT, &sk()).unwrap();
+        assert_eq!(polys.len(), 2);
+        // h2 was declared second in file but is species 0.
+        assert_eq!(polys[0].t_mid, 900.0);
+        assert_eq!(polys[1].t_mid, 1000.0);
+        assert!((polys[1].high[0] - 3.2).abs() < 1e-12);
+        assert!((polys[1].low[0] - 3.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_species_is_error() {
+        let text = "300 1000 5000\nh2\n 1 2 3 4 5\n 6 7 1 2 3\n 4 5 6 7\nEND";
+        assert!(matches!(
+            parse_thermo(text, &sk()),
+            Err(ChemError::Validation(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_species_is_error() {
+        let text = "300 1000 5000\nxx\n 1 2 3 4 5\n 6 7 1 2 3\n 4 5 6 7\nEND";
+        assert!(matches!(
+            parse_thermo(text, &sk()),
+            Err(ChemError::UnknownSpecies(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_block_is_error() {
+        let text = "300 1000 5000\nh2\n 1 2 3 4 5\n";
+        assert!(parse_thermo(text, &sk()).is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! Parser for the TRANSPORT file: molecular parameters per species, in the
+//! style of CHEMKIN `tran.dat`:
+//!
+//! ```text
+//! TRANSPORT
+//! ! name shape eps/k sigma dipole polarizability zrot
+//! ch4   2  141.40  3.746  0.000  2.600  13.000
+//! END
+//! ```
+
+use super::{parse_f64, strip_comment, Skeleton};
+use crate::error::{ChemError, Result};
+use crate::transport::TransportFit;
+
+const FILE: &str = "TRANSPORT";
+
+/// Parse TRANSPORT text, returning fits in the skeleton's species order.
+pub fn parse_transport(text: &str, sk: &Skeleton) -> Result<Vec<TransportFit>> {
+    let mut result: Vec<Option<TransportFit>> = vec![None; sk.species.len()];
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = strip_comment(raw);
+        if line.is_empty()
+            || line.eq_ignore_ascii_case("transport")
+            || line.eq_ignore_ascii_case("end")
+            || line.starts_with('!')
+        {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        if toks.len() != 7 {
+            return Err(ChemError::parse(
+                FILE,
+                lineno,
+                format!("expected 7 fields, got {}", toks.len()),
+            ));
+        }
+        let idx = sk.species_index(toks[0])?;
+        let shape: u8 = toks[1]
+            .parse()
+            .map_err(|_| ChemError::parse(FILE, lineno, "bad shape index"))?;
+        if shape > 2 {
+            return Err(ChemError::parse(FILE, lineno, "shape index must be 0..=2"));
+        }
+        let nums: Vec<f64> = toks[2..]
+            .iter()
+            .map(|t| parse_f64(t))
+            .collect::<Option<Vec<_>>>()
+            .ok_or_else(|| ChemError::parse(FILE, lineno, "bad numeric field"))?;
+        if nums[0] <= 0.0 || nums[1] <= 0.0 {
+            return Err(ChemError::parse(
+                FILE,
+                lineno,
+                "eps/k and sigma must be positive",
+            ));
+        }
+        result[idx] = Some(TransportFit {
+            shape,
+            eps_over_k: nums[0],
+            sigma: nums[1],
+            dipole: nums[2],
+            polarizability: nums[3],
+            zrot: nums[4],
+        });
+    }
+    result
+        .into_iter()
+        .enumerate()
+        .map(|(i, f)| {
+            f.ok_or_else(|| {
+                ChemError::Validation(format!(
+                    "missing TRANSPORT data for species '{}'",
+                    sk.species[i].name
+                ))
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::species::Species;
+
+    fn sk() -> Skeleton {
+        Skeleton {
+            species: vec![
+                Species::from_formula("ch4").unwrap(),
+                Species::from_formula("h2").unwrap(),
+            ],
+            reactions: vec![],
+        }
+    }
+
+    #[test]
+    fn parses_fields() {
+        let text = "TRANSPORT\nh2 1 38.0 2.92 0.0 0.79 280.0\nch4 2 141.4 3.746 0.0 2.6 13.0\nEND\n";
+        let fits = parse_transport(text, &sk()).unwrap();
+        assert_eq!(fits[0].shape, 2); // ch4 is species 0
+        assert!((fits[0].eps_over_k - 141.4).abs() < 1e-12);
+        assert!((fits[1].sigma - 2.92).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_species_error() {
+        let text = "h2 1 38.0 2.92 0.0 0.79 280.0\n";
+        assert!(matches!(
+            parse_transport(text, &sk()),
+            Err(ChemError::Validation(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_field_count_error() {
+        let text = "h2 1 38.0 2.92\n";
+        assert!(parse_transport(text, &sk()).is_err());
+    }
+
+    #[test]
+    fn negative_sigma_rejected() {
+        let text = "h2 1 38.0 -2.92 0.0 0.79 280.0\nch4 2 141.4 3.746 0.0 2.6 13.0\n";
+        assert!(parse_transport(text, &sk()).is_err());
+    }
+}

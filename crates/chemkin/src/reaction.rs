@@ -1,0 +1,347 @@
+//! Reaction rate models: Arrhenius, Lindemann and Troe falloff,
+//! Landau-Teller, explicit-reverse and equilibrium-reverse reactions, and
+//! third-body efficiencies — the full set named in paper §3.4.
+
+use crate::mechanism::SpeciesId;
+use crate::R_CAL;
+
+/// Modified Arrhenius parameters: `k(T) = a * T^beta * exp(-e_act / (R T))`
+/// with `e_act` in cal/mol (CHEMKIN convention).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arrhenius {
+    /// Pre-exponential factor (units depend on reaction order).
+    pub a: f64,
+    /// Temperature exponent.
+    pub beta: f64,
+    /// Activation energy, cal/mol.
+    pub e_act: f64,
+}
+
+impl Arrhenius {
+    /// Construct from the three numbers on a CHEMKIN reaction line.
+    pub fn new(a: f64, beta: f64, e_act: f64) -> Arrhenius {
+        Arrhenius { a, beta, e_act }
+    }
+
+    /// Evaluate the rate constant at temperature `t` (K).
+    pub fn eval(&self, t: f64) -> f64 {
+        self.a * t.powf(self.beta) * (-self.e_act / (R_CAL * t)).exp()
+    }
+
+    /// Evaluate in logarithmic space, as the paper's optimized kernels do
+    /// (§6: "the use of logarithmic-space computations"):
+    /// `ln k = ln a + beta ln T - e/(R T)`.
+    pub fn eval_log(&self, ln_t: f64, inv_rt: f64) -> f64 {
+        (self.a.ln() + self.beta * ln_t - self.e_act * inv_rt).exp()
+    }
+}
+
+/// Troe falloff blending parameters (`troe/a t3 t1 t2/` auxiliary line).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TroeParams {
+    /// Weighting between the two exponential terms.
+    pub a: f64,
+    /// First falloff temperature, K.
+    pub t3: f64,
+    /// Second falloff temperature, K.
+    pub t1: f64,
+    /// Optional third temperature, K (`None` for the 3-parameter form).
+    pub t2: Option<f64>,
+}
+
+impl TroeParams {
+    /// Center broadening factor `F_cent(T)`.
+    pub fn f_cent(&self, t: f64) -> f64 {
+        let mut f = (1.0 - self.a) * (-t / self.t3).exp() + self.a * (-t / self.t1).exp();
+        if let Some(t2) = self.t2 {
+            f += (-t2 / t).exp();
+        }
+        // Clamp away from zero so log10 stays finite (tiny F_cent means the
+        // falloff is essentially Lindemann-like anyway).
+        f.max(1.0e-30)
+    }
+}
+
+/// How the forward rate constant of a reaction is computed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RateModel {
+    /// Plain modified Arrhenius.
+    Arrhenius(Arrhenius),
+    /// Lindemann pressure falloff: high- and low-pressure limits blended by
+    /// the reduced pressure `pr = k_low [M] / k_inf`.
+    Lindemann {
+        /// High-pressure limit.
+        high: Arrhenius,
+        /// Low-pressure limit (`low/.../` auxiliary line).
+        low: Arrhenius,
+    },
+    /// Troe falloff: Lindemann plus the Troe broadening factor `F`.
+    Troe {
+        /// High-pressure limit.
+        high: Arrhenius,
+        /// Low-pressure limit.
+        low: Arrhenius,
+        /// Troe parameters (`troe/.../` auxiliary line).
+        troe: TroeParams,
+    },
+    /// Landau-Teller vibrational-relaxation form:
+    /// `k = a T^beta exp(-e/(R T) + b T^{-1/3} + c T^{-2/3})`.
+    LandauTeller {
+        /// Arrhenius part.
+        arrhenius: Arrhenius,
+        /// `b` coefficient (`lt/b c/` auxiliary line).
+        b: f64,
+        /// `c` coefficient.
+        c: f64,
+    },
+}
+
+impl RateModel {
+    /// Forward rate constant given temperature `t` and third-body
+    /// concentration `m` (mol/cm^3); `m` is ignored by non-falloff models.
+    pub fn forward(&self, t: f64, m: f64) -> f64 {
+        match self {
+            RateModel::Arrhenius(a) => a.eval(t),
+            RateModel::Lindemann { high, low } => {
+                let kinf = high.eval(t);
+                let pr = low.eval(t) * m / kinf;
+                kinf * pr / (1.0 + pr)
+            }
+            RateModel::Troe { high, low, troe } => {
+                let kinf = high.eval(t);
+                let pr = low.eval(t) * m / kinf;
+                if pr <= 0.0 {
+                    return 0.0;
+                }
+                // Exactly the scheme of the paper's Listing 1, where
+                // `fcent` holds log10 of the center broadening factor.
+                let lfc = troe.f_cent(t).log10();
+                let flogpr = pr.log10() - 0.4 - 0.67 * lfc;
+                let fdenom = 0.75 - 1.27 * lfc - 0.14 * flogpr;
+                let mut fquan = flogpr / fdenom;
+                fquan = lfc / (1.0 + fquan * fquan);
+                const DLN10: f64 = std::f64::consts::LN_10;
+                kinf * pr / (1.0 + pr) * (fquan * DLN10).exp()
+            }
+            RateModel::LandauTeller { arrhenius, b, c } => {
+                let t13 = t.cbrt();
+                arrhenius.eval(t) * (b / t13 + c / (t13 * t13)).exp()
+            }
+        }
+    }
+
+    /// Number of double-precision constants this model needs per reaction —
+    /// the paper notes "between 6 and 15 double precision constants per
+    /// reaction" (§3.4).
+    pub fn constant_count(&self) -> usize {
+        match self {
+            RateModel::Arrhenius(_) => 3,
+            RateModel::Lindemann { .. } => 6,
+            RateModel::Troe { troe, .. } => 6 + 3 + usize::from(troe.t2.is_some()),
+            RateModel::LandauTeller { .. } => 5,
+        }
+    }
+
+    /// True if the model depends on the third-body concentration.
+    pub fn is_falloff(&self) -> bool {
+        matches!(self, RateModel::Lindemann { .. } | RateModel::Troe { .. })
+    }
+}
+
+/// How the reverse rate constant is obtained.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReverseSpec {
+    /// Irreversible reaction: reverse rate is zero.
+    Irreversible,
+    /// Explicit Arrhenius reverse parameters (`rev/.../` auxiliary line).
+    Explicit(Arrhenius),
+    /// Reverse computed from the equilibrium constant via thermo data.
+    Equilibrium,
+}
+
+/// Third-body collision efficiencies (`(+m)` reactions; `h2/2/ h2o/5/`
+/// auxiliary entries in Figure 4).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ThirdBody {
+    /// Per-species enhancement factors; species not listed default to 1.0.
+    pub efficiencies: Vec<(SpeciesId, f64)>,
+}
+
+impl ThirdBody {
+    /// Effective third-body concentration `[M] = sum_i eff_i [X_i]`.
+    pub fn concentration(&self, conc: &[f64]) -> f64 {
+        let mut m: f64 = conc.iter().sum();
+        for &(s, eff) in &self.efficiencies {
+            m += (eff - 1.0) * conc[s];
+        }
+        m
+    }
+}
+
+/// A single mechanism reaction: stoichiometry plus rate specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reaction {
+    /// Comment label (`!1`, `!2`, ... in Figure 4) or empty.
+    pub label: String,
+    /// Reactant `(species, stoichiometric coefficient)` pairs.
+    pub reactants: Vec<(SpeciesId, f64)>,
+    /// Product `(species, stoichiometric coefficient)` pairs.
+    pub products: Vec<(SpeciesId, f64)>,
+    /// Forward rate model.
+    pub rate: RateModel,
+    /// Reverse rate specification.
+    pub reverse: ReverseSpec,
+    /// Third-body efficiencies if this is a `(+m)` or `+m` reaction.
+    pub third_body: Option<ThirdBody>,
+}
+
+impl Reaction {
+    /// Net stoichiometric coefficient of `s` (products minus reactants).
+    pub fn net_stoich(&self, s: SpeciesId) -> f64 {
+        let p: f64 = self
+            .products
+            .iter()
+            .filter(|(id, _)| *id == s)
+            .map(|(_, c)| c)
+            .sum();
+        let r: f64 = self
+            .reactants
+            .iter()
+            .filter(|(id, _)| *id == s)
+            .map(|(_, c)| c)
+            .sum();
+        p - r
+    }
+
+    /// All species ids mentioned by the reaction (with duplicates removed).
+    pub fn species(&self) -> Vec<SpeciesId> {
+        let mut v: Vec<SpeciesId> = self
+            .reactants
+            .iter()
+            .chain(self.products.iter())
+            .map(|(s, _)| *s)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// True if the reaction mentions species `s` on either side.
+    pub fn involves(&self, s: SpeciesId) -> bool {
+        self.reactants.iter().any(|(id, _)| *id == s)
+            || self.products.iter().any(|(id, _)| *id == s)
+    }
+
+    /// Total double-precision constant count (forward model + explicit
+    /// reverse if present), mirroring the paper's per-reaction accounting.
+    pub fn constant_count(&self) -> usize {
+        self.rate.constant_count()
+            + match self.reverse {
+                ReverseSpec::Explicit(_) => 3,
+                _ => 0,
+            }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrhenius_matches_formula() {
+        let a = Arrhenius::new(1.0e13, 0.5, 1000.0);
+        let t: f64 = 1200.0;
+        let expect = 1.0e13 * t.powf(0.5) * (-1000.0 / (R_CAL * t)).exp();
+        assert!((a.eval(t) - expect).abs() / expect < 1e-14);
+    }
+
+    #[test]
+    fn log_space_evaluation_agrees() {
+        let a = Arrhenius::new(2.138e15, -0.4, 2108.0);
+        let t = 1500.0;
+        let direct = a.eval(t);
+        let logspace = a.eval_log(t.ln(), 1.0 / (R_CAL * t));
+        assert!((direct - logspace).abs() / direct < 1e-12);
+    }
+
+    #[test]
+    fn lindemann_limits() {
+        let high = Arrhenius::new(2.138e15, -0.40, 0.0);
+        let low = Arrhenius::new(3.310e30, -4.00, 2108.0);
+        let model = RateModel::Lindemann { high, low };
+        let t = 1500.0;
+        // At huge [M] the rate approaches the high-pressure limit.
+        let k_hi = model.forward(t, 1.0e12);
+        assert!((k_hi - high.eval(t)).abs() / high.eval(t) < 1e-3);
+        // At tiny [M] it approaches k_low * [M].
+        let m = 1.0e-18;
+        let k_lo = model.forward(t, m);
+        assert!((k_lo - low.eval(t) * m).abs() / k_lo < 1e-3);
+    }
+
+    #[test]
+    fn troe_reduces_toward_lindemann_when_fcent_is_one() {
+        // F_cent == 1 makes log10(F_cent) == 0 and the broadening factor 1.
+        let high = Arrhenius::new(1.0e14, 0.0, 0.0);
+        let low = Arrhenius::new(1.0e20, 0.0, 0.0);
+        let troe = TroeParams { a: 1.0, t3: 1.0, t1: 1.0e30, t2: None };
+        let lin = RateModel::Lindemann { high, low };
+        let tro = RateModel::Troe { high, low, troe };
+        let t = 1000.0;
+        let m = 1.0e-6;
+        let (kl, kt) = (lin.forward(t, m), tro.forward(t, m));
+        assert!((kl - kt).abs() / kl < 1e-6, "{kl} vs {kt}");
+    }
+
+    #[test]
+    fn landau_teller_extra_exponent() {
+        let arr = Arrhenius::new(1.0e10, 0.0, 0.0);
+        let model = RateModel::LandauTeller { arrhenius: arr, b: 100.0, c: -50.0 };
+        let t: f64 = 2000.0;
+        let t13 = t.cbrt();
+        let expect = arr.eval(t) * (100.0 / t13 - 50.0 / (t13 * t13)).exp();
+        let got = model.forward(t, 0.0);
+        assert!((got - expect).abs() / expect < 1e-13);
+    }
+
+    #[test]
+    fn constant_counts_are_in_paper_range() {
+        let a = Arrhenius::new(1.0, 0.0, 0.0);
+        let models = [
+            RateModel::Arrhenius(a),
+            RateModel::Lindemann { high: a, low: a },
+            RateModel::Troe { high: a, low: a, troe: TroeParams { a: 0.0, t3: 1.0, t1: 1.0, t2: Some(40.0) } },
+            RateModel::LandauTeller { arrhenius: a, b: 0.0, c: 0.0 },
+        ];
+        for m in &models {
+            let c = m.constant_count();
+            assert!((3..=15).contains(&c), "{c}");
+        }
+    }
+
+    #[test]
+    fn third_body_efficiencies() {
+        let tb = ThirdBody { efficiencies: vec![(0, 2.0), (2, 5.0)] };
+        let conc = [1.0, 1.0, 1.0];
+        // sum = 3, plus (2-1)*1 + (5-1)*1 = 8
+        assert!((tb.concentration(&conc) - 8.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn net_stoich() {
+        // 2A + B -> A + 3C
+        let r = Reaction {
+            label: String::new(),
+            reactants: vec![(0, 2.0), (1, 1.0)],
+            products: vec![(0, 1.0), (2, 3.0)],
+            rate: RateModel::Arrhenius(Arrhenius::new(1.0, 0.0, 0.0)),
+            reverse: ReverseSpec::Irreversible,
+            third_body: None,
+        };
+        assert_eq!(r.net_stoich(0), -1.0);
+        assert_eq!(r.net_stoich(1), -1.0);
+        assert_eq!(r.net_stoich(2), 3.0);
+        assert_eq!(r.species(), vec![0, 1, 2]);
+        assert!(r.involves(1) && !r.involves(3));
+    }
+}

@@ -1,0 +1,124 @@
+//! Scalar reference implementation of the diffusion kernel (paper §3.3).
+//!
+//! ```text
+//! d_ij(T)  = exp(delta_ij0 + delta_ij1 T + delta_ij2 T^2 + delta_ij3 T^3)
+//! mass     = sum_j m_j x_j
+//! clamp_i  = max(eps, x_i)
+//! Delta_i  = (P_atm / P) * (-clamp_i m_i + sum_j clamp_j m_j)
+//!                        / (mass * sum_j clamp_j d_ij)
+//! ```
+//!
+//! One output per species per point; the `d` matrix is symmetric with a
+//! zero diagonal, which the warp-specialized partitioning exploits
+//! (paper Figure 5).
+
+use super::tables::DiffusionTables;
+use crate::state::GridState;
+use crate::{MIN_MOLE_FRAC, P_ATM};
+
+/// Compute per-species diffusion outputs for one point.
+///
+/// `x` holds molar fractions for the transported species; `pressure` is in
+/// dyn/cm^2. Returns `Delta_i` for each species.
+pub fn reference_diffusion_point(
+    t: &DiffusionTables,
+    temp: f64,
+    pressure: f64,
+    x: &[f64],
+) -> Vec<f64> {
+    debug_assert_eq!(x.len(), t.n);
+    let n = t.n;
+    let mut clamp = vec![0.0f64; n];
+    let mut mass = 0.0f64;
+    let mut sum_mw = 0.0f64;
+    for j in 0..n {
+        clamp[j] = x[j].max(MIN_MOLE_FRAC);
+        mass += t.weights[j] * x[j];
+        sum_mw += clamp[j] * t.weights[j];
+    }
+    let scale = P_ATM / pressure;
+    let mut out = vec![0.0f64; n];
+    for i in 0..n {
+        let mut denom = 0.0f64;
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            denom += clamp[j] * t.delta.eval(i, j, temp);
+        }
+        out[i] = scale * (-clamp[i] * t.weights[i] + sum_mw) / (mass * denom);
+    }
+    out
+}
+
+/// Compute diffusion outputs for every point; returns an SoA vector
+/// `[species][point]` of length `n * points`.
+pub fn reference_diffusion(t: &DiffusionTables, g: &GridState) -> Vec<f64> {
+    assert_eq!(g.n_species, t.n, "grid species must match tables");
+    let p = g.points();
+    let mut out = vec![0.0; t.n * p];
+    let mut x = vec![0.0; t.n];
+    for pt in 0..p {
+        for s in 0..t.n {
+            x[s] = g.x(s, pt);
+        }
+        let d = reference_diffusion_point(t, g.temperature[pt], g.pressure[pt], &x);
+        for s in 0..t.n {
+            out[s * p + pt] = d[s];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{GridDims, GridState};
+    use crate::synth;
+
+    #[test]
+    fn outputs_finite_positive_for_presets() {
+        let m = synth::dme();
+        let t = DiffusionTables::build(&m);
+        let g = GridState::random(GridDims::cube(3), t.n, 5);
+        let out = reference_diffusion(&t, &g);
+        assert_eq!(out.len(), t.n * g.points());
+        for v in out {
+            assert!(v.is_finite() && v > 0.0, "{v}");
+        }
+    }
+
+    #[test]
+    fn pressure_scaling_is_inverse() {
+        let m = synth::dme();
+        let t = DiffusionTables::build(&m);
+        let x = vec![1.0 / t.n as f64; t.n];
+        let d1 = reference_diffusion_point(&t, 1500.0, P_ATM, &x);
+        let d2 = reference_diffusion_point(&t, 1500.0, 2.0 * P_ATM, &x);
+        for (a, b) in d1.iter().zip(d2.iter()) {
+            assert!((a / b - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn clamp_handles_zero_fractions() {
+        let m = synth::dme();
+        let t = DiffusionTables::build(&m);
+        let mut x = vec![0.0; t.n];
+        x[0] = 1.0; // everything else clamped to eps
+        let d = reference_diffusion_point(&t, 1200.0, P_ATM, &x);
+        for v in d {
+            assert!(v.is_finite(), "{v}");
+        }
+    }
+
+    #[test]
+    fn symmetric_pair_contributions() {
+        // d_ij == d_ji by construction of the tables.
+        let m = synth::heptane();
+        let t = DiffusionTables::build(&m);
+        for (i, j) in [(0, 1), (3, 17), (20, 44)] {
+            assert_eq!(t.delta.eval(i, j, 1400.0), t.delta.eval(j, i, 1400.0));
+        }
+    }
+}

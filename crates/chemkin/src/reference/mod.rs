@@ -1,0 +1,17 @@
+//! Scalar CPU reference implementations of the three paper kernels.
+//!
+//! Each kernel is defined by precomputed *tables* (module [`tables`]) plus a
+//! scalar evaluation routine. The tables are the contract shared with the
+//! Singe compiler: both the baseline data-parallel GPU kernels and the
+//! warp-specialized GPU kernels must reproduce these reference results
+//! bit-for-bit-modulo-rounding, which is asserted throughout the test suite.
+
+pub mod chemistry;
+pub mod diffusion;
+pub mod tables;
+pub mod viscosity;
+
+pub use chemistry::{reference_chemistry, reference_chemistry_point};
+pub use diffusion::{reference_diffusion, reference_diffusion_point};
+pub use tables::{ChemistrySpec, DiffusionTables, ReactionSpec, SpeciesRef, ViscosityTables};
+pub use viscosity::{reference_viscosity, reference_viscosity_point};

@@ -1,0 +1,440 @@
+//! Precomputed kernel tables — the shared contract between the CPU
+//! reference implementations and the Singe-compiled GPU kernels.
+//!
+//! Everything a kernel needs at run time is folded into flat constant
+//! tables here (the "constant folding" the paper mentions in §3.2), so both
+//! the reference code and the generated code read identical constants.
+
+use crate::mechanism::{Mechanism, SpeciesId};
+use crate::reaction::{Arrhenius, RateModel};
+use crate::transport::PairDiffusion;
+
+/// Universal gas constant in erg/(mol·K), used for concentration units.
+pub const R_ERG: f64 = 8.314_462_618e7;
+
+/// Global NASA-range switch temperature (K). The kernel spec evaluates all
+/// equilibrium constants with a single range break so the fourteen combined
+/// Gibbs constants per reaction can be folded (see [`ReactionSpec::gibbs`]).
+pub const T_MID: f64 = 1000.0;
+
+/// Stiffness time-scale constant (1/s) in the stiffness correction.
+pub const DT_STIFF: f64 = 1.0e-3;
+
+// ---------------------------------------------------------------------------
+// Viscosity (paper §3.2)
+// ---------------------------------------------------------------------------
+
+/// Tables for the viscosity kernel over `n` transported species.
+#[derive(Debug, Clone)]
+pub struct ViscosityTables {
+    /// Species count `N`.
+    pub n: usize,
+    /// Per-species viscosity-exponent polynomial `eta[i] = [e0,e1,e2,e3]`.
+    pub eta: Vec<[f64; 4]>,
+    /// Per-ordered-pair constant `A[k*n+j] = (m_j/m_k)^(1/4)` (j != k).
+    pub pair_a: Vec<f64>,
+    /// Per-ordered-pair constant `B[k*n+j] = 1/sqrt(1+m_k/m_j)` (j != k).
+    pub pair_b: Vec<f64>,
+}
+
+/// The self-interaction term `phi_kk` is constant: `(1+1)^2 / sqrt(2)`.
+pub const PHI_SELF: f64 = 4.0 / std::f64::consts::SQRT_2;
+
+impl ViscosityTables {
+    /// Build the tables from a mechanism's transported species.
+    pub fn build(m: &Mechanism) -> ViscosityTables {
+        let eta = m.viscosity_polys();
+        let w = m.transported_weights();
+        let n = w.len();
+        let mut pair_a = vec![0.0; n * n];
+        let mut pair_b = vec![0.0; n * n];
+        for k in 0..n {
+            for j in 0..n {
+                if j == k {
+                    continue;
+                }
+                pair_a[k * n + j] = (w[j] / w[k]).sqrt().sqrt();
+                pair_b[k * n + j] = 1.0 / (1.0 + w[k] / w[j]).sqrt();
+            }
+        }
+        ViscosityTables { n, eta, pair_a, pair_b }
+    }
+
+    /// Bytes of off-diagonal pair constants (two doubles per ordered pair) —
+    /// reproduces the paper's 13.9 KB (DME) / 42.4 KB (heptane) numbers.
+    pub fn constant_bytes(&self) -> usize {
+        self.n * (self.n - 1) * 2 * 8
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Diffusion (paper §3.3)
+// ---------------------------------------------------------------------------
+
+/// Tables for the diffusion kernel.
+#[derive(Debug, Clone)]
+pub struct DiffusionTables {
+    /// Species count `N`.
+    pub n: usize,
+    /// Symmetric pair coefficient matrix `delta` (zero diagonal).
+    pub delta: PairDiffusion,
+    /// Molecular weights `m_i` of transported species.
+    pub weights: Vec<f64>,
+}
+
+impl DiffusionTables {
+    /// Build from a mechanism.
+    pub fn build(m: &Mechanism) -> DiffusionTables {
+        let weights = m.transported_weights();
+        DiffusionTables {
+            n: weights.len(),
+            delta: m.pair_diffusion(),
+            weights,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chemistry (paper §3.4)
+// ---------------------------------------------------------------------------
+
+/// Reference to a species in one of the two kernel index spaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpeciesRef {
+    /// Index into the transported-species arrays (global inputs).
+    Transported(usize),
+    /// Index into the QSSA-species order (computed in phase 2).
+    Qssa(usize),
+}
+
+/// How a reaction's reverse rate constant is obtained (flattened form).
+#[derive(Debug, Clone)]
+pub enum ReverseKind {
+    /// Irreversible: reverse rate is zero.
+    None,
+    /// Explicit Arrhenius parameters.
+    Explicit(Arrhenius),
+    /// Equilibrium: `k_r = k_f / K_c`, with `K_c` from the folded Gibbs
+    /// constants and `sum_nu`.
+    Equilibrium,
+}
+
+/// One reaction, flattened for kernel consumption.
+#[derive(Debug, Clone)]
+pub struct ReactionSpec {
+    /// Forward rate model (carries its own constants).
+    pub rate: RateModel,
+    /// Reverse specification.
+    pub reverse: ReverseKind,
+    /// Reactant terms `(species, stoichiometric coefficient)`.
+    pub reactants: Vec<(SpeciesRef, f64)>,
+    /// Product terms.
+    pub products: Vec<(SpeciesRef, f64)>,
+    /// Third-body efficiencies over transported indices (empty = no
+    /// enhancements); `None` = not a third-body/falloff reaction.
+    pub third_body: Option<Vec<(usize, f64)>>,
+    /// True when the rate model itself consumes `[M]` (falloff); false
+    /// third-body reactions multiply the rate of progress by `[M]` instead.
+    pub falloff: bool,
+    /// Net mole change `sum(nu'') - sum(nu')` for `K_c`.
+    pub sum_nu: f64,
+    /// Folded Gibbs polynomials `[low, high]`: each row `[g1..g7]` so that
+    /// `sum_i nu_i G_i(T)/(RT) = g1 (1 - ln T) + g2 T + g3 T^2 + g4 T^3 +
+    ///  g5 T^4 + g6 / T + g7`.
+    pub gibbs: [[f64; 7]; 2],
+}
+
+impl ReactionSpec {
+    /// Forward rate constant at `(T, [M])`.
+    pub fn k_forward(&self, t: f64, m_conc: f64) -> f64 {
+        self.rate.forward(t, m_conc)
+    }
+
+    /// `sum_i nu_i g_i(T)` using the folded constants.
+    pub fn delta_g_rt(&self, t: f64) -> f64 {
+        let g = if t < T_MID { &self.gibbs[0] } else { &self.gibbs[1] };
+        g[0] * (1.0 - t.ln())
+            + t * (g[1] + t * (g[2] + t * (g[3] + t * g[4])))
+            + g[5] / t
+            + g[6]
+    }
+
+    /// Reverse rate constant given the forward one.
+    pub fn k_reverse(&self, t: f64, k_f: f64) -> f64 {
+        match &self.reverse {
+            ReverseKind::None => 0.0,
+            ReverseKind::Explicit(a) => a.eval(t),
+            ReverseKind::Equilibrium => {
+                // K_p = exp(-sum(nu G/RT)); K_c = K_p * (P0/(R'T))^sum_nu.
+                let ln_kc = -self.delta_g_rt(t) + self.sum_nu * (crate::P_ATM / (R_ERG * t)).ln();
+                k_f / ln_kc.exp()
+            }
+        }
+    }
+}
+
+/// One QSSA species' algebraic reconstruction terms.
+#[derive(Debug, Clone)]
+pub struct QssaSpeciesSpec {
+    /// Index of this species in the QSSA ordering.
+    pub order: usize,
+    /// Reactions producing this species: `(reaction index, coefficient,
+    /// reactant list excluding nothing)` — the production term sums
+    /// `coeff * k_f * prod(conc(reactants))`.
+    pub producers: Vec<(usize, f64)>,
+    /// Reactions consuming this species: the consumption term sums
+    /// `coeff * k_f * prod(conc(other reactants))`.
+    pub consumers: Vec<(usize, f64)>,
+}
+
+/// Stiffness correction data for one stiff species.
+#[derive(Debug, Clone)]
+pub struct StiffSpec {
+    /// Index into the transported-species arrays.
+    pub trans_index: usize,
+    /// Time-scale constant `tau` (derived from molecular weight).
+    pub tau: f64,
+    /// Coupling constant `v` (derived from the species' low-range `a1`).
+    pub v: f64,
+}
+
+/// The full flattened chemistry-kernel specification.
+#[derive(Debug, Clone)]
+pub struct ChemistrySpec {
+    /// Number of transported species.
+    pub n_trans: usize,
+    /// Number of QSSA species.
+    pub n_qssa: usize,
+    /// All reactions.
+    pub reactions: Vec<ReactionSpec>,
+    /// QSSA reconstruction, in dependency (declaration) order.
+    pub qssa: Vec<QssaSpeciesSpec>,
+    /// Stiffness corrections.
+    pub stiff: Vec<StiffSpec>,
+}
+
+impl ChemistrySpec {
+    /// Build the flattened spec from a mechanism.
+    pub fn build(m: &Mechanism) -> ChemistrySpec {
+        let transported = m.transported();
+        let trans_pos = |s: SpeciesId| transported.iter().position(|&t| t == s);
+        let qssa_pos = |s: SpeciesId| m.qssa.qssa.iter().position(|&q| q == s);
+        let to_ref = |s: SpeciesId| -> SpeciesRef {
+            match trans_pos(s) {
+                Some(i) => SpeciesRef::Transported(i),
+                None => SpeciesRef::Qssa(qssa_pos(s).expect("species is transported or QSSA")),
+            }
+        };
+
+        let mut reactions = Vec::with_capacity(m.n_reactions());
+        for r in &m.reactions {
+            let reactants: Vec<(SpeciesRef, f64)> =
+                r.reactants.iter().map(|&(s, c)| (to_ref(s), c)).collect();
+            let products: Vec<(SpeciesRef, f64)> =
+                r.products.iter().map(|&(s, c)| (to_ref(s), c)).collect();
+            let sum_nu: f64 = r.products.iter().map(|(_, c)| c).sum::<f64>()
+                - r.reactants.iter().map(|(_, c)| c).sum::<f64>();
+            // Fold per-species NASA coefficients into the 7 combined Gibbs
+            // constants for each range: G/(RT) = a1(1-lnT) - a2/2 T - a3/6 T^2
+            // - a4/12 T^3 - a5/20 T^4 + a6/T - a7.
+            let mut gibbs = [[0.0f64; 7]; 2];
+            for (range, row) in gibbs.iter_mut().enumerate() {
+                for (s, nu, sign) in r
+                    .reactants
+                    .iter()
+                    .map(|&(s, c)| (s, c, -1.0))
+                    .chain(r.products.iter().map(|&(s, c)| (s, c, 1.0)))
+                {
+                    let p = &m.thermo[s];
+                    let a = if range == 0 { &p.low } else { &p.high };
+                    let w = sign * nu;
+                    row[0] += w * a[0];
+                    row[1] += w * (-a[1] / 2.0);
+                    row[2] += w * (-a[2] / 6.0);
+                    row[3] += w * (-a[3] / 12.0);
+                    row[4] += w * (-a[4] / 20.0);
+                    row[5] += w * a[5];
+                    row[6] += w * (-a[6]);
+                }
+            }
+            let third_body = r.third_body.as_ref().map(|tb| {
+                tb.efficiencies
+                    .iter()
+                    .filter_map(|&(s, e)| trans_pos(s).map(|i| (i, e)))
+                    .collect()
+            });
+            let reverse = match &r.reverse {
+                crate::reaction::ReverseSpec::Irreversible => ReverseKind::None,
+                crate::reaction::ReverseSpec::Explicit(a) => ReverseKind::Explicit(*a),
+                crate::reaction::ReverseSpec::Equilibrium => ReverseKind::Equilibrium,
+            };
+            reactions.push(ReactionSpec {
+                rate: r.rate.clone(),
+                reverse,
+                reactants,
+                products,
+                third_body,
+                falloff: r.rate.is_falloff(),
+                sum_nu,
+                gibbs,
+            });
+        }
+
+        let mut qssa = Vec::with_capacity(m.qssa.qssa.len());
+        for (qi, &qs) in m.qssa.qssa.iter().enumerate() {
+            let mut producers = Vec::new();
+            let mut consumers = Vec::new();
+            for (ri, r) in m.reactions.iter().enumerate() {
+                for &(s, c) in &r.products {
+                    if s == qs {
+                        producers.push((ri, c));
+                    }
+                }
+                for &(s, c) in &r.reactants {
+                    if s == qs {
+                        consumers.push((ri, c));
+                    }
+                }
+            }
+            qssa.push(QssaSpeciesSpec {
+                order: qi,
+                producers,
+                consumers,
+            });
+        }
+
+        let w = m.weights();
+        let stiff = m
+            .qssa
+            .stiff
+            .iter()
+            .map(|&s| StiffSpec {
+                trans_index: trans_pos(s).expect("stiff species are transported"),
+                tau: 1.0e-3 * w[s],
+                v: m.thermo[s].low[0],
+            })
+            .collect();
+
+        ChemistrySpec {
+            n_trans: transported.len(),
+            n_qssa: m.qssa.qssa.len(),
+            reactions,
+            qssa,
+            stiff,
+        }
+    }
+
+    /// Indices of reactions needed by the QSSA phase (any QSSA reactant or
+    /// product) — these are assigned to warps first (paper §3.4).
+    pub fn qssa_reaction_indices(&self) -> Vec<usize> {
+        self.reactions
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| {
+                r.reactants
+                    .iter()
+                    .chain(r.products.iter())
+                    .any(|(s, _)| matches!(s, SpeciesRef::Qssa(_)))
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth;
+
+    #[test]
+    fn viscosity_tables_shapes() {
+        let m = synth::dme();
+        let t = ViscosityTables::build(&m);
+        assert_eq!(t.n, 30);
+        assert_eq!(t.eta.len(), 30);
+        assert_eq!(t.pair_a.len(), 900);
+        assert_eq!(t.constant_bytes(), 13_920);
+        // Self pairs zero, cross pairs positive.
+        assert_eq!(t.pair_a[0], 0.0);
+        assert!(t.pair_a[1] > 0.0 && t.pair_b[1] > 0.0);
+    }
+
+    #[test]
+    fn pair_constants_match_formulas() {
+        let m = synth::dme();
+        let t = ViscosityTables::build(&m);
+        let w = m.transported_weights();
+        let (k, j) = (3, 7);
+        assert!((t.pair_a[k * t.n + j] - (w[j] / w[k]).powf(0.25)).abs() < 1e-12);
+        assert!((t.pair_b[k * t.n + j] - 1.0 / (1.0 + w[k] / w[j]).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chemistry_spec_shapes() {
+        let m = synth::dme();
+        let c = ChemistrySpec::build(&m);
+        assert_eq!(c.n_trans, 30);
+        assert_eq!(c.n_qssa, 9);
+        assert_eq!(c.reactions.len(), 175);
+        assert_eq!(c.stiff.len(), 22);
+        // Every QSSA species should have at least one producer or consumer.
+        for q in &c.qssa {
+            assert!(!q.producers.is_empty() || !q.consumers.is_empty());
+        }
+    }
+
+    #[test]
+    fn gibbs_folding_matches_per_species_sum() {
+        let m = synth::dme();
+        let c = ChemistrySpec::build(&m);
+        let r = &m.reactions[5];
+        let spec = &c.reactions[5];
+        for t in [600.0, 1500.0] {
+            let direct: f64 = r
+                .products
+                .iter()
+                .map(|&(s, nu)| nu * gr(&m.thermo[s], t))
+                .sum::<f64>()
+                - r.reactants
+                    .iter()
+                    .map(|&(s, nu)| nu * gr(&m.thermo[s], t))
+                    .sum::<f64>();
+            let folded = spec.delta_g_rt(t);
+            assert!(
+                (direct - folded).abs() < 1e-6 * direct.abs().max(1.0),
+                "T={t}: {direct} vs {folded}"
+            );
+        }
+        // Evaluate G/RT with the same global 1000 K break the spec uses.
+        fn gr(p: &crate::thermo::NasaPoly, t: f64) -> f64 {
+            let a = if t < T_MID { &p.low } else { &p.high };
+            a[0] * (1.0 - t.ln())
+                + t * (-a[1] / 2.0 + t * (-a[2] / 6.0 + t * (-a[3] / 12.0 + t * (-a[4] / 20.0))))
+                + a[5] / t
+                - a[6]
+        }
+    }
+
+    #[test]
+    fn equilibrium_reverse_is_finite_and_positive() {
+        let m = synth::heptane();
+        let c = ChemistrySpec::build(&m);
+        for spec in c.reactions.iter().take(40) {
+            let t = 1400.0;
+            let kf = spec.k_forward(t, 1.0e-5);
+            let kr = spec.k_reverse(t, kf);
+            assert!(kr.is_finite() && kr >= 0.0, "{kr}");
+        }
+    }
+
+    #[test]
+    fn qssa_reaction_indices_subset() {
+        let m = synth::dme();
+        let c = ChemistrySpec::build(&m);
+        let idx = c.qssa_reaction_indices();
+        assert!(!idx.is_empty());
+        assert!(idx.len() < c.reactions.len());
+        // Matches the mechanism-level accounting.
+        assert_eq!(idx.len(), m.qssa_reactions().len());
+    }
+}

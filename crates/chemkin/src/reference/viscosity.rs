@@ -1,0 +1,127 @@
+//! Scalar reference implementation of the viscosity kernel (paper §3.2).
+//!
+//! Per grid point, per-species viscosities come from an exponentiated
+//! third-order polynomial in temperature; the mixture viscosity is the
+//! pairwise interaction sum of the paper:
+//!
+//! ```text
+//! vis_i(T) = exp(eta_i0 + eta_i1 T + eta_i2 T^2 + eta_i3 T^3)
+//! nu = sqrt(8) * sum_k [ x_k vis_k / sum_j x_j phi_kj ]
+//! phi_kj = (1 + sqrt(vis_k/vis_j) * (m_j/m_k)^(1/4))^2 / sqrt(1 + m_k/m_j)
+//! ```
+//!
+//! with the per-pair constants `(m_j/m_k)^(1/4)` and `1/sqrt(1+m_k/m_j)`
+//! folded into tables (two doubles per ordered pair — the constant-footprint
+//! numbers of §3.2).
+
+use super::tables::{ViscosityTables, PHI_SELF};
+use crate::state::GridState;
+
+/// Compute the mixture viscosity for a single point given temperature and
+/// the species molar fractions (`x[i]` indexed by transported species).
+pub fn reference_viscosity_point(t: &ViscosityTables, temp: f64, x: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), t.n);
+    let n = t.n;
+    // Phase 1: per-species viscosities.
+    let mut vis = vec![0.0f64; n];
+    for i in 0..n {
+        let e = &t.eta[i];
+        vis[i] = (e[0] + temp * (e[1] + temp * (e[2] + temp * e[3]))).exp();
+    }
+    // Phase 2: pairwise interaction sum.
+    let mut nu = 0.0f64;
+    for k in 0..n {
+        let mut inner = x[k] * PHI_SELF;
+        for j in 0..n {
+            if j == k {
+                continue;
+            }
+            let a = t.pair_a[k * n + j];
+            let b = t.pair_b[k * n + j];
+            let s = 1.0 + (vis[k] / vis[j]).sqrt() * a;
+            inner += x[j] * s * s * b;
+        }
+        nu += x[k] * vis[k] / inner;
+    }
+    8.0f64.sqrt() * nu
+}
+
+/// Compute the viscosity for every point of a grid state. Returns one value
+/// per point.
+pub fn reference_viscosity(t: &ViscosityTables, g: &GridState) -> Vec<f64> {
+    assert_eq!(g.n_species, t.n, "grid species must match tables");
+    let p = g.points();
+    let mut out = vec![0.0; p];
+    let mut x = vec![0.0; t.n];
+    for pt in 0..p {
+        for s in 0..t.n {
+            x[s] = g.x(s, pt);
+        }
+        out[pt] = reference_viscosity_point(t, g.temperature[pt], &x);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{GridDims, GridState};
+    use crate::synth;
+
+    #[test]
+    fn single_species_reduces_to_pure_viscosity() {
+        // With one species, inner = x0 * PHI_SELF and
+        // nu = sqrt(8) * vis0 / PHI_SELF = vis0 (since sqrt(8)=2*sqrt(2)
+        // and PHI_SELF = 4/sqrt(2) = 2*sqrt(2)).
+        let t = ViscosityTables {
+            n: 1,
+            eta: vec![[-10.0, 1e-4, 0.0, 0.0]],
+            pair_a: vec![0.0],
+            pair_b: vec![0.0],
+        };
+        let temp = 1000.0;
+        let vis0 = (-10.0f64 + 1e-4 * temp).exp();
+        let nu = reference_viscosity_point(&t, temp, &[1.0]);
+        assert!((nu - vis0).abs() / vis0 < 1e-14);
+    }
+
+    #[test]
+    fn output_is_positive_and_finite_for_presets() {
+        let m = synth::dme();
+        let t = ViscosityTables::build(&m);
+        let g = GridState::random(GridDims::cube(3), t.n, 11);
+        let out = reference_viscosity(&t, &g);
+        for v in out {
+            assert!(v.is_finite() && v > 0.0, "{v}");
+        }
+    }
+
+    #[test]
+    fn symmetric_mixture_of_identical_species() {
+        // Two identical species in any proportions behave like one species.
+        let eta = [-10.0, 1e-4, -1e-8, 1e-12];
+        let t = ViscosityTables {
+            n: 2,
+            eta: vec![eta, eta],
+            // identical weights => A = 1, B = 1/sqrt(2)
+            pair_a: vec![0.0, 1.0, 1.0, 0.0],
+            pair_b: vec![0.0, 1.0 / 2.0f64.sqrt(), 1.0 / 2.0f64.sqrt(), 0.0],
+        };
+        let temp = 1200.0;
+        let vis0 = (eta[0] + temp * (eta[1] + temp * (eta[2] + temp * eta[3]))).exp();
+        // phi cross = (1+1)^2 / sqrt(2) = PHI_SELF, so mixture == pure.
+        let nu = reference_viscosity_point(&t, temp, &[0.3, 0.7]);
+        assert!((nu - vis0).abs() / vis0 < 1e-12);
+    }
+
+    #[test]
+    fn temperature_monotonicity_for_gas_like_fits() {
+        // Gas viscosity rises with temperature for our fit ranges.
+        let m = synth::heptane();
+        let t = ViscosityTables::build(&m);
+        let x = vec![1.0 / t.n as f64; t.n];
+        let lo = reference_viscosity_point(&t, 500.0, &x);
+        let hi = reference_viscosity_point(&t, 2500.0, &x);
+        assert!(hi > lo);
+    }
+}

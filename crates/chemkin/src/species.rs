@@ -1,0 +1,141 @@
+//! Chemical species: a name plus an elemental composition.
+
+use crate::elements::Element;
+use crate::error::{ChemError, Result};
+
+/// A chemical species participating in a mechanism.
+///
+/// Species range from single atoms (`h`) to large hydrocarbons
+/// (`nc7h16` for n-heptane); the molecular weight is derived from the
+/// elemental composition and is the `m_i` appearing in the paper's
+/// viscosity and diffusion formulas (§3.2–3.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Species {
+    /// Lower-case species name as it appears in mechanism files.
+    pub name: String,
+    /// Elemental composition: `(element, atom count)` pairs, sorted by element.
+    pub composition: Vec<(Element, u32)>,
+}
+
+impl Species {
+    /// Construct a species, normalizing (sorting + merging) the composition.
+    pub fn new(name: impl Into<String>, composition: Vec<(Element, u32)>) -> Species {
+        let mut merged: Vec<(Element, u32)> = Vec::with_capacity(composition.len());
+        for (e, n) in composition {
+            if n == 0 {
+                continue;
+            }
+            match merged.iter_mut().find(|(m, _)| *m == e) {
+                Some((_, cnt)) => *cnt += n,
+                None => merged.push((e, n)),
+            }
+        }
+        merged.sort_by_key(|(e, _)| *e);
+        Species {
+            name: name.into().to_ascii_lowercase(),
+            composition: merged,
+        }
+    }
+
+    /// Molecular weight in g/mol — the `m_i` of the paper's formulas.
+    pub fn molecular_weight(&self) -> f64 {
+        self.composition
+            .iter()
+            .map(|(e, n)| e.atomic_weight() * f64::from(*n))
+            .sum()
+    }
+
+    /// Total number of atoms (used as a crude size heuristic by `synth`).
+    pub fn atom_count(&self) -> u32 {
+        self.composition.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Parse a molecular formula like `c2h6o` or `CH4` into a species.
+    ///
+    /// Supports the two-letter symbols `AR`/`HE` and single letters `H C O N`,
+    /// each optionally followed by a decimal count.
+    pub fn from_formula(name: &str) -> Result<Species> {
+        let lower = name.to_ascii_lowercase();
+        let bytes = lower.as_bytes();
+        let mut i = 0usize;
+        let mut comp: Vec<(Element, u32)> = Vec::new();
+        while i < bytes.len() {
+            let sym = if lower[i..].starts_with("ar") || lower[i..].starts_with("he") {
+                let s = &lower[i..i + 2];
+                i += 2;
+                s.to_string()
+            } else if bytes[i].is_ascii_alphabetic() {
+                let s = &lower[i..=i];
+                i += 1;
+                s.to_string()
+            } else {
+                return Err(ChemError::UnknownElement(lower[i..=i].to_string()));
+            };
+            let elem = Element::parse(&sym)?;
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            let count: u32 = if start == i {
+                1
+            } else {
+                lower[start..i].parse().map_err(|_| {
+                    ChemError::UnknownElement(format!("bad count in formula '{name}'"))
+                })?
+            };
+            comp.push((elem, count));
+        }
+        if comp.is_empty() {
+            return Err(ChemError::UnknownElement(format!(
+                "empty formula '{name}'"
+            )));
+        }
+        Ok(Species::new(lower, comp))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn methane_weight() {
+        let ch4 = Species::from_formula("ch4").unwrap();
+        assert!((ch4.molecular_weight() - 16.0425).abs() < 1e-3);
+        assert_eq!(ch4.atom_count(), 5);
+    }
+
+    #[test]
+    fn heptane_formula() {
+        let c7 = Species::from_formula("c7h16").unwrap();
+        assert!((c7.molecular_weight() - 100.2019).abs() < 1e-2);
+    }
+
+    #[test]
+    fn argon_two_letter_symbol() {
+        let ar = Species::from_formula("ar").unwrap();
+        assert_eq!(ar.composition, vec![(Element::Ar, 1)]);
+    }
+
+    #[test]
+    fn composition_merges_duplicates() {
+        let s = Species::new("x", vec![(Element::H, 1), (Element::H, 2), (Element::C, 0)]);
+        assert_eq!(s.composition, vec![(Element::H, 3)]);
+    }
+
+    #[test]
+    fn dme_is_c2h6o() {
+        let dme = Species::from_formula("ch3och3").unwrap();
+        // ch3-o-ch3 => C2 H6 O1
+        assert_eq!(
+            dme.composition,
+            vec![(Element::H, 6), (Element::C, 2), (Element::O, 1)]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Species::from_formula("q2").is_err());
+        assert!(Species::from_formula("").is_err());
+    }
+}

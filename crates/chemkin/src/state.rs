@@ -1,0 +1,142 @@
+//! Structure-of-arrays grid state.
+//!
+//! Combustion simulations operate on a 3-D cartesian grid; each point has a
+//! set of fields and *each field is laid out contiguously in a separate
+//! array* so global loads coalesce (paper §3.1). The same layout is used by
+//! the CPU reference kernels and as the simulated GPU's global-memory image.
+
+use crate::P_ATM;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Cartesian grid dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridDims {
+    /// Points along x.
+    pub nx: usize,
+    /// Points along y.
+    pub ny: usize,
+    /// Points along z.
+    pub nz: usize,
+}
+
+impl GridDims {
+    /// A cubic grid `n x n x n` — the paper reports 32^3, 64^3 and 128^3.
+    pub fn cube(n: usize) -> GridDims {
+        GridDims { nx: n, ny: n, nz: n }
+    }
+
+    /// Total number of grid points.
+    pub fn points(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+}
+
+/// Thermochemical state for every grid point, SoA layout.
+#[derive(Debug, Clone)]
+pub struct GridState {
+    /// Grid dimensions.
+    pub dims: GridDims,
+    /// Number of (transported) species `N`.
+    pub n_species: usize,
+    /// Temperature per point, K.
+    pub temperature: Vec<f64>,
+    /// Pressure per point, dyn/cm^2.
+    pub pressure: Vec<f64>,
+    /// Molar fractions, `[species][point]`: `mole_frac[s * points + p]`.
+    pub mole_frac: Vec<f64>,
+    /// Per-species diffusion rates `[species][point]` — consumed by the
+    /// chemistry kernel's stiffness phase (paper §5.3, Listing 4).
+    pub diffusion: Vec<f64>,
+}
+
+impl GridState {
+    /// Deterministic random state with plausible combustion conditions:
+    /// temperatures 800–2800 K, pressures 0.5–2 atm, normalized fractions.
+    pub fn random(dims: GridDims, n_species: usize, seed: u64) -> GridState {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let p = dims.points();
+        let mut temperature = Vec::with_capacity(p);
+        let mut pressure = Vec::with_capacity(p);
+        for _ in 0..p {
+            temperature.push(rng.gen_range(800.0..2800.0));
+            pressure.push(P_ATM * rng.gen_range(0.5..2.0));
+        }
+        let mut mole_frac = vec![0.0; n_species * p];
+        for pt in 0..p {
+            let mut total = 0.0;
+            for s in 0..n_species {
+                let x: f64 = rng.gen_range(0.0f64..1.0).powi(3); // a few dominant species
+                mole_frac[s * p + pt] = x;
+                total += x;
+            }
+            for s in 0..n_species {
+                mole_frac[s * p + pt] /= total;
+            }
+        }
+        let diffusion = (0..n_species * p)
+            .map(|_| rng.gen_range(1.0e-6..1.0e-3))
+            .collect();
+        GridState {
+            dims,
+            n_species,
+            temperature,
+            pressure,
+            mole_frac,
+            diffusion,
+        }
+    }
+
+    /// Number of points.
+    pub fn points(&self) -> usize {
+        self.dims.points()
+    }
+
+    /// Molar fraction of species `s` at point `p`.
+    pub fn x(&self, s: usize, p: usize) -> f64 {
+        self.mole_frac[s * self.points() + p]
+    }
+
+    /// Diffusion rate of species `s` at point `p`.
+    pub fn diff(&self, s: usize, p: usize) -> f64 {
+        self.diffusion[s * self.points() + p]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cube_dims() {
+        assert_eq!(GridDims::cube(32).points(), 32 * 32 * 32);
+    }
+
+    #[test]
+    fn fractions_normalized() {
+        let g = GridState::random(GridDims::cube(4), 7, 42);
+        for pt in 0..g.points() {
+            let sum: f64 = (0..7).map(|s| g.x(s, pt)).sum();
+            assert!((sum - 1.0).abs() < 1e-12, "{sum}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = GridState::random(GridDims::cube(3), 5, 1);
+        let b = GridState::random(GridDims::cube(3), 5, 1);
+        assert_eq!(a.temperature, b.temperature);
+        assert_eq!(a.mole_frac, b.mole_frac);
+    }
+
+    #[test]
+    fn plausible_ranges() {
+        let g = GridState::random(GridDims::cube(4), 3, 9);
+        for &t in &g.temperature {
+            assert!((800.0..2800.0).contains(&t));
+        }
+        for &p in &g.pressure {
+            assert!(p > 0.4 * P_ATM && p < 2.1 * P_ATM);
+        }
+    }
+}

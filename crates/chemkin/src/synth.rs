@@ -1,0 +1,466 @@
+//! Deterministic synthetic mechanism generation.
+//!
+//! The paper evaluates on the DME (Zhao et al.) and reduced n-heptane
+//! mechanisms, whose data files are not redistributable. This module
+//! generates mechanisms with exactly the paper's Figure 3 characteristics
+//! and physically plausible coefficient ranges. Mechanisms are emitted as
+//! CHEMKIN/THERMO/TRANSPORT/QSSA *text* and re-parsed through the real
+//! parsers, so the whole input path the Singe compiler depends on is
+//! exercised, and the working-set / constant-footprint numbers the paper's
+//! performance analysis hinges on match by construction.
+
+use crate::mechanism::{Mechanism, QssaSpec};
+use crate::parser::parse_mechanism;
+use crate::reaction::{Arrhenius, RateModel, Reaction, ReverseSpec, ThirdBody, TroeParams};
+use crate::species::Species;
+use crate::thermo::NasaPoly;
+use crate::transport::TransportFit;
+use crate::writer;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Parameters of a synthetic mechanism.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Mechanism name.
+    pub name: String,
+    /// Total species count (before QSSA reduction).
+    pub n_species: usize,
+    /// Reaction count.
+    pub n_reactions: usize,
+    /// QSSA species count.
+    pub n_qssa: usize,
+    /// Stiff species count.
+    pub n_stiff: usize,
+    /// RNG seed (mechanisms are fully deterministic given the config).
+    pub seed: u64,
+}
+
+/// The DME mechanism row of Figure 3: 175 reactions, 39 species, 9 QSSA,
+/// 22 stiff.
+pub fn dme_config() -> SynthConfig {
+    SynthConfig {
+        name: "dme".into(),
+        n_species: 39,
+        n_reactions: 175,
+        n_qssa: 9,
+        n_stiff: 22,
+        seed: 0x0d3e,
+    }
+}
+
+/// The n-heptane mechanism row of Figure 3: 283 reactions, 68 species,
+/// 16 QSSA, 27 stiff.
+pub fn heptane_config() -> SynthConfig {
+    SynthConfig {
+        name: "heptane".into(),
+        n_species: 68,
+        n_reactions: 283,
+        n_qssa: 16,
+        n_stiff: 27,
+        seed: 0xc7e7,
+    }
+}
+
+/// Synthesize, serialize to text, and re-parse the DME-sized mechanism.
+pub fn dme() -> Mechanism {
+    via_text(&dme_config())
+}
+
+/// Synthesize, serialize to text, and re-parse the heptane-sized mechanism.
+pub fn heptane() -> Mechanism {
+    via_text(&heptane_config())
+}
+
+/// Synthesize a mechanism and round-trip it through the text formats —
+/// the canonical entry point (exercises writer + parsers).
+pub fn via_text(cfg: &SynthConfig) -> Mechanism {
+    let m = synthesize(cfg);
+    let files = MechanismFiles::from_mechanism(&m);
+    files.parse(&cfg.name).expect("synthesized mechanism must re-parse")
+}
+
+/// The four Singe input files as text.
+#[derive(Debug, Clone)]
+pub struct MechanismFiles {
+    /// CHEMKIN reaction file.
+    pub chemkin: String,
+    /// THERMO file.
+    pub thermo: String,
+    /// TRANSPORT file.
+    pub transport: String,
+    /// QSSA/STIFF file (empty if unused).
+    pub qssa: String,
+}
+
+impl MechanismFiles {
+    /// Serialize a mechanism to its input files.
+    pub fn from_mechanism(m: &Mechanism) -> MechanismFiles {
+        MechanismFiles {
+            chemkin: writer::write_chemkin(m),
+            thermo: writer::write_thermo(m),
+            transport: writer::write_transport(m),
+            qssa: writer::write_qssa(m),
+        }
+    }
+
+    /// Parse the files back into a mechanism.
+    pub fn parse(&self, name: &str) -> crate::Result<Mechanism> {
+        let qssa = if self.qssa.is_empty() {
+            None
+        } else {
+            Some(self.qssa.as_str())
+        };
+        parse_mechanism(name, &self.chemkin, &self.thermo, &self.transport, qssa)
+    }
+}
+
+/// Generate unique species names/formulas: small radicals first, then a
+/// ladder of C/H/O molecules large enough for any mechanism size.
+fn species_pool(n: usize) -> Vec<Species> {
+    let base = [
+        "h", "h2", "o", "o2", "oh", "h2o", "ho2", "h2o2", "c", "ch", "ch2", "ch3", "ch4", "co",
+        "co2", "hco", "ch2o", "ch3o", "ch2oh", "ch3oh", "n2", "ar",
+    ];
+    let mut out: Vec<Species> = Vec::with_capacity(n);
+    for name in base.iter().take(n) {
+        out.push(Species::from_formula(name).expect("base species"));
+    }
+    let mut c = 2u32;
+    let mut h = 1u32;
+    let mut o = 0u32;
+    while out.len() < n {
+        let name = if o == 0 {
+            format!("c{c}h{h}")
+        } else {
+            format!("c{c}h{h}o{o}")
+        };
+        if !out.iter().any(|s| s.name == name) {
+            out.push(Species::from_formula(&name).expect("generated species"));
+        }
+        // Walk the (c,h,o) lattice deterministically.
+        h += 1;
+        if h > 2 * c + 2 {
+            h = 1;
+            o += 1;
+            if o > 2 {
+                o = 0;
+                c += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Build a mechanism in memory (without the text round trip).
+pub fn synthesize(cfg: &SynthConfig) -> Mechanism {
+    assert!(cfg.n_qssa + cfg.n_stiff <= cfg.n_species, "QSSA+stiff must fit");
+    assert!(cfg.n_species >= 4, "need at least 4 species");
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let species = species_pool(cfg.n_species);
+
+    let thermo: Vec<NasaPoly> = species
+        .iter()
+        .map(|s| NasaPoly::plausible(s.molecular_weight(), s.atom_count(), rng.gen_range(-0.5..0.5)))
+        .collect();
+
+    let transport: Vec<TransportFit> = species
+        .iter()
+        .map(|s| TransportFit {
+            shape: rng.gen_range(0..=2),
+            eps_over_k: rng.gen_range(30.0..600.0),
+            sigma: 2.0 + 0.15 * f64::from(s.atom_count()) + rng.gen_range(0.0..0.8),
+            dipole: if rng.gen_bool(0.3) { rng.gen_range(0.1..2.0) } else { 0.0 },
+            polarizability: rng.gen_range(0.5..12.0),
+            zrot: rng.gen_range(0.5..300.0),
+        })
+        .collect();
+
+    // QSSA species: a spread of mid-index species (radical-like, unique);
+    // stiff species drawn from the remainder.
+    let n = cfg.n_species;
+    let mut qssa: Vec<usize> = Vec::with_capacity(cfg.n_qssa);
+    let mut cand = 0usize;
+    while qssa.len() < cfg.n_qssa {
+        let ideal = 2 + qssa.len() * n.saturating_sub(3) / cfg.n_qssa.max(1);
+        let pick = ideal.max(cand).min(n - 1);
+        let pick = if qssa.contains(&pick) {
+            (0..n).find(|c| !qssa.contains(c)).expect("n_qssa <= n_species")
+        } else {
+            pick
+        };
+        qssa.push(pick);
+        cand = pick + 1;
+    }
+    qssa.sort_unstable();
+    let mut stiff = Vec::with_capacity(cfg.n_stiff);
+    let mut k = 0usize;
+    while stiff.len() < cfg.n_stiff {
+        if !qssa.contains(&k) && !stiff.contains(&k) {
+            stiff.push(k);
+        }
+        k = (k + 1) % n;
+    }
+
+    let mut reactions = Vec::with_capacity(cfg.n_reactions);
+    for i in 0..cfg.n_reactions {
+        // First pass guarantees every species participates in some reaction.
+        let forced = if i < n { Some(i) } else { None };
+        reactions.push(random_reaction(&mut rng, cfg, &qssa, forced, i));
+    }
+
+    Mechanism {
+        name: cfg.name.clone(),
+        species,
+        thermo,
+        transport,
+        reactions,
+        qssa: QssaSpec { qssa, stiff },
+    }
+    .validate()
+    .expect("synthesized mechanism must validate")
+}
+
+fn pick_species(rng: &mut ChaCha8Rng, cfg: &SynthConfig, qssa: &[usize], want_qssa: bool) -> usize {
+    if want_qssa {
+        qssa[rng.gen_range(0..qssa.len())]
+    } else {
+        rng.gen_range(0..cfg.n_species)
+    }
+}
+
+fn random_arrhenius(rng: &mut ChaCha8Rng) -> Arrhenius {
+    Arrhenius::new(
+        10f64.powf(rng.gen_range(3.0..16.0)),
+        rng.gen_range(-2.0..3.0),
+        rng.gen_range(0.0..8.0e4),
+    )
+}
+
+fn random_reaction(
+    rng: &mut ChaCha8Rng,
+    cfg: &SynthConfig,
+    qssa: &[usize],
+    forced_species: Option<usize>,
+    index: usize,
+) -> Reaction {
+    // ~30% of reactions are forced to touch a QSSA species; together with
+    // chance hits from the unconstrained picks this lands the QSSA phase's
+    // rate consumption in the paper's "half to two-thirds" band (§3.4).
+    let touch_qssa = !qssa.is_empty() && rng.gen_bool(0.30);
+
+    let n_react = rng.gen_range(1..=2);
+    let n_prod = rng.gen_range(1..=2);
+    let mut reactants: Vec<(usize, f64)> = Vec::new();
+    let mut products: Vec<(usize, f64)> = Vec::new();
+    for j in 0..n_react {
+        let s = if j == 0 {
+            forced_species.unwrap_or_else(|| pick_species(rng, cfg, qssa, touch_qssa))
+        } else {
+            pick_species(rng, cfg, qssa, false)
+        };
+        let coeff = if rng.gen_bool(0.12) { 2.0 } else { 1.0 };
+        if let Some(e) = reactants.iter_mut().find(|(id, _)| *id == s) {
+            e.1 += coeff;
+        } else {
+            reactants.push((s, coeff));
+        }
+    }
+    for j in 0..n_prod {
+        // Products avoid duplicating a reactant so net stoichiometry is
+        // nontrivial; QSSA coupling flows reactant->product forming the DAG.
+        let want_q = touch_qssa && j == 0 && rng.gen_bool(0.5);
+        let mut s = pick_species(rng, cfg, qssa, want_q);
+        let mut tries = 0;
+        while reactants.iter().any(|(id, _)| *id == s) && tries < 8 {
+            s = pick_species(rng, cfg, qssa, false);
+            tries += 1;
+        }
+        let coeff = if rng.gen_bool(0.12) { 2.0 } else { 1.0 };
+        if let Some(e) = products.iter_mut().find(|(id, _)| *id == s) {
+            e.1 += coeff;
+        } else {
+            products.push((s, coeff));
+        }
+    }
+    // Degenerate fallback: ensure sides differ.
+    if products.iter().all(|(s, _)| reactants.iter().any(|(r, _)| r == s)) {
+        let alt = (reactants[0].0 + 1) % cfg.n_species;
+        products.push((alt, 1.0));
+    }
+
+    let roll: f64 = rng.gen();
+    let high = random_arrhenius(rng);
+    let (rate, has_falloff) = if roll < 0.70 {
+        (RateModel::Arrhenius(high), false)
+    } else if roll < 0.82 {
+        let low = Arrhenius::new(high.a * 10f64.powf(rng.gen_range(8.0..16.0)),
+                                 high.beta - rng.gen_range(2.0..5.0),
+                                 rng.gen_range(0.0..4.0e3));
+        let troe = TroeParams {
+            a: rng.gen_range(0.0..1.0),
+            t3: 10f64.powf(rng.gen_range(-15.0..4.0)),
+            t1: 10f64.powf(rng.gen_range(-15.0..4.0)),
+            t2: if rng.gen_bool(0.5) { Some(rng.gen_range(10.0..6000.0)) } else { None },
+        };
+        (RateModel::Troe { high, low, troe }, true)
+    } else if roll < 0.90 {
+        let low = Arrhenius::new(high.a * 10f64.powf(rng.gen_range(8.0..16.0)),
+                                 high.beta - rng.gen_range(2.0..5.0),
+                                 rng.gen_range(0.0..4.0e3));
+        (RateModel::Lindemann { high, low }, true)
+    } else if roll < 0.94 {
+        (
+            RateModel::LandauTeller {
+                arrhenius: high,
+                b: rng.gen_range(-300.0..300.0),
+                c: rng.gen_range(-300.0..300.0),
+            },
+            false,
+        )
+    } else {
+        (RateModel::Arrhenius(high), false)
+    };
+    // The final 6% band (roll >= 0.94) become bare three-body reactions.
+    let three_body = !has_falloff && roll >= 0.94;
+
+    let third_body = if has_falloff || three_body {
+        let mut eff = Vec::new();
+        let n_eff = rng.gen_range(0..4usize);
+        for _ in 0..n_eff {
+            let s = rng.gen_range(0..cfg.n_species);
+            if !eff.iter().any(|(id, _): &(usize, f64)| *id == s) {
+                eff.push((s, rng.gen_range(0.5..6.0)));
+            }
+        }
+        Some(ThirdBody { efficiencies: eff })
+    } else {
+        None
+    };
+
+    let rev_roll: f64 = rng.gen();
+    let reverse = if rev_roll < 0.5 {
+        ReverseSpec::Equilibrium
+    } else if rev_roll < 0.8 {
+        ReverseSpec::Explicit(random_arrhenius(rng))
+    } else {
+        ReverseSpec::Irreversible
+    };
+
+    Reaction {
+        label: format!("{}", index + 1),
+        reactants,
+        products,
+        rate,
+        reverse,
+        third_body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dme_matches_figure3() {
+        let m = dme();
+        let c = m.characteristics();
+        assert_eq!(c.reactions, 175);
+        assert_eq!(c.species, 39);
+        assert_eq!(c.qssa, 9);
+        assert_eq!(c.stiff, 22);
+        assert_eq!(m.n_transported(), 30);
+    }
+
+    #[test]
+    fn heptane_matches_figure3() {
+        let m = heptane();
+        let c = m.characteristics();
+        assert_eq!(c.reactions, 283);
+        assert_eq!(c.species, 68);
+        assert_eq!(c.qssa, 16);
+        assert_eq!(c.stiff, 27);
+        assert_eq!(m.n_transported(), 52);
+    }
+
+    #[test]
+    fn constant_footprints_match_paper() {
+        // Paper §3.2: DME needs 13.9 KB of viscosity constants, heptane 42.4 KB.
+        assert_eq!(dme().viscosity_constant_bytes(), 13_920);
+        assert_eq!(heptane().viscosity_constant_bytes(), 42_432);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = synthesize(&dme_config());
+        let b = synthesize(&dme_config());
+        assert_eq!(a.reactions.len(), b.reactions.len());
+        for (x, y) in a.reactions.iter().zip(b.reactions.iter()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn qssa_rate_consumption_in_paper_band() {
+        // Paper §3.4: QSSA needs between roughly half and two-thirds of the
+        // reaction rates. Allow a generous band.
+        for m in [dme(), heptane()] {
+            let frac = m.qssa_reactions().len() as f64 / m.n_reactions() as f64;
+            assert!((0.35..=0.80).contains(&frac), "{}: {frac}", m.name);
+        }
+    }
+
+    #[test]
+    fn qssa_dag_is_nonempty_for_presets() {
+        for m in [dme(), heptane()] {
+            assert!(!m.qssa_dag().is_empty(), "{} should couple QSSA species", m.name);
+        }
+    }
+
+    #[test]
+    fn every_species_used() {
+        for m in [dme(), heptane()] {
+            for s in 0..m.n_species() {
+                assert!(
+                    m.reactions.iter().any(|r| r.involves(s)),
+                    "species {s} unused in {}",
+                    m.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rate_model_variety_present() {
+        let m = heptane();
+        let mut troe = 0;
+        let mut lind = 0;
+        let mut lt = 0;
+        let mut tb = 0;
+        for r in &m.reactions {
+            match r.rate {
+                RateModel::Troe { .. } => troe += 1,
+                RateModel::Lindemann { .. } => lind += 1,
+                RateModel::LandauTeller { .. } => lt += 1,
+                RateModel::Arrhenius(_) => {
+                    if r.third_body.is_some() {
+                        tb += 1;
+                    }
+                }
+            }
+        }
+        assert!(troe > 5, "troe {troe}");
+        assert!(lind > 3, "lindemann {lind}");
+        assert!(lt > 1, "landau-teller {lt}");
+        assert!(tb > 1, "three-body {tb}");
+    }
+
+    #[test]
+    fn species_pool_unique() {
+        let pool = species_pool(120);
+        let mut names: Vec<_> = pool.iter().map(|s| s.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 120);
+    }
+}

@@ -1,0 +1,153 @@
+//! NASA seven-coefficient polynomial thermodynamics.
+//!
+//! The THERMO input file gives, per species, two temperature ranges with
+//! seven coefficients each. These feed the equilibrium-constant evaluation
+//! used for reverse reaction rates in the chemistry kernel (paper §3.4) and
+//! are the "table of thermodynamic coefficients" of paper §3.1.
+
+use crate::R_CAL;
+
+/// NASA-7 polynomial pair for one species.
+///
+/// Nondimensional properties over a temperature range are
+///
+/// ```text
+/// cp/R  = a1 + a2 T + a3 T^2 + a4 T^3 + a5 T^4
+/// H/RT  = a1 + a2/2 T + a3/3 T^2 + a4/4 T^3 + a5/5 T^4 + a6/T
+/// S/R   = a1 ln T + a2 T + a3/2 T^2 + a4/3 T^3 + a5/4 T^4 + a7
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NasaPoly {
+    /// Lower bound of validity (K).
+    pub t_low: f64,
+    /// Switch-over temperature between the two ranges (K).
+    pub t_mid: f64,
+    /// Upper bound of validity (K).
+    pub t_high: f64,
+    /// Coefficients for `T < t_mid`.
+    pub low: [f64; 7],
+    /// Coefficients for `T >= t_mid`.
+    pub high: [f64; 7],
+}
+
+impl NasaPoly {
+    /// Select the coefficient set for temperature `t`.
+    fn coeffs(&self, t: f64) -> &[f64; 7] {
+        if t < self.t_mid {
+            &self.low
+        } else {
+            &self.high
+        }
+    }
+
+    /// Nondimensional heat capacity `cp/R`.
+    pub fn cp_r(&self, t: f64) -> f64 {
+        let a = self.coeffs(t);
+        a[0] + t * (a[1] + t * (a[2] + t * (a[3] + t * a[4])))
+    }
+
+    /// Nondimensional enthalpy `H/(R T)`.
+    pub fn h_rt(&self, t: f64) -> f64 {
+        let a = self.coeffs(t);
+        a[0] + t * (a[1] / 2.0 + t * (a[2] / 3.0 + t * (a[3] / 4.0 + t * a[4] / 5.0)))
+            + a[5] / t
+    }
+
+    /// Nondimensional entropy `S/R`.
+    pub fn s_r(&self, t: f64) -> f64 {
+        let a = self.coeffs(t);
+        a[0] * t.ln() + t * (a[1] + t * (a[2] / 2.0 + t * (a[3] / 3.0 + t * a[4] / 4.0))) + a[6]
+    }
+
+    /// Nondimensional Gibbs free energy `G/(R T) = H/RT - S/R`.
+    pub fn g_rt(&self, t: f64) -> f64 {
+        self.h_rt(t) - self.s_r(t)
+    }
+
+    /// Enthalpy in cal/mol.
+    pub fn enthalpy_cal(&self, t: f64) -> f64 {
+        self.h_rt(t) * R_CAL * t
+    }
+
+    /// A physically plausible default for a species of molecular weight `w`
+    /// and atom count `n`, used by the synthetic mechanism generator.
+    ///
+    /// Heavier molecules get larger heat capacities (more vibrational
+    /// modes); the enthalpy offset `a6` scales with size so equilibrium
+    /// constants stay in a sane range.
+    pub fn plausible(w: f64, n: u32, salt: f64) -> NasaPoly {
+        let dof = 2.5 + 1.5 * f64::from(n.max(1));
+        let a1 = dof * (1.0 + 0.05 * salt);
+        let a2 = 1.0e-3 * (1.0 + 0.3 * salt) * f64::from(n);
+        let a3 = -2.0e-7 * f64::from(n);
+        let a4 = 2.0e-11 * f64::from(n);
+        let a5 = -5.0e-16 * f64::from(n);
+        // Kept modest so reaction Gibbs differences (and thus equilibrium
+        // constants) stay in a numerically sane range at low temperatures.
+        let a6 = -50.0 * w * (1.0 + 0.2 * salt);
+        let a7 = 3.0 + 0.5 * f64::from(n) + salt;
+        let low = [a1, a2, a3, a4, a5, a6, a7];
+        // High range: slightly stiffer cp, continuous-ish at t_mid.
+        let high = [
+            a1 * 1.1,
+            a2 * 0.8,
+            a3 * 0.5,
+            a4 * 0.25,
+            a5 * 0.1,
+            a6,
+            a7 * 0.95,
+        ];
+        NasaPoly {
+            t_low: 300.0,
+            t_mid: 1000.0,
+            t_high: 5000.0,
+            low,
+            high,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> NasaPoly {
+        NasaPoly::plausible(28.0, 2, 0.1)
+    }
+
+    #[test]
+    fn cp_is_positive_over_range() {
+        let p = sample();
+        for t in [300.0, 700.0, 1000.0, 1800.0, 3000.0] {
+            assert!(p.cp_r(t) > 0.0, "cp/R at {t}");
+        }
+    }
+
+    #[test]
+    fn gibbs_is_h_minus_ts() {
+        let p = sample();
+        let t = 1500.0;
+        assert!((p.g_rt(t) - (p.h_rt(t) - p.s_r(t))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_selection_switches_at_mid() {
+        let mut p = sample();
+        p.high[0] = 99.0; // make ranges obviously different
+        assert!((p.cp_r(999.9) - p.cp_r(1000.1)).abs() > 1.0);
+    }
+
+    #[test]
+    fn enthalpy_units() {
+        let p = sample();
+        let t = 1000.0;
+        assert!((p.enthalpy_cal(t) - p.h_rt(t) * R_CAL * t).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heavier_species_have_larger_cp() {
+        let light = NasaPoly::plausible(2.0, 2, 0.0);
+        let heavy = NasaPoly::plausible(100.0, 23, 0.0);
+        assert!(heavy.cp_r(1000.0) > light.cp_r(1000.0));
+    }
+}

@@ -1,0 +1,195 @@
+//! Transport properties: per-species viscosity fits and per-pair diffusion
+//! fits ("table of diffusion and viscosity coefficients", paper §3.1).
+//!
+//! The paper's kernels consume third-order polynomial fits evaluated in the
+//! exponent (paper §3.2 and §3.3):
+//!
+//! ```text
+//! vis_i(T)  = exp(eta_i0  + eta_i1 T  + eta_i2 T^2  + eta_i3 T^3)
+//! d_ij(T)   = exp(delta_ij0 + delta_ij1 T + delta_ij2 T^2 + delta_ij3 T^3)
+//! ```
+//!
+//! The TRANSPORT input file carries raw Lennard-Jones-style molecular
+//! parameters (as in real CHEMKIN `tran.dat` files); the polynomial fits are
+//! derived from those parameters by smooth deterministic formulas. Real
+//! CHEMKIN performs collision-integral fits; our derivation preserves the
+//! *structure* (same polynomial form, same working-set and constant
+//! footprint) which is what the paper's performance story depends on.
+
+/// Raw molecular transport parameters for one species, as stored in the
+/// TRANSPORT file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransportFit {
+    /// Geometry index (0 = atom, 1 = linear, 2 = nonlinear), CHEMKIN style.
+    pub shape: u8,
+    /// Lennard-Jones well depth over Boltzmann constant, K.
+    pub eps_over_k: f64,
+    /// Lennard-Jones collision diameter, Angstrom.
+    pub sigma: f64,
+    /// Dipole moment, Debye.
+    pub dipole: f64,
+    /// Polarizability, Angstrom^3.
+    pub polarizability: f64,
+    /// Rotational relaxation collision number at 298 K.
+    pub zrot: f64,
+}
+
+impl TransportFit {
+    /// Derive the four viscosity-exponent polynomial coefficients
+    /// `eta_0..eta_3` for a species of molecular weight `w`.
+    ///
+    /// Chosen so that `exp(poly(T))` stays within physically plausible gas
+    /// viscosities (1e-5 .. 3e-4 P) over `T in [300, 3000]` K.
+    pub fn viscosity_poly(&self, w: f64) -> [f64; 4] {
+        let e0 = -11.0 + 0.40 * w.ln() - 0.05 * self.sigma + 0.02 * self.dipole
+            - 0.01 * f64::from(self.shape);
+        let e1 = 8.0e-4 * (1.0 + 0.10 * (self.eps_over_k / 500.0).tanh());
+        let e2 = -1.5e-7 * (1.0 + 0.05 * (self.sigma - 3.0));
+        let e3 = 1.5e-11 * (1.0 + 0.02 * self.polarizability);
+        [e0, e1, e2, e3]
+    }
+}
+
+/// The symmetric `N x N x 4` matrix of pair diffusion-fit coefficients
+/// (`delta` in paper §3.3). The diagonal is zero and never computed — the
+/// paper's Figure 5 partitioning exploits exactly this structure.
+#[derive(Debug, Clone)]
+pub struct PairDiffusion {
+    n: usize,
+    /// Row-major `[i][j]` coefficient quadruples; `coeffs[i][j] == coeffs[j][i]`.
+    coeffs: Vec<[f64; 4]>,
+}
+
+impl PairDiffusion {
+    /// Build the pair matrix from per-species parameters and weights using
+    /// symmetric combining rules.
+    pub fn derive(fits: &[TransportFit], weights: &[f64]) -> PairDiffusion {
+        assert_eq!(fits.len(), weights.len());
+        let n = fits.len();
+        let mut coeffs = vec![[0.0f64; 4]; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let sig = 0.5 * (fits[i].sigma + fits[j].sigma);
+                let eps = (fits[i].eps_over_k * fits[j].eps_over_k).sqrt();
+                // Reduced mass drives the leading coefficient.
+                let mu = weights[i] * weights[j] / (weights[i] + weights[j]);
+                let d0 = -12.0 - 0.30 * mu.ln() - 0.04 * sig;
+                let d1 = 1.2e-3 * (1.0 + 0.08 * (eps / 600.0).tanh());
+                let d2 = -2.0e-7 * (1.0 + 0.03 * (sig - 3.0));
+                let d3 = 2.0e-11;
+                let c = [d0, d1, d2, d3];
+                coeffs[i * n + j] = c;
+                coeffs[j * n + i] = c;
+            }
+        }
+        PairDiffusion { n, coeffs }
+    }
+
+    /// Construct directly from a full coefficient table (used by tests and
+    /// by mechanisms loaded from explicit data). Panics if not symmetric
+    /// with a zero diagonal.
+    pub fn from_table(n: usize, coeffs: Vec<[f64; 4]>) -> PairDiffusion {
+        assert_eq!(coeffs.len(), n * n);
+        for i in 0..n {
+            assert_eq!(coeffs[i * n + i], [0.0; 4], "diagonal must be zero");
+            for j in 0..n {
+                assert_eq!(coeffs[i * n + j], coeffs[j * n + i], "must be symmetric");
+            }
+        }
+        PairDiffusion { n, coeffs }
+    }
+
+    /// Number of species.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Coefficient quadruple for pair `(i, j)`.
+    pub fn pair(&self, i: usize, j: usize) -> [f64; 4] {
+        self.coeffs[i * self.n + j]
+    }
+
+    /// Evaluate `d_ij(T) = exp(poly(T))`; the diagonal is exactly zero
+    /// (`exp` is never applied there — the matrix entry is defined as 0).
+    pub fn eval(&self, i: usize, j: usize, t: f64) -> f64 {
+        if i == j {
+            return 0.0;
+        }
+        let c = self.pair(i, j);
+        (c[0] + t * (c[1] + t * (c[2] + t * c[3]))).exp()
+    }
+
+    /// Bytes of double-precision constants required to store the strictly
+    /// off-diagonal pair coefficients once (4 doubles per unordered pair) —
+    /// used when reporting constant-footprint numbers.
+    pub fn constant_bytes(&self) -> usize {
+        self.n * (self.n - 1) / 2 * 4 * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fit(sigma: f64, eps: f64) -> TransportFit {
+        TransportFit {
+            shape: 1,
+            eps_over_k: eps,
+            sigma,
+            dipole: 0.0,
+            polarizability: 1.0,
+            zrot: 1.0,
+        }
+    }
+
+    #[test]
+    fn viscosity_plausible_over_temperature_range() {
+        let f = fit(3.6, 240.0);
+        let p = f.viscosity_poly(28.0);
+        for t in [300.0, 1000.0, 2000.0, 3000.0] {
+            let v = (p[0] + t * (p[1] + t * (p[2] + t * p[3]))).exp();
+            assert!(v > 1e-6 && v < 1e-2, "viscosity {v} at T={t}");
+        }
+    }
+
+    #[test]
+    fn pair_matrix_is_symmetric_zero_diagonal() {
+        let fits: Vec<_> = (0..5).map(|i| fit(3.0 + 0.2 * i as f64, 100.0 + 50.0 * i as f64)).collect();
+        let w: Vec<f64> = (0..5).map(|i| 10.0 + 5.0 * i as f64).collect();
+        let pd = PairDiffusion::derive(&fits, &w);
+        for i in 0..5 {
+            assert_eq!(pd.pair(i, i), [0.0; 4]);
+            assert_eq!(pd.eval(i, i, 1500.0), 0.0);
+            for j in 0..5 {
+                assert_eq!(pd.pair(i, j), pd.pair(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn diffusion_values_plausible() {
+        let fits: Vec<_> = (0..3).map(|i| fit(3.0, 150.0 + i as f64)).collect();
+        let w = vec![2.0, 28.0, 100.0];
+        let pd = PairDiffusion::derive(&fits, &w);
+        for t in [300.0, 1500.0, 3000.0] {
+            let d = pd.eval(0, 2, t);
+            assert!(d > 0.0 && d.is_finite());
+        }
+    }
+
+    #[test]
+    fn constant_bytes_matches_closed_form() {
+        let fits: Vec<_> = (0..10).map(|_| fit(3.0, 100.0)).collect();
+        let w = vec![10.0; 10];
+        let pd = PairDiffusion::derive(&fits, &w);
+        assert_eq!(pd.constant_bytes(), 45 * 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn from_table_rejects_asymmetry() {
+        let mut t = vec![[0.0; 4]; 4];
+        t[1] = [1.0, 0.0, 0.0, 0.0]; // (0,1) != (1,0)
+        PairDiffusion::from_table(2, t);
+    }
+}

@@ -1,0 +1,216 @@
+//! Serialization of mechanisms back to the four input-file formats.
+//!
+//! `parse(write(mechanism))` round-trips (verified by tests and by the
+//! synthetic mechanism generator, which always goes through text so the
+//! parser path is exercised end-to-end).
+
+use crate::mechanism::Mechanism;
+use crate::reaction::{RateModel, Reaction, ReverseSpec};
+use std::fmt::Write as _;
+
+/// Emit the CHEMKIN reaction file (ELEMENTS/SPECIES/REACTIONS sections).
+pub fn write_chemkin(m: &Mechanism) -> String {
+    let mut out = String::new();
+    out.push_str("ELEMENTS\n");
+    let mut elems: Vec<&'static str> = Vec::new();
+    for s in &m.species {
+        for (e, _) in &s.composition {
+            if !elems.contains(&e.symbol()) {
+                elems.push(e.symbol());
+            }
+        }
+    }
+    let _ = writeln!(out, "{}", elems.join(" "));
+    out.push_str("END\nSPECIES\n");
+    for s in &m.species {
+        // Always write explicit composition: robust for names like ch2(s).
+        let comp: Vec<String> = s
+            .composition
+            .iter()
+            .map(|(e, n)| format!("{}{}", e.symbol().to_ascii_lowercase(), n))
+            .collect();
+        let _ = writeln!(out, "{} / {} /", s.name, comp.join(" "));
+    }
+    out.push_str("END\nREACTIONS\n");
+    for r in &m.reactions {
+        write_reaction(&mut out, m, r);
+    }
+    out.push_str("END\n");
+    out
+}
+
+fn side_string(m: &Mechanism, terms: &[(usize, f64)], falloff: bool, three_body: bool) -> String {
+    let mut parts: Vec<String> = terms
+        .iter()
+        .map(|(s, c)| {
+            if (*c - 1.0).abs() < 1e-12 {
+                m.species[*s].name.clone()
+            } else {
+                format!("{}{}", *c as u64, m.species[*s].name)
+            }
+        })
+        .collect();
+    if three_body {
+        parts.push("m".to_string());
+    }
+    let mut s = parts.join("+");
+    if falloff {
+        s.push_str("(+m)");
+    }
+    s
+}
+
+fn write_reaction(out: &mut String, m: &Mechanism, r: &Reaction) {
+    let falloff = r.rate.is_falloff();
+    let three_body = r.third_body.is_some() && !falloff;
+    let lhs = side_string(m, &r.reactants, falloff, three_body);
+    let rhs = side_string(m, &r.products, falloff, three_body);
+    let arrow = match r.reverse {
+        ReverseSpec::Irreversible => "=>",
+        _ => "=",
+    };
+    let (a, beta, e) = match &r.rate {
+        RateModel::Arrhenius(p) => (p.a, p.beta, p.e_act),
+        RateModel::Lindemann { high, .. } | RateModel::Troe { high, .. } => {
+            (high.a, high.beta, high.e_act)
+        }
+        RateModel::LandauTeller { arrhenius, .. } => {
+            (arrhenius.a, arrhenius.beta, arrhenius.e_act)
+        }
+    };
+    let label = if r.label.is_empty() {
+        String::new()
+    } else {
+        format!("!{} ", r.label)
+    };
+    let _ = writeln!(out, "{label}{lhs} {arrow} {rhs}  {a:.17e} {beta:.17e} {e:.17e}");
+    match &r.rate {
+        RateModel::Lindemann { low, .. } => {
+            let _ = writeln!(out, "  low / {:.17e} {:.17e} {:.17e} /", low.a, low.beta, low.e_act);
+        }
+        RateModel::Troe { low, troe, .. } => {
+            let _ = writeln!(out, "  low / {:.17e} {:.17e} {:.17e} /", low.a, low.beta, low.e_act);
+            match troe.t2 {
+                Some(t2) => {
+                    let _ = writeln!(
+                        out,
+                        "  troe/ {:.17e} {:.17e} {:.17e} {:.17e} /",
+                        troe.a, troe.t3, troe.t1, t2
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "  troe/ {:.17e} {:.17e} {:.17e} /",
+                        troe.a, troe.t3, troe.t1
+                    );
+                }
+            }
+        }
+        RateModel::LandauTeller { b, c, .. } => {
+            let _ = writeln!(out, "  lt / {b:.17e} {c:.17e} /");
+        }
+        RateModel::Arrhenius(_) => {}
+    }
+    if let ReverseSpec::Explicit(rev) = &r.reverse {
+        let _ = writeln!(out, "  rev / {:.17e} {:.17e} {:.17e} /", rev.a, rev.beta, rev.e_act);
+    }
+    if let Some(tb) = &r.third_body {
+        if !tb.efficiencies.is_empty() {
+            let effs: Vec<String> = tb
+                .efficiencies
+                .iter()
+                .map(|(s, v)| format!("{}/{}/", m.species[*s].name, v))
+                .collect();
+            let _ = writeln!(out, "  {}", effs.join(" "));
+        }
+    }
+}
+
+/// Emit the THERMO file.
+pub fn write_thermo(m: &Mechanism) -> String {
+    let mut out = String::from("THERMO\n300.0 1000.0 5000.0\n");
+    for (s, p) in m.species.iter().zip(m.thermo.iter()) {
+        let _ = writeln!(out, "{} {} {} {}", s.name, p.t_low, p.t_mid, p.t_high);
+        let h = &p.high;
+        let l = &p.low;
+        let _ = writeln!(out, " {:.17e} {:.17e} {:.17e} {:.17e} {:.17e}", h[0], h[1], h[2], h[3], h[4]);
+        let _ = writeln!(out, " {:.17e} {:.17e} {:.17e} {:.17e} {:.17e}", h[5], h[6], l[0], l[1], l[2]);
+        let _ = writeln!(out, " {:.17e} {:.17e} {:.17e} {:.17e}", l[3], l[4], l[5], l[6]);
+    }
+    out.push_str("END\n");
+    out
+}
+
+/// Emit the TRANSPORT file.
+pub fn write_transport(m: &Mechanism) -> String {
+    let mut out = String::from("TRANSPORT\n");
+    for (s, t) in m.species.iter().zip(m.transport.iter()) {
+        let _ = writeln!(
+            out,
+            "{} {} {:.6} {:.6} {:.6} {:.6} {:.6}",
+            s.name, t.shape, t.eps_over_k, t.sigma, t.dipole, t.polarizability, t.zrot
+        );
+    }
+    out.push_str("END\n");
+    out
+}
+
+/// Emit the QSSA/STIFF file (empty string if the spec is empty).
+pub fn write_qssa(m: &Mechanism) -> String {
+    if m.qssa.qssa.is_empty() && m.qssa.stiff.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("QSSA\n");
+    for &s in &m.qssa.qssa {
+        let _ = writeln!(out, "{}", m.species[s].name);
+    }
+    out.push_str("END\nSTIFF\n");
+    for &s in &m.qssa.stiff {
+        let _ = writeln!(out, "{}", m.species[s].name);
+    }
+    out.push_str("END\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_mechanism;
+    use crate::synth;
+
+    #[test]
+    fn roundtrip_small_synthetic() {
+        let m = synth::synthesize(&synth::SynthConfig {
+            name: "rt".into(),
+            n_species: 12,
+            n_reactions: 20,
+            n_qssa: 3,
+            n_stiff: 4,
+            seed: 7,
+        });
+        let ck = write_chemkin(&m);
+        let th = write_thermo(&m);
+        let tr = write_transport(&m);
+        let qs = write_qssa(&m);
+        let m2 = parse_mechanism("rt", &ck, &th, &tr, Some(&qs)).unwrap();
+        assert_eq!(m.n_species(), m2.n_species());
+        assert_eq!(m.n_reactions(), m2.n_reactions());
+        assert_eq!(m.qssa, m2.qssa);
+        for (a, b) in m.reactions.iter().zip(m2.reactions.iter()) {
+            assert_eq!(a.reactants, b.reactants);
+            assert_eq!(a.products, b.products);
+            // Rate constants survive within print precision.
+            let t = 1500.0;
+            let ka = a.rate.forward(t, 1e-5);
+            let kb = b.rate.forward(t, 1e-5);
+            assert!(
+                ((ka - kb) / ka.max(1e-300)).abs() < 1e-4,
+                "rate mismatch {ka} vs {kb}"
+            );
+        }
+        for (a, b) in m.thermo.iter().zip(m2.thermo.iter()) {
+            assert!((a.cp_r(1000.0) - b.cp_r(1000.0)).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Brute-force exhaustive autotuning (paper §4).
+//!
+//! "We used a brute-force exhaustive autotuning script to drive Singe when
+//! tuning our kernels. ... the search space was never more than a few
+//! hundred points because warp-specialized decisions dealt with very
+//! coarse-grained properties such as the number of target warps."
+//!
+//! Candidates are compiled and scored with the simulator's timing model on
+//! a representative grid; the best configuration wins.
+
+use crate::codegen::{compile_dfg, Compiled};
+use crate::config::{CompileOptions, Placement};
+use crate::dfg::Dfg;
+use crate::CResult;
+use gpu_sim::arch::GpuArch;
+use gpu_sim::launch::{launch, LaunchInputs, LaunchMode};
+
+/// One autotuning result row.
+#[derive(Debug, Clone)]
+pub struct TunePoint {
+    /// The options evaluated.
+    pub options: CompileOptions,
+    /// Simulated kernel seconds on the probe grid (None = did not compile
+    /// or run: resource exhaustion is a legal autotuner outcome).
+    pub seconds: Option<f64>,
+}
+
+/// Autotuning outcome: every point probed plus the winner.
+#[derive(Debug)]
+pub struct TuneResult {
+    /// All probed points.
+    pub points: Vec<TunePoint>,
+    /// The winning compile (best simulated time).
+    pub best: Compiled,
+    /// The winning options.
+    pub best_options: CompileOptions,
+}
+
+/// Build the default candidate grid: warp counts x point iterations,
+/// holding the placement strategy fixed.
+pub fn candidate_grid(placement: Placement) -> Vec<CompileOptions> {
+    let mut v = Vec::new();
+    for &warps in &[2usize, 3, 4, 6, 8, 10, 12, 16] {
+        for &iters in &[1u32, 4] {
+            v.push(CompileOptions {
+                warps,
+                point_iters: iters,
+                placement,
+                ..Default::default()
+            });
+        }
+    }
+    v
+}
+
+/// Exhaustively evaluate `candidates` for `dfg` on `arch`; the probe grid
+/// covers `probe_points` points (rounded up to a whole number of CTAs).
+pub fn autotune(
+    dfg: &Dfg,
+    arch: &GpuArch,
+    candidates: &[CompileOptions],
+    probe_points: usize,
+    inputs_for: &dyn Fn(&gpu_sim::isa::Kernel, usize) -> Vec<Vec<f64>>,
+) -> CResult<TuneResult> {
+    let mut points = Vec::new();
+    let mut best: Option<(f64, Compiled, CompileOptions)> = None;
+    for cand in candidates {
+        let compiled = match compile_dfg(dfg, cand, arch) {
+            Ok(c) => c,
+            Err(_) => {
+                points.push(TunePoint { options: cand.clone(), seconds: None });
+                continue;
+            }
+        };
+        let ppc = compiled.kernel.points_per_cta;
+        let grid = probe_points.div_ceil(ppc) * ppc;
+        let owned = inputs_for(&compiled.kernel, grid);
+        let arrays: Vec<&[f64]> = owned.iter().map(|v| v.as_slice()).collect();
+        let sec = match launch(
+            &compiled.kernel,
+            arch,
+            &LaunchInputs { arrays },
+            grid,
+            LaunchMode::TimingOnly,
+        ) {
+            Ok(out) => out.report.seconds,
+            Err(_) => {
+                points.push(TunePoint { options: cand.clone(), seconds: None });
+                continue;
+            }
+        };
+        points.push(TunePoint { options: cand.clone(), seconds: Some(sec) });
+        if best.as_ref().map_or(true, |(b, _, _)| sec < *b) {
+            best = Some((sec, compiled, cand.clone()));
+        }
+    }
+    let (_, best, best_options) = best.ok_or_else(|| {
+        crate::CompileError::ResourceExhausted("no autotune candidate compiled".into())
+    })?;
+    Ok(TuneResult { points, best, best_options })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::launch_arrays;
+    use crate::kernels::viscosity::viscosity_dfg;
+    use chemkin::reference::tables::ViscosityTables;
+    use chemkin::state::{GridDims, GridState};
+    use chemkin::synth;
+
+    #[test]
+    fn autotune_picks_a_valid_config() {
+        let m = synth::via_text(&synth::SynthConfig {
+            name: "at".into(),
+            n_species: 6,
+            n_reactions: 8,
+            n_qssa: 0,
+            n_stiff: 0,
+            seed: 4,
+        });
+        let t = ViscosityTables::build(&m);
+        let d = viscosity_dfg(&t, 3);
+        let arch = GpuArch::kepler_k20c();
+        let cands: Vec<CompileOptions> = [2usize, 3, 4]
+            .iter()
+            .map(|&w| CompileOptions::with_warps(w))
+            .collect();
+        let r = autotune(&d, &arch, &cands, 256, &|k, pts| {
+            let g = GridState::random(GridDims { nx: pts, ny: 1, nz: 1 }, 6, 1);
+            launch_arrays(&k.global_arrays, &g)
+                .iter()
+                .map(|s| s.to_vec())
+                .collect()
+        })
+        .unwrap();
+        assert_eq!(r.points.len(), 3);
+        assert!(r.points.iter().any(|p| p.seconds.is_some()));
+        assert!(r.best_options.warps >= 2);
+    }
+
+    #[test]
+    fn candidate_grid_has_coarse_dimensions() {
+        let g = candidate_grid(Placement::Store);
+        assert_eq!(g.len(), 16);
+    }
+}

@@ -1,0 +1,904 @@
+//! Warp-specialized code generation (paper §5).
+//!
+//! Takes a mapped and scheduled dataflow graph and emits a `gpu-sim`
+//! kernel using the paper's techniques:
+//!
+//! * **Overlaying** (§5.1): per-warp item streams are walked with
+//!   simultaneous cursors; when several warps' next operations are
+//!   structurally identical *and* resolve to identical code (registers,
+//!   shared addresses, constant segment), one instance is emitted for the
+//!   whole group under a bit-mask `WarpIf`. The paper's footnote about
+//!   "standardizing variable names" corresponds to our code-equality
+//!   check: a candidate warp joins the group only if its resolved code is
+//!   bit-identical to the seed's.
+//! * **Constant arrays with padding** (§5.2): each overlaid emission
+//!   allocates a constant segment at the same offset in every warp's
+//!   constant array; warps not participating keep padding values there.
+//! * **Constant deduplication** (§5.2): per-warp constant arrays are
+//!   striped across the 32 lanes into registers loaded once in the kernel
+//!   preamble (hoisted above the streaming point loop), and broadcast at
+//!   each use — via shared-memory mirror on Fermi (Listing 2) or shuffle
+//!   instructions on Kepler (Listing 3).
+//! * **Warp indexing** (§5.3): per-instance global rows become per-warp
+//!   integer constants loaded through an index constant bank, so overlaid
+//!   code performs warp-dependent addressing without branching.
+
+use crate::barrier_alloc::{allocate, BarrierAssignment};
+use crate::config::CompileOptions;
+use crate::dfg::{Dfg, OpId};
+use crate::expr::{emit_stmts, EmitCtx, RowRef, VarId};
+use crate::mapping::{map_ops, Mapping};
+use crate::sync::{schedule, Item, Schedule};
+use crate::{CResult, CompileError};
+use gpu_sim::arch::{BroadcastKind, GpuArch};
+use gpu_sim::isa::{
+    ArrayDecl, GlobalId, IdxInstr, IdxOp, Instr, Kernel, Node, Op, PointRef, Reg, SAddr,
+};
+use gpu_sim::WARP_SIZE;
+
+/// Compilation statistics (autotuner and report inputs).
+#[derive(Debug, Clone, Default)]
+pub struct CompileStats {
+    /// Synchronization points after grouping.
+    pub sync_points: usize,
+    /// Sync points merged by the grouping transformation.
+    pub merged_syncs: usize,
+    /// Physical named barriers used.
+    pub barriers_used: usize,
+    /// Shared 32-word slots used for communication.
+    pub shared_slots: usize,
+    /// Constant registers per thread (Figure 10 metric).
+    pub const_regs_per_thread: usize,
+    /// Overlaid emission groups covering more than one warp.
+    pub overlay_groups: usize,
+    /// Emissions that ended up warp-private.
+    pub solo_groups: usize,
+    /// Vars spilled to local memory.
+    pub spilled_vars: usize,
+    /// Per-warp double-constant array length (after padding).
+    pub const_array_len: usize,
+    /// FLOP imbalance of the mapping (max/mean).
+    pub flop_imbalance: f64,
+}
+
+/// A compiled kernel plus its statistics.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The executable kernel.
+    pub kernel: Kernel,
+    /// Statistics.
+    pub stats: CompileStats,
+}
+
+// Virtual register bases (remapped after emission).
+const VR_SCRATCH: Reg = 0; // 0..N_SCRATCH
+const N_SCRATCH: usize = 14;
+const VR_VAR: Reg = 1000;
+const VR_CREG: Reg = 20000;
+// Index registers (fixed layout).
+const IR_WARP: u16 = 0;
+const IR_LANE: u16 = 1;
+const IR_CBASE: u16 = 2;
+const IR_IBASE: u16 = 3;
+const IR_SCRATCH: u16 = 4;
+const N_IREGS: usize = 6;
+
+/// Where a var's home value lives in its producer warp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum VarHome {
+    Reg(u16),
+    Spill(u32),
+}
+
+/// Compile a dataflow graph into a warp-specialized kernel.
+pub fn compile_dfg(dfg: &Dfg, options: &CompileOptions, arch: &GpuArch) -> CResult<Compiled> {
+    dfg.validate()?;
+    let mapping = map_ops(dfg, options)?;
+    let sched = schedule(dfg, &mapping, options)?;
+    sched.verify(dfg)?;
+    let barriers = allocate(&sched)?;
+    emit(dfg, &mapping, &sched, &barriers, options, arch)
+}
+
+/// Per-warp register plan.
+struct RegPlan {
+    home: Vec<Option<VarHome>>, // per var (only for this warp's productions)
+    n_var_regs: usize,
+    n_spill: usize,
+}
+
+/// Linear-scan allocation of var home registers for one warp.
+fn plan_registers(
+    dfg: &Dfg,
+    mapping: &Mapping,
+    sched: &Schedule,
+    warp: usize,
+    budget: usize,
+    uniform_shared_reads: bool,
+) -> CResult<RegPlan> {
+    let items = &sched.items[warp];
+    let producers = dfg.producers()?;
+    // def/last-use item indices per var produced in this warp.
+    let mut def = vec![usize::MAX; dfg.n_vars as usize];
+    let mut last = vec![0usize; dfg.n_vars as usize];
+    for (i, (_, it)) in items.iter().enumerate() {
+        match it {
+            Item::Op(o) => {
+                for v in dfg.ops[*o].outputs() {
+                    def[v as usize] = i;
+                    last[v as usize] = last[v as usize].max(i);
+                }
+                for v in dfg.ops[*o].inputs() {
+                    // Same-warp consumers keep the register home alive —
+                    // unless uniform shared reads route them through shared
+                    // memory (then the home only lives until the store).
+                    if mapping.warp_of[producers[v as usize]] == warp
+                        && !(uniform_shared_reads
+                            && sched.var_slot[v as usize].is_some())
+                    {
+                        last[v as usize] = last[v as usize].max(i);
+                    }
+                }
+            }
+            Item::StoreVar(v) => last[*v as usize] = last[*v as usize].max(i),
+            _ => {}
+        }
+    }
+    let mut order: Vec<VarId> = (0..dfg.n_vars)
+        .filter(|&v| def[v as usize] != usize::MAX)
+        .collect();
+    order.sort_by_key(|&v| def[v as usize]);
+
+    let mut home = vec![None; dfg.n_vars as usize];
+    let mut free: Vec<u16> = Vec::new();
+    let mut next_reg = 0u16;
+    let mut n_spill = 0u32;
+    // Active: (last_use, var, reg).
+    let mut active: Vec<(usize, VarId, u16)> = Vec::new();
+    for v in order {
+        let start = def[v as usize];
+        let mut i = 0;
+        while i < active.len() {
+            if active[i].0 < start {
+                free.push(active[i].2);
+                active.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        let end = last[v as usize];
+        if let Some(r) = free.pop() {
+            home[v as usize] = Some(VarHome::Reg(r));
+            active.push((end, v, r));
+        } else if (next_reg as usize) < budget {
+            let r = next_reg;
+            next_reg += 1;
+            home[v as usize] = Some(VarHome::Reg(r));
+            active.push((end, v, r));
+        } else {
+            // Spill the live var with the furthest last use (or this one).
+            let worst = active
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, (e, _, _))| *e)
+                .map(|(i, _)| i);
+            match worst {
+                Some(wi) if active[wi].0 > end => {
+                    let (_, wv, wr) = active.swap_remove(wi);
+                    home[wv as usize] = Some(VarHome::Spill(n_spill));
+                    n_spill += 1;
+                    home[v as usize] = Some(VarHome::Reg(wr));
+                    active.push((end, v, wr));
+                }
+                _ => {
+                    home[v as usize] = Some(VarHome::Spill(n_spill));
+                    n_spill += 1;
+                }
+            }
+        }
+    }
+    Ok(RegPlan { home, n_var_regs: next_reg as usize, n_spill: n_spill as usize })
+}
+
+/// The emission context for one warp group.
+struct WsCtx<'a> {
+    dfg: &'a Dfg,
+    mapping: &'a Mapping,
+    sched: &'a Schedule,
+    plans: &'a [RegPlan],
+    warp: usize,
+    broadcast: BroadcastKind,
+    /// Constant segment base for the op being emitted.
+    seg_base: usize,
+    iseg_base: usize,
+    /// Frontend row-constant count of the op being emitted; compiler-
+    /// generated shared-address constants are appended after these.
+    irows_len: usize,
+    /// Values of compiler-generated index constants (shared word offsets
+    /// for cross-warp reads — the §5.3 warp-indexing scheme applied to
+    /// shared memory, as in Listing 4's `scratch[index][lane_id]`).
+    extra_irows: Vec<u32>,
+    /// Op-local temp registers (allocated above scratch on demand).
+    local_base: u16,
+    /// Scratch pool.
+    scratch_free: Vec<Reg>,
+    scratch_hwm: usize,
+    mirror_word: u32,
+    producers: &'a [OpId],
+    ldg: bool,
+    /// Uniform shared reads (§3.2 discipline).
+    uniform_reads: bool,
+    /// Outputs of the op currently being emitted (always read from their
+    /// register home — they may not be stored to shared yet).
+    cur_outputs: Vec<VarId>,
+}
+
+impl<'a> WsCtx<'a> {
+    fn home_of(&self, v: VarId) -> CResult<VarHome> {
+        self.plans[self.warp].home[v as usize]
+            .ok_or_else(|| CompileError::Internal(format!("var {v} has no home in warp")))
+    }
+}
+
+impl<'a> EmitCtx for WsCtx<'a> {
+    fn point(&self) -> PointRef {
+        PointRef::Lane
+    }
+
+    fn alloc_temp(&mut self) -> CResult<Reg> {
+        if let Some(r) = self.scratch_free.pop() {
+            return Ok(r);
+        }
+        if self.scratch_hwm >= N_SCRATCH {
+            return Err(CompileError::ResourceExhausted(
+                "expression scratch registers exhausted".into(),
+            ));
+        }
+        let r = VR_SCRATCH + self.scratch_hwm as Reg;
+        self.scratch_hwm += 1;
+        Ok(r)
+    }
+
+    fn free_temp(&mut self, r: Reg) {
+        self.scratch_free.push(r);
+    }
+
+    fn const_op(&mut self, slot: u16, code: &mut Vec<Node>) -> CResult<(Op, Option<Reg>)> {
+        let g = self.seg_base + slot as usize;
+        let creg = VR_CREG + (g / WARP_SIZE) as Reg;
+        let lane = (g % WARP_SIZE) as u8;
+        let tmp = self.alloc_temp()?;
+        match self.broadcast {
+            BroadcastKind::Shuffle => {
+                // Listing 3: pair of 32-bit shuffles, modeled as one Shfl.
+                code.push(Node::Op(Instr::Shfl { dst: tmp, src: creg, lane }));
+            }
+            BroadcastKind::SharedMirror => {
+                // Listing 2: one lane writes the mirror, everyone reads it.
+                let addr = SAddr { base: Some(IR_WARP), imm: self.mirror_word, lane_stride: 0 };
+                code.push(Node::Op(Instr::StShared {
+                    src: Op::Reg(creg),
+                    addr,
+                    lane_pred: Some(lane),
+                }));
+                code.push(Node::Op(Instr::LdShared { dst: tmp, addr }));
+            }
+        }
+        Ok((Op::Reg(tmp), Some(tmp)))
+    }
+
+    fn consts_in_cache(&self) -> bool {
+        false
+    }
+
+    fn row_idx(&mut self, row: &RowRef, code: &mut Vec<Node>) -> CResult<IdxOp> {
+        match row {
+            RowRef::Fixed(r) => Ok(IdxOp::Imm(*r)),
+            RowRef::Slot(s) => {
+                let g = (self.iseg_base + *s as usize) as u32;
+                // index = ibase + g, then load the per-warp row constant.
+                code.push(Node::Op(Instr::Idx(IdxInstr::Add {
+                    dst: IR_SCRATCH,
+                    a: IdxOp::Reg(IR_IBASE),
+                    b: IdxOp::Imm(g),
+                })));
+                code.push(Node::Op(Instr::Idx(IdxInstr::LdConst {
+                    dst: IR_SCRATCH + 1,
+                    bank: 0,
+                    idx: IdxOp::Reg(IR_SCRATCH),
+                })));
+                Ok(IdxOp::Reg(IR_SCRATCH + 1))
+            }
+        }
+    }
+
+    fn read_var(&mut self, v: VarId, code: &mut Vec<Node>) -> CResult<(Op, Option<Reg>)> {
+        let producer_warp = self.mapping.warp_of[self.producers[v as usize]];
+        let from_reg = self.cur_outputs.contains(&v)
+            || (producer_warp == self.warp
+                && !(self.uniform_reads && self.sched.var_slot[v as usize].is_some()));
+        if from_reg {
+            match self.home_of(v)? {
+                VarHome::Reg(r) => Ok((Op::Reg(VR_VAR + r), None)),
+                VarHome::Spill(slot) => {
+                    let tmp = self.alloc_temp()?;
+                    code.push(Node::Op(Instr::LdLocal { dst: tmp, slot }));
+                    Ok((Op::Reg(tmp), Some(tmp)))
+                }
+            }
+        } else {
+            let slot = self.sched.var_slot[v as usize].ok_or_else(|| {
+                CompileError::Internal(format!("cross-warp var {v} has no shared slot"))
+            })?;
+            // Warp-indexed shared access (§5.3): the word offset comes from
+            // a per-warp index constant so overlaid code stays identical
+            // across warps reading different values (Listing 4).
+            let g = (self.iseg_base + self.irows_len + self.extra_irows.len()) as u32;
+            self.extra_irows.push((slot * WARP_SIZE) as u32);
+            code.push(Node::Op(Instr::Idx(IdxInstr::Add {
+                dst: IR_SCRATCH,
+                a: IdxOp::Reg(IR_IBASE),
+                b: IdxOp::Imm(g),
+            })));
+            code.push(Node::Op(Instr::Idx(IdxInstr::LdConst {
+                dst: IR_SCRATCH + 1,
+                bank: 0,
+                idx: IdxOp::Reg(IR_SCRATCH),
+            })));
+            let tmp = self.alloc_temp()?;
+            code.push(Node::Op(Instr::LdShared {
+                dst: tmp,
+                addr: SAddr { base: Some(IR_SCRATCH + 1), imm: 0, lane_stride: 1 },
+            }));
+            Ok((Op::Reg(tmp), Some(tmp)))
+        }
+    }
+
+    fn write_var(&mut self, v: VarId, val: Op, code: &mut Vec<Node>) -> CResult<()> {
+        match self.home_of(v)? {
+            VarHome::Reg(r) => code.push(Node::Op(Instr::DMov { dst: VR_VAR + r, src: val })),
+            VarHome::Spill(slot) => code.push(Node::Op(Instr::StLocal { src: val, slot })),
+        }
+        Ok(())
+    }
+
+    fn read_local(&mut self, l: u16, _code: &mut Vec<Node>) -> CResult<Op> {
+        Ok(Op::Reg(self.local_base + l))
+    }
+
+    fn write_local(&mut self, l: u16, val: Op, code: &mut Vec<Node>) -> CResult<()> {
+        code.push(Node::Op(Instr::DMov { dst: self.local_base + l, src: val }));
+        Ok(())
+    }
+
+    fn array_global(&self, array: u16) -> GlobalId {
+        GlobalId(array as usize)
+    }
+
+    fn ldg(&self) -> bool {
+        self.ldg
+    }
+}
+
+/// Emit the kernel from the scheduled program.
+#[allow(clippy::too_many_arguments)]
+fn emit(
+    dfg: &Dfg,
+    mapping: &Mapping,
+    sched: &Schedule,
+    barriers: &BarrierAssignment,
+    options: &CompileOptions,
+    arch: &GpuArch,
+) -> CResult<Compiled> {
+    let w = options.warps;
+    let producers = dfg.producers()?;
+
+    // Register budget: leave room for scratch, locals, and an estimate of
+    // constant registers.
+    let max_locals = dfg.ops.iter().map(|o| o.n_locals as usize).max().unwrap_or(0);
+    let per_warp_consts: Vec<usize> = (0..w)
+        .map(|wi| {
+            dfg.ops
+                .iter()
+                .enumerate()
+                .filter(|(oi, _)| mapping.warp_of[*oi] == wi)
+                .map(|(_, o)| o.consts.len())
+                .sum()
+        })
+        .collect();
+    let cregs_est = per_warp_consts.iter().max().copied().unwrap_or(0).div_ceil(WARP_SIZE) + 1;
+    let budget_total = (arch.max_regs_per_thread.saturating_sub(N_IREGS)) / 2;
+    let var_budget = budget_total
+        .saturating_sub(N_SCRATCH + max_locals + cregs_est)
+        .max(4);
+
+    let uniform_reads = options.uniform_shared_reads
+        && !matches!(options.placement, crate::config::Placement::Buffer(_));
+    let plans: Vec<RegPlan> = (0..w)
+        .map(|wi| plan_registers(dfg, mapping, sched, wi, var_budget, uniform_reads))
+        .collect::<CResult<Vec<_>>>()?;
+
+    let mirror_word = (sched.n_slots * WARP_SIZE) as u32;
+    let needs_mirror = arch.broadcast == BroadcastKind::SharedMirror;
+    let shared_words = sched.n_slots * WARP_SIZE + if needs_mirror { w } else { 0 };
+
+    // Walker state.
+    let mut cursors = vec![0usize; w];
+    let mut body: Vec<Node> = Vec::new();
+    let mut const_arrays: Vec<Vec<f64>> = vec![Vec::new(); w];
+    let mut iconst_arrays: Vec<Vec<u32>> = vec![Vec::new(); w];
+    let mut layout_len = 0usize;
+    let mut ilayout_len = 0usize;
+    let mut stats = CompileStats {
+        sync_points: sched.sync_points.len(),
+        merged_syncs: sched.merged_syncs,
+        barriers_used: barriers.barriers_used,
+        shared_slots: sched.n_slots,
+        spilled_vars: plans.iter().map(|p| p.n_spill).sum(),
+        flop_imbalance: mapping.flop_imbalance(),
+        ..Default::default()
+    };
+    let all_mask: u64 = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+
+    let mut emit_ctx = |warp: usize, seg: usize, iseg: usize, max_vr: u16| WsCtx {
+        dfg,
+        mapping,
+        sched,
+        plans: &plans,
+        warp,
+        broadcast: arch.broadcast,
+        seg_base: seg,
+        iseg_base: iseg,
+        irows_len: 0,
+        extra_irows: Vec::new(),
+        local_base: VR_VAR + max_vr,
+        scratch_free: Vec::new(),
+        scratch_hwm: 0,
+        mirror_word,
+        producers: &producers,
+        ldg: arch.has_ldg,
+        uniform_reads,
+        cur_outputs: Vec::new(),
+    };
+    let max_var_regs = plans.iter().map(|p| p.n_var_regs).max().unwrap_or(0) as u16;
+
+    loop {
+        // Find the unfinished warp with the smallest (key, kind) head.
+        let mut seed: Option<(usize, u64)> = None;
+        for wi in 0..w {
+            if cursors[wi] < sched.items[wi].len() {
+                let (k, _) = sched.items[wi][cursors[wi]];
+                if seed.map_or(true, |(_, sk)| k < sk) {
+                    seed = Some((wi, k));
+                }
+            }
+        }
+        let Some((seed_w, _)) = seed else { break };
+        let (_, seed_item) = sched.items[seed_w][cursors[seed_w]];
+
+        match seed_item {
+            Item::FullBarrier(_) => {
+                // Every warp's head is this barrier.
+                for (wi, c) in cursors.iter_mut().enumerate() {
+                    debug_assert!(matches!(sched.items[wi][*c].1, Item::FullBarrier(_)));
+                    *c += 1;
+                }
+                if !options.unsafe_remove_barriers {
+                    body.push(Node::Op(Instr::BarSync {
+                        bar: barriers.full_barrier,
+                        warps: w as u16,
+                    }));
+                }
+            }
+            Item::Wait(s) => {
+                // Group every warp whose head is the same wait.
+                let mut mask = 0u64;
+                for wi in 0..w {
+                    if cursors[wi] < sched.items[wi].len()
+                        && sched.items[wi][cursors[wi]].1 == Item::Wait(s)
+                    {
+                        mask |= 1 << wi;
+                        cursors[wi] += 1;
+                    }
+                }
+                if !options.unsafe_remove_barriers {
+                    let sp = &sched.sync_points[s];
+                    let node = Node::Op(Instr::BarSync {
+                        bar: barriers.of_sync[s],
+                        warps: sp.warps().len() as u16,
+                    });
+                    push_guarded(&mut body, mask, all_mask, node);
+                }
+            }
+            Item::Arrive(s) => {
+                cursors[seed_w] += 1;
+                if !options.unsafe_remove_barriers {
+                    let sp = &sched.sync_points[s];
+                    let node = Node::Op(Instr::BarArrive {
+                        bar: barriers.of_sync[s],
+                        warps: sp.warps().len() as u16,
+                    });
+                    push_guarded(&mut body, 1 << seed_w, all_mask, node);
+                }
+            }
+            Item::StoreVar(v) => {
+                cursors[seed_w] += 1;
+                let slot = sched.var_slot[v as usize].ok_or_else(|| {
+                    CompileError::Internal(format!("stored var {v} lacks a slot"))
+                })?;
+                let mut code = Vec::new();
+                let mut ctx = emit_ctx(seed_w, 0, 0, max_var_regs);
+                // The value must come from its register/spill home — the
+                // shared slot is exactly what this item is about to fill.
+                ctx.cur_outputs = vec![v];
+                let (src, tmp) = ctx.read_var(v, &mut code)?;
+                code.push(Node::Op(Instr::StShared {
+                    src,
+                    addr: SAddr::lane((slot * WARP_SIZE) as u32),
+                    lane_pred: None,
+                }));
+                if let Some(t) = tmp {
+                    ctx.free_temp(t);
+                }
+                push_all_guarded(&mut body, 1 << seed_w, all_mask, code);
+            }
+            Item::Op(seed_op) => {
+                // Tentatively emit the seed's code, then try to overlay
+                // other warps whose head op has the same skeleton and
+                // resolves to identical code (§5.1 + footnote 2).
+                let seg = layout_len;
+                let iseg = ilayout_len;
+                let op = &dfg.ops[seed_op];
+                let mut seed_code = Vec::new();
+                let seed_extras;
+                {
+                    let mut ctx = emit_ctx(seed_w, seg, iseg, max_var_regs);
+                    ctx.irows_len = op.irows.len();
+                    ctx.cur_outputs = op.outputs();
+                    emit_stmts(&op.body, &mut ctx, &mut seed_code)?;
+                    seed_extras = ctx.extra_irows;
+                }
+                let mut mask: u64 = 1 << seed_w;
+                let mut members: Vec<(usize, OpId, Vec<u32>)> =
+                    vec![(seed_w, seed_op, seed_extras)];
+                for wi in 0..w {
+                    if wi == seed_w || cursors[wi] >= sched.items[wi].len() {
+                        continue;
+                    }
+                    let (_, it) = sched.items[wi][cursors[wi]];
+                    let Item::Op(cand) = it else { continue };
+                    if !dfg.ops[cand].same_skeleton(op) {
+                        continue;
+                    }
+                    let mut cand_code = Vec::new();
+                    let mut ctx = emit_ctx(wi, seg, iseg, max_var_regs);
+                    ctx.irows_len = dfg.ops[cand].irows.len();
+                    ctx.cur_outputs = dfg.ops[cand].outputs();
+                    emit_stmts(&dfg.ops[cand].body, &mut ctx, &mut cand_code)?;
+                    if cand_code == seed_code {
+                        mask |= 1 << wi;
+                        members.push((wi, cand, ctx.extra_irows));
+                    }
+                }
+                for (wi, _, _) in &members {
+                    cursors[*wi] += 1;
+                }
+                // Commit constant segments: same offsets for every warp,
+                // padding elsewhere (§5.2).
+                let clen = op.consts.len();
+                let ilen = op.irows.len() + members[0].2.len();
+                layout_len += clen;
+                ilayout_len += ilen;
+                for wi in 0..w {
+                    let member = members.iter().find(|(mw, _, _)| *mw == wi);
+                    match member {
+                        Some((_, o, extras)) => {
+                            const_arrays[wi].extend_from_slice(&dfg.ops[*o].consts);
+                            iconst_arrays[wi].extend_from_slice(&dfg.ops[*o].irows);
+                            iconst_arrays[wi].extend_from_slice(extras);
+                        }
+                        None => {
+                            // Padding values (never read by this warp).
+                            const_arrays[wi].extend(std::iter::repeat(0.0).take(clen));
+                            iconst_arrays[wi].extend(std::iter::repeat(0u32).take(ilen));
+                        }
+                    }
+                }
+                if members.len() > 1 {
+                    stats.overlay_groups += 1;
+                } else {
+                    stats.solo_groups += 1;
+                }
+                push_all_guarded(&mut body, mask, all_mask, seed_code);
+            }
+        }
+    }
+
+    // --- Preamble: lane/warp ids, constant-array bases, striped constant
+    // preload (hoisted above the point loop for amortization, §5.2). ---
+    let cstride = layout_len.div_ceil(WARP_SIZE) * WARP_SIZE;
+    let n_cregs = cstride / WARP_SIZE;
+    let istride = ilayout_len;
+    let mut preamble: Vec<Node> = vec![
+        Node::Op(Instr::Idx(IdxInstr::WarpId { dst: IR_WARP })),
+        Node::Op(Instr::Idx(IdxInstr::LaneId { dst: IR_LANE })),
+    ];
+    if n_cregs > 0 {
+        preamble.push(Node::Op(Instr::Idx(IdxInstr::Mul {
+            dst: IR_CBASE,
+            a: IdxOp::Reg(IR_WARP),
+            b: IdxOp::Imm(cstride as u32),
+        })));
+        preamble.push(Node::Op(Instr::Idx(IdxInstr::Add {
+            dst: IR_CBASE,
+            a: IdxOp::Reg(IR_CBASE),
+            b: IdxOp::Reg(IR_LANE),
+        })));
+        for j in 0..n_cregs {
+            preamble.push(Node::Op(Instr::Idx(IdxInstr::Add {
+                dst: IR_SCRATCH,
+                a: IdxOp::Reg(IR_CBASE),
+                b: IdxOp::Imm((j * WARP_SIZE) as u32),
+            })));
+            preamble.push(Node::Op(Instr::LdConst {
+                dst: VR_CREG + j as Reg,
+                bank: 0,
+                idx: IdxOp::Reg(IR_SCRATCH),
+            }));
+        }
+    }
+    if istride > 0 {
+        preamble.push(Node::Op(Instr::Idx(IdxInstr::Mul {
+            dst: IR_IBASE,
+            a: IdxOp::Reg(IR_WARP),
+            b: IdxOp::Imm(istride as u32),
+        })));
+    }
+
+    // End-of-iteration barrier so shared slots can be reused by the next
+    // point set without racing ahead.
+    let mut loop_body = body;
+    if !sched.sync_points.is_empty() && !options.unsafe_remove_barriers && options.point_iters > 1
+    {
+        loop_body.push(Node::Op(Instr::BarSync { bar: barriers.full_barrier, warps: w as u16 }));
+    }
+    let mut full_body = preamble;
+    full_body.push(Node::PointLoop { iters: options.point_iters, body: loop_body });
+
+    // --- Register remap: scratch | locals | vars | cregs. ---
+    let n_locals_regs = max_locals;
+    let n_var_regs = max_var_regs as usize;
+    let var_base = N_SCRATCH as Reg;
+    // locals were emitted at VR_VAR + max_var_regs + l.
+    let creg_base = (N_SCRATCH + n_var_regs + n_locals_regs) as Reg;
+    let remap = |r: Reg| -> Reg {
+        if r >= VR_CREG {
+            creg_base + (r - VR_CREG)
+        } else if r >= VR_VAR + max_var_regs {
+            // local
+            var_base + n_var_regs as Reg + (r - VR_VAR - max_var_regs)
+        } else if r >= VR_VAR {
+            var_base + (r - VR_VAR)
+        } else {
+            r
+        }
+    };
+    remap_nodes(&mut full_body, &remap);
+
+    let dregs = N_SCRATCH + n_var_regs + n_locals_regs + n_cregs;
+    let n_spill = plans.iter().map(|p| p.n_spill).max().unwrap_or(0);
+
+    // Constant banks: warp-major with per-warp stride.
+    let mut bank = vec![0.0f64; cstride * w];
+    for (wi, arr) in const_arrays.iter().enumerate() {
+        bank[wi * cstride..wi * cstride + arr.len()].copy_from_slice(arr);
+    }
+    let mut ibank = vec![0u32; istride * w];
+    for (wi, arr) in iconst_arrays.iter().enumerate() {
+        ibank[wi * istride..wi * istride + arr.len()].copy_from_slice(arr);
+    }
+
+    stats.const_regs_per_thread = n_cregs;
+    stats.const_array_len = cstride;
+    let uses_full = !sched.full_barriers.is_empty()
+        || (!sched.sync_points.is_empty()
+            && !options.unsafe_remove_barriers
+            && options.point_iters > 1);
+    let kernel_barriers = (barriers.barriers_used + usize::from(uses_full)).max(1);
+    stats.barriers_used = kernel_barriers;
+
+    let kernel = Kernel {
+        name: format!("{}_ws", dfg.name),
+        body: full_body,
+        warps_per_cta: w,
+        points_per_cta: WARP_SIZE * options.point_iters as usize,
+        dregs_per_thread: dregs,
+        iregs_per_thread: N_IREGS,
+        shared_words,
+        local_words_per_thread: n_spill,
+        const_banks: if bank.is_empty() { vec![] } else { vec![bank] },
+        iconst_banks: if ibank.is_empty() { vec![] } else { vec![ibank] },
+        barriers_used: kernel_barriers.min(16),
+        global_arrays: dfg.arrays.clone(),
+        spilled_bytes_per_thread: n_spill * 8,
+        exp_const_from_registers: options.exp_const_from_registers,
+    };
+    kernel.check().map_err(CompileError::Internal)?;
+    Ok(Compiled { kernel, stats })
+}
+
+/// Push a node, guarded by a `WarpIf` unless every warp participates.
+fn push_guarded(body: &mut Vec<Node>, mask: u64, all: u64, node: Node) {
+    if mask == all {
+        body.push(node);
+    } else {
+        body.push(Node::WarpIf { mask, body: vec![node] });
+    }
+}
+
+/// Push a code block, guarded unless all warps participate.
+fn push_all_guarded(body: &mut Vec<Node>, mask: u64, all: u64, code: Vec<Node>) {
+    if code.is_empty() {
+        return;
+    }
+    if mask == all {
+        body.extend(code);
+    } else {
+        body.push(Node::WarpIf { mask, body: code });
+    }
+}
+
+/// Rewrite every register id in a node tree.
+pub(crate) fn remap_nodes(nodes: &mut [Node], f: &dyn Fn(Reg) -> Reg) {
+    for n in nodes.iter_mut() {
+        match n {
+            Node::Op(i) => remap_instr(i, f),
+            Node::WarpIf { body, .. } => remap_nodes(body, f),
+            Node::WarpSwitch { cases, .. } => {
+                for c in cases {
+                    remap_nodes(c, f);
+                }
+            }
+            Node::Loop { body, .. } | Node::PointLoop { body, .. } => remap_nodes(body, f),
+        }
+    }
+}
+
+fn remap_op(o: &mut Op, f: &dyn Fn(Reg) -> Reg) {
+    if let Op::Reg(r) = o {
+        *r = f(*r);
+    }
+}
+
+fn remap_instr(i: &mut Instr, f: &dyn Fn(Reg) -> Reg) {
+    match i {
+        Instr::DMov { dst, src } => {
+            *dst = f(*dst);
+            remap_op(src, f);
+        }
+        Instr::DAdd { dst, a, b }
+        | Instr::DSub { dst, a, b }
+        | Instr::DMul { dst, a, b }
+        | Instr::DDiv { dst, a, b }
+        | Instr::DMax { dst, a, b }
+        | Instr::DMin { dst, a, b }
+        | Instr::DPow { dst, a, b } => {
+            *dst = f(*dst);
+            remap_op(a, f);
+            remap_op(b, f);
+        }
+        Instr::DCmp { dst, a, b, .. } => {
+            *dst = f(*dst);
+            remap_op(a, f);
+            remap_op(b, f);
+        }
+        Instr::DFma { dst, a, b, c, .. } => {
+            *dst = f(*dst);
+            remap_op(a, f);
+            remap_op(b, f);
+            remap_op(c, f);
+        }
+        Instr::DSqrt { dst, a }
+        | Instr::DExp { dst, a }
+        | Instr::DLog { dst, a }
+        | Instr::DLog10 { dst, a }
+        | Instr::DCbrt { dst, a }
+        | Instr::DNeg { dst, a } => {
+            *dst = f(*dst);
+            remap_op(a, f);
+        }
+        Instr::DSel { dst, pred, a, b } => {
+            *dst = f(*dst);
+            *pred = f(*pred);
+            remap_op(a, f);
+            remap_op(b, f);
+        }
+        Instr::LdGlobal { dst, .. } => *dst = f(*dst),
+        Instr::StGlobal { src, .. } => remap_op(src, f),
+        Instr::LdShared { dst, .. } => *dst = f(*dst),
+        Instr::StShared { src, .. } => remap_op(src, f),
+        Instr::LdConst { dst, .. } => *dst = f(*dst),
+        Instr::LdLocal { dst, .. } => *dst = f(*dst),
+        Instr::StLocal { src, .. } => remap_op(src, f),
+        Instr::Shfl { dst, src, .. } => {
+            *dst = f(*dst);
+            *src = f(*src);
+        }
+        Instr::Idx(_) | Instr::BarArrive { .. } | Instr::BarSync { .. } => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfg::test_support::diamond;
+    use gpu_sim::launch::{launch, LaunchInputs, LaunchMode};
+
+    fn run_diamond(warps: usize, arch: &GpuArch) -> Vec<f64> {
+        let mut d = diamond();
+        if warps >= 3 {
+            d.ops[0].pinned_warp = Some(0);
+            d.ops[1].pinned_warp = Some(1);
+            d.ops[2].pinned_warp = Some(2);
+            d.ops[3].pinned_warp = Some(0);
+        }
+        let mut opts = CompileOptions::with_warps(warps);
+        opts.point_iters = 2;
+        let c = compile_dfg(&d, &opts, arch).unwrap();
+        let points = c.kernel.points_per_cta * 2;
+        let input: Vec<f64> = (0..points).map(|i| i as f64 * 0.25 + 1.0).collect();
+        let out = launch(
+            &c.kernel,
+            arch,
+            &LaunchInputs { arrays: vec![&input, &[]] },
+            points,
+            LaunchMode::Full,
+        )
+        .unwrap();
+        out.outputs[1].clone()
+    }
+
+    fn expected(points: usize) -> Vec<f64> {
+        (0..points)
+            .map(|i| {
+                let x = i as f64 * 0.25 + 1.0;
+                x * 2.0 + (x + 10.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn diamond_single_warp_matches() {
+        let arch = GpuArch::kepler_k20c();
+        let out = run_diamond(1, &arch);
+        assert_eq!(out, expected(out.len()));
+    }
+
+    #[test]
+    fn diamond_three_warps_matches_kepler() {
+        let arch = GpuArch::kepler_k20c();
+        let out = run_diamond(3, &arch);
+        assert_eq!(out, expected(out.len()));
+    }
+
+    #[test]
+    fn diamond_three_warps_matches_fermi_shared_mirror() {
+        let arch = GpuArch::fermi_c2070();
+        let out = run_diamond(3, &arch);
+        assert_eq!(out, expected(out.len()));
+    }
+
+    #[test]
+    fn stats_populated() {
+        let mut d = diamond();
+        d.ops[0].pinned_warp = Some(0);
+        d.ops[1].pinned_warp = Some(1);
+        d.ops[2].pinned_warp = Some(2);
+        d.ops[3].pinned_warp = Some(0);
+        let opts = CompileOptions::with_warps(3);
+        let c = compile_dfg(&d, &opts, &GpuArch::kepler_k20c()).unwrap();
+        assert!(c.stats.sync_points > 0);
+        assert!(c.stats.barriers_used >= 1);
+        assert!(c.kernel.barriers_used <= 16);
+    }
+}

@@ -1,0 +1,92 @@
+//! Compiler options — the command-line surface of the paper's Figure 8
+//! compiler, which the brute-force autotuner drives (§4).
+
+/// How cross-warp dataflow values use shared memory (§4.1's three modes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// *Store*: every communicated value gets its own shared slot for its
+    /// whole lifetime (viscosity).
+    Store,
+    /// *Buffer*: values stay in producer registers; shared memory is a
+    /// small recycled buffer written just before consumers read
+    /// (chemistry). The payload is the slot-pool size in 32-word slots.
+    Buffer(usize),
+    /// *Mixed*: like Store, but the slot pool is bounded, forcing recycling
+    /// through pass barriers when pressure is high (diffusion).
+    Mixed(usize),
+}
+
+/// Options for one compilation — every knob is autotunable (§4: "it is
+/// valuable for a warp-specializing compiler to generate correct code for
+/// any number of warps and choice of mapping decisions").
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Warps per CTA to target.
+    pub warps: usize,
+    /// Streaming point-sets per CTA (the constant-amortization loop, §5.2).
+    pub point_iters: u32,
+    /// Desired CTAs per SM (bounds shared memory and registers, §4.1).
+    pub target_ctas_per_sm: usize,
+    /// Mapping metric weight: computational load (FLOPs).
+    pub w_flops: f64,
+    /// Mapping metric weight: per-warp register balance.
+    pub w_regs: f64,
+    /// Mapping metric weight: locality (cross-warp edges).
+    pub w_locality: f64,
+    /// Shared-memory usage mode.
+    pub placement: Placement,
+    /// Read shared-placed values from shared memory even in their producer
+    /// warp (the §3.2 "working set moved to shared memory" discipline —
+    /// frees producer registers and keeps overlaid code identical across
+    /// warps). Automatically disabled for `Placement::Buffer`.
+    pub uniform_shared_reads: bool,
+    /// §6.1 ablation: keep the exp Taylor-series constants in registers.
+    pub exp_const_from_registers: bool,
+    /// §6.2 ablation: unsafely drop all named-barrier synchronization
+    /// (results become undefined — timing studies only).
+    pub unsafe_remove_barriers: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> CompileOptions {
+        CompileOptions {
+            warps: 8,
+            point_iters: 4,
+            target_ctas_per_sm: 2,
+            w_flops: 1.0,
+            w_regs: 0.5,
+            w_locality: 0.25,
+            placement: Placement::Store,
+            uniform_shared_reads: true,
+            exp_const_from_registers: false,
+            unsafe_remove_barriers: false,
+        }
+    }
+}
+
+impl CompileOptions {
+    /// Convenience: default options with a given warp count.
+    pub fn with_warps(warps: usize) -> CompileOptions {
+        CompileOptions { warps, ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let o = CompileOptions::default();
+        assert!(o.warps >= 2);
+        assert!(o.point_iters >= 1);
+        assert!(!o.unsafe_remove_barriers);
+    }
+
+    #[test]
+    fn with_warps_overrides_only_warps() {
+        let o = CompileOptions::with_warps(12);
+        assert_eq!(o.warps, 12);
+        assert_eq!(o.target_ctas_per_sm, CompileOptions::default().target_ctas_per_sm);
+    }
+}

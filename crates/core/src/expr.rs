@@ -1,0 +1,610 @@
+//! Scalar expression IR and the instruction emitter.
+//!
+//! Kernel frontends describe each operation's computation as expression
+//! trees over:
+//!
+//! * op-local temporaries ([`Expr::Local`]),
+//! * cross-operation dataflow values ([`Expr::Var`] — the edges of the §4
+//!   dataflow graph),
+//! * per-instance constants ([`Expr::Const`] — these become the per-warp
+//!   constant arrays of §5.2),
+//! * structural literals ([`Expr::Lit`] — identical across instances, so
+//!   they become immediates),
+//! * global-memory inputs ([`Expr::Input`]) whose row may itself be a
+//!   per-instance constant ([`RowRef::Slot`] — the warp-indexing scheme of
+//!   §5.3).
+//!
+//! Two operations with equal expression bodies are *structurally identical
+//! modulo constants* — exactly the property the overlaying code generator
+//! (§5.1) exploits to emit a single code instance for many warps.
+//!
+//! The emitter lowers statements to `gpu-sim` instructions through an
+//! [`EmitCtx`] that decides how constants, dataflow variables, and rows
+//! materialize (constant cache vs striped registers with broadcasts;
+//! registers vs shared memory; fixed rows vs warp-indexed rows).
+
+use crate::{CResult, CompileError};
+use gpu_sim::isa::{Cmp, GAddr, GlobalId, IdxOp, Instr, Node, Op, PointRef, Reg};
+
+/// Op-local temporary id.
+pub type LocalId = u16;
+/// Cross-operation dataflow value id.
+pub type VarId = u32;
+
+/// Row selector for global accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RowRef {
+    /// Statically known row, identical across instances.
+    Fixed(u32),
+    /// Per-instance row index — becomes a warp-indexing constant (§5.3).
+    Slot(u16),
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Negation.
+    Neg,
+    /// Square root.
+    Sqrt,
+    /// Natural exponential.
+    Exp,
+    /// Natural logarithm.
+    Log,
+    /// Base-10 logarithm.
+    Log10,
+    /// Cube root.
+    Cbrt,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Maximum.
+    Max,
+    /// Minimum.
+    Min,
+    /// Power.
+    Pow,
+    /// Compare greater-than (yields 1.0/0.0).
+    CmpGt,
+}
+
+/// Ternary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TriOp {
+    /// Fused multiply-add `a*b + c`.
+    Fma,
+    /// Select `if a != 0 { b } else { c }`.
+    Sel,
+}
+
+/// Scalar expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Op-local temporary.
+    Local(LocalId),
+    /// Structural literal (identical across op instances).
+    Lit(f64),
+    /// Per-instance constant slot.
+    Const(u16),
+    /// Cross-operation dataflow value.
+    Var(VarId),
+    /// Per-point global-memory input.
+    Input {
+        /// Frontend array id (maps to a kernel `GlobalId`).
+        array: u16,
+        /// Row within the array.
+        row: RowRef,
+    },
+    /// Unary application.
+    Un(UnOp, Box<Expr>),
+    /// Binary application.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Ternary application.
+    Tri(TriOp, Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// `self + o`.
+    pub fn add(self, o: Expr) -> Expr {
+        Expr::Bin(BinOp::Add, Box::new(self), Box::new(o))
+    }
+    /// `self - o`.
+    pub fn sub(self, o: Expr) -> Expr {
+        Expr::Bin(BinOp::Sub, Box::new(self), Box::new(o))
+    }
+    /// `self * o`.
+    pub fn mul(self, o: Expr) -> Expr {
+        Expr::Bin(BinOp::Mul, Box::new(self), Box::new(o))
+    }
+    /// `self / o`.
+    pub fn div(self, o: Expr) -> Expr {
+        Expr::Bin(BinOp::Div, Box::new(self), Box::new(o))
+    }
+    /// `max(self, o)`.
+    pub fn max(self, o: Expr) -> Expr {
+        Expr::Bin(BinOp::Max, Box::new(self), Box::new(o))
+    }
+    /// `self ^ o`.
+    pub fn pow(self, o: Expr) -> Expr {
+        Expr::Bin(BinOp::Pow, Box::new(self), Box::new(o))
+    }
+    /// `exp(self)`.
+    pub fn exp(self) -> Expr {
+        Expr::Un(UnOp::Exp, Box::new(self))
+    }
+    /// `ln(self)`.
+    pub fn log(self) -> Expr {
+        Expr::Un(UnOp::Log, Box::new(self))
+    }
+    /// `log10(self)`.
+    pub fn log10(self) -> Expr {
+        Expr::Un(UnOp::Log10, Box::new(self))
+    }
+    /// `sqrt(self)`.
+    pub fn sqrt(self) -> Expr {
+        Expr::Un(UnOp::Sqrt, Box::new(self))
+    }
+    /// `cbrt(self)`.
+    pub fn cbrt(self) -> Expr {
+        Expr::Un(UnOp::Cbrt, Box::new(self))
+    }
+    /// `-self`.
+    pub fn neg(self) -> Expr {
+        Expr::Un(UnOp::Neg, Box::new(self))
+    }
+    /// `self * b + c` (explicit FMA).
+    pub fn fma(self, b: Expr, c: Expr) -> Expr {
+        Expr::Tri(TriOp::Fma, Box::new(self), Box::new(b), Box::new(c))
+    }
+    /// `if self > o { a } else { b }`.
+    pub fn select_gt(self, o: Expr, a: Expr, b: Expr) -> Expr {
+        Expr::Tri(
+            TriOp::Sel,
+            Box::new(Expr::Bin(BinOp::CmpGt, Box::new(self), Box::new(o))),
+            Box::new(a),
+            Box::new(b),
+        )
+    }
+
+    /// Approximate double-precision FLOPs of evaluating this tree, using
+    /// the same accounting as the simulator's instruction costs.
+    pub fn flops(&self) -> usize {
+        match self {
+            Expr::Local(_) | Expr::Lit(_) | Expr::Const(_) | Expr::Var(_) | Expr::Input { .. } => 0,
+            Expr::Un(op, a) => {
+                a.flops()
+                    + match op {
+                        UnOp::Neg => 1,
+                        UnOp::Sqrt => 16,
+                        UnOp::Exp | UnOp::Log => 24,
+                        UnOp::Log10 => 26,
+                        UnOp::Cbrt => 28,
+                    }
+            }
+            Expr::Bin(op, a, b) => {
+                a.flops()
+                    + b.flops()
+                    + match op {
+                        BinOp::Div => 16,
+                        BinOp::Pow => 48,
+                        _ => 1,
+                    }
+            }
+            Expr::Tri(op, a, b, c) => {
+                a.flops()
+                    + b.flops()
+                    + c.flops()
+                    + match op {
+                        TriOp::Fma => 2,
+                        TriOp::Sel => 1,
+                    }
+            }
+        }
+    }
+
+    /// All `Var` ids referenced (with duplicates).
+    pub fn vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            Expr::Var(v) => out.push(*v),
+            Expr::Un(_, a) => a.vars(out),
+            Expr::Bin(_, a, b) => {
+                a.vars(out);
+                b.vars(out);
+            }
+            Expr::Tri(_, a, b, c) => {
+                a.vars(out);
+                b.vars(out);
+                c.vars(out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A statement of an operation body (SSA-ish: each Local/Var defined once).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Define an op-local temporary.
+    Local(LocalId, Expr),
+    /// Define a cross-operation dataflow value.
+    DefVar(VarId, Expr),
+    /// Store to a global output array.
+    Store {
+        /// Frontend array id.
+        array: u16,
+        /// Output row.
+        row: RowRef,
+        /// Value.
+        value: Expr,
+    },
+}
+
+impl Stmt {
+    /// FLOPs of the statement.
+    pub fn flops(&self) -> usize {
+        match self {
+            Stmt::Local(_, e) | Stmt::DefVar(_, e) | Stmt::Store { value: e, .. } => e.flops(),
+        }
+    }
+}
+
+/// A standalone scalar program (sequence of statements) — used by tests and
+/// by the baseline compiler's sequential view of a dataflow graph.
+#[derive(Debug, Clone, Default)]
+pub struct ScalarProgram {
+    /// Statements in execution order.
+    pub stmts: Vec<Stmt>,
+    /// Number of locals used.
+    pub n_locals: u16,
+}
+
+/// How the emitter materializes the context-dependent leaves.
+pub trait EmitCtx {
+    /// Point selector for global accesses.
+    fn point(&self) -> PointRef;
+    /// Allocate a scratch register.
+    fn alloc_temp(&mut self) -> CResult<Reg>;
+    /// Release a scratch register.
+    fn free_temp(&mut self, r: Reg);
+    /// Materialize per-instance constant `slot` as an operand (may emit
+    /// broadcast/load code). Returns the operand plus the scratch register
+    /// the caller must free (if the operand lives in one).
+    fn const_op(&mut self, slot: u16, code: &mut Vec<Node>) -> CResult<(Op, Option<Reg>)>;
+    /// True if constants come from the constant cache (baseline) rather
+    /// than registers (warp-specialized §5.2).
+    fn consts_in_cache(&self) -> bool;
+    /// Materialize a row reference as an index operand. Any index scratch
+    /// register is managed by the context (released on the next `row_idx`).
+    fn row_idx(&mut self, row: &RowRef, code: &mut Vec<Node>) -> CResult<IdxOp>;
+    /// Read a dataflow variable; same temp-ownership contract as
+    /// [`EmitCtx::const_op`].
+    fn read_var(&mut self, v: VarId, code: &mut Vec<Node>) -> CResult<(Op, Option<Reg>)>;
+    /// Write a dataflow variable.
+    fn write_var(&mut self, v: VarId, val: Op, code: &mut Vec<Node>) -> CResult<()>;
+    /// Read an op-local temporary.
+    fn read_local(&mut self, l: LocalId, code: &mut Vec<Node>) -> CResult<Op>;
+    /// Write an op-local temporary.
+    fn write_local(&mut self, l: LocalId, val: Op, code: &mut Vec<Node>) -> CResult<()>;
+    /// Map a frontend array id to the kernel's global array.
+    fn array_global(&self, array: u16) -> GlobalId;
+    /// Use LDG texture loads for global reads (Kepler baselines, §6).
+    fn ldg(&self) -> bool;
+}
+
+/// Emit a list of statements into `code`.
+pub fn emit_stmts(stmts: &[Stmt], ctx: &mut dyn EmitCtx, code: &mut Vec<Node>) -> CResult<()> {
+    for s in stmts {
+        match s {
+            Stmt::Local(l, e) => {
+                let (op, tmp) = lower(e, ctx, code)?;
+                ctx.write_local(*l, op, code)?;
+                if let Some(t) = tmp {
+                    ctx.free_temp(t);
+                }
+            }
+            Stmt::DefVar(v, e) => {
+                let (op, tmp) = lower(e, ctx, code)?;
+                ctx.write_var(*v, op, code)?;
+                if let Some(t) = tmp {
+                    ctx.free_temp(t);
+                }
+            }
+            Stmt::Store { array, row, value } => {
+                let (op, tmp) = lower(value, ctx, code)?;
+                let ridx = ctx.row_idx(row, code)?;
+                code.push(Node::Op(Instr::StGlobal {
+                    src: op,
+                    addr: GAddr { array: ctx.array_global(*array), row: ridx, point: ctx.point() },
+                }));
+                if let Some(t) = tmp {
+                    ctx.free_temp(t);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Depth of an expression tree (used to order operand lowering: lowering
+/// the deepest operand first keeps the scratch-register footprint of long
+/// accumulation chains constant instead of linear).
+fn depth(e: &Expr) -> usize {
+    match e {
+        Expr::Un(_, a) => 1 + depth(a),
+        Expr::Bin(_, a, b) => 1 + depth(a).max(depth(b)),
+        Expr::Tri(_, a, b, c) => 1 + depth(a).max(depth(b)).max(depth(c)),
+        _ => 0,
+    }
+}
+
+/// Lower an expression; returns the result operand and the temp register to
+/// free (if the result lives in a scratch register owned by this call).
+fn lower(e: &Expr, ctx: &mut dyn EmitCtx, code: &mut Vec<Node>) -> CResult<(Op, Option<Reg>)> {
+    match e {
+        Expr::Lit(v) => Ok((Op::Imm(*v), None)),
+        Expr::Local(l) => Ok((ctx.read_local(*l, code)?, None)),
+        Expr::Var(v) => ctx.read_var(*v, code),
+        Expr::Const(slot) => ctx.const_op(*slot, code),
+        Expr::Input { array, row } => {
+            let ridx = ctx.row_idx(row, code)?;
+            let dst = ctx.alloc_temp()?;
+            code.push(Node::Op(Instr::LdGlobal {
+                dst,
+                addr: GAddr { array: ctx.array_global(*array), row: ridx, point: ctx.point() },
+                ldg: ctx.ldg(),
+            }));
+            Ok((Op::Reg(dst), Some(dst)))
+        }
+        Expr::Un(op, a) => {
+            let (av, at) = lower(a, ctx, code)?;
+            let dst = match at {
+                Some(t) => t, // reuse the operand's temp
+                None => ctx.alloc_temp()?,
+            };
+            let ins = match op {
+                UnOp::Neg => Instr::DNeg { dst, a: av },
+                UnOp::Sqrt => Instr::DSqrt { dst, a: av },
+                UnOp::Exp => Instr::DExp { dst, a: av },
+                UnOp::Log => Instr::DLog { dst, a: av },
+                UnOp::Log10 => Instr::DLog10 { dst, a: av },
+                UnOp::Cbrt => Instr::DCbrt { dst, a: av },
+            };
+            code.push(Node::Op(ins));
+            Ok((Op::Reg(dst), Some(dst)))
+        }
+        Expr::Bin(op, a, b) => {
+            // FMA fusion: Add(Mul(x, y), c) and Add(c, Mul(x, y)).
+            if *op == BinOp::Add {
+                if let Expr::Bin(BinOp::Mul, x, y) = &**a {
+                    return lower_fma(x, y, b, ctx, code);
+                }
+                if let Expr::Bin(BinOp::Mul, x, y) = &**b {
+                    return lower_fma(x, y, a, ctx, code);
+                }
+            }
+            // Deepest operand first (constant scratch usage on chains).
+            let (av, at, bv, bt);
+            if depth(a) >= depth(b) {
+                (av, at) = lower(a, ctx, code)?;
+                (bv, bt) = lower(b, ctx, code)?;
+            } else {
+                (bv, bt) = lower(b, ctx, code)?;
+                (av, at) = lower(a, ctx, code)?;
+            }
+            let dst = match at {
+                Some(t) => t,
+                None => match bt {
+                    Some(t) => t,
+                    None => ctx.alloc_temp()?,
+                },
+            };
+            let ins = match op {
+                BinOp::Add => Instr::DAdd { dst, a: av, b: bv },
+                BinOp::Sub => Instr::DSub { dst, a: av, b: bv },
+                BinOp::Mul => Instr::DMul { dst, a: av, b: bv },
+                BinOp::Div => Instr::DDiv { dst, a: av, b: bv },
+                BinOp::Max => Instr::DMax { dst, a: av, b: bv },
+                BinOp::Min => Instr::DMin { dst, a: av, b: bv },
+                BinOp::Pow => Instr::DPow { dst, a: av, b: bv },
+                BinOp::CmpGt => Instr::DCmp { dst, cmp: Cmp::Gt, a: av, b: bv },
+            };
+            code.push(Node::Op(ins));
+            // Free whichever operand temp we did not reuse as dst.
+            for t in [at, bt].into_iter().flatten() {
+                if t != dst {
+                    ctx.free_temp(t);
+                }
+            }
+            Ok((Op::Reg(dst), Some(dst)))
+        }
+        Expr::Tri(TriOp::Fma, a, b, c) => lower_fma(a, b, c, ctx, code),
+        Expr::Tri(TriOp::Sel, p, a, b) => {
+            let (pv, pt) = lower(p, ctx, code)?;
+            let pred = match pv {
+                Op::Reg(r) => r,
+                Op::Imm(_) => {
+                    return Err(CompileError::Internal("select predicate must be a register".into()))
+                }
+            };
+            let (av, at) = lower(a, ctx, code)?;
+            let (bv, bt) = lower(b, ctx, code)?;
+            let dst = pt.ok_or_else(|| CompileError::Internal("predicate temp expected".into()))?;
+            code.push(Node::Op(Instr::DSel { dst, pred, a: av, b: bv }));
+            for t in [at, bt].into_iter().flatten() {
+                if t != dst {
+                    ctx.free_temp(t);
+                }
+            }
+            Ok((Op::Reg(dst), Some(dst)))
+        }
+    }
+}
+
+/// Lower `a*b + c` as a fused multiply-add. Marks the instruction as having
+/// a constant-cache operand when `c` (or `b`) is a `Const` slot served from
+/// the constant cache (the Kepler throughput limit of §6.1).
+fn lower_fma(
+    a: &Expr,
+    b: &Expr,
+    c: &Expr,
+    ctx: &mut dyn EmitCtx,
+    code: &mut Vec<Node>,
+) -> CResult<(Op, Option<Reg>)> {
+    let const_c = ctx.consts_in_cache()
+        && (matches!(c, Expr::Const(_)) || matches!(b, Expr::Const(_)));
+    // Deepest operand first (constant scratch usage on FMA chains).
+    let mut ordered: [(usize, usize); 3] =
+        [(depth(a), 0), (depth(b), 1), (depth(c), 2)];
+    ordered.sort_by_key(|&(d, _)| std::cmp::Reverse(d));
+    let mut slots: [Option<(Op, Option<Reg>)>; 3] = [None, None, None];
+    for &(_, which) in &ordered {
+        let e = match which {
+            0 => a,
+            1 => b,
+            _ => c,
+        };
+        slots[which] = Some(lower(e, ctx, code)?);
+    }
+    let (av, at) = slots[0].take().unwrap();
+    let (bv, bt) = slots[1].take().unwrap();
+    let (cv, ct) = slots[2].take().unwrap();
+    let dst = at.or(bt).or(ct).map(Ok).unwrap_or_else(|| ctx.alloc_temp())?;
+    code.push(Node::Op(Instr::DFma { dst, a: av, b: bv, c: cv, const_c }));
+    for t in [at, bt, ct].into_iter().flatten() {
+        if t != dst {
+            ctx.free_temp(t);
+        }
+    }
+    Ok((Op::Reg(dst), Some(dst)))
+}
+
+/// Evaluate an expression on the host for testing / constant folding.
+/// `consts`, `locals`, `vars`, and `input` supply the leaf values.
+pub fn eval(
+    e: &Expr,
+    consts: &[f64],
+    locals: &[f64],
+    vars: &dyn Fn(VarId) -> f64,
+    input: &dyn Fn(u16, &RowRef) -> f64,
+) -> f64 {
+    match e {
+        Expr::Lit(v) => *v,
+        Expr::Local(l) => locals[*l as usize],
+        Expr::Const(c) => consts[*c as usize],
+        Expr::Var(v) => vars(*v),
+        Expr::Input { array, row } => input(*array, row),
+        Expr::Un(op, a) => {
+            let x = eval(a, consts, locals, vars, input);
+            match op {
+                UnOp::Neg => -x,
+                UnOp::Sqrt => x.sqrt(),
+                UnOp::Exp => x.exp(),
+                UnOp::Log => x.ln(),
+                UnOp::Log10 => x.log10(),
+                UnOp::Cbrt => x.cbrt(),
+            }
+        }
+        Expr::Bin(op, a, b) => {
+            let x = eval(a, consts, locals, vars, input);
+            let y = eval(b, consts, locals, vars, input);
+            match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => x / y,
+                BinOp::Max => x.max(y),
+                BinOp::Min => x.min(y),
+                BinOp::Pow => x.powf(y),
+                BinOp::CmpGt => {
+                    if x > y {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+            }
+        }
+        Expr::Tri(op, a, b, c) => {
+            let x = eval(a, consts, locals, vars, input);
+            let y = eval(b, consts, locals, vars, input);
+            let z = eval(c, consts, locals, vars, input);
+            match op {
+                TriOp::Fma => x.mul_add(y, z),
+                TriOp::Sel => {
+                    if x != 0.0 {
+                        y
+                    } else {
+                        z
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let e = Expr::Lit(2.0).mul(Expr::Lit(3.0)).add(Expr::Lit(1.0));
+        let v = eval(&e, &[], &[], &|_| 0.0, &|_, _| 0.0);
+        assert_eq!(v, 7.0);
+    }
+
+    #[test]
+    fn eval_covers_all_ops() {
+        let consts = [4.0];
+        let e = Expr::Const(0).sqrt().exp().log(); // ln(exp(2)) = 2
+        assert!((eval(&e, &consts, &[], &|_| 0.0, &|_, _| 0.0) - 2.0).abs() < 1e-12);
+        let e = Expr::Lit(8.0).cbrt();
+        assert!((eval(&e, &[], &[], &|_| 0.0, &|_, _| 0.0) - 2.0).abs() < 1e-12);
+        let e = Expr::Lit(2.0).pow(Expr::Lit(10.0));
+        assert_eq!(eval(&e, &[], &[], &|_| 0.0, &|_, _| 0.0), 1024.0);
+        let e = Expr::Lit(5.0).select_gt(Expr::Lit(3.0), Expr::Lit(1.0), Expr::Lit(-1.0));
+        assert_eq!(eval(&e, &[], &[], &|_| 0.0, &|_, _| 0.0), 1.0);
+        let e = Expr::Lit(100.0).log10();
+        assert!((eval(&e, &[], &[], &|_| 0.0, &|_, _| 0.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flop_counts_follow_instruction_costs() {
+        let fma = Expr::Lit(1.0).fma(Expr::Lit(2.0), Expr::Lit(3.0));
+        assert_eq!(fma.flops(), 2);
+        let exp = Expr::Lit(1.0).exp();
+        assert_eq!(exp.flops(), 24);
+        let chain = Expr::Lit(1.0).add(Expr::Lit(2.0)).mul(Expr::Lit(3.0));
+        assert_eq!(chain.flops(), 2);
+    }
+
+    #[test]
+    fn structural_equality_ignores_const_values_by_design() {
+        // Two ops built from the same code template produce equal bodies —
+        // the constants live in per-op tables, not the tree.
+        let body1 = Expr::Const(0).mul(Expr::Var(3)).add(Expr::Const(1));
+        let body2 = Expr::Const(0).mul(Expr::Var(3)).add(Expr::Const(1));
+        assert_eq!(body1, body2);
+        let different = Expr::Const(0).mul(Expr::Var(4)).add(Expr::Const(1));
+        assert_ne!(body1, different);
+    }
+
+    #[test]
+    fn vars_collected() {
+        let e = Expr::Var(1).add(Expr::Var(2).mul(Expr::Var(1)));
+        let mut vs = Vec::new();
+        e.vars(&mut vs);
+        vs.sort();
+        assert_eq!(vs, vec![1, 1, 2]);
+    }
+}

@@ -1,0 +1,382 @@
+//! Diffusion kernel frontend (paper §3.3, Figure 5).
+//!
+//! Per grid point and species `i`:
+//!
+//! ```text
+//! d_ij(T)  = exp(delta_ij0 + delta_ij1 T + delta_ij2 T^2 + delta_ij3 T^3)
+//! mass     = sum_j m_j x_j
+//! clamp_i  = max(eps, x_i)
+//! Delta_i  = (P_atm/P) (sum_j clamp_j m_j - clamp_i m_i) / (mass sum_j clamp_j d_ij)
+//! ```
+//!
+//! The `d` matrix is symmetric with a zero diagonal, so fewer than half the
+//! entries are computed. The Figure 5 assignment gives column `c` the rows
+//! `(c+1 .. c+cnt(c)) mod N` — `cnt = floor(N/2)` for odd `N`; for even `N`
+//! the first `N/2` columns take `N/2` rows and the rest `N/2 - 1` — and
+//! adjacent columns go to the same warp for locality.
+//!
+//! Each computed `d_rc` must contribute to both `Delta_r` and `Delta_c`
+//! (§3.3). Column partial sums stay in the owning warp's **registers**;
+//! row partial sums live in **shared memory** and are updated in `W`
+//! rotation rounds — in round `k`, warp `w` updates only the rows owned by
+//! warp `(w+k) mod W`, so no two warps touch a row concurrently and the
+//! rounds are separated by named-barrier synchronization. These extra
+//! barriers are precisely the overhead the paper measures in §6.2. The
+//! resulting storage is the *Mixed* shared-memory mode of §4.1.
+
+use crate::dfg::{Dfg, Operation};
+use crate::expr::{Expr, RowRef, Stmt, VarId};
+use chemkin::reference::tables::DiffusionTables;
+use chemkin::{MIN_MOLE_FRAC, P_ATM};
+use gpu_sim::isa::ArrayDecl;
+
+/// Array index: temperature (input, 1 row).
+pub const ARR_TEMP: u16 = 0;
+/// Array index: pressure (input, 1 row).
+pub const ARR_PRES: u16 = 1;
+/// Array index: molar fractions (input, N rows).
+pub const ARR_XFRAC: u16 = 2;
+/// Array index: per-species diffusion output (N rows).
+pub const ARR_OUT: u16 = 3;
+
+/// Number of `d` values column `c` computes (Figure 5).
+pub fn column_count(c: usize, n: usize) -> usize {
+    if n % 2 == 1 {
+        n / 2
+    } else if c < n / 2 {
+        n / 2
+    } else {
+        n / 2 - 1
+    }
+}
+
+/// The rows assigned to column `c` (Figure 5: offset consecutive rows).
+pub fn column_rows(c: usize, n: usize) -> Vec<usize> {
+    (1..=column_count(c, n)).map(|k| (c + k) % n).collect()
+}
+
+/// Contiguous column-to-warp ownership ("warps are assigned adjacent
+/// columns to maximize locality").
+pub fn owner_warp(c: usize, n: usize, warps: usize) -> usize {
+    (c * warps / n).min(warps - 1)
+}
+
+/// Build the diffusion dataflow graph for `warps` warps.
+pub fn diffusion_dfg(t: &DiffusionTables, warps: usize) -> Dfg {
+    let n = t.n;
+    let w = warps;
+    assert!(n >= 2, "diffusion needs at least two species");
+    let mut ops: Vec<Operation> = Vec::new();
+    let mut next_var: VarId = 0;
+    let mut alloc = |next_var: &mut VarId, k: usize| -> usize {
+        let v = *next_var;
+        *next_var += k as VarId;
+        v as usize
+    };
+
+    // Vars: x_j, clamp_j per species.
+    let v_x = alloc(&mut next_var, n);
+    let v_clamp = alloc(&mut next_var, n);
+
+    // Phase 0: per-species load + clamp, pinned to the column owner.
+    for j in 0..n {
+        ops.push(Operation {
+            name: format!("clamp[{j}]"),
+            body: vec![
+                Stmt::DefVar(
+                    (v_x + j) as VarId,
+                    Expr::Input { array: ARR_XFRAC, row: RowRef::Slot(0) },
+                ),
+                Stmt::DefVar(
+                    (v_clamp + j) as VarId,
+                    Expr::Lit(MIN_MOLE_FRAC).max(Expr::Var((v_x + j) as VarId)),
+                ),
+            ],
+            n_locals: 0,
+            consts: vec![],
+            irows: vec![j as u32],
+            pinned_warp: Some(owner_warp(j, n, w)),
+            phase: 0,
+        });
+    }
+
+    // Phase 1: mass / sum(clamp*m) / pressure scale, on warp 0.
+    let v_mass = alloc(&mut next_var, 1);
+    let v_summw = alloc(&mut next_var, 1);
+    let v_pscale = alloc(&mut next_var, 1);
+    {
+        let mut mass = Expr::Lit(0.0);
+        let mut summw = Expr::Lit(0.0);
+        for j in 0..n {
+            mass = Expr::Var((v_x + j) as VarId).fma(Expr::Const(j as u16), mass);
+            summw = Expr::Var((v_clamp + j) as VarId).fma(Expr::Const(j as u16), summw);
+        }
+        ops.push(Operation {
+            name: "prep".into(),
+            body: vec![
+                Stmt::DefVar(v_mass as VarId, mass),
+                Stmt::DefVar(v_summw as VarId, summw),
+                Stmt::DefVar(
+                    v_pscale as VarId,
+                    Expr::Lit(P_ATM).div(Expr::Input { array: ARR_PRES, row: RowRef::Fixed(0) }),
+                ),
+            ],
+            n_locals: 0,
+            consts: t.weights.clone(),
+            irows: vec![],
+            pinned_warp: Some(0),
+            phase: 1,
+        });
+    }
+
+    // Rotation rounds: acc/row chains (SSA versions).
+    let mut acc_ver: Vec<Vec<VarId>> = vec![Vec::new(); n]; // per column
+    let mut row_ver: Vec<Vec<VarId>> = vec![Vec::new(); n]; // per row
+    for k in 0..w {
+        for warp in 0..w {
+            let region_owner = (warp + k) % w;
+            // Pairs (r, c): column owned by `warp`, row owned by the
+            // rotation target.
+            let mut pairs: Vec<(usize, usize)> = Vec::new();
+            for c in 0..n {
+                if owner_warp(c, n, w) != warp {
+                    continue;
+                }
+                for r in column_rows(c, n) {
+                    if owner_warp(r, n, w) == region_owner {
+                        pairs.push((r, c));
+                    }
+                }
+            }
+            if pairs.is_empty() {
+                continue;
+            }
+            let mut body =
+                vec![Stmt::Local(0, Expr::Input { array: ARR_TEMP, row: RowRef::Fixed(0) })];
+            let mut consts = Vec::new();
+            let mut n_locals = 1u16;
+            // Compute each d once into a local; accumulate column partials
+            // (registers) and row partials (shared chain updates).
+            let mut col_acc_expr: Vec<(usize, Expr)> = Vec::new();
+            let mut row_add_expr: Vec<(usize, Expr)> = Vec::new();
+            for &(r, c) in &pairs {
+                let base = consts.len() as u16;
+                let coef = t.delta.pair(r, c);
+                consts.extend_from_slice(&coef);
+                let l = n_locals;
+                n_locals += 1;
+                // d = exp(Horner(T)).
+                let poly = Expr::Const(base + 3)
+                    .fma(Expr::Local(0), Expr::Const(base + 2))
+                    .fma(Expr::Local(0), Expr::Const(base + 1))
+                    .fma(Expr::Local(0), Expr::Const(base));
+                body.push(Stmt::Local(l, poly.exp()));
+                // Column partial: clamp_r * d; row partial: clamp_c * d.
+                let cterm = Expr::Var((v_clamp + r) as VarId).mul(Expr::Local(l));
+                let rterm = Expr::Var((v_clamp + c) as VarId).mul(Expr::Local(l));
+                match col_acc_expr.iter_mut().find(|(cc, _)| *cc == c) {
+                    Some((_, e)) => {
+                        let old = std::mem::replace(e, Expr::Lit(0.0));
+                        *e = old.add(cterm);
+                    }
+                    None => col_acc_expr.push((c, cterm)),
+                }
+                match row_add_expr.iter_mut().find(|(rr, _)| *rr == r) {
+                    Some((_, e)) => {
+                        let old = std::mem::replace(e, Expr::Lit(0.0));
+                        *e = old.add(rterm);
+                    }
+                    None => row_add_expr.push((r, rterm)),
+                }
+            }
+            for (c, e) in col_acc_expr {
+                let prev = acc_ver[c].last().copied();
+                let newv = next_var;
+                next_var += 1;
+                let full = match prev {
+                    Some(p) => e.add(Expr::Var(p)),
+                    None => e,
+                };
+                body.push(Stmt::DefVar(newv, full));
+                acc_ver[c].push(newv);
+            }
+            for (r, e) in row_add_expr {
+                let prev = row_ver[r].last().copied();
+                let newv = next_var;
+                next_var += 1;
+                let full = match prev {
+                    Some(p) => e.add(Expr::Var(p)),
+                    None => e,
+                };
+                body.push(Stmt::DefVar(newv, full));
+                row_ver[r].push(newv);
+            }
+            ops.push(Operation {
+                name: format!("round[{warp}][{k}]"),
+                body,
+                n_locals,
+                consts,
+                irows: vec![],
+                pinned_warp: Some(warp),
+                phase: 2 + k as u32,
+            });
+        }
+    }
+
+    // Final per-column output ops.
+    for c in 0..n {
+        let acc = acc_ver[c].last().copied();
+        let row = row_ver[c].last().copied();
+        let denom = match (acc, row) {
+            (Some(a), Some(r)) => Expr::Var(a).add(Expr::Var(r)),
+            (Some(a), None) => Expr::Var(a),
+            (None, Some(r)) => Expr::Var(r),
+            (None, None) => Expr::Lit(1.0), // unreachable for n >= 2
+        };
+        // Delta_c = pscale * (summw - clamp_c*m_c) / (mass * denom).
+        let numer = Expr::Var(v_summw as VarId)
+            .sub(Expr::Var((v_clamp + c) as VarId).mul(Expr::Const(0)));
+        let value = Expr::Var(v_pscale as VarId)
+            .mul(numer)
+            .div(Expr::Var(v_mass as VarId).mul(denom));
+        ops.push(Operation {
+            name: format!("delta[{c}]"),
+            body: vec![Stmt::Store { array: ARR_OUT, row: RowRef::Slot(0), value }],
+            n_locals: 0,
+            consts: vec![t.weights[c]],
+            irows: vec![c as u32],
+            pinned_warp: Some(owner_warp(c, n, w)),
+            phase: 2 + w as u32 + 1,
+        });
+    }
+
+    Dfg {
+        name: "diffusion".into(),
+        ops,
+        n_vars: next_var,
+        arrays: vec![
+            ArrayDecl { name: "temperature".into(), rows: 1, output: false },
+            ArrayDecl { name: "pressure".into(), rows: 1, output: false },
+            ArrayDecl { name: "mole_frac".into(), rows: n, output: false },
+            ArrayDecl { name: "diffusion_out".into(), rows: n, output: true },
+        ],
+        force_shared: vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::compile_baseline;
+    use crate::codegen::compile_dfg;
+    use crate::config::{CompileOptions, Placement};
+    use crate::kernels::launch_arrays;
+    use chemkin::reference::reference_diffusion;
+    use chemkin::state::{GridDims, GridState};
+    use chemkin::synth;
+    use gpu_sim::arch::GpuArch;
+    use gpu_sim::launch::{launch, LaunchInputs, LaunchMode};
+
+    fn tables(n: usize) -> DiffusionTables {
+        let m = synth::via_text(&synth::SynthConfig {
+            name: "dtest".into(),
+            n_species: n,
+            n_reactions: 8,
+            n_qssa: 0,
+            n_stiff: 0,
+            seed: 9,
+        });
+        DiffusionTables::build(&m)
+    }
+
+    #[test]
+    fn figure5_shapes() {
+        // Figure 5 left: N=4 — columns compute 2,2,1,1 values.
+        assert_eq!(column_count(0, 4), 2);
+        assert_eq!(column_count(1, 4), 2);
+        assert_eq!(column_count(2, 4), 1);
+        assert_eq!(column_count(3, 4), 1);
+        // Figure 5 right: N=5 — every column computes 2 values.
+        for c in 0..5 {
+            assert_eq!(column_count(c, 5), 2);
+        }
+        assert_eq!(column_rows(3, 5), vec![4, 0]);
+    }
+
+    #[test]
+    fn every_pair_computed_exactly_once() {
+        for n in [2usize, 3, 4, 5, 8, 13, 30, 52] {
+            let mut seen = vec![false; n * n];
+            for c in 0..n {
+                for r in column_rows(c, n) {
+                    assert_ne!(r, c, "diagonal must not appear");
+                    let (a, b) = (r.min(c), r.max(c));
+                    assert!(!seen[a * n + b], "pair ({a},{b}) duplicated at n={n}");
+                    seen[a * n + b] = true;
+                }
+            }
+            let covered = seen.iter().filter(|&&s| s).count();
+            assert_eq!(covered, n * (n - 1) / 2, "n={n}");
+        }
+    }
+
+    fn check(kernel: &gpu_sim::isa::Kernel, t: &DiffusionTables, arch: &GpuArch) {
+        let points = kernel.points_per_cta * 2;
+        let g = GridState::random(GridDims { nx: points, ny: 1, nz: 1 }, t.n, 21);
+        let expect = reference_diffusion(t, &g);
+        let arrays = launch_arrays(&kernel.global_arrays, &g);
+        let out = launch(kernel, arch, &LaunchInputs { arrays }, points, LaunchMode::Full).unwrap();
+        for s in 0..t.n {
+            for p in 0..points {
+                let got = out.outputs[ARR_OUT as usize][s * points + p];
+                let want = expect[s * points + p];
+                assert!(
+                    ((got - want) / want).abs() < 1e-10,
+                    "species {s} point {p}: got {got}, want {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_matches_reference() {
+        let t = tables(6);
+        let d = diffusion_dfg(&t, 2);
+        let c =
+            compile_baseline(&d, &CompileOptions::with_warps(2), &GpuArch::kepler_k20c()).unwrap();
+        check(&c.kernel, &t, &GpuArch::kepler_k20c());
+    }
+
+    #[test]
+    fn warp_specialized_matches_reference_kepler() {
+        let t = tables(6);
+        let d = diffusion_dfg(&t, 3);
+        let mut opts = CompileOptions::with_warps(3);
+        opts.placement = Placement::Mixed(64);
+        opts.point_iters = 2;
+        let c = compile_dfg(&d, &opts, &GpuArch::kepler_k20c()).unwrap();
+        check(&c.kernel, &t, &GpuArch::kepler_k20c());
+    }
+
+    #[test]
+    fn warp_specialized_matches_reference_fermi() {
+        let t = tables(7);
+        let d = diffusion_dfg(&t, 2);
+        let mut opts = CompileOptions::with_warps(2);
+        opts.placement = Placement::Mixed(64);
+        let c = compile_dfg(&d, &opts, &GpuArch::fermi_c2070()).unwrap();
+        check(&c.kernel, &t, &GpuArch::fermi_c2070());
+    }
+
+    #[test]
+    fn rounds_generate_extra_barriers() {
+        // Diffusion's rotation rounds must produce more sync points than
+        // viscosity-style store-once communication (§6.2).
+        let t = tables(8);
+        let d = diffusion_dfg(&t, 4);
+        let mut opts = CompileOptions::with_warps(4);
+        opts.placement = Placement::Mixed(96);
+        let c = compile_dfg(&d, &opts, &GpuArch::kepler_k20c()).unwrap();
+        assert!(c.stats.sync_points >= 4, "{:?}", c.stats);
+    }
+}

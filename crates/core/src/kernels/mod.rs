@@ -1,0 +1,69 @@
+//! Kernel frontends: dataflow-graph construction for the three combustion
+//! kernels the paper studies (§3), plus shared array conventions.
+//!
+//! Each frontend builds the §4 stage-1 output — a dataflow graph of
+//! operations with per-instance constant tables — applying the paper's
+//! domain-specific partitioning:
+//!
+//! * [`viscosity`] — per-species partitioning with a shared-memory working
+//!   set and a warp-0 reduction (§3.2);
+//! * [`diffusion`] — the Figure 5 symmetric-matrix column scheme with
+//!   register column-partials, shared row-partials updated in
+//!   barrier-synchronized rotation rounds, and a hybrid Mixed placement
+//!   (§3.3);
+//! * [`chemistry`] — the four-phase reaction/QSSA/stiffness/output pipeline
+//!   with QSSA warps consuming rates through a recycled shared buffer
+//!   (§3.4, Figures 6–7).
+
+pub mod chemistry;
+pub mod diffusion;
+pub mod viscosity;
+
+use chemkin::state::GridState;
+
+/// Build the flat SoA input slices a kernel launch expects, given a grid
+/// state and the kernel's array declarations. Outputs get empty slices.
+///
+/// The convention: array names declared by the frontends are looked up to
+/// select the matching `GridState` field.
+pub fn launch_arrays<'a>(
+    kernel_arrays: &[gpu_sim::isa::ArrayDecl],
+    grid: &'a GridState,
+) -> Vec<&'a [f64]> {
+    kernel_arrays
+        .iter()
+        .map(|decl| -> &'a [f64] {
+            if decl.output {
+                return &[];
+            }
+            match decl.name.as_str() {
+                "temperature" => &grid.temperature,
+                "pressure" => &grid.pressure,
+                "mole_frac" => &grid.mole_frac,
+                "diffusion" => &grid.diffusion,
+                other => panic!("unknown input array '{other}'"),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chemkin::state::GridDims;
+    use gpu_sim::isa::ArrayDecl;
+
+    #[test]
+    fn arrays_resolve_by_name() {
+        let g = GridState::random(GridDims::cube(2), 3, 1);
+        let decls = vec![
+            ArrayDecl { name: "temperature".into(), rows: 1, output: false },
+            ArrayDecl { name: "mole_frac".into(), rows: 3, output: false },
+            ArrayDecl { name: "out".into(), rows: 1, output: true },
+        ];
+        let arrays = launch_arrays(&decls, &g);
+        assert_eq!(arrays[0].len(), 8);
+        assert_eq!(arrays[1].len(), 24);
+        assert!(arrays[2].is_empty());
+    }
+}

@@ -1,0 +1,259 @@
+//! Viscosity kernel frontend (paper §3.2).
+//!
+//! The computation per grid point:
+//!
+//! ```text
+//! lvis_i = eta_i0 + eta_i1 T + eta_i2 T^2 + eta_i3 T^3       (log viscosity)
+//! nu = sqrt(8) * sum_k [ x_k exp(lvis_k) / inner_k ]
+//! inner_k = x_k * PHI_SELF
+//!         + sum_{j != k} x_j * (1 + exp(0.5 (lvis_k - lvis_j) + lnA_kj))^2 * B_kj
+//! ```
+//!
+//! The pair term is evaluated **in logarithmic space** — the paper's
+//! optimization replacing a sqrt and a divide by one exponential — which
+//! yields exactly the per-pair cost the paper reports: two double constants
+//! loaded (`lnA_kj`, `B_kj`), 2 adds, 2 multiplies, and an FMA/exp chain.
+//!
+//! Dataflow structure (three phases):
+//!
+//! 1. one *species op* per species: loads `x_i`, computes `lvis_i`; both go
+//!    to shared memory (the §3.2 "molar fractions and per-species
+//!    viscosities are moved into shared memory");
+//! 2. one *term op* per species `k`: the full inner interaction sum — all
+//!    term ops share one skeleton, so the §5 overlaying emits a single code
+//!    instance with per-warp constant arrays;
+//! 3. one *reduction op* pinned to warp 0 sums the terms and writes the
+//!    output (§3.2: "the threads in warp 0 perform the write").
+
+use crate::dfg::{Dfg, Operation};
+use crate::expr::{Expr, RowRef, Stmt, VarId};
+use chemkin::reference::tables::{ViscosityTables, PHI_SELF};
+use gpu_sim::isa::ArrayDecl;
+
+/// Array index: temperature (input, 1 row).
+pub const ARR_TEMP: u16 = 0;
+/// Array index: molar fractions (input, N rows).
+pub const ARR_XFRAC: u16 = 1;
+/// Array index: viscosity output (1 row).
+pub const ARR_OUT: u16 = 2;
+
+/// Var id helpers.
+fn v_x(i: usize) -> VarId {
+    i as VarId
+}
+fn v_lvis(n: usize, i: usize) -> VarId {
+    (n + i) as VarId
+}
+fn v_term(n: usize, k: usize) -> VarId {
+    (2 * n + k) as VarId
+}
+
+/// Build the viscosity dataflow graph from the kernel tables for `warps`
+/// warps. Species computations are partitioned round-robin across warps —
+/// the §3.2 partitioning ("the outer sum over the set of chemical species
+/// is broken into individual computations each of which is mapped to a
+/// different warp"); keeping the assignment symmetric also maximizes the
+/// §5.1 overlay (isomorphic per-warp streams resolve to identical code).
+pub fn viscosity_dfg(t: &ViscosityTables, warps: usize) -> Dfg {
+    let n = t.n;
+    let mut ops = Vec::with_capacity(2 * n + 1);
+
+    // Phase 0: species ops (x_i load + log-viscosity polynomial).
+    for i in 0..n {
+        let temp = Expr::Input { array: ARR_TEMP, row: RowRef::Fixed(0) };
+        // Horner in FMA form: ((e3*T + e2)*T + e1)*T + e0.
+        let poly = Expr::Const(3)
+            .fma(Expr::Local(0), Expr::Const(2))
+            .fma(Expr::Local(0), Expr::Const(1))
+            .fma(Expr::Local(0), Expr::Const(0));
+        ops.push(Operation {
+            name: format!("vis[{i}]"),
+            body: vec![
+                Stmt::Local(0, temp),
+                Stmt::DefVar(v_x(i), Expr::Input { array: ARR_XFRAC, row: RowRef::Slot(0) }),
+                Stmt::DefVar(v_lvis(n, i), poly),
+            ],
+            n_locals: 1,
+            consts: t.eta[i].to_vec(),
+            irows: vec![i as u32],
+            pinned_warp: Some(i % warps),
+            phase: 0,
+        });
+    }
+
+    // Phase 1: term ops — the pairwise interaction sum for species k.
+    for k in 0..n {
+        let mut consts = Vec::with_capacity(2 * (n - 1));
+        // inner = x_k * PHI_SELF + sum_j terms.
+        let mut inner = Expr::Var(v_x(k)).mul(Expr::Lit(PHI_SELF));
+        let mut cidx = 0u16;
+        for j in 0..n {
+            if j == k {
+                continue;
+            }
+            // lnA_kj = ln((m_j/m_k)^(1/4)); B_kj from the tables.
+            consts.push(t.pair_a[k * n + j].ln());
+            consts.push(t.pair_b[k * n + j]);
+            // e = exp((lvis_k - lvis_j) * 0.5 + lnA).
+            let e = Expr::Local(0)
+                .sub(Expr::Var(v_lvis(n, j)))
+                .fma(Expr::Lit(0.5), Expr::Const(cidx))
+                .exp();
+            // s = 1 + e; contribution = x_j * s^2 * B.
+            let s = Expr::Lit(1.0).add(e);
+            let contrib = s.clone().mul(s).mul(Expr::Const(cidx + 1)).mul(Expr::Var(v_x(j)));
+            inner = inner.add(contrib);
+            cidx += 2;
+        }
+        // term_k = x_k * exp(lvis_k) / inner.
+        let numer = Expr::Var(v_x(k)).mul(Expr::Local(0).exp());
+        ops.push(Operation {
+            name: format!("term[{k}]"),
+            body: vec![
+                Stmt::Local(0, Expr::Var(v_lvis(n, k))),
+                Stmt::Local(1, inner),
+                Stmt::DefVar(v_term(n, k), numer.div(Expr::Local(1))),
+            ],
+            n_locals: 2,
+            consts,
+            irows: vec![],
+            pinned_warp: Some(k % warps),
+            phase: 1,
+        });
+    }
+
+    // Phase 2: reduction + output on warp 0.
+    let mut sum = Expr::Var(v_term(n, 0));
+    for k in 1..n {
+        sum = sum.add(Expr::Var(v_term(n, k)));
+    }
+    ops.push(Operation {
+        name: "reduce".into(),
+        body: vec![Stmt::Store {
+            array: ARR_OUT,
+            row: RowRef::Fixed(0),
+            value: sum.mul(Expr::Lit(8.0f64.sqrt())),
+        }],
+        n_locals: 0,
+        consts: vec![],
+        irows: vec![],
+        pinned_warp: Some(0),
+        phase: 2,
+    });
+
+    Dfg {
+        name: "viscosity".into(),
+        ops,
+        n_vars: (3 * n) as u32,
+        arrays: vec![
+            ArrayDecl { name: "temperature".into(), rows: 1, output: false },
+            ArrayDecl { name: "mole_frac".into(), rows: n, output: false },
+            ArrayDecl { name: "viscosity".into(), rows: 1, output: true },
+        ],
+        // All warps reduce their term values through shared memory (§3.2).
+        force_shared: (0..n).map(|k| v_term(n, k)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::compile_baseline;
+    use crate::codegen::compile_dfg;
+    use crate::config::CompileOptions;
+    use crate::kernels::launch_arrays;
+    use chemkin::reference::reference_viscosity;
+    use chemkin::state::{GridDims, GridState};
+    use chemkin::synth;
+    use gpu_sim::arch::GpuArch;
+    use gpu_sim::launch::{launch, LaunchInputs, LaunchMode};
+
+    fn small_tables() -> ViscosityTables {
+        // A 6-species mechanism keeps tests fast.
+        let m = synth::via_text(&synth::SynthConfig {
+            name: "vtest".into(),
+            n_species: 6,
+            n_reactions: 8,
+            n_qssa: 0,
+            n_stiff: 0,
+            seed: 42,
+        });
+        ViscosityTables::build(&m)
+    }
+
+    fn check_against_reference(kernel: &gpu_sim::isa::Kernel, t: &ViscosityTables, arch: &GpuArch) {
+        let points = kernel.points_per_cta * 3;
+        let g = GridState::random(GridDims { nx: points, ny: 1, nz: 1 }, t.n, 7);
+        let expect = reference_viscosity(t, &g);
+        let arrays = launch_arrays(&kernel.global_arrays, &g);
+        let out = launch(kernel, arch, &LaunchInputs { arrays }, points, LaunchMode::Full).unwrap();
+        for p in 0..points {
+            let got = out.outputs[ARR_OUT as usize][p];
+            let want = expect[p];
+            assert!(
+                ((got - want) / want).abs() < 1e-10,
+                "point {p}: got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn dfg_validates() {
+        let t = small_tables();
+        let d = viscosity_dfg(&t, 3);
+        d.validate().unwrap();
+        assert_eq!(d.ops.len(), 2 * t.n + 1);
+    }
+
+    #[test]
+    fn baseline_matches_reference() {
+        let t = small_tables();
+        let d = viscosity_dfg(&t, 3);
+        let c = compile_baseline(&d, &CompileOptions::with_warps(2), &GpuArch::kepler_k20c()).unwrap();
+        check_against_reference(&c.kernel, &t, &GpuArch::kepler_k20c());
+    }
+
+    #[test]
+    fn warp_specialized_matches_reference_kepler() {
+        let t = small_tables();
+        let d = viscosity_dfg(&t, 3);
+        let mut opts = CompileOptions::with_warps(3);
+        opts.point_iters = 2;
+        let c = compile_dfg(&d, &opts, &GpuArch::kepler_k20c()).unwrap();
+        check_against_reference(&c.kernel, &t, &GpuArch::kepler_k20c());
+    }
+
+    #[test]
+    fn warp_specialized_matches_reference_fermi() {
+        let t = small_tables();
+        let d = viscosity_dfg(&t, 2);
+        let opts = CompileOptions::with_warps(2);
+        let c = compile_dfg(&d, &opts, &GpuArch::fermi_c2070()).unwrap();
+        check_against_reference(&c.kernel, &t, &GpuArch::fermi_c2070());
+    }
+
+    #[test]
+    fn term_ops_overlay() {
+        // The term ops all share a skeleton, so overlaying should produce
+        // grouped emissions rather than per-warp code.
+        let t = small_tables();
+        let d = viscosity_dfg(&t, 3);
+        let opts = CompileOptions::with_warps(3);
+        let c = compile_dfg(&d, &opts, &GpuArch::kepler_k20c()).unwrap();
+        assert!(
+            c.stats.overlay_groups >= 2,
+            "expected overlaid groups, got {:?}",
+            c.stats
+        );
+    }
+
+    #[test]
+    fn constant_footprint_matches_paper_formula() {
+        // Term ops carry 2(N-1) constants each: the paper's two doubles per
+        // ordered pair (§3.2).
+        let t = small_tables();
+        let d = viscosity_dfg(&t, 3);
+        let term_consts: usize = d.ops[t.n].consts.len();
+        assert_eq!(term_consts, 2 * (t.n - 1));
+    }
+}

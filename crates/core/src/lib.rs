@@ -1,0 +1,69 @@
+//! `singe` — a warp-specializing DSL compiler for combustion chemistry,
+//! reproducing *Bauer, Treichler, Aiken: "Singe: Leveraging Warp
+//! Specialization for High Performance on GPUs"* (PPoPP 2014) in Rust.
+//!
+//! The compiler consumes a parsed chemical mechanism (`chemkin` crate) and
+//! emits kernels for the `gpu-sim` substrate in two flavors:
+//!
+//! * **baseline** — heavily optimized but purely data-parallel kernels
+//!   (one thread per grid point, log-space math, constant-cache constants,
+//!   register allocation with spilling), the paper's §6 comparison point;
+//! * **warp-specialized** — computations partitioned into sub-computations
+//!   assigned to different warps (§3), mapped and scheduled with the §4
+//!   algorithms (greedy cost-based mapping, deadlock-free named-barrier
+//!   placement per Theorem 1, barrier allocation onto the 16 hardware
+//!   barriers), and emitted with the §5 techniques (code overlaying,
+//!   per-warp constant arrays with padding, constant deduplication by
+//!   striping across lanes with architecture-specific broadcasts, and
+//!   warp indexing).
+//!
+//! Compilation stages (paper Figure 8):
+//!
+//! ```text
+//! mechanism --frontends--> dataflow graph (ops + edges)      [kernels/*]
+//!          --mapping-->    ops assigned to warps + placement  [mapping]
+//!          --sync-->       schedules + synchronization points [sync]
+//!          --barriers-->   named-barrier allocation           [barrier_alloc]
+//!          --codegen-->    overlaid gpu-sim IR (+ CUDA text)  [codegen, cuda]
+//! ```
+
+pub mod autotune;
+pub mod baseline;
+pub mod barrier_alloc;
+pub mod codegen;
+pub mod config;
+pub mod cuda;
+pub mod dfg;
+pub mod expr;
+pub mod kernels;
+pub mod mapping;
+pub mod naive;
+pub mod sync;
+
+pub use config::{CompileOptions, Placement};
+pub use dfg::{Dfg, OpId, Operation};
+pub use expr::VarId;
+pub use expr::{BinOp, Expr, RowRef, ScalarProgram, Stmt, TriOp, UnOp};
+
+/// Compiler errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// The kernel cannot fit (registers/shared/barriers) with the options.
+    ResourceExhausted(String),
+    /// Internal invariant violation.
+    Internal(String),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::ResourceExhausted(m) => write!(f, "resource exhausted: {m}"),
+            CompileError::Internal(m) => write!(f, "internal compiler error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Result alias.
+pub type CResult<T> = Result<T, CompileError>;

@@ -1,0 +1,254 @@
+//! GPU architecture descriptors for the two machines of the paper's
+//! evaluation (§6): a Tesla C2070 (Fermi) and a Tesla K20c (Kepler).
+//!
+//! All headline numbers come straight from the paper or from the public
+//! specifications of those parts; derived quantities (peak GFLOPS) are
+//! cross-checked against the paper's §6.1 arithmetic in tests.
+
+use serde::Serialize;
+
+/// Which broadcast mechanism constant deduplication uses (paper §5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum BroadcastKind {
+    /// Fermi: write through a shared-memory mirror location (Listing 2).
+    SharedMirror,
+    /// Kepler: pairs of 32-bit shuffle instructions (Listing 3).
+    Shuffle,
+}
+
+/// A simulated GPU architecture.
+#[derive(Debug, Clone, Serialize)]
+pub struct GpuArch {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Streaming multiprocessor count.
+    pub sms: usize,
+    /// SM clock in MHz.
+    pub sm_clock_mhz: f64,
+    /// DRAM clock in MHz (reported for completeness).
+    pub dram_clock_mhz: f64,
+    /// Double-precision fused-multiply-add issue width per SM, in lanes per
+    /// cycle (Fermi: 16 — one warp instruction every other cycle; Kepler:
+    /// 64 — one per quad every other cycle, paper §6.1).
+    pub dp_lanes_per_cycle: usize,
+    /// Fraction of theoretical DP issue achievable by optimized kernels
+    /// (paper §6.1: optimized Fermi kernels such as DGEMM reach ~300 of
+    /// 513 GFLOPS).
+    pub dp_efficiency: f64,
+    /// Extra throughput limit for DFMA instructions whose third operand is
+    /// read from the constant cache, as a fraction of `dp` throughput
+    /// (paper §6.1 measured ~617/750 on Kepler for the exp Taylor series).
+    pub dp_const_operand_factor: f64,
+    /// Maximum 32-bit registers per thread (Fermi 63, Kepler 255).
+    pub max_regs_per_thread: usize,
+    /// 32-bit registers per SM (128 KB Fermi, 256 KB Kepler).
+    pub regs_per_sm: usize,
+    /// Shared memory per SM in bytes (48 KB configurations).
+    pub shared_per_sm: usize,
+    /// Constant cache working set in bytes (8 KB on both, paper §3.2).
+    pub const_cache_bytes: usize,
+    /// Effective instruction-cache capacity in bytes (per SM). Models the
+    /// L1i + L1.5i hierarchy of Fermi/Kepler-era parts: the 8 KB L1i is
+    /// backed by a larger mid-level instruction cache whose misses are the
+    /// expensive ones; thrash begins when concurrent warp code paths
+    /// exceed this combined capacity (§5, Figure 9).
+    pub icache_bytes: usize,
+    /// Instruction cache line size in bytes.
+    pub icache_line_bytes: usize,
+    /// Instruction cache associativity.
+    pub icache_assoc: usize,
+    /// Encoded instruction size in bytes (8 on Fermi, 8 on Kepler).
+    pub instr_bytes: usize,
+    /// Max resident warps per SM (48 Fermi, 64 Kepler).
+    pub max_warps_per_sm: usize,
+    /// Max resident CTAs per SM (8 Fermi, 16 Kepler).
+    pub max_ctas_per_sm: usize,
+    /// Named barriers per SM — a conserved resource (16, paper §4.2).
+    pub named_barriers_per_sm: usize,
+    /// DRAM bandwidth in GB/s with ECC disabled (§6: ECC was disabled).
+    pub dram_bw_gbs: f64,
+    /// Local-memory (spill) path bandwidth in GB/s — limited by the L1/LSU
+    /// pipe, not DRAM (paper §6.3 footnote: ~100 GB/s on K20c, 85 on C2070).
+    pub local_bw_gbs: f64,
+    /// Shared-memory access latency in cycles (paper §6.3: 30 cycles).
+    pub shared_latency: f64,
+    /// Shared-memory warp-accesses per cycle per SM.
+    pub shared_throughput: f64,
+    /// Global-memory latency in cycles.
+    pub global_latency: f64,
+    /// Constant-cache miss latency in cycles.
+    pub const_miss_latency: f64,
+    /// Constant-cache *hit* latency in cycles — constant loads feed
+    /// dependent arithmetic, so even hits stall at low occupancy (§6.1:
+    /// "the latency of loading constants was still exposed").
+    pub const_hit_latency: f64,
+    /// Instruction-cache miss penalty in cycles.
+    pub icache_miss_penalty: f64,
+    /// Named-barrier synchronization overhead in cycles per `bar.sync`
+    /// (covers straggler wait; §6.2 measures its aggregate effect).
+    pub barrier_sync_cycles: f64,
+    /// Which constant-broadcast lowering this architecture wants (§5.2).
+    pub broadcast: BroadcastKind,
+    /// Whether warp shuffle instructions exist (Kepler yes, Fermi no).
+    pub has_shfl: bool,
+    /// Whether LDG texture-path loads exist (Kepler yes).
+    pub has_ldg: bool,
+    /// Fixed kernel launch overhead in microseconds.
+    pub launch_overhead_us: f64,
+}
+
+impl GpuArch {
+    /// The paper's Fermi machine: Tesla C2070, 14 SMs @ 1147 MHz,
+    /// 1494 MHz DRAM (§6).
+    pub fn fermi_c2070() -> GpuArch {
+        GpuArch {
+            name: "Tesla C2070 (Fermi)",
+            sms: 14,
+            sm_clock_mhz: 1147.0,
+            dram_clock_mhz: 1494.0,
+            dp_lanes_per_cycle: 16,
+            dp_efficiency: 0.62, // ~300 of 513 GFLOPS practical (§6.1)
+            dp_const_operand_factor: 0.95,
+            max_regs_per_thread: 63,
+            regs_per_sm: 32 * 1024,
+            shared_per_sm: 48 * 1024,
+            const_cache_bytes: 8 * 1024,
+            icache_bytes: 48 * 1024,
+            icache_line_bytes: 64,
+            icache_assoc: 4,
+            instr_bytes: 8,
+            max_warps_per_sm: 48,
+            max_ctas_per_sm: 8,
+            named_barriers_per_sm: 16,
+            dram_bw_gbs: 144.0,
+            local_bw_gbs: 85.0,
+            shared_latency: 30.0,
+            shared_throughput: 1.0,
+            global_latency: 500.0,
+            const_miss_latency: 250.0,
+            const_hit_latency: 40.0,
+            icache_miss_penalty: 30.0,
+            barrier_sync_cycles: 22.0,
+            broadcast: BroadcastKind::SharedMirror,
+            has_shfl: false,
+            has_ldg: false,
+            launch_overhead_us: 8.0,
+        }
+    }
+
+    /// The paper's Kepler machine: Tesla K20c, 13 SMs @ 705 MHz,
+    /// 2600 MHz DRAM (§6).
+    pub fn kepler_k20c() -> GpuArch {
+        GpuArch {
+            name: "Tesla K20c (Kepler)",
+            sms: 13,
+            sm_clock_mhz: 705.0,
+            dram_clock_mhz: 2600.0,
+            dp_lanes_per_cycle: 64,
+            dp_efficiency: 0.64, // ~750 of 1173 GFLOPS practical (§6.1)
+            dp_const_operand_factor: 0.82, // 617.7 vs ~750 GFLOPS (§6.1)
+            max_regs_per_thread: 255,
+            regs_per_sm: 64 * 1024,
+            shared_per_sm: 48 * 1024,
+            const_cache_bytes: 8 * 1024,
+            icache_bytes: 48 * 1024,
+            icache_line_bytes: 64,
+            icache_assoc: 4,
+            instr_bytes: 8,
+            max_warps_per_sm: 64,
+            max_ctas_per_sm: 16,
+            named_barriers_per_sm: 16,
+            dram_bw_gbs: 208.0,
+            local_bw_gbs: 100.0,
+            shared_latency: 30.0,
+            shared_throughput: 1.0,
+            global_latency: 450.0,
+            const_miss_latency: 200.0,
+            const_hit_latency: 40.0,
+            icache_miss_penalty: 30.0,
+            barrier_sync_cycles: 25.0,
+            broadcast: BroadcastKind::Shuffle,
+            has_shfl: true,
+            has_ldg: true,
+            launch_overhead_us: 6.0,
+        }
+    }
+
+    /// Theoretical peak double-precision GFLOPS:
+    /// `SMs * clock * dp_lanes * 2 (FMA) / 1e3`.
+    pub fn peak_dp_gflops(&self) -> f64 {
+        self.sms as f64 * self.sm_clock_mhz * self.dp_lanes_per_cycle as f64 * 2.0 / 1.0e3
+    }
+
+    /// Practical peak after issue efficiency.
+    pub fn practical_dp_gflops(&self) -> f64 {
+        self.peak_dp_gflops() * self.dp_efficiency
+    }
+
+    /// SM clock in Hz.
+    pub fn sm_clock_hz(&self) -> f64 {
+        self.sm_clock_mhz * 1.0e6
+    }
+
+    /// DRAM bytes per SM-cycle available to one SM's share of bandwidth.
+    pub fn dram_bytes_per_sm_cycle(&self) -> f64 {
+        self.dram_bw_gbs * 1.0e9 / (self.sms as f64 * self.sm_clock_hz())
+    }
+
+    /// Local-path bytes per SM-cycle.
+    pub fn local_bytes_per_sm_cycle(&self) -> f64 {
+        self.local_bw_gbs * 1.0e9 / (self.sms as f64 * self.sm_clock_hz())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fermi_peak_matches_paper() {
+        // Paper §6.1: "theoretical math throughput of 513 GFLOPS" for C2070.
+        let a = GpuArch::fermi_c2070();
+        assert!((a.peak_dp_gflops() - 513.0).abs() < 2.0, "{}", a.peak_dp_gflops());
+    }
+
+    #[test]
+    fn kepler_peak_matches_paper() {
+        // Paper §6.1: "theoretical throughput of 1173 GFLOPS on a K20c".
+        let a = GpuArch::kepler_k20c();
+        assert!((a.peak_dp_gflops() - 1173.0).abs() < 5.0, "{}", a.peak_dp_gflops());
+    }
+
+    #[test]
+    fn practical_peaks_match_section6() {
+        // ~300 GFLOPS practical on Fermi, ~750 on Kepler.
+        let f = GpuArch::fermi_c2070().practical_dp_gflops();
+        let k = GpuArch::kepler_k20c().practical_dp_gflops();
+        assert!((290.0..330.0).contains(&f), "{f}");
+        assert!((700.0..790.0).contains(&k), "{k}");
+    }
+
+    #[test]
+    fn kepler_has_shuffle_fermi_does_not() {
+        assert!(GpuArch::kepler_k20c().has_shfl);
+        assert!(!GpuArch::fermi_c2070().has_shfl);
+        assert_eq!(GpuArch::fermi_c2070().broadcast, BroadcastKind::SharedMirror);
+        assert_eq!(GpuArch::kepler_k20c().broadcast, BroadcastKind::Shuffle);
+    }
+
+    #[test]
+    fn register_ceilings_match_paper() {
+        // Paper §3.2: "Fermi GPUs only support 64 registers per thread,
+        // while Kepler GPUs support 256" (architectural 63/255 usable).
+        assert_eq!(GpuArch::fermi_c2070().max_regs_per_thread, 63);
+        assert_eq!(GpuArch::kepler_k20c().max_regs_per_thread, 255);
+    }
+
+    #[test]
+    fn both_have_16_named_barriers_and_8kb_ccache() {
+        for a in [GpuArch::fermi_c2070(), GpuArch::kepler_k20c()] {
+            assert_eq!(a.named_barriers_per_sm, 16);
+            assert_eq!(a.const_cache_bytes, 8192);
+        }
+    }
+}

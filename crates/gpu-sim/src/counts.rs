@@ -1,0 +1,113 @@
+//! Event counts gathered during functional interpretation of one CTA.
+//!
+//! These are the inputs to the analytic timing model: the interpreter
+//! observes *what* the kernel does (issue slots, memory transactions, bank
+//! conflicts, cache behavior, barrier waits) and `timing` turns that into
+//! cycles using the architecture parameters.
+
+use serde::Serialize;
+
+/// Aggregate event counts for one CTA execution.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct EventCounts {
+    /// Total issue slots (warp-instructions, with multi-slot expansions).
+    pub issue_slots: u64,
+    /// Issue slots on the double-precision pipe.
+    pub dp_slots: u64,
+    /// DP slots whose operand reads the constant cache (§6.1 limit).
+    pub dp_const_slots: u64,
+    /// Double-precision FLOPs performed (lanes * per-lane flops).
+    pub flops: u64,
+    /// Shared-memory warp accesses, *including* bank-conflict replays.
+    pub shared_accesses: u64,
+    /// Bank-conflict replays alone (diagnostics).
+    pub shared_conflicts: u64,
+    /// 128-byte global-memory transactions (coalescing applied).
+    pub global_transactions: u64,
+    /// Bytes moved to/from DRAM by global accesses.
+    pub global_bytes: u64,
+    /// Bytes moved on the local (spill) path.
+    pub local_bytes: u64,
+    /// Constant-cache hits.
+    pub const_hits: u64,
+    /// Constant-cache misses.
+    pub const_misses: u64,
+    /// Instruction-cache misses (from the interleaved fetch trace).
+    pub icache_misses: u64,
+    /// Instruction fetches (cache lookups).
+    pub icache_fetches: u64,
+    /// `bar.sync` operations executed (per warp).
+    pub barrier_syncs: u64,
+    /// `bar.arrive` operations executed (per warp).
+    pub barrier_arrives: u64,
+    /// Cooperative-scheduler context switches forced by blocking barriers
+    /// (a proxy for straggler wait time, §6.2).
+    pub barrier_stall_switches: u64,
+    /// Warp-ID branch instructions executed (WarpIf / WarpSwitch headers).
+    pub warp_branches: u64,
+}
+
+impl EventCounts {
+    /// Merge another CTA's counts into this one.
+    pub fn merge(&mut self, o: &EventCounts) {
+        self.issue_slots += o.issue_slots;
+        self.dp_slots += o.dp_slots;
+        self.dp_const_slots += o.dp_const_slots;
+        self.flops += o.flops;
+        self.shared_accesses += o.shared_accesses;
+        self.shared_conflicts += o.shared_conflicts;
+        self.global_transactions += o.global_transactions;
+        self.global_bytes += o.global_bytes;
+        self.local_bytes += o.local_bytes;
+        self.const_hits += o.const_hits;
+        self.const_misses += o.const_misses;
+        self.icache_misses += o.icache_misses;
+        self.icache_fetches += o.icache_fetches;
+        self.barrier_syncs += o.barrier_syncs;
+        self.barrier_arrives += o.barrier_arrives;
+        self.barrier_stall_switches += o.barrier_stall_switches;
+        self.warp_branches += o.warp_branches;
+    }
+
+    /// Constant-cache miss ratio (0 when no accesses).
+    pub fn const_miss_ratio(&self) -> f64 {
+        let total = self.const_hits + self.const_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.const_misses as f64 / total as f64
+        }
+    }
+
+    /// Instruction-cache miss ratio.
+    pub fn icache_miss_ratio(&self) -> f64 {
+        if self.icache_fetches == 0 {
+            0.0
+        } else {
+            self.icache_misses as f64 / self.icache_fetches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = EventCounts { issue_slots: 10, flops: 100, ..Default::default() };
+        let b = EventCounts { issue_slots: 5, flops: 50, const_misses: 2, const_hits: 2, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.issue_slots, 15);
+        assert_eq!(a.flops, 150);
+        // a picked up b's 2 misses and 2 hits.
+        assert!((a.const_miss_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratios_handle_zero() {
+        let e = EventCounts::default();
+        assert_eq!(e.const_miss_ratio(), 0.0);
+        assert_eq!(e.icache_miss_ratio(), 0.0);
+    }
+}

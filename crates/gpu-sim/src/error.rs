@@ -1,0 +1,72 @@
+//! Simulator error types.
+
+use std::fmt;
+
+/// Errors raised during kernel validation or execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Structural problem detected before execution.
+    InvalidKernel(String),
+    /// All unfinished warps are blocked on named barriers — the deadlock
+    /// the paper's Theorem 1 scheduling algorithm exists to prevent.
+    Deadlock {
+        /// CTA index where the deadlock occurred.
+        cta: usize,
+        /// `(warp, barrier)` pairs of the blocked warps.
+        blocked: Vec<(usize, u8)>,
+    },
+    /// Out-of-bounds memory access.
+    OutOfBounds {
+        /// Memory space name ("shared", "global", ...).
+        space: &'static str,
+        /// Offending address/index.
+        addr: usize,
+        /// Capacity of the space.
+        limit: usize,
+    },
+    /// Barrier used with inconsistent expected-warp counts.
+    BarrierMismatch {
+        /// Barrier id.
+        bar: u8,
+        /// Details.
+        msg: String,
+    },
+    /// Launch-level misconfiguration (inputs don't match declarations).
+    BadLaunch(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidKernel(m) => write!(f, "invalid kernel: {m}"),
+            SimError::Deadlock { cta, blocked } => {
+                write!(f, "deadlock in CTA {cta}: blocked warps {blocked:?}")
+            }
+            SimError::OutOfBounds { space, addr, limit } => {
+                write!(f, "{space} access out of bounds: {addr} >= {limit}")
+            }
+            SimError::BarrierMismatch { bar, msg } => {
+                write!(f, "named barrier {bar} misuse: {msg}")
+            }
+            SimError::BadLaunch(m) => write!(f, "bad launch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Result alias for simulator operations.
+pub type SimResult<T> = Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = SimError::Deadlock { cta: 3, blocked: vec![(0, 2), (1, 2)] };
+        assert!(e.to_string().contains("CTA 3"));
+        let e = SimError::OutOfBounds { space: "shared", addr: 100, limit: 64 };
+        assert!(e.to_string().contains("shared"));
+    }
+}

@@ -1,0 +1,1206 @@
+//! Functional interpreter for the kernel IR.
+//!
+//! A CTA executes as a set of warps in a cooperative round-robin: each warp
+//! runs until it finishes or blocks on a named-barrier `sync`; a full round
+//! with no progress is a deadlock (the situation the paper's Theorem 1
+//! scheduling discipline rules out — we detect it and report the blocked
+//! warps). All 32 lanes of a warp execute each instruction in lock step.
+//!
+//! While executing, the interpreter gathers the event counts the timing
+//! model consumes: issue slots, shared-memory transactions with bank
+//! conflicts, global coalescing, constant-cache and instruction-cache
+//! behavior, and barrier stalls.
+
+use crate::ccache::ConstCache;
+use crate::counts::EventCounts;
+use crate::error::{SimError, SimResult};
+use crate::icache::interleaved_fetch_trace;
+use crate::isa::*;
+use crate::WARP_SIZE;
+
+/// One flattened operation in a warp's instruction stream.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum FlatOp {
+    /// Execute instruction `instr` (arena index) at static address `addr`,
+    /// within point-set `pset` of the streaming point loop.
+    Exec { addr: u32, instr: u32, pset: u32 },
+    /// A warp-ID branch header (WarpIf / WarpSwitch) — costs one issue slot
+    /// and one fetch.
+    Branch { addr: u32 },
+}
+
+impl FlatOp {
+    fn addr(&self) -> u32 {
+        match self {
+            FlatOp::Exec { addr, .. } | FlatOp::Branch { addr } => *addr,
+        }
+    }
+}
+
+/// Per-warp flattened program: the exact instruction sequence each warp
+/// executes, with static addresses shared across warps (overlaid code keeps
+/// these streams on common addresses; naïve switches give them disjoint
+/// ranges).
+#[derive(Debug)]
+pub struct FlatProgram {
+    pub(crate) streams: Vec<Vec<FlatOp>>,
+    pub(crate) instrs: Vec<Instr>,
+    /// Total static instructions (address space size).
+    pub static_size: u32,
+}
+
+/// Flatten a kernel's structured body into per-warp streams.
+pub fn flatten(kernel: &Kernel) -> FlatProgram {
+    let w = kernel.warps_per_cta;
+    let mut instrs: Vec<Instr> = Vec::new();
+    let mut streams: Vec<Vec<FlatOp>> = vec![Vec::new(); w];
+
+    // Assign addresses in tree order; every warp walking the same tree sees
+    // the same addresses. `emit` is called per warp with that warp's path.
+    fn walk(
+        nodes: &[Node],
+        counter: &mut u32,
+        instrs: &mut Vec<Instr>,
+        streams: &mut [Vec<FlatOp>],
+        active: &[usize],
+        pset: u32,
+    ) {
+        for node in nodes {
+            match node {
+                Node::Op(i) => {
+                    let addr = *counter;
+                    *counter += 1;
+                    let idx = instrs.len() as u32;
+                    instrs.push(i.clone());
+                    for &wid in active {
+                        streams[wid].push(FlatOp::Exec { addr, instr: idx, pset });
+                    }
+                }
+                Node::WarpIf { mask, body } => {
+                    let addr = *counter;
+                    *counter += 1;
+                    for &wid in active {
+                        streams[wid].push(FlatOp::Branch { addr });
+                    }
+                    let taken: Vec<usize> = active
+                        .iter()
+                        .copied()
+                        .filter(|&wid| mask & (1u64 << wid) != 0)
+                        .collect();
+                    walk(body, counter, instrs, streams, &taken, pset);
+                }
+                Node::WarpSwitch { case_of_warp, cases } => {
+                    let addr = *counter;
+                    *counter += 1;
+                    for &wid in active {
+                        streams[wid].push(FlatOp::Branch { addr });
+                    }
+                    for (ci, case) in cases.iter().enumerate() {
+                        let taken: Vec<usize> = active
+                            .iter()
+                            .copied()
+                            .filter(|&wid| case_of_warp.get(wid) == Some(&ci))
+                            .collect();
+                        walk(case, counter, instrs, streams, &taken, pset);
+                    }
+                }
+                Node::Loop { count, body } => {
+                    let start = *counter;
+                    for _ in 0..*count {
+                        *counter = start;
+                        walk(body, counter, instrs, streams, active, pset);
+                    }
+                    if *count == 0 {
+                        // Still reserve the addresses.
+                        let mut c = start;
+                        walk(body, &mut c, instrs, &mut vec![Vec::new(); streams.len()], &[], pset);
+                        *counter = c;
+                    }
+                }
+                Node::PointLoop { iters, body } => {
+                    let start = *counter;
+                    for it in 0..*iters {
+                        *counter = start;
+                        walk(body, counter, instrs, streams, active, it);
+                    }
+                }
+            }
+        }
+    }
+
+    let all: Vec<usize> = (0..w).collect();
+    let mut counter = 0u32;
+    walk(&kernel.body, &mut counter, &mut instrs, &mut streams, &all, 0);
+    FlatProgram { streams, instrs, static_size: counter }
+}
+
+/// Named-barrier state. `generation` increments on every completion so a
+/// warp blocked on one use of the barrier is not confused by a subsequent
+/// reuse (barriers are recycled constantly in multi-pass kernels).
+#[derive(Debug, Clone, Default)]
+struct BarrierState {
+    arrived: u16,
+    expected: Option<u16>,
+    generation: u64,
+}
+
+/// Per-warp execution state.
+struct WarpState {
+    dregs: Vec<f64>,
+    iregs: Vec<u32>,
+    local: Vec<f64>,
+    pc: usize,
+    done: bool,
+    /// Blocked waiting on `(barrier id, generation at block time)`.
+    blocked: Option<(u8, u64)>,
+}
+
+/// Result of interpreting one CTA.
+#[derive(Debug)]
+pub struct CtaResult {
+    /// Per-output-array buffers (`rows x points_per_cta`), parallel to
+    /// `kernel.global_arrays` (empty vec for inputs).
+    pub out_buffers: Vec<Vec<f64>>,
+    /// Event counts (only populated when collection was requested).
+    pub counts: EventCounts,
+}
+
+/// Execute one CTA.
+///
+/// `inputs` is parallel to `kernel.global_arrays`: full `rows * total_points`
+/// slices for input arrays (may be empty for pure outputs). `cta` selects
+/// the point range `[cta * points_per_cta, ...)`. When `collect` is true,
+/// event counts (including cache simulations) are gathered.
+pub fn run_cta(
+    kernel: &Kernel,
+    prog: &FlatProgram,
+    inputs: &[&[f64]],
+    total_points: usize,
+    cta: usize,
+    collect: bool,
+    arch: &crate::arch::GpuArch,
+) -> SimResult<CtaResult> {
+    let nw = kernel.warps_per_cta;
+    let base_point = cta * kernel.points_per_cta;
+    let mut counts = EventCounts::default();
+
+    let mut shared = vec![0.0f64; kernel.shared_words];
+    let mut barriers: Vec<BarrierState> =
+        vec![BarrierState::default(); kernel.barriers_used.max(16)];
+    let mut ccache = ConstCache::new(arch.const_cache_bytes);
+    // Byte offset of each const bank within constant space.
+    let mut bank_base = Vec::with_capacity(kernel.const_banks.len());
+    let mut off = 0u64;
+    for b in &kernel.const_banks {
+        bank_base.push(off);
+        off += (b.len() * 8) as u64;
+    }
+
+    let mut out_buffers: Vec<Vec<f64>> = kernel
+        .global_arrays
+        .iter()
+        .map(|a| {
+            if a.output {
+                vec![0.0; a.rows * kernel.points_per_cta]
+            } else {
+                Vec::new()
+            }
+        })
+        .collect();
+
+    let mut warps: Vec<WarpState> = (0..nw)
+        .map(|_| WarpState {
+            dregs: vec![0.0; kernel.dregs_per_thread * WARP_SIZE],
+            iregs: vec![0; kernel.iregs_per_thread * WARP_SIZE],
+            local: vec![0.0; kernel.local_words_per_thread * WARP_SIZE],
+            pc: 0,
+            done: false,
+            blocked: None,
+        })
+        .collect();
+
+    // Cooperative scheduler: run warps round-robin until all complete.
+    loop {
+        let mut progressed = false;
+        let mut all_done = true;
+        for w in 0..nw {
+            if warps[w].done {
+                continue;
+            }
+            all_done = false;
+            // A blocked warp re-checks its barrier: released once the
+            // barrier's generation has advanced past the one it joined.
+            if let Some((b, gen)) = warps[w].blocked {
+                if barriers[b as usize].generation > gen {
+                    warps[w].blocked = None;
+                } else {
+                    continue;
+                }
+            }
+            let ran = step_warp(
+                kernel, prog, inputs, total_points, base_point, w, &mut warps, &mut shared,
+                &mut barriers, &mut out_buffers, &mut ccache, &bank_base, collect, &mut counts,
+            )?;
+            progressed |= ran;
+        }
+        if all_done {
+            break;
+        }
+        if !progressed {
+            let blocked: Vec<(usize, u8)> = warps
+                .iter()
+                .enumerate()
+                .filter(|(_, ws)| !ws.done)
+                .map(|(i, ws)| (i, ws.blocked.map(|(b, _)| b).unwrap_or(255)))
+                .collect();
+            if blocked.is_empty() {
+                // The last warps finished this round without executing any
+                // instruction (their final item was a completed barrier).
+                break;
+            }
+            return Err(SimError::Deadlock { cta, blocked });
+        }
+    }
+
+    if collect {
+        counts.const_hits = ccache.hits();
+        counts.const_misses = ccache.misses();
+        // Instruction-cache simulation over the interleaved fetch streams.
+        let fetch_streams: Vec<Vec<u32>> = prog
+            .streams
+            .iter()
+            .map(|s| s.iter().map(|op| op.addr()).collect())
+            .collect();
+        let (fetches, misses) = interleaved_fetch_trace(
+            &fetch_streams,
+            arch.instr_bytes,
+            arch.icache_bytes,
+            arch.icache_line_bytes,
+            arch.icache_assoc,
+            // Prefetch run length: the fetch unit streams ahead of a warp
+            // (paper §5.1: the prefetcher copes with divergence for
+            // regions up to a few hundred instructions).
+            128,
+        );
+        counts.icache_fetches = fetches;
+        counts.icache_misses = misses;
+    }
+
+    Ok(CtaResult { out_buffers, counts })
+}
+
+/// Run one warp until it blocks, finishes, or (for fairness) executes a
+/// bounded burst. Returns whether any instruction executed.
+#[allow(clippy::too_many_arguments)]
+fn step_warp(
+    kernel: &Kernel,
+    prog: &FlatProgram,
+    inputs: &[&[f64]],
+    total_points: usize,
+    base_point: usize,
+    w: usize,
+    warps: &mut [WarpState],
+    shared: &mut [f64],
+    barriers: &mut [BarrierState],
+    out_buffers: &mut [Vec<f64>],
+    ccache: &mut ConstCache,
+    bank_base: &[u64],
+    collect: bool,
+    counts: &mut EventCounts,
+) -> SimResult<bool> {
+    let stream = &prog.streams[w];
+    let mut ran = false;
+    loop {
+        let pc = warps[w].pc;
+        if pc >= stream.len() {
+            warps[w].done = true;
+            return Ok(ran);
+        }
+        let op = stream[pc];
+        match op {
+            FlatOp::Branch { .. } => {
+                if collect {
+                    counts.issue_slots += 1;
+                    counts.warp_branches += 1;
+                }
+                warps[w].pc += 1;
+                ran = true;
+            }
+            FlatOp::Exec { instr, pset, .. } => {
+                let ins = &prog.instrs[instr as usize];
+                // Barriers are handled at scheduler level.
+                match ins {
+                    Instr::BarArrive { bar, warps: expected } => {
+                        if collect {
+                            counts.issue_slots += 1;
+                            counts.barrier_arrives += 1;
+                        }
+                        barrier_arrive(barriers, *bar, *expected)?;
+                        warps[w].pc += 1;
+                        ran = true;
+                    }
+                    Instr::BarSync { bar, warps: expected } => {
+                        if collect {
+                            counts.issue_slots += 1;
+                            counts.barrier_syncs += 1;
+                        }
+                        // Record the generation *before* arriving: if our
+                        // own arrival completes the barrier the generation
+                        // advances and we are not blocked.
+                        let gen = barriers[*bar as usize].generation;
+                        let released = barrier_arrive(barriers, *bar, *expected)?;
+                        warps[w].pc += 1;
+                        ran = true;
+                        if !released {
+                            warps[w].blocked = Some((*bar, gen));
+                            if collect {
+                                counts.barrier_stall_switches += 1;
+                            }
+                            return Ok(ran);
+                        }
+                    }
+                    _ => {
+                        exec_instr(
+                            kernel, ins, pset, inputs, total_points, base_point, w,
+                            &mut warps[w], shared, out_buffers, ccache, bank_base, collect,
+                            counts,
+                        )?;
+                        warps[w].pc += 1;
+                        ran = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Register an arrival on a barrier; returns true if the barrier completed
+/// (and was reset) as a result.
+fn barrier_arrive(barriers: &mut [BarrierState], bar: u8, expected: u16) -> SimResult<bool> {
+    let b = barriers
+        .get_mut(bar as usize)
+        .ok_or(SimError::BarrierMismatch { bar, msg: "barrier id out of range".into() })?;
+    if let Some(e) = b.expected {
+        if e != expected {
+            return Err(SimError::BarrierMismatch {
+                bar,
+                msg: format!("expected-count mismatch: {e} vs {expected}"),
+            });
+        }
+    } else {
+        b.expected = Some(expected);
+    }
+    b.arrived += 1;
+    if b.arrived >= expected {
+        b.arrived = 0;
+        b.expected = None;
+        b.generation += 1;
+        Ok(true)
+    } else {
+        Ok(false)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exec_instr(
+    kernel: &Kernel,
+    ins: &Instr,
+    pset: u32,
+    inputs: &[&[f64]],
+    total_points: usize,
+    base_point: usize,
+    wid: usize,
+    warp: &mut WarpState,
+    shared: &mut [f64],
+    out_buffers: &mut [Vec<f64>],
+    ccache: &mut ConstCache,
+    bank_base: &[u64],
+    collect: bool,
+    counts: &mut EventCounts,
+) -> SimResult<()> {
+    if collect {
+        let slots = ins.issue_slots() as u64;
+        counts.issue_slots += slots;
+        if ins.is_dp() {
+            counts.dp_slots += slots;
+            counts.flops += (ins.flops() * WARP_SIZE) as u64;
+            counts.dp_const_slots +=
+                ins.const_operand_slots(kernel.exp_const_from_registers) as u64;
+        }
+    }
+
+    let nd = kernel.dregs_per_thread;
+    let ni = kernel.iregs_per_thread;
+    macro_rules! d {
+        ($r:expr, $l:expr) => {
+            warp.dregs[$r as usize * WARP_SIZE + $l]
+        };
+    }
+    macro_rules! i32v {
+        ($r:expr, $l:expr) => {
+            warp.iregs[$r as usize * WARP_SIZE + $l]
+        };
+    }
+    let val = |warp: &WarpState, o: &Op, l: usize| -> f64 {
+        match o {
+            Op::Reg(r) => warp.dregs[*r as usize * WARP_SIZE + l],
+            Op::Imm(v) => *v,
+        }
+    };
+    let ival = |warp: &WarpState, o: &IdxOp, l: usize| -> u32 {
+        match o {
+            IdxOp::Imm(v) => *v,
+            IdxOp::Reg(r) => warp.iregs[*r as usize * WARP_SIZE + l],
+        }
+    };
+    let chk_d = |r: Reg| -> SimResult<()> {
+        if (r as usize) < nd {
+            Ok(())
+        } else {
+            Err(SimError::OutOfBounds { space: "dreg", addr: r as usize, limit: nd })
+        }
+    };
+    let chk_i = |r: IdxReg| -> SimResult<()> {
+        if (r as usize) < ni {
+            Ok(())
+        } else {
+            Err(SimError::OutOfBounds { space: "ireg", addr: r as usize, limit: ni })
+        }
+    };
+
+    // Resolve the global point index for a lane.
+    let point_of = |warp: &WarpState, p: &PointRef, l: usize| -> usize {
+        match p {
+            PointRef::Lane => base_point + pset as usize * WARP_SIZE + l,
+            PointRef::Thread => base_point + wid * WARP_SIZE + l,
+            PointRef::Reg(r) => warp.iregs[*r as usize * WARP_SIZE + l] as usize,
+        }
+    };
+    // Flat element index into an SoA array.
+    let gindex = |warp: &WarpState, a: &GAddr, l: usize| -> usize {
+        let row = ival(warp, &a.row, l) as usize;
+        row * total_points + point_of(warp, &a.point, l)
+    };
+
+    match ins {
+        Instr::DMov { dst, src } => {
+            chk_d(*dst)?;
+            for l in 0..WARP_SIZE {
+                d!(*dst, l) = val(warp, src, l);
+            }
+        }
+        Instr::DAdd { dst, a, b } => {
+            chk_d(*dst)?;
+            for l in 0..WARP_SIZE {
+                d!(*dst, l) = val(warp, a, l) + val(warp, b, l);
+            }
+        }
+        Instr::DSub { dst, a, b } => {
+            chk_d(*dst)?;
+            for l in 0..WARP_SIZE {
+                d!(*dst, l) = val(warp, a, l) - val(warp, b, l);
+            }
+        }
+        Instr::DMul { dst, a, b } => {
+            chk_d(*dst)?;
+            for l in 0..WARP_SIZE {
+                d!(*dst, l) = val(warp, a, l) * val(warp, b, l);
+            }
+        }
+        Instr::DFma { dst, a, b, c, .. } => {
+            chk_d(*dst)?;
+            for l in 0..WARP_SIZE {
+                d!(*dst, l) = val(warp, a, l).mul_add(val(warp, b, l), val(warp, c, l));
+            }
+        }
+        Instr::DDiv { dst, a, b } => {
+            chk_d(*dst)?;
+            for l in 0..WARP_SIZE {
+                d!(*dst, l) = val(warp, a, l) / val(warp, b, l);
+            }
+        }
+        Instr::DSqrt { dst, a } => {
+            chk_d(*dst)?;
+            for l in 0..WARP_SIZE {
+                d!(*dst, l) = val(warp, a, l).sqrt();
+            }
+        }
+        Instr::DExp { dst, a } => {
+            chk_d(*dst)?;
+            for l in 0..WARP_SIZE {
+                d!(*dst, l) = val(warp, a, l).exp();
+            }
+        }
+        Instr::DLog { dst, a } => {
+            chk_d(*dst)?;
+            for l in 0..WARP_SIZE {
+                d!(*dst, l) = val(warp, a, l).ln();
+            }
+        }
+        Instr::DLog10 { dst, a } => {
+            chk_d(*dst)?;
+            for l in 0..WARP_SIZE {
+                d!(*dst, l) = val(warp, a, l).log10();
+            }
+        }
+        Instr::DCbrt { dst, a } => {
+            chk_d(*dst)?;
+            for l in 0..WARP_SIZE {
+                d!(*dst, l) = val(warp, a, l).cbrt();
+            }
+        }
+        Instr::DPow { dst, a, b } => {
+            chk_d(*dst)?;
+            for l in 0..WARP_SIZE {
+                d!(*dst, l) = val(warp, a, l).powf(val(warp, b, l));
+            }
+        }
+        Instr::DMax { dst, a, b } => {
+            chk_d(*dst)?;
+            for l in 0..WARP_SIZE {
+                d!(*dst, l) = val(warp, a, l).max(val(warp, b, l));
+            }
+        }
+        Instr::DMin { dst, a, b } => {
+            chk_d(*dst)?;
+            for l in 0..WARP_SIZE {
+                d!(*dst, l) = val(warp, a, l).min(val(warp, b, l));
+            }
+        }
+        Instr::DNeg { dst, a } => {
+            chk_d(*dst)?;
+            for l in 0..WARP_SIZE {
+                d!(*dst, l) = -val(warp, a, l);
+            }
+        }
+        Instr::DSel { dst, pred, a, b } => {
+            chk_d(*dst)?;
+            chk_d(*pred)?;
+            for l in 0..WARP_SIZE {
+                let p = d!(*pred, l);
+                d!(*dst, l) = if p != 0.0 { val(warp, a, l) } else { val(warp, b, l) };
+            }
+        }
+        Instr::DCmp { dst, cmp, a, b } => {
+            chk_d(*dst)?;
+            for l in 0..WARP_SIZE {
+                let (x, y) = (val(warp, a, l), val(warp, b, l));
+                let t = match cmp {
+                    Cmp::Lt => x < y,
+                    Cmp::Le => x <= y,
+                    Cmp::Gt => x > y,
+                    Cmp::Ge => x >= y,
+                    Cmp::Eq => x == y,
+                    Cmp::Ne => x != y,
+                };
+                d!(*dst, l) = if t { 1.0 } else { 0.0 };
+            }
+        }
+        Instr::LdGlobal { dst, addr, .. } => {
+            chk_d(*dst)?;
+            let decl = &kernel.global_arrays[addr.array.0];
+            let mut idxs = [0usize; WARP_SIZE];
+            for (l, slot) in idxs.iter_mut().enumerate() {
+                *slot = gindex(warp, addr, l);
+            }
+            for l in 0..WARP_SIZE {
+                let idx = idxs[l];
+                let v = if decl.output {
+                    // Reading back an output: index into the CTA buffer.
+                    let local = local_out_index(idx, total_points, base_point, kernel)?;
+                    out_buffers[addr.array.0][local]
+                } else {
+                    *inputs[addr.array.0].get(idx).ok_or(SimError::OutOfBounds {
+                        space: "global",
+                        addr: idx,
+                        limit: inputs[addr.array.0].len(),
+                    })?
+                };
+                d!(*dst, l) = v;
+            }
+            if collect {
+                let (tx, bytes) = coalesce(&idxs);
+                counts.global_transactions += tx;
+                counts.global_bytes += bytes;
+            }
+        }
+        Instr::StGlobal { src, addr } => {
+            let decl = &kernel.global_arrays[addr.array.0];
+            if !decl.output {
+                return Err(SimError::BadLaunch(format!(
+                    "store to non-output array '{}'",
+                    decl.name
+                )));
+            }
+            let mut idxs = [0usize; WARP_SIZE];
+            for (l, slot) in idxs.iter_mut().enumerate() {
+                *slot = gindex(warp, addr, l);
+            }
+            for l in 0..WARP_SIZE {
+                let local = local_out_index(idxs[l], total_points, base_point, kernel)?;
+                let buf = &mut out_buffers[addr.array.0];
+                if local >= buf.len() {
+                    return Err(SimError::OutOfBounds {
+                        space: "global-out",
+                        addr: local,
+                        limit: buf.len(),
+                    });
+                }
+                buf[local] = val(warp, src, l);
+            }
+            if collect {
+                let (tx, bytes) = coalesce(&idxs);
+                counts.global_transactions += tx;
+                counts.global_bytes += bytes;
+            }
+        }
+        Instr::LdShared { dst, addr } => {
+            chk_d(*dst)?;
+            let mut addrs = [0usize; WARP_SIZE];
+            for (l, slot) in addrs.iter_mut().enumerate() {
+                let base = addr.base.map(|r| ival(warp, &IdxOp::Reg(r), l)).unwrap_or(0) as usize;
+                *slot = base + addr.imm as usize + addr.lane_stride as usize * l;
+            }
+            for l in 0..WARP_SIZE {
+                let a = addrs[l];
+                if a >= shared.len() {
+                    return Err(SimError::OutOfBounds { space: "shared", addr: a, limit: shared.len() });
+                }
+                d!(*dst, l) = shared[a];
+            }
+            if collect {
+                let (tx, conf) = bank_transactions(&addrs, None);
+                counts.shared_accesses += tx;
+                counts.shared_conflicts += conf;
+            }
+        }
+        Instr::StShared { src, addr, lane_pred } => {
+            let mut addrs = [0usize; WARP_SIZE];
+            for (l, slot) in addrs.iter_mut().enumerate() {
+                let base = addr.base.map(|r| ival(warp, &IdxOp::Reg(r), l)).unwrap_or(0) as usize;
+                *slot = base + addr.imm as usize + addr.lane_stride as usize * l;
+            }
+            for l in 0..WARP_SIZE {
+                if let Some(p) = lane_pred {
+                    if *p as usize != l {
+                        continue;
+                    }
+                }
+                let a = addrs[l];
+                if a >= shared.len() {
+                    return Err(SimError::OutOfBounds { space: "shared", addr: a, limit: shared.len() });
+                }
+                shared[a] = val(warp, src, l);
+            }
+            if collect {
+                let (tx, conf) = bank_transactions(&addrs, *lane_pred);
+                counts.shared_accesses += tx;
+                counts.shared_conflicts += conf;
+            }
+        }
+        Instr::LdConst { dst, bank, idx } => {
+            chk_d(*dst)?;
+            let bankv = kernel.const_banks.get(*bank as usize).ok_or(SimError::OutOfBounds {
+                space: "const-bank",
+                addr: *bank as usize,
+                limit: kernel.const_banks.len(),
+            })?;
+            let mut lines: Vec<u64> = Vec::new();
+            for l in 0..WARP_SIZE {
+                let i = ival(warp, idx, l) as usize;
+                let v = *bankv.get(i).ok_or(SimError::OutOfBounds {
+                    space: "const",
+                    addr: i,
+                    limit: bankv.len(),
+                })?;
+                d!(*dst, l) = v;
+                if collect {
+                    // One cache access per distinct line touched by the
+                    // warp (lanes reading the same constant broadcast).
+                    let line = (bank_base[*bank as usize] + (i * 8) as u64) / 64;
+                    if !lines.contains(&line) {
+                        lines.push(line);
+                    }
+                }
+            }
+            if collect {
+                for line in lines {
+                    ccache.access(line * 64);
+                }
+            }
+        }
+        Instr::LdLocal { dst, slot } => {
+            chk_d(*dst)?;
+            let lw = kernel.local_words_per_thread;
+            if *slot as usize >= lw {
+                return Err(SimError::OutOfBounds { space: "local", addr: *slot as usize, limit: lw });
+            }
+            for l in 0..WARP_SIZE {
+                d!(*dst, l) = warp.local[*slot as usize * WARP_SIZE + l];
+            }
+            if collect {
+                counts.local_bytes += (WARP_SIZE * 8) as u64;
+            }
+        }
+        Instr::StLocal { src, slot } => {
+            let lw = kernel.local_words_per_thread;
+            if *slot as usize >= lw {
+                return Err(SimError::OutOfBounds { space: "local", addr: *slot as usize, limit: lw });
+            }
+            for l in 0..WARP_SIZE {
+                warp.local[*slot as usize * WARP_SIZE + l] = val(warp, src, l);
+            }
+            if collect {
+                counts.local_bytes += (WARP_SIZE * 8) as u64;
+            }
+        }
+        Instr::Shfl { dst, src, lane } => {
+            chk_d(*dst)?;
+            chk_d(*src)?;
+            let v = d!(*src, *lane as usize);
+            for l in 0..WARP_SIZE {
+                d!(*dst, l) = v;
+            }
+        }
+        Instr::Idx(ii) => match ii {
+            IdxInstr::Mov { dst, src } => {
+                chk_i(*dst)?;
+                for l in 0..WARP_SIZE {
+                    i32v!(*dst, l) = ival(warp, src, l);
+                }
+            }
+            IdxInstr::Add { dst, a, b } => {
+                chk_i(*dst)?;
+                for l in 0..WARP_SIZE {
+                    i32v!(*dst, l) = ival(warp, a, l).wrapping_add(ival(warp, b, l));
+                }
+            }
+            IdxInstr::Mul { dst, a, b } => {
+                chk_i(*dst)?;
+                for l in 0..WARP_SIZE {
+                    i32v!(*dst, l) = ival(warp, a, l).wrapping_mul(ival(warp, b, l));
+                }
+            }
+            IdxInstr::LaneId { dst } => {
+                chk_i(*dst)?;
+                for l in 0..WARP_SIZE {
+                    i32v!(*dst, l) = l as u32;
+                }
+            }
+            IdxInstr::WarpId { dst } => {
+                chk_i(*dst)?;
+                for l in 0..WARP_SIZE {
+                    i32v!(*dst, l) = wid as u32;
+                }
+            }
+            IdxInstr::LdConst { dst, bank, idx } => {
+                chk_i(*dst)?;
+                let bankv =
+                    kernel.iconst_banks.get(*bank as usize).ok_or(SimError::OutOfBounds {
+                        space: "iconst-bank",
+                        addr: *bank as usize,
+                        limit: kernel.iconst_banks.len(),
+                    })?;
+                for l in 0..WARP_SIZE {
+                    let i = ival(warp, idx, l) as usize;
+                    i32v!(*dst, l) = *bankv.get(i).ok_or(SimError::OutOfBounds {
+                        space: "iconst",
+                        addr: i,
+                        limit: bankv.len(),
+                    })?;
+                }
+            }
+            IdxInstr::Shfl { dst, src, lane } => {
+                chk_i(*dst)?;
+                chk_i(*src)?;
+                let v = i32v!(*src, *lane as usize);
+                for l in 0..WARP_SIZE {
+                    i32v!(*dst, l) = v;
+                }
+            }
+        },
+        Instr::BarArrive { .. } | Instr::BarSync { .. } => unreachable!("handled by scheduler"),
+    }
+    Ok(())
+}
+
+/// Translate a global SoA element index into a CTA output-buffer index.
+fn local_out_index(
+    idx: usize,
+    total_points: usize,
+    base_point: usize,
+    kernel: &Kernel,
+) -> SimResult<usize> {
+    let row = idx / total_points;
+    let point = idx % total_points;
+    if point < base_point || point >= base_point + kernel.points_per_cta {
+        return Err(SimError::OutOfBounds {
+            space: "cta-point",
+            addr: point,
+            limit: base_point + kernel.points_per_cta,
+        });
+    }
+    Ok(row * kernel.points_per_cta + (point - base_point))
+}
+
+/// Count 128-byte global transactions for 32 lane element indices.
+fn coalesce(idxs: &[usize; WARP_SIZE]) -> (u64, u64) {
+    let mut segs: Vec<usize> = idxs.iter().map(|i| i * 8 / 128).collect();
+    segs.sort_unstable();
+    segs.dedup();
+    let tx = segs.len() as u64;
+    (tx, tx * 128)
+}
+
+/// Shared-memory bank transactions: 32 banks, 8-byte words; the number of
+/// replays is the maximum number of *distinct* addresses mapping to one
+/// bank (same-address access broadcasts). Returns `(transactions,
+/// conflict_replays)`.
+fn bank_transactions(addrs: &[usize; WARP_SIZE], lane_pred: Option<u8>) -> (u64, u64) {
+    let mut per_bank: [Vec<usize>; 32] = Default::default();
+    for (l, &a) in addrs.iter().enumerate() {
+        if let Some(p) = lane_pred {
+            if p as usize != l {
+                continue;
+            }
+        }
+        let bank = a % 32;
+        if !per_bank[bank].contains(&a) {
+            per_bank[bank].push(a);
+        }
+    }
+    let max = per_bank.iter().map(|v| v.len()).max().unwrap_or(0).max(1);
+    (max as u64, (max - 1) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::GpuArch;
+
+    fn base_kernel(warps: usize) -> Kernel {
+        Kernel {
+            name: "t".into(),
+            body: vec![],
+            warps_per_cta: warps,
+            points_per_cta: 32,
+            dregs_per_thread: 8,
+            iregs_per_thread: 4,
+            shared_words: 128,
+            local_words_per_thread: 2,
+            const_banks: vec![vec![1.5, 2.5, 3.5]],
+            iconst_banks: vec![vec![7, 8, 9]],
+            barriers_used: 4,
+            global_arrays: vec![
+                ArrayDecl { name: "in".into(), rows: 2, output: false },
+                ArrayDecl { name: "out".into(), rows: 1, output: true },
+            ],
+            spilled_bytes_per_thread: 0,
+            exp_const_from_registers: false,
+        }
+    }
+
+    fn run(kernel: &Kernel, input: &[f64]) -> SimResult<CtaResult> {
+        let prog = flatten(kernel);
+        let arch = GpuArch::kepler_k20c();
+        run_cta(kernel, &prog, &[input, &[]], 32, 0, true, &arch)
+    }
+
+    #[test]
+    fn arithmetic_roundtrip_through_global() {
+        // out[0][p] = in[0][p] * 2 + in[1][p]
+        let mut k = base_kernel(1);
+        k.body = vec![
+            Node::Op(Instr::LdGlobal {
+                dst: 0,
+                addr: GAddr { array: GlobalId(0), row: IdxOp::Imm(0), point: PointRef::Lane },
+                ldg: false,
+            }),
+            Node::Op(Instr::LdGlobal {
+                dst: 1,
+                addr: GAddr { array: GlobalId(0), row: IdxOp::Imm(1), point: PointRef::Lane },
+                ldg: false,
+            }),
+            Node::Op(Instr::DFma { dst: 2, a: Op::Reg(0), b: Op::Imm(2.0), c: Op::Reg(1), const_c: false }),
+            Node::Op(Instr::StGlobal {
+                src: Op::Reg(2),
+                addr: GAddr { array: GlobalId(1), row: IdxOp::Imm(0), point: PointRef::Lane },
+            }),
+        ];
+        let input: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let r = run(&k, &input).unwrap();
+        for p in 0..32 {
+            assert_eq!(r.out_buffers[1][p], input[p] * 2.0 + input[32 + p]);
+        }
+        assert!(r.counts.flops > 0);
+        assert_eq!(r.counts.global_transactions, 3 * 2); // 32 doubles = 2 x 128B
+    }
+
+    #[test]
+    fn warp_if_masks_execution() {
+        let mut k = base_kernel(2);
+        k.body = vec![
+            Node::Op(Instr::DMov { dst: 0, src: Op::Imm(1.0) }),
+            Node::WarpIf {
+                mask: 0b10,
+                body: vec![Node::Op(Instr::DMov { dst: 0, src: Op::Imm(5.0) })],
+            },
+            // Each warp stores its r0 to shared[warp].
+            Node::Op(Instr::Idx(IdxInstr::WarpId { dst: 0 })),
+            Node::Op(Instr::StShared {
+                src: Op::Reg(0),
+                addr: SAddr { base: Some(0), imm: 0, lane_stride: 0 },
+                lane_pred: Some(0),
+            }),
+        ];
+        let prog = flatten(&k);
+        // Warp 0 skips the masked block: its stream is shorter.
+        assert!(prog.streams[0].len() < prog.streams[1].len());
+        let arch = GpuArch::kepler_k20c();
+        let input: Vec<f64> = vec![0.0; 64];
+        let r = run_cta(&k, &prog, &[&input, &[]], 32, 0, false, &arch).unwrap();
+        let _ = r;
+    }
+
+    #[test]
+    fn producer_consumer_named_barriers() {
+        // Figure 2's protocol: producer warp 0 fills a shared buffer, then
+        // arrives on barrier 0; consumer warp 1 syncs on barrier 0, reads,
+        // writes output. Also exercise the empty-signal barrier 1.
+        let mut k = base_kernel(2);
+        k.points_per_cta = 32;
+        k.body = vec![
+            // Consumer signals "buffer empty" (non-blocking arrive).
+            Node::WarpIf {
+                mask: 0b10,
+                body: vec![Node::Op(Instr::BarArrive { bar: 1, warps: 2 })],
+            },
+            // Producer waits for empty, fills buffer, signals full.
+            Node::WarpIf {
+                mask: 0b01,
+                body: vec![
+                    Node::Op(Instr::BarSync { bar: 1, warps: 2 }),
+                    Node::Op(Instr::LdGlobal {
+                        dst: 0,
+                        addr: GAddr { array: GlobalId(0), row: IdxOp::Imm(0), point: PointRef::Lane },
+                        ldg: false,
+                    }),
+                    Node::Op(Instr::DMul { dst: 0, a: Op::Reg(0), b: Op::Imm(3.0) }),
+                    Node::Op(Instr::StShared { src: Op::Reg(0), addr: SAddr::lane(0), lane_pred: None }),
+                    Node::Op(Instr::BarArrive { bar: 0, warps: 2 }),
+                ],
+            },
+            // Consumer waits for full, reads, stores.
+            Node::WarpIf {
+                mask: 0b10,
+                body: vec![
+                    Node::Op(Instr::BarSync { bar: 0, warps: 2 }),
+                    Node::Op(Instr::LdShared { dst: 1, addr: SAddr::lane(0) }),
+                    Node::Op(Instr::StGlobal {
+                        src: Op::Reg(1),
+                        addr: GAddr { array: GlobalId(1), row: IdxOp::Imm(0), point: PointRef::Lane },
+                    }),
+                ],
+            },
+        ];
+        let input: Vec<f64> = (0..64).map(|i| i as f64 + 1.0).collect();
+        let r = run(&k, &input).unwrap();
+        for p in 0..32 {
+            assert_eq!(r.out_buffers[1][p], (p as f64 + 1.0) * 3.0);
+        }
+        assert!(r.counts.barrier_syncs >= 2);
+        assert!(r.counts.barrier_arrives >= 2);
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        // Both warps sync on a barrier expecting 3 warps — never satisfied.
+        let mut k = base_kernel(2);
+        k.body = vec![Node::Op(Instr::BarSync { bar: 0, warps: 3 })];
+        let err = run(&k, &vec![0.0; 64]).unwrap_err();
+        assert!(matches!(err, SimError::Deadlock { .. }), "{err}");
+    }
+
+    #[test]
+    fn barrier_count_mismatch_detected() {
+        let mut k = base_kernel(2);
+        k.body = vec![
+            Node::WarpIf { mask: 0b01, body: vec![Node::Op(Instr::BarSync { bar: 0, warps: 2 })] },
+            Node::WarpIf { mask: 0b10, body: vec![Node::Op(Instr::BarSync { bar: 0, warps: 1 })] },
+        ];
+        // Warp 0 runs first and registers expected=2; warp 1 says 1.
+        let err = run(&k, &vec![0.0; 64]).unwrap_err();
+        assert!(matches!(err, SimError::BarrierMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn shuffle_broadcasts_from_lane() {
+        let mut k = base_kernel(1);
+        k.body = vec![
+            Node::Op(Instr::Idx(IdxInstr::LaneId { dst: 0 })),
+            // r0 = lane id as double via global trick: store lane to shared then read.
+            Node::Op(Instr::LdGlobal {
+                dst: 0,
+                addr: GAddr { array: GlobalId(0), row: IdxOp::Imm(0), point: PointRef::Lane },
+                ldg: false,
+            }),
+            Node::Op(Instr::Shfl { dst: 1, src: 0, lane: 5 }),
+            Node::Op(Instr::StGlobal {
+                src: Op::Reg(1),
+                addr: GAddr { array: GlobalId(1), row: IdxOp::Imm(0), point: PointRef::Lane },
+            }),
+        ];
+        let input: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let r = run(&k, &input).unwrap();
+        for p in 0..32 {
+            assert_eq!(r.out_buffers[1][p], 5.0);
+        }
+    }
+
+    #[test]
+    fn loop_repeats_with_static_addresses() {
+        let mut k = base_kernel(1);
+        k.body = vec![
+            Node::Op(Instr::DMov { dst: 0, src: Op::Imm(0.0) }),
+            Node::Loop {
+                count: 5,
+                body: vec![Node::Op(Instr::DAdd { dst: 0, a: Op::Reg(0), b: Op::Imm(2.0) })],
+            },
+            Node::Op(Instr::StGlobal {
+                src: Op::Reg(0),
+                addr: GAddr { array: GlobalId(1), row: IdxOp::Imm(0), point: PointRef::Lane },
+            }),
+        ];
+        let prog = flatten(&k);
+        // 1 mov + 5 adds + 1 store executed; static size 3.
+        assert_eq!(prog.streams[0].len(), 7);
+        assert_eq!(prog.static_size, 3);
+        let r = run(&k, &vec![0.0; 64]).unwrap();
+        assert_eq!(r.out_buffers[1][0], 10.0);
+    }
+
+    #[test]
+    fn point_loop_advances_points() {
+        let mut k = base_kernel(1);
+        k.points_per_cta = 64; // two point sets
+        k.body = vec![Node::PointLoop {
+            iters: 2,
+            body: vec![
+                Node::Op(Instr::LdGlobal {
+                    dst: 0,
+                    addr: GAddr { array: GlobalId(0), row: IdxOp::Imm(0), point: PointRef::Lane },
+                    ldg: false,
+                }),
+                Node::Op(Instr::DMul { dst: 0, a: Op::Reg(0), b: Op::Imm(10.0) }),
+                Node::Op(Instr::StGlobal {
+                    src: Op::Reg(0),
+                    addr: GAddr { array: GlobalId(1), row: IdxOp::Imm(0), point: PointRef::Lane },
+                }),
+            ],
+        }];
+        let prog = flatten(&k);
+        let arch = GpuArch::kepler_k20c();
+        let input: Vec<f64> = (0..128).map(|i| i as f64).collect();
+        let r = run_cta(&k, &prog, &[&input, &[]], 64, 0, false, &arch).unwrap();
+        for p in 0..64 {
+            assert_eq!(r.out_buffers[1][p], p as f64 * 10.0);
+        }
+    }
+
+    #[test]
+    fn bank_conflicts_counted() {
+        // All 32 lanes hit bank 0 with distinct addresses: 32-way conflict.
+        let mut k = base_kernel(1);
+        k.shared_words = 32 * 32;
+        k.body = vec![
+            Node::Op(Instr::Idx(IdxInstr::LaneId { dst: 0 })),
+            Node::Op(Instr::Idx(IdxInstr::Mul { dst: 1, a: IdxOp::Reg(0), b: IdxOp::Imm(32) })),
+            Node::Op(Instr::StShared {
+                src: Op::Imm(1.0),
+                addr: SAddr { base: Some(1), imm: 0, lane_stride: 0 },
+                lane_pred: None,
+            }),
+            Node::Op(Instr::LdShared { dst: 0, addr: SAddr::lane(0) }),
+        ];
+        let r = run(&k, &vec![0.0; 64]).unwrap();
+        // Store: 32 distinct addresses in bank 0 => 32 transactions.
+        // Load: lane-strided => 1 transaction.
+        assert_eq!(r.counts.shared_accesses, 33);
+        assert_eq!(r.counts.shared_conflicts, 31);
+    }
+
+    #[test]
+    fn local_spill_roundtrip_and_traffic() {
+        let mut k = base_kernel(1);
+        k.body = vec![
+            Node::Op(Instr::DMov { dst: 0, src: Op::Imm(7.5) }),
+            Node::Op(Instr::StLocal { src: Op::Reg(0), slot: 1 }),
+            Node::Op(Instr::DMov { dst: 0, src: Op::Imm(0.0) }),
+            Node::Op(Instr::LdLocal { dst: 0, slot: 1 }),
+            Node::Op(Instr::StGlobal {
+                src: Op::Reg(0),
+                addr: GAddr { array: GlobalId(1), row: IdxOp::Imm(0), point: PointRef::Lane },
+            }),
+        ];
+        let r = run(&k, &vec![0.0; 64]).unwrap();
+        assert_eq!(r.out_buffers[1][0], 7.5);
+        assert_eq!(r.counts.local_bytes, 2 * 32 * 8);
+    }
+
+    #[test]
+    fn const_load_striped_and_cached() {
+        let mut k = base_kernel(1);
+        k.const_banks = vec![(0..64).map(|i| i as f64).collect()];
+        k.body = vec![
+            Node::Op(Instr::Idx(IdxInstr::LaneId { dst: 0 })),
+            Node::Op(Instr::LdConst { dst: 0, bank: 0, idx: IdxOp::Reg(0) }),
+            Node::Op(Instr::StGlobal {
+                src: Op::Reg(0),
+                addr: GAddr { array: GlobalId(1), row: IdxOp::Imm(0), point: PointRef::Lane },
+            }),
+        ];
+        let r = run(&k, &vec![0.0; 64]).unwrap();
+        for p in 0..32 {
+            assert_eq!(r.out_buffers[1][p], p as f64);
+        }
+        assert!(r.counts.const_misses > 0);
+    }
+
+    #[test]
+    fn warp_switch_routes_cases() {
+        let mut k = base_kernel(3);
+        k.body = vec![
+            Node::WarpSwitch {
+                case_of_warp: vec![0, 1, 0],
+                cases: vec![
+                    vec![Node::Op(Instr::DMov { dst: 0, src: Op::Imm(10.0) })],
+                    vec![Node::Op(Instr::DMov { dst: 0, src: Op::Imm(20.0) })],
+                ],
+            },
+            Node::Op(Instr::Idx(IdxInstr::WarpId { dst: 0 })),
+            Node::Op(Instr::StShared {
+                src: Op::Reg(0),
+                addr: SAddr { base: Some(0), imm: 0, lane_stride: 0 },
+                lane_pred: Some(0),
+            }),
+            // Warp 0 collects all three values after a full barrier.
+            Node::Op(Instr::BarSync { bar: 0, warps: 3 }),
+            Node::WarpIf {
+                mask: 0b001,
+                body: vec![
+                    Node::Op(Instr::LdShared { dst: 1, addr: SAddr::uniform(0) }),
+                    Node::Op(Instr::LdShared { dst: 2, addr: SAddr::uniform(1) }),
+                    Node::Op(Instr::LdShared { dst: 3, addr: SAddr::uniform(2) }),
+                    Node::Op(Instr::DAdd { dst: 1, a: Op::Reg(1), b: Op::Reg(2) }),
+                    Node::Op(Instr::DAdd { dst: 1, a: Op::Reg(1), b: Op::Reg(3) }),
+                    Node::Op(Instr::StGlobal {
+                        src: Op::Reg(1),
+                        addr: GAddr { array: GlobalId(1), row: IdxOp::Imm(0), point: PointRef::Lane },
+                    }),
+                ],
+            },
+        ];
+        let r = run(&k, &vec![0.0; 64]).unwrap();
+        assert_eq!(r.out_buffers[1][0], 10.0 + 20.0 + 10.0);
+    }
+}

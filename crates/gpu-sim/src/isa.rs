@@ -1,0 +1,552 @@
+//! The structured kernel IR ("SASS-lite") executed by the simulator.
+//!
+//! Design notes:
+//!
+//! * Values are double precision (`f64`) in per-thread registers, matching
+//!   the paper's all-double combustion kernels; a separate small file of
+//!   `u32` index registers feeds addressing (the *warp indexing* constants
+//!   of §5.3 live there).
+//! * Control flow is structured: warp-masked blocks ([`Node::WarpIf`],
+//!   the bit-mask branches of Listing 1), indirect warp switches
+//!   ([`Node::WarpSwitch`], §5.1), uniform loops, and the streaming
+//!   point loop (§5.2's "multiple sets of points mapped onto a single
+//!   CTA").
+//! * Every operation gets a static instruction address (assigned in tree
+//!   order), so the instruction-cache model sees the same addresses
+//!   regardless of which warp executes a block — exactly the property the
+//!   overlaying code-generation techniques of §5 are designed around.
+//! * Named barriers follow PTX `bar.arrive` / `bar.sync` semantics with an
+//!   expected-warp count (§2, Figure 2).
+
+use serde::Serialize;
+
+/// A per-thread double-precision register id.
+pub type Reg = u16;
+/// A per-thread 32-bit index register id.
+pub type IdxReg = u16;
+
+/// Identifier of a global (device-memory) array declared by the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct GlobalId(pub usize);
+
+/// A double-precision operand: register or immediate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// Read a register.
+    Reg(Reg),
+    /// Immediate constant encoded in the instruction.
+    Imm(f64),
+}
+
+/// An index operand: immediate or index register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdxOp {
+    /// Immediate.
+    Imm(u32),
+    /// Read an index register (per-lane value).
+    Reg(IdxReg),
+}
+
+/// Which grid point a global access refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PointRef {
+    /// `cta_point_base + lane` — the warp-specialized convention where all
+    /// warps of a CTA cooperate on 32 points (paper §3.2).
+    Lane,
+    /// `cta_point_base + warp_id * 32 + lane` — the data-parallel
+    /// convention of one thread per point.
+    Thread,
+    /// An index register holds the absolute point index.
+    Reg(IdxReg),
+}
+
+/// Global-memory address: `array[row][point]` over SoA field arrays.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GAddr {
+    /// Which array.
+    pub array: GlobalId,
+    /// Row (species/field index). A register row enables warp indexing.
+    pub row: IdxOp,
+    /// Point selector.
+    pub point: PointRef,
+}
+
+/// Shared-memory address in f64 words:
+/// `(base?) + imm + lane * lane_stride`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SAddr {
+    /// Optional dynamic word offset from an index register.
+    pub base: Option<IdxReg>,
+    /// Static word offset.
+    pub imm: u32,
+    /// Per-lane stride in words (typically 0 or 1).
+    pub lane_stride: u32,
+}
+
+impl SAddr {
+    /// `imm + lane * 1` — the common `scratch[row][lane]` pattern.
+    pub fn lane(imm: u32) -> SAddr {
+        SAddr { base: None, imm, lane_stride: 1 }
+    }
+
+    /// Static word address, same for all lanes.
+    pub fn uniform(imm: u32) -> SAddr {
+        SAddr { base: None, imm, lane_stride: 0 }
+    }
+
+    /// Dynamic row from a register plus per-lane stride 1.
+    pub fn dyn_lane(base: IdxReg, imm: u32) -> SAddr {
+        SAddr { base: Some(base), imm, lane_stride: 1 }
+    }
+
+    /// Dynamic uniform address.
+    pub fn dyn_uniform(base: IdxReg, imm: u32) -> SAddr {
+        SAddr { base: Some(base), imm, lane_stride: 0 }
+    }
+}
+
+/// Floating-point comparison operators for [`Instr::DCmp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+/// Index (integer) instructions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IdxInstr {
+    /// `dst = src`.
+    Mov { dst: IdxReg, src: IdxOp },
+    /// `dst = a + b`.
+    Add { dst: IdxReg, a: IdxOp, b: IdxOp },
+    /// `dst = a * b`.
+    Mul { dst: IdxReg, a: IdxOp, b: IdxOp },
+    /// `dst = lane id` (0..32).
+    LaneId { dst: IdxReg },
+    /// `dst = warp id`.
+    WarpId { dst: IdxReg },
+    /// Load a warp-indexing constant from an integer constant bank (§5.3).
+    LdConst { dst: IdxReg, bank: u16, idx: IdxOp },
+    /// Broadcast an index register from a fixed lane (Kepler `__shfl`).
+    Shfl { dst: IdxReg, src: IdxReg, lane: u8 },
+}
+
+/// Executable instructions. Each executes for all 32 lanes of a warp in
+/// lock step unless a lane predicate says otherwise.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// `dst = src`.
+    DMov { dst: Reg, src: Op },
+    /// `dst = a + b`.
+    DAdd { dst: Reg, a: Op, b: Op },
+    /// `dst = a - b`.
+    DSub { dst: Reg, a: Op, b: Op },
+    /// `dst = a * b`.
+    DMul { dst: Reg, a: Op, b: Op },
+    /// `dst = a * b + c`. `const_c` marks the third operand as sourced from
+    /// the constant cache, which has reduced throughput on Kepler (§6.1).
+    DFma { dst: Reg, a: Op, b: Op, c: Op, const_c: bool },
+    /// `dst = a / b` (Newton's method on real GPUs — costed accordingly).
+    DDiv { dst: Reg, a: Op, b: Op },
+    /// `dst = sqrt(a)`.
+    DSqrt { dst: Reg, a: Op },
+    /// `dst = exp(a)` — lowered to a Taylor-series DFMA chain on hardware
+    /// (12 DFMAs with constant-cache operands, §6.1).
+    DExp { dst: Reg, a: Op },
+    /// `dst = ln(a)`.
+    DLog { dst: Reg, a: Op },
+    /// `dst = log10(a)`.
+    DLog10 { dst: Reg, a: Op },
+    /// `dst = cbrt(a)` (Landau-Teller rates).
+    DCbrt { dst: Reg, a: Op },
+    /// `dst = a^b` (general power; rare — non-integer stoichiometry).
+    DPow { dst: Reg, a: Op, b: Op },
+    /// `dst = max(a, b)`.
+    DMax { dst: Reg, a: Op, b: Op },
+    /// `dst = min(a, b)`.
+    DMin { dst: Reg, a: Op, b: Op },
+    /// `dst = -a`.
+    DNeg { dst: Reg, a: Op },
+    /// `dst = if pred != 0.0 { a } else { b }` — branch-free select.
+    DSel { dst: Reg, pred: Reg, a: Op, b: Op },
+    /// `dst = (a cmp b) ? 1.0 : 0.0`.
+    DCmp { dst: Reg, cmp: Cmp, a: Op, b: Op },
+    /// Global load; `ldg` uses the Kepler texture path (§6 baselines).
+    LdGlobal { dst: Reg, addr: GAddr, ldg: bool },
+    /// Global store.
+    StGlobal { src: Op, addr: GAddr },
+    /// Shared-memory load.
+    LdShared { dst: Reg, addr: SAddr },
+    /// Shared-memory store; `lane_pred` restricts to one lane (the Fermi
+    /// shared-mirror broadcast of Listing 2 writes from a single lane).
+    StShared { src: Op, addr: SAddr, lane_pred: Option<u8> },
+    /// Load a double from a constant bank through the constant cache.
+    LdConst { dst: Reg, bank: u16, idx: IdxOp },
+    /// Local-memory (spill) load — per-thread slot.
+    LdLocal { dst: Reg, slot: u32 },
+    /// Local-memory (spill) store.
+    StLocal { src: Op, slot: u32 },
+    /// Broadcast `src` from a fixed lane to all lanes (Kepler shuffle;
+    /// costed as the two 32-bit shuffles of Listing 3).
+    Shfl { dst: Reg, src: Reg, lane: u8 },
+    /// Index-register operation.
+    Idx(IdxInstr),
+    /// Non-blocking named-barrier arrival (PTX `bar.arrive`).
+    BarArrive { bar: u8, warps: u16 },
+    /// Blocking named-barrier wait (PTX `bar.sync`).
+    BarSync { bar: u8, warps: u16 },
+}
+
+impl Instr {
+    /// Issue slots this instruction occupies (warp-instructions). Multi-slot
+    /// costs reflect the FMA chains real hardware expands these into.
+    pub fn issue_slots(&self) -> usize {
+        match self {
+            Instr::DExp { .. } => 12,
+            Instr::DLog { .. } => 12,
+            Instr::DLog10 { .. } => 13,
+            Instr::DDiv { .. } => 8,
+            Instr::DSqrt { .. } => 8,
+            Instr::DCbrt { .. } => 14,
+            Instr::DPow { .. } => 24,
+            Instr::Shfl { .. } => 2, // hi/lo 32-bit shuffle pair (Listing 3)
+            _ => 1,
+        }
+    }
+
+    /// Double-precision floating-point operations performed per lane
+    /// (FMA = 2, matching how the paper counts GFLOPS).
+    pub fn flops(&self) -> usize {
+        match self {
+            Instr::DAdd { .. }
+            | Instr::DSub { .. }
+            | Instr::DMul { .. }
+            | Instr::DMax { .. }
+            | Instr::DMin { .. }
+            | Instr::DNeg { .. }
+            | Instr::DSel { .. }
+            | Instr::DCmp { .. } => 1,
+            Instr::DFma { .. } => 2,
+            Instr::DExp { .. } | Instr::DLog { .. } => 24,
+            Instr::DLog10 { .. } => 26,
+            Instr::DDiv { .. } | Instr::DSqrt { .. } => 16,
+            Instr::DCbrt { .. } => 28,
+            Instr::DPow { .. } => 48,
+            _ => 0,
+        }
+    }
+
+    /// True if the instruction issues on the double-precision pipe.
+    pub fn is_dp(&self) -> bool {
+        self.flops() > 0
+    }
+
+    /// DP issue slots whose operand comes from the constant cache (reduced
+    /// throughput on Kepler, §6.1). `exp_from_regs` is the ablation switch:
+    /// when the compiler keeps the exp-series constants in registers, the
+    /// DExp chain no longer touches the constant cache.
+    pub fn const_operand_slots(&self, exp_from_regs: bool) -> usize {
+        match self {
+            Instr::DFma { const_c: true, .. } => 1,
+            Instr::DExp { .. } if !exp_from_regs => 12,
+            _ => 0,
+        }
+    }
+}
+
+/// Structured control-flow tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// A straight-line instruction.
+    Op(Instr),
+    /// Executed only by warps whose bit is set in `mask` — the one-hot
+    /// bit-mask branch of §5.1 / Listing 1.
+    WarpIf {
+        /// One bit per warp id.
+        mask: u64,
+        /// Body.
+        body: Vec<Node>,
+    },
+    /// Indirect branch on warp id (§5.1): warp `w` executes
+    /// `cases[case_of_warp[w]]`.
+    WarpSwitch {
+        /// Case index per warp id (length = warps per CTA).
+        case_of_warp: Vec<usize>,
+        /// Case bodies.
+        cases: Vec<Vec<Node>>,
+    },
+    /// Uniform counted loop (all warps run all iterations).
+    Loop {
+        /// Trip count.
+        count: u32,
+        /// Body.
+        body: Vec<Node>,
+    },
+    /// Streaming point loop (§5.2): the CTA iterates over `iters` sets of
+    /// 32 points; `PointRef::Lane` resolves against the current set.
+    PointLoop {
+        /// Number of 32-point sets.
+        iters: u32,
+        /// Body.
+        body: Vec<Node>,
+    },
+}
+
+/// A declared global array (SoA field: `rows x points` doubles).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ArrayDecl {
+    /// Name for diagnostics.
+    pub name: String,
+    /// Row count (fields/species); each row holds one value per point.
+    pub rows: usize,
+    /// True if the kernel writes it (outputs are returned by the launcher).
+    pub output: bool,
+}
+
+/// A complete compiled kernel.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// Kernel name.
+    pub name: String,
+    /// Structured body.
+    pub body: Vec<Node>,
+    /// Warps per CTA.
+    pub warps_per_cta: usize,
+    /// Grid points each CTA processes in total (across its point loop).
+    pub points_per_cta: usize,
+    /// Double registers per thread.
+    pub dregs_per_thread: usize,
+    /// Index registers per thread.
+    pub iregs_per_thread: usize,
+    /// Shared memory words (f64) per CTA.
+    pub shared_words: usize,
+    /// Local (spill) words per thread.
+    pub local_words_per_thread: usize,
+    /// Double-precision constant banks (constant memory contents).
+    pub const_banks: Vec<Vec<f64>>,
+    /// Integer constant banks (warp-indexing constants, §5.3).
+    pub iconst_banks: Vec<Vec<u32>>,
+    /// Distinct named barriers used.
+    pub barriers_used: usize,
+    /// Declared global arrays; inputs then outputs in any order.
+    pub global_arrays: Vec<ArrayDecl>,
+    /// Spill bytes per thread (compiler metadata, §6.3 reporting).
+    pub spilled_bytes_per_thread: usize,
+    /// Ablation switch: exp-series constants kept in registers (§6.1's
+    /// "incorrect exponential" experiment — removes the const-operand
+    /// throughput penalty).
+    pub exp_const_from_registers: bool,
+}
+
+impl Kernel {
+    /// Equivalent 32-bit registers per thread (doubles take two).
+    pub fn regs32_per_thread(&self) -> usize {
+        self.dregs_per_thread * 2 + self.iregs_per_thread
+    }
+
+    /// Threads per CTA.
+    pub fn threads_per_cta(&self) -> usize {
+        self.warps_per_cta * crate::WARP_SIZE
+    }
+
+    /// Shared memory bytes per CTA.
+    pub fn shared_bytes(&self) -> usize {
+        self.shared_words * 8
+    }
+
+    /// Static instruction count (code footprint for the icache model).
+    pub fn static_instructions(&self) -> usize {
+        fn count(nodes: &[Node]) -> usize {
+            nodes
+                .iter()
+                .map(|n| match n {
+                    Node::Op(_) => 1,
+                    Node::WarpIf { body, .. } => 1 + count(body),
+                    Node::WarpSwitch { cases, .. } => {
+                        1 + cases.iter().map(|c| count(c)).sum::<usize>()
+                    }
+                    Node::Loop { body, .. } | Node::PointLoop { body, .. } => 1 + count(body),
+                })
+                .sum()
+        }
+        count(&self.body)
+    }
+
+    /// Sum of double constants across banks (for Figure 10 style reports).
+    pub fn total_dconstants(&self) -> usize {
+        self.const_banks.iter().map(|b| b.len()).sum()
+    }
+
+    /// Quick structural sanity checks (register ids in range, barrier ids
+    /// in range, global ids declared). Returns a description of the first
+    /// problem found.
+    pub fn check(&self) -> Result<(), String> {
+        let mut err = None;
+        self.visit_ops(&mut |i| {
+            if err.is_some() {
+                return;
+            }
+            let mut chk_reg = |r: Reg, what: &str| {
+                if usize::from(r) >= self.dregs_per_thread {
+                    err = Some(format!("{what} register r{r} out of range"));
+                }
+            };
+            match i {
+                Instr::DMov { dst, src } => {
+                    chk_reg(*dst, "dst");
+                    if let Op::Reg(r) = src {
+                        chk_reg(*r, "src");
+                    }
+                }
+                Instr::BarArrive { bar, .. } | Instr::BarSync { bar, .. } => {
+                    if usize::from(*bar) >= self.barriers_used {
+                        err = Some(format!("barrier {bar} out of declared range"));
+                    }
+                }
+                Instr::LdGlobal { addr, .. } | Instr::StGlobal { addr, .. } => {
+                    if addr.array.0 >= self.global_arrays.len() {
+                        err = Some(format!("global array {} undeclared", addr.array.0));
+                    }
+                }
+                Instr::LdConst { bank, .. } => {
+                    if usize::from(*bank) >= self.const_banks.len() {
+                        err = Some(format!("const bank {bank} undeclared"));
+                    }
+                }
+                _ => {}
+            }
+        });
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Visit every instruction in the tree (all branches).
+    pub fn visit_ops(&self, f: &mut impl FnMut(&Instr)) {
+        fn walk(nodes: &[Node], f: &mut impl FnMut(&Instr)) {
+            for n in nodes {
+                match n {
+                    Node::Op(i) => f(i),
+                    Node::WarpIf { body, .. } => walk(body, f),
+                    Node::WarpSwitch { cases, .. } => {
+                        for c in cases {
+                            walk(c, f);
+                        }
+                    }
+                    Node::Loop { body, .. } | Node::PointLoop { body, .. } => walk(body, f),
+                }
+            }
+        }
+        walk(&self.body, f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_kernel() -> Kernel {
+        Kernel {
+            name: "t".into(),
+            body: vec![],
+            warps_per_cta: 4,
+            points_per_cta: 32,
+            dregs_per_thread: 8,
+            iregs_per_thread: 2,
+            shared_words: 64,
+            local_words_per_thread: 0,
+            const_banks: vec![],
+            iconst_banks: vec![],
+            barriers_used: 0,
+            global_arrays: vec![],
+            spilled_bytes_per_thread: 0,
+            exp_const_from_registers: false,
+        }
+    }
+
+    #[test]
+    fn regs32_counts_doubles_twice() {
+        let k = empty_kernel();
+        assert_eq!(k.regs32_per_thread(), 18);
+        assert_eq!(k.threads_per_cta(), 128);
+        assert_eq!(k.shared_bytes(), 512);
+    }
+
+    #[test]
+    fn issue_slots_and_flops() {
+        let fma = Instr::DFma { dst: 0, a: Op::Imm(1.0), b: Op::Imm(2.0), c: Op::Imm(3.0), const_c: false };
+        assert_eq!(fma.issue_slots(), 1);
+        assert_eq!(fma.flops(), 2);
+        let exp = Instr::DExp { dst: 0, a: Op::Imm(1.0) };
+        assert_eq!(exp.issue_slots(), 12);
+        assert_eq!(exp.flops(), 24);
+        assert!(exp.is_dp());
+        let shfl = Instr::Shfl { dst: 0, src: 1, lane: 3 };
+        assert_eq!(shfl.issue_slots(), 2);
+        assert_eq!(shfl.flops(), 0);
+        assert!(!shfl.is_dp());
+    }
+
+    #[test]
+    fn const_operand_slots_and_ablation() {
+        let exp = Instr::DExp { dst: 0, a: Op::Imm(1.0) };
+        assert_eq!(exp.const_operand_slots(false), 12);
+        assert_eq!(exp.const_operand_slots(true), 0);
+        let fma_c = Instr::DFma { dst: 0, a: Op::Imm(1.0), b: Op::Imm(2.0), c: Op::Imm(3.0), const_c: true };
+        assert_eq!(fma_c.const_operand_slots(false), 1);
+        assert_eq!(fma_c.const_operand_slots(true), 1);
+    }
+
+    #[test]
+    fn static_instruction_count_covers_all_branches() {
+        let mut k = empty_kernel();
+        k.body = vec![
+            Node::Op(Instr::DMov { dst: 0, src: Op::Imm(0.0) }),
+            Node::WarpSwitch {
+                case_of_warp: vec![0, 0, 1, 1],
+                cases: vec![
+                    vec![Node::Op(Instr::DMov { dst: 1, src: Op::Imm(1.0) })],
+                    vec![
+                        Node::Op(Instr::DMov { dst: 1, src: Op::Imm(2.0) }),
+                        Node::Op(Instr::DMov { dst: 2, src: Op::Imm(3.0) }),
+                    ],
+                ],
+            },
+            Node::Loop {
+                count: 4,
+                body: vec![Node::Op(Instr::DAdd { dst: 0, a: Op::Reg(0), b: Op::Imm(1.0) })],
+            },
+        ];
+        // 1 + (1 + 1 + 2) + (1 + 1)
+        assert_eq!(k.static_instructions(), 7);
+    }
+
+    #[test]
+    fn check_catches_out_of_range() {
+        let mut k = empty_kernel();
+        k.body = vec![Node::Op(Instr::DMov { dst: 99, src: Op::Imm(0.0) })];
+        assert!(k.check().is_err());
+        k.body = vec![Node::Op(Instr::BarSync { bar: 3, warps: 2 })];
+        assert!(k.check().is_err());
+        k.barriers_used = 4;
+        assert!(k.check().is_ok());
+    }
+
+    #[test]
+    fn saddr_helpers() {
+        assert_eq!(SAddr::lane(64), SAddr { base: None, imm: 64, lane_stride: 1 });
+        assert_eq!(SAddr::uniform(5).lane_stride, 0);
+        assert_eq!(SAddr::dyn_lane(2, 0).base, Some(2));
+    }
+}

@@ -1,0 +1,254 @@
+//! Grid launch: run a kernel over all CTAs of a grid (functionally, in
+//! parallel across host threads) and produce outputs plus a timing report.
+
+use crate::arch::GpuArch;
+use crate::error::{SimError, SimResult};
+use crate::interp::{flatten, run_cta, CtaResult};
+use crate::isa::Kernel;
+use crate::occupancy::occupancy;
+use crate::timing::{estimate, SimReport};
+
+/// Input arrays, parallel to `kernel.global_arrays`; output slots may be
+/// empty slices.
+pub struct LaunchInputs<'a> {
+    /// One slice per declared array (`rows * total_points` doubles for
+    /// inputs, anything — usually empty — for outputs).
+    pub arrays: Vec<&'a [f64]>,
+}
+
+/// Result of a launch.
+#[derive(Debug)]
+pub struct LaunchOutput {
+    /// Output arrays (`rows * total_points`), parallel to the declarations;
+    /// empty vectors for inputs.
+    pub outputs: Vec<Vec<f64>>,
+    /// Timing estimate (event counts from CTA 0).
+    pub report: SimReport,
+}
+
+/// How much of the grid to execute functionally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaunchMode {
+    /// Execute every CTA (full functional results).
+    Full,
+    /// Execute only CTA 0 (timing studies on big grids — outputs cover
+    /// just the first `points_per_cta` points).
+    TimingOnly,
+}
+
+/// Validate and launch `kernel` over `total_points` grid points.
+pub fn launch(
+    kernel: &Kernel,
+    arch: &GpuArch,
+    inputs: &LaunchInputs<'_>,
+    total_points: usize,
+    mode: LaunchMode,
+) -> SimResult<LaunchOutput> {
+    kernel.check().map_err(SimError::InvalidKernel)?;
+    if inputs.arrays.len() != kernel.global_arrays.len() {
+        return Err(SimError::BadLaunch(format!(
+            "{} arrays supplied for {} declarations",
+            inputs.arrays.len(),
+            kernel.global_arrays.len()
+        )));
+    }
+    for (decl, arr) in kernel.global_arrays.iter().zip(&inputs.arrays) {
+        if !decl.output && arr.len() != decl.rows * total_points {
+            return Err(SimError::BadLaunch(format!(
+                "input '{}' has {} elements, expected {}",
+                decl.name,
+                arr.len(),
+                decl.rows * total_points
+            )));
+        }
+    }
+    if total_points % kernel.points_per_cta != 0 {
+        return Err(SimError::BadLaunch(format!(
+            "grid of {} points not divisible by points_per_cta {}",
+            total_points, kernel.points_per_cta
+        )));
+    }
+    if occupancy(kernel, arch).ctas_per_sm == 0 {
+        return Err(SimError::BadLaunch(
+            "kernel does not fit on the SM (zero occupancy)".into(),
+        ));
+    }
+
+    let prog = flatten(kernel);
+    let n_ctas = match mode {
+        LaunchMode::Full => total_points / kernel.points_per_cta,
+        LaunchMode::TimingOnly => 1,
+    };
+
+    let mut outputs: Vec<Vec<f64>> = kernel
+        .global_arrays
+        .iter()
+        .map(|a| if a.output { vec![0.0; a.rows * total_points] } else { Vec::new() })
+        .collect();
+
+    // CTA 0 runs with event collection; scatter its buffers too.
+    let first = run_cta(kernel, &prog, &inputs.arrays, total_points, 0, true, arch)?;
+    scatter(kernel, total_points, 0, &first, &mut outputs);
+    let counts = first.counts;
+
+    if n_ctas > 1 {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let results: SimResult<Vec<Vec<(usize, CtaResult)>>> = crossbeam::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let prog = &prog;
+                let arrays = &inputs.arrays;
+                handles.push(s.spawn(move |_| -> SimResult<Vec<(usize, CtaResult)>> {
+                    let mut local = Vec::new();
+                    let mut cta = 1 + t;
+                    while cta < n_ctas {
+                        let r = run_cta(kernel, prog, arrays, total_points, cta, false, arch)?;
+                        local.push((cta, r));
+                        cta += threads;
+                    }
+                    Ok(local)
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        })
+        .expect("thread scope");
+        for batch in results? {
+            for (cta, r) in batch {
+                scatter(kernel, total_points, cta, &r, &mut outputs);
+            }
+        }
+    }
+
+    let report = estimate(kernel, arch, &counts, total_points);
+    Ok(LaunchOutput { outputs, report })
+}
+
+/// Scatter a CTA's output buffers into the full output arrays.
+fn scatter(
+    kernel: &Kernel,
+    total_points: usize,
+    cta: usize,
+    r: &CtaResult,
+    outputs: &mut [Vec<f64>],
+) {
+    let base = cta * kernel.points_per_cta;
+    for (ai, decl) in kernel.global_arrays.iter().enumerate() {
+        if !decl.output {
+            continue;
+        }
+        let buf = &r.out_buffers[ai];
+        for row in 0..decl.rows {
+            let src = &buf[row * kernel.points_per_cta..(row + 1) * kernel.points_per_cta];
+            let dst_off = row * total_points + base;
+            outputs[ai][dst_off..dst_off + kernel.points_per_cta].copy_from_slice(src);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::*;
+
+    fn saxpy_kernel() -> Kernel {
+        // out[0][p] = 2.5 * in[0][p] + in[1][p], one warp, 32 points/CTA.
+        Kernel {
+            name: "saxpy".into(),
+            body: vec![
+                Node::Op(Instr::LdGlobal {
+                    dst: 0,
+                    addr: GAddr { array: GlobalId(0), row: IdxOp::Imm(0), point: PointRef::Lane },
+                    ldg: false,
+                }),
+                Node::Op(Instr::LdGlobal {
+                    dst: 1,
+                    addr: GAddr { array: GlobalId(0), row: IdxOp::Imm(1), point: PointRef::Lane },
+                    ldg: false,
+                }),
+                Node::Op(Instr::DFma { dst: 2, a: Op::Reg(0), b: Op::Imm(2.5), c: Op::Reg(1), const_c: false }),
+                Node::Op(Instr::StGlobal {
+                    src: Op::Reg(2),
+                    addr: GAddr { array: GlobalId(1), row: IdxOp::Imm(0), point: PointRef::Lane },
+                }),
+            ],
+            warps_per_cta: 1,
+            points_per_cta: 32,
+            dregs_per_thread: 4,
+            iregs_per_thread: 1,
+            shared_words: 0,
+            local_words_per_thread: 0,
+            const_banks: vec![],
+            iconst_banks: vec![],
+            barriers_used: 0,
+            global_arrays: vec![
+                ArrayDecl { name: "in".into(), rows: 2, output: false },
+                ArrayDecl { name: "out".into(), rows: 1, output: true },
+            ],
+            spilled_bytes_per_thread: 0,
+            exp_const_from_registers: false,
+        }
+    }
+
+    #[test]
+    fn full_launch_covers_all_points() {
+        let k = saxpy_kernel();
+        let arch = GpuArch::kepler_k20c();
+        let points = 32 * 17;
+        let input: Vec<f64> = (0..2 * points).map(|i| i as f64 * 0.5).collect();
+        let out = launch(&k, &arch, &LaunchInputs { arrays: vec![&input, &[]] }, points, LaunchMode::Full)
+            .unwrap();
+        for p in 0..points {
+            let expect = 2.5 * input[p] + input[points + p];
+            assert_eq!(out.outputs[1][p], expect, "point {p}");
+        }
+        assert!(out.report.points_per_sec > 0.0);
+    }
+
+    #[test]
+    fn timing_only_runs_one_cta() {
+        let k = saxpy_kernel();
+        let arch = GpuArch::fermi_c2070();
+        let points = 32 * 8;
+        let input: Vec<f64> = vec![1.0; 2 * points];
+        let out = launch(&k, &arch, &LaunchInputs { arrays: vec![&input, &[]] }, points, LaunchMode::TimingOnly)
+            .unwrap();
+        // First CTA's points are computed, the rest remain zero.
+        assert_eq!(out.outputs[1][0], 3.5);
+        assert_eq!(out.outputs[1][63], 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_input_shapes() {
+        let k = saxpy_kernel();
+        let arch = GpuArch::kepler_k20c();
+        let input = vec![0.0; 10];
+        let err = launch(&k, &arch, &LaunchInputs { arrays: vec![&input, &[]] }, 64, LaunchMode::Full)
+            .unwrap_err();
+        assert!(matches!(err, SimError::BadLaunch(_)));
+    }
+
+    #[test]
+    fn rejects_indivisible_grid() {
+        let k = saxpy_kernel();
+        let arch = GpuArch::kepler_k20c();
+        let input = vec![0.0; 2 * 40];
+        let err = launch(&k, &arch, &LaunchInputs { arrays: vec![&input, &[]] }, 40, LaunchMode::Full)
+            .unwrap_err();
+        assert!(matches!(err, SimError::BadLaunch(_)));
+    }
+
+    #[test]
+    fn report_has_sane_metrics() {
+        let k = saxpy_kernel();
+        let arch = GpuArch::kepler_k20c();
+        let points = 32 * 64;
+        let input: Vec<f64> = vec![1.0; 2 * points];
+        let out = launch(&k, &arch, &LaunchInputs { arrays: vec![&input, &[]] }, points, LaunchMode::Full)
+            .unwrap();
+        let r = &out.report;
+        assert!(r.seconds > 0.0);
+        assert!(r.gflops > 0.0);
+        assert!(r.occupancy.ctas_per_sm >= 1);
+        assert_eq!(r.grid_points, points);
+    }
+}

@@ -1,0 +1,47 @@
+//! `gpu-sim` — a simulated SIMT GPU substrate for the Singe reproduction.
+//!
+//! The paper evaluates Singe on NVIDIA Tesla C2070 (Fermi) and Tesla K20c
+//! (Kepler) GPUs. This crate substitutes those with a two-part model:
+//!
+//! 1. a **functional interpreter** for a structured kernel IR: cooperative
+//!    thread arrays of 32-lane warps executing in lock step, PTX-style
+//!    named barriers (`bar.arrive` / `bar.sync`) with deadlock detection,
+//!    shared memory with bank-conflict accounting, per-thread registers,
+//!    constant banks, and local (spill) memory — producing bit-exact
+//!    numerical results that are checked against CPU references;
+//! 2. an **analytic timing model** parameterized by the paper's published
+//!    hardware characteristics (SM counts and clocks, double-precision
+//!    issue rates, the 8 KB constant cache, instruction-cache capacity,
+//!    30-cycle shared-memory latency, DRAM and local-memory bandwidths,
+//!    occupancy rules including named barriers as a conserved resource),
+//!    fed by event counts gathered during interpretation.
+//!
+//! Every performance mechanism the paper's evaluation relies on — register
+//! spilling, constant-cache overflow, instruction-cache thrashing under
+//! divergent warp-specialized code, named-barrier straggler stalls, and
+//! shared-memory latency at low occupancy — is modeled explicitly, so the
+//! qualitative shapes of the paper's figures emerge from the same causes.
+
+pub mod arch;
+pub mod ccache;
+pub mod counts;
+pub mod error;
+pub mod icache;
+pub mod interp;
+pub mod isa;
+pub mod launch;
+pub mod occupancy;
+pub mod timing;
+
+pub use arch::GpuArch;
+pub use counts::EventCounts;
+pub use error::{SimError, SimResult};
+pub use isa::{
+    ArrayDecl, GAddr, GlobalId, IdxInstr, IdxOp, Instr, Kernel, Node, Op, PointRef, Reg, SAddr,
+};
+pub use launch::{launch, LaunchInputs, LaunchOutput};
+pub use occupancy::Occupancy;
+pub use timing::{SimReport, TimingBreakdown};
+
+/// Number of lanes in a warp. All modeled architectures use 32.
+pub const WARP_SIZE: usize = 32;

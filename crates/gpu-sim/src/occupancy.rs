@@ -1,0 +1,154 @@
+//! Occupancy calculation: how many CTAs of a kernel fit on one SM.
+//!
+//! Registers, shared memory, warp slots, the CTA limit, and — unusually —
+//! *named barriers* are all conserved resources (paper §4.2 footnote 1:
+//! "the maximum number of named barriers per CTA is 16 divided by the
+//! desired number of CTAs per SM").
+
+use crate::arch::GpuArch;
+use crate::isa::Kernel;
+use serde::Serialize;
+
+/// Result of the occupancy calculation.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Occupancy {
+    /// Concurrent CTAs per SM.
+    pub ctas_per_sm: usize,
+    /// Resident warps per SM.
+    pub warps_per_sm: usize,
+    /// Which resource bounds occupancy.
+    pub limiter: OccLimiter,
+}
+
+/// The binding resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum OccLimiter {
+    /// Register file.
+    Registers,
+    /// Shared memory.
+    SharedMemory,
+    /// Warp slots.
+    Warps,
+    /// Hardware CTA limit.
+    CtaLimit,
+    /// Named barriers (16 per SM, conserved).
+    NamedBarriers,
+}
+
+/// Compute occupancy for `kernel` on `arch`.
+///
+/// Registers per thread are clamped to the architectural maximum — a kernel
+/// wanting more must have spilled (the compiler handles that; here we only
+/// size the register allocation).
+pub fn occupancy(kernel: &Kernel, arch: &GpuArch) -> Occupancy {
+    let threads = kernel.threads_per_cta();
+    // Real toolchains cap registers (-maxrregcount) so at least one CTA
+    // fits, spilling the excess; mirror that by flooring the allocation at
+    // one CTA's worth when the raw demand would not fit at all.
+    let fit_cap = (arch.regs_per_sm / threads).max(1);
+    let regs = kernel
+        .regs32_per_thread()
+        .min(arch.max_regs_per_thread)
+        .min(fit_cap)
+        .max(1);
+
+    let mut best = (usize::MAX, OccLimiter::CtaLimit);
+    let mut consider = |v: usize, lim: OccLimiter| {
+        if v < best.0 {
+            best = (v, lim);
+        }
+    };
+
+    consider(arch.regs_per_sm / (regs * threads), OccLimiter::Registers);
+    if kernel.shared_bytes() > 0 {
+        consider(arch.shared_per_sm / kernel.shared_bytes(), OccLimiter::SharedMemory);
+    }
+    consider(arch.max_warps_per_sm / kernel.warps_per_cta, OccLimiter::Warps);
+    consider(arch.max_ctas_per_sm, OccLimiter::CtaLimit);
+    if kernel.barriers_used > 0 {
+        consider(
+            arch.named_barriers_per_sm / kernel.barriers_used,
+            OccLimiter::NamedBarriers,
+        );
+    }
+
+    let ctas = best.0.max(0);
+    Occupancy {
+        ctas_per_sm: ctas,
+        warps_per_sm: ctas * kernel.warps_per_cta,
+        limiter: best.1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Kernel;
+
+    fn kernel(warps: usize, dregs: usize, shared_words: usize, barriers: usize) -> Kernel {
+        Kernel {
+            name: "t".into(),
+            body: vec![],
+            warps_per_cta: warps,
+            points_per_cta: 32,
+            dregs_per_thread: dregs,
+            iregs_per_thread: 2,
+            shared_words,
+            local_words_per_thread: 0,
+            const_banks: vec![],
+            iconst_banks: vec![],
+            barriers_used: barriers,
+            global_arrays: vec![],
+            spilled_bytes_per_thread: 0,
+            exp_const_from_registers: false,
+        }
+    }
+
+    #[test]
+    fn register_limited() {
+        let arch = GpuArch::fermi_c2070();
+        // 30 dregs = 62 regs32/thread, 8 warps = 256 threads
+        // => 32768 / (62*256) = 2 CTAs.
+        let occ = occupancy(&kernel(8, 30, 0, 0), &arch);
+        assert_eq!(occ.ctas_per_sm, 2);
+        assert_eq!(occ.limiter, OccLimiter::Registers);
+    }
+
+    #[test]
+    fn shared_limited() {
+        let arch = GpuArch::kepler_k20c();
+        // 3000 words = 24000 B; 48K/24000 = 2 CTAs; regs loose.
+        let occ = occupancy(&kernel(4, 8, 3000, 0), &arch);
+        assert_eq!(occ.ctas_per_sm, 2);
+        assert_eq!(occ.limiter, OccLimiter::SharedMemory);
+    }
+
+    #[test]
+    fn named_barriers_conserved() {
+        let arch = GpuArch::kepler_k20c();
+        // 16 barriers used => exactly 1 CTA per SM (paper footnote 1).
+        let occ = occupancy(&kernel(4, 4, 16, 16), &arch);
+        assert_eq!(occ.ctas_per_sm, 1);
+        assert_eq!(occ.limiter, OccLimiter::NamedBarriers);
+        // 8 barriers => up to 2 by that resource.
+        let occ = occupancy(&kernel(4, 4, 16, 8), &arch);
+        assert!(occ.ctas_per_sm >= 2);
+    }
+
+    #[test]
+    fn warp_slots_limit() {
+        let arch = GpuArch::fermi_c2070();
+        // 20 warps/CTA: 48/20 = 2 CTAs max by warps.
+        let occ = occupancy(&kernel(20, 4, 16, 0), &arch);
+        assert_eq!(occ.ctas_per_sm, 2);
+        assert_eq!(occ.warps_per_sm, 40);
+    }
+
+    #[test]
+    fn regs_clamped_to_arch_max() {
+        let arch = GpuArch::fermi_c2070();
+        // A kernel "wanting" 200 regs32 is clamped to 63 for sizing.
+        let occ = occupancy(&kernel(4, 100, 0, 0), &arch);
+        assert!(occ.ctas_per_sm >= 4, "{}", occ.ctas_per_sm);
+    }
+}

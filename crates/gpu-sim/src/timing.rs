@@ -1,0 +1,324 @@
+//! Analytic timing model.
+//!
+//! Converts per-CTA event counts into an execution-time estimate using the
+//! architecture parameters. The model is a latency-aware roofline: per SM
+//! wave, time is the maximum of the throughput-bound terms (DP issue, DRAM
+//! bandwidth, local/spill path, shared-memory throughput) plus the
+//! additive stall terms that multithreading cannot hide (named-barrier
+//! straggler waits, instruction-cache misses, constant-cache misses at low
+//! occupancy). Each term corresponds to a mechanism the paper names in §6:
+//!
+//! * baseline viscosity/diffusion: register spills -> local traffic, and
+//!   constant-cache misses -> exposed latency (§6.1, §6.2);
+//! * warp-specialized viscosity: DP-pipe bound, with the Kepler
+//!   constant-operand DFMA throughput limit (§6.1);
+//! * warp-specialized diffusion: extra named-barrier stalls (§6.2);
+//! * baseline chemistry: local-memory bandwidth bound; warp-specialized
+//!   chemistry: shared-memory latency bound at 16-20 warps/SM (§6.3).
+
+use crate::arch::GpuArch;
+use crate::counts::EventCounts;
+use crate::isa::Kernel;
+use crate::occupancy::{occupancy, Occupancy};
+use serde::Serialize;
+
+/// Cycle breakdown for one SM wave (diagnostics; the shape explanations of
+/// §6 come from comparing these terms).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct TimingBreakdown {
+    /// Double-precision issue cycles (incl. const-operand penalty).
+    pub dp_cycles: f64,
+    /// Total instruction-issue cycles (non-DP overhead floor).
+    pub issue_cycles: f64,
+    /// DRAM bandwidth cycles (global traffic).
+    pub dram_cycles: f64,
+    /// Local/spill path cycles.
+    pub local_cycles: f64,
+    /// Shared-memory cycles (throughput or exposed latency).
+    pub shared_cycles: f64,
+    /// Constant-cache miss stalls.
+    pub const_miss_cycles: f64,
+    /// Named-barrier stalls.
+    pub barrier_cycles: f64,
+    /// Instruction-cache miss stalls.
+    pub icache_cycles: f64,
+    /// Global-memory latency exposure (low-occupancy term).
+    pub global_latency_cycles: f64,
+}
+
+impl TimingBreakdown {
+    /// The wave-time estimate: max of throughput terms plus additive stalls.
+    pub fn wave_cycles(&self) -> f64 {
+        let roof = self
+            .dp_cycles
+            .max(self.issue_cycles)
+            .max(self.dram_cycles)
+            .max(self.local_cycles)
+            .max(self.shared_cycles)
+            .max(self.global_latency_cycles);
+        roof + self.const_miss_cycles + self.barrier_cycles + self.icache_cycles
+    }
+
+    /// Name of the largest single term (the kernel's limiter, as the
+    /// paper's SASS analyses identify).
+    pub fn limiter(&self) -> &'static str {
+        let terms = [
+            (self.dp_cycles, "dp-throughput"),
+            (self.issue_cycles, "issue"),
+            (self.dram_cycles, "dram-bandwidth"),
+            (self.local_cycles, "local-bandwidth"),
+            (self.shared_cycles, "shared-memory"),
+            (self.global_latency_cycles, "global-latency"),
+            (self.const_miss_cycles, "const-cache"),
+            (self.barrier_cycles, "barriers"),
+            (self.icache_cycles, "icache"),
+        ];
+        terms
+            .iter()
+            .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
+            .unwrap()
+            .1
+    }
+}
+
+/// Full simulation report for a kernel launch.
+#[derive(Debug, Clone, Serialize)]
+pub struct SimReport {
+    /// Kernel name.
+    pub kernel: String,
+    /// Architecture name.
+    pub arch: String,
+    /// Grid points processed.
+    pub grid_points: usize,
+    /// Occupancy achieved.
+    pub occupancy: Occupancy,
+    /// Per-CTA event counts.
+    pub counts: EventCounts,
+    /// SM waves needed to cover the grid.
+    pub waves: usize,
+    /// Cycles per wave.
+    pub wave_cycles: f64,
+    /// End-to-end kernel time in seconds (incl. launch overhead).
+    pub seconds: f64,
+    /// Grid points per second — the paper's throughput metric.
+    pub points_per_sec: f64,
+    /// Achieved double-precision GFLOPS — §6.1/6.2 analysis metric.
+    pub gflops: f64,
+    /// Achieved DRAM + local bandwidth in GB/s — §6.3 analysis metric.
+    pub bandwidth_gbs: f64,
+    /// Spill bytes per thread (compiler metadata).
+    pub spilled_bytes_per_thread: usize,
+    /// Cycle breakdown.
+    pub breakdown: TimingBreakdown,
+    /// Human-readable limiter.
+    pub limiter: &'static str,
+}
+
+/// Estimate execution time for a grid of `total_points` given the event
+/// counts of one representative CTA.
+pub fn estimate(
+    kernel: &Kernel,
+    arch: &GpuArch,
+    counts: &EventCounts,
+    total_points: usize,
+) -> SimReport {
+    let occ = occupancy(kernel, arch);
+    let k = occ.ctas_per_sm.max(1) as f64;
+    let warps_sm = (occ.ctas_per_sm.max(1) * kernel.warps_per_cta) as f64;
+
+    // --- Throughput terms (cycles per SM wave of k CTAs). ---
+    // DP pipe: warp-instructions per cycle the SM can issue.
+    let dp_rate = arch.dp_lanes_per_cycle as f64 / 32.0 * arch.dp_efficiency;
+    let const_penalty = counts.dp_const_slots as f64 * (1.0 / arch.dp_const_operand_factor - 1.0);
+    let dp_cycles = k * (counts.dp_slots as f64 + const_penalty) / dp_rate;
+
+    // Overall issue floor (schedulers): Fermi ~1 warp-instr/cycle, Kepler ~4.
+    let issue_width = (arch.dp_lanes_per_cycle as f64 / 16.0).max(1.0);
+    let issue_cycles = k * counts.issue_slots as f64 / issue_width;
+
+    // Memory paths.
+    let dram_cycles = k * counts.global_bytes as f64 / arch.dram_bytes_per_sm_cycle();
+    let local_cycles = k * counts.local_bytes as f64 / arch.local_bytes_per_sm_cycle();
+
+    // Shared memory: throughput or exposed latency, whichever dominates at
+    // this occupancy (paper §6.3: 16-20 warps cannot hide 30 cycles).
+    let per_access = (1.0 / arch.shared_throughput).max(arch.shared_latency / warps_sm);
+    let shared_cycles = k * counts.shared_accesses as f64 * per_access;
+
+    // Global latency exposure at low occupancy.
+    let global_latency_cycles =
+        k * counts.global_transactions as f64 * (arch.global_latency / warps_sm).max(0.0)
+            / 8.0; // up to ~8 outstanding loads per warp (MLP)
+
+    // --- Additive stall terms. ---
+    // Constant loads feed arithmetic operands directly, so their miss
+    // latency is a dependent stall: one outstanding miss per warp
+    // (Little's law). This is the §6.1 Kepler-baseline limiter — "the
+    // latency of loading constants was still exposed".
+    let const_miss_cycles = k
+        * (counts.const_misses as f64 * arch.const_miss_latency
+            + counts.const_hits as f64 * arch.const_hit_latency)
+        / warps_sm.max(1.0);
+    let barrier_cycles =
+        k * counts.barrier_syncs as f64 * arch.barrier_sync_cycles / kernel.warps_per_cta as f64;
+    // Icache misses stall fetch. Sequential streaming (overlaid code: all
+    // warps on shared addresses, low miss ratio) is largely hidden by the
+    // prefetcher; thrash (divergent per-warp code, ratio approaching one
+    // miss per line) cannot be prefetched — the paper's §5 "routinely an
+    // order of magnitude" penalty. Effectiveness scales with miss ratio up
+    // to the one-miss-per-line rate (line = 8 instructions).
+    let ratio = counts.icache_miss_ratio();
+    let prefetch = (ratio / 0.125).clamp(0.08, 1.0);
+    let icache_cycles = k * counts.icache_misses as f64 * arch.icache_miss_penalty * prefetch;
+
+    let breakdown = TimingBreakdown {
+        dp_cycles,
+        issue_cycles,
+        dram_cycles,
+        local_cycles,
+        shared_cycles,
+        const_miss_cycles,
+        barrier_cycles,
+        icache_cycles,
+        global_latency_cycles,
+    };
+
+    let total_ctas = total_points / kernel.points_per_cta;
+    let ctas_per_wave = (arch.sms * occ.ctas_per_sm.max(1)).max(1);
+    let waves = total_ctas.div_ceil(ctas_per_wave);
+    let wave_cycles = breakdown.wave_cycles();
+    // Tail correction: the last wave may be partially full.
+    let full_waves = total_ctas / ctas_per_wave;
+    let tail = total_ctas % ctas_per_wave;
+    let effective_waves = full_waves as f64
+        + if tail > 0 {
+            // A partial wave still pays close to a full wave's latency terms
+            // but proportionally less throughput time; approximate linearly
+            // with a floor.
+            (tail as f64 / ctas_per_wave as f64).max(0.3)
+        } else {
+            0.0
+        };
+
+    let seconds = effective_waves * wave_cycles / arch.sm_clock_hz()
+        + arch.launch_overhead_us * 1.0e-6;
+    let flops_total = counts.flops as f64 * total_ctas as f64;
+    let bytes_total = (counts.global_bytes + counts.local_bytes) as f64 * total_ctas as f64;
+
+    SimReport {
+        kernel: kernel.name.clone(),
+        arch: arch.name.to_string(),
+        grid_points: total_points,
+        occupancy: occ,
+        counts: counts.clone(),
+        waves,
+        wave_cycles,
+        seconds,
+        points_per_sec: total_points as f64 / seconds,
+        gflops: flops_total / seconds / 1.0e9,
+        bandwidth_gbs: bytes_total / seconds / 1.0e9,
+        spilled_bytes_per_thread: kernel.spilled_bytes_per_thread,
+        breakdown,
+        limiter: breakdown.limiter(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{ArrayDecl, Kernel};
+
+    fn kernel() -> Kernel {
+        Kernel {
+            name: "t".into(),
+            body: vec![],
+            warps_per_cta: 8,
+            points_per_cta: 32,
+            dregs_per_thread: 16,
+            iregs_per_thread: 4,
+            shared_words: 256,
+            local_words_per_thread: 0,
+            const_banks: vec![],
+            iconst_banks: vec![],
+            barriers_used: 2,
+            global_arrays: vec![ArrayDecl { name: "o".into(), rows: 1, output: true }],
+            spilled_bytes_per_thread: 0,
+            exp_const_from_registers: false,
+        }
+    }
+
+    fn counts() -> EventCounts {
+        EventCounts {
+            issue_slots: 10_000,
+            dp_slots: 8_000,
+            dp_const_slots: 1_000,
+            flops: 400_000,
+            shared_accesses: 500,
+            global_bytes: 32 * 8 * 4,
+            global_transactions: 8,
+            barrier_syncs: 16,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn compute_bound_kernel_scales_with_dp() {
+        let k = kernel();
+        let arch = GpuArch::kepler_k20c();
+        let r = estimate(&k, &arch, &counts(), 32 * 1024);
+        assert_eq!(r.limiter, "dp-throughput");
+        assert!(r.gflops > 0.0 && r.gflops < arch.peak_dp_gflops());
+    }
+
+    #[test]
+    fn local_traffic_shifts_limiter() {
+        let k = kernel();
+        let arch = GpuArch::kepler_k20c();
+        let mut c = counts();
+        c.local_bytes = 4_000_000; // heavy spilling
+        let r = estimate(&k, &arch, &c, 32 * 1024);
+        assert_eq!(r.limiter, "local-bandwidth");
+    }
+
+    #[test]
+    fn icache_misses_dominate_when_thrashing() {
+        let k = kernel();
+        let arch = GpuArch::kepler_k20c();
+        let mut c = counts();
+        c.icache_fetches = 100_000;
+        c.icache_misses = 50_000;
+        let r = estimate(&k, &arch, &c, 32 * 1024);
+        assert_eq!(r.limiter, "icache");
+        let base = estimate(&k, &arch, &counts(), 32 * 1024);
+        assert!(r.seconds > 5.0 * base.seconds, "thrash should be devastating");
+    }
+
+    #[test]
+    fn larger_grids_amortize_launch_overhead() {
+        let k = kernel();
+        let arch = GpuArch::fermi_c2070();
+        let small = estimate(&k, &arch, &counts(), 32 * 32);
+        let large = estimate(&k, &arch, &counts(), 32 * 32 * 64);
+        assert!(large.points_per_sec > small.points_per_sec);
+    }
+
+    #[test]
+    fn barrier_term_adds_time() {
+        let k = kernel();
+        let arch = GpuArch::fermi_c2070();
+        let mut heavy = counts();
+        heavy.barrier_syncs = 4000;
+        let slow = estimate(&k, &arch, &heavy, 32 * 1024);
+        let fast = estimate(&k, &arch, &counts(), 32 * 1024);
+        assert!(slow.seconds > fast.seconds);
+    }
+
+    #[test]
+    fn kepler_outperforms_fermi_on_compute_bound() {
+        let k = kernel();
+        let c = counts();
+        let f = estimate(&k, &GpuArch::fermi_c2070(), &c, 32 * 1024);
+        let kep = estimate(&k, &GpuArch::kepler_k20c(), &c, 32 * 1024);
+        assert!(kep.points_per_sec > f.points_per_sec);
+    }
+}

@@ -1,0 +1,59 @@
+//! Drive the brute-force autotuner (paper §4) over the viscosity kernel:
+//! warp counts and streaming depths are explored exhaustively and scored
+//! with the simulator's timing model.
+//!
+//! Run with: `cargo run --release --example autotune_viscosity`
+
+use chemkin::reference::tables::ViscosityTables;
+use chemkin::state::{GridDims, GridState};
+use chemkin::synth;
+use gpu_sim::arch::GpuArch;
+use singe::autotune::{autotune, candidate_grid};
+use singe::config::Placement;
+use singe::kernels::launch_arrays;
+use singe::kernels::viscosity::viscosity_dfg;
+
+fn main() {
+    let mech = synth::dme();
+    let t = ViscosityTables::build(&mech);
+    let arch = GpuArch::kepler_k20c();
+    println!(
+        "autotuning viscosity for '{}' ({} species) on {}",
+        mech.name, t.n, arch.name
+    );
+
+    // The paper: "the search space for Singe was never more than a few
+    // hundred points because warp-specialized decisions dealt with very
+    // coarse-grained properties such as the number of target warps."
+    let candidates = candidate_grid(Placement::Store);
+    println!("{} candidate configurations", candidates.len());
+
+    // One DFG per warp count (the partitioning is warp-count-dependent —
+    // the §4 stage-1 input includes the target warp count).
+    let n = t.n;
+    let mut results = Vec::new();
+    for cand in &candidates {
+        let dfg = viscosity_dfg(&t, cand.warps);
+        let r = autotune(&dfg, &arch, std::slice::from_ref(cand), 4096, &|k, pts| {
+            let g = GridState::random(GridDims { nx: pts, ny: 1, nz: 1 }, n, 7);
+            launch_arrays(&k.global_arrays, &g).iter().map(|s| s.to_vec()).collect()
+        });
+        if let Ok(r) = r {
+            let sec = r.points[0].seconds.unwrap_or(f64::INFINITY);
+            results.push((cand.clone(), sec));
+        }
+    }
+    results.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+
+    println!("\n{:>6} {:>6} {:>14}", "warps", "iters", "sim us / 4096pt");
+    for (opts, sec) in results.iter().take(8) {
+        println!("{:>6} {:>6} {:>14.1}", opts.warps, opts.point_iters, sec * 1e6);
+    }
+    let best = &results[0].0;
+    println!("\nbest: {} warps, {} point iterations", best.warps, best.point_iters);
+    println!(
+        "(the Figure 9 peak structure favors warp counts dividing the {} species — \
+         larger counts can still win by raising occupancy)",
+        t.n
+    );
+}

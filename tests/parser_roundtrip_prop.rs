@@ -1,0 +1,97 @@
+//! Property tests over the mechanism input path: any synthetic mechanism,
+//! serialized to the four CHEMKIN-style text files and re-parsed, must
+//! reproduce the same structure, rate constants, thermodynamics, and
+//! kernel-table footprints.
+
+use chemkin::reference::tables::{ChemistrySpec, ViscosityTables};
+use chemkin::synth::{self, MechanismFiles, SynthConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn synthesize_serialize_parse_roundtrip(
+        n_species in 4usize..24,
+        extra_reactions in 0usize..30,
+        n_qssa in 0usize..4,
+        n_stiff in 0usize..5,
+        seed in 0u64..10_000,
+    ) {
+        prop_assume!(n_qssa + n_stiff <= n_species);
+        let cfg = SynthConfig {
+            name: "prop".into(),
+            n_species,
+            n_reactions: n_species + extra_reactions,
+            n_qssa,
+            n_stiff,
+            seed,
+        };
+        let m = synth::synthesize(&cfg);
+        let files = MechanismFiles::from_mechanism(&m);
+        let m2 = files.parse("prop").expect("round-trip parse");
+
+        prop_assert_eq!(m.n_species(), m2.n_species());
+        prop_assert_eq!(m.n_reactions(), m2.n_reactions());
+        prop_assert_eq!(&m.qssa, &m2.qssa);
+        // Stoichiometry survives exactly.
+        for (a, b) in m.reactions.iter().zip(m2.reactions.iter()) {
+            prop_assert_eq!(&a.reactants, &b.reactants);
+            prop_assert_eq!(&a.products, &b.products);
+        }
+        // Rate constants survive to high precision at a few temperatures.
+        for (a, b) in m.reactions.iter().zip(m2.reactions.iter()) {
+            for t in [500.0, 1200.0, 2400.0] {
+                let (ka, kb) = (a.rate.forward(t, 1e-5), b.rate.forward(t, 1e-5));
+                if ka != 0.0 {
+                    prop_assert!(((ka - kb) / ka).abs() < 1e-9, "{} vs {}", ka, kb);
+                }
+            }
+        }
+        // Thermo survives.
+        for (a, b) in m.thermo.iter().zip(m2.thermo.iter()) {
+            for t in [400.0, 1600.0] {
+                prop_assert!((a.g_rt(t) - b.g_rt(t)).abs() < 1e-6 * a.g_rt(t).abs().max(1.0));
+            }
+        }
+        // Derived kernel tables agree (the compiler consumes these).
+        let v1 = ViscosityTables::build(&m);
+        let v2 = ViscosityTables::build(&m2);
+        prop_assert_eq!(v1.n, v2.n);
+        for (a, b) in v1.pair_a.iter().zip(v2.pair_a.iter()) {
+            prop_assert!((a - b).abs() < 1e-9 * a.abs().max(1.0));
+        }
+        let c1 = ChemistrySpec::build(&m);
+        let c2 = ChemistrySpec::build(&m2);
+        prop_assert_eq!(c1.qssa_reaction_indices(), c2.qssa_reaction_indices());
+    }
+
+    #[test]
+    fn chemistry_reference_is_always_finite(
+        n_species in 4usize..16,
+        n_qssa in 0usize..3,
+        seed in 0u64..10_000,
+        state_seed in 0u64..1_000,
+    ) {
+        prop_assume!(n_qssa + 2 <= n_species);
+        let cfg = SynthConfig {
+            name: "fin".into(),
+            n_species,
+            n_reactions: n_species + 6,
+            n_qssa,
+            n_stiff: 2,
+            seed,
+        };
+        let m = synth::synthesize(&cfg);
+        let spec = ChemistrySpec::build(&m);
+        let g = chemkin::state::GridState::random(
+            chemkin::state::GridDims { nx: 8, ny: 1, nz: 1 },
+            spec.n_trans,
+            state_seed,
+        );
+        let out = chemkin::reference::reference_chemistry(&spec, &g);
+        for v in out {
+            prop_assert!(v.is_finite(), "non-finite wdot {v}");
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Property test of the whole warp-specializing pipeline: random dataflow
+//! graphs are mapped, scheduled (Theorem 1), barrier-allocated, overlaid,
+//! and executed on the simulator — they must never deadlock and must match
+//! a host evaluation of the same graph.
+
+use proptest::prelude::*;
+use singe::codegen::compile_dfg;
+use singe::config::{CompileOptions, Placement};
+use singe::dfg::{Dfg, Operation};
+use singe::expr::{eval, Expr, RowRef, Stmt};
+use gpu_sim::arch::GpuArch;
+use gpu_sim::isa::ArrayDecl;
+use gpu_sim::launch::{launch, LaunchInputs, LaunchMode};
+
+/// Build a random layered DAG: `layers x width` ops, each combining 1-2
+/// values from earlier layers with a per-op constant; final op stores a
+/// combination of the last layer.
+fn random_dfg(layers: usize, width: usize, seeds: Vec<u32>) -> Dfg {
+    let mut ops = Vec::new();
+    let mut var: u32 = 0;
+    let mut prev: Vec<u32> = Vec::new();
+    let mut s = seeds.into_iter().cycle();
+    let mut nexts = move || s.next().unwrap();
+    for layer in 0..layers {
+        let mut cur = Vec::new();
+        for wi in 0..width {
+            let v = var;
+            var += 1;
+            let e = if layer == 0 {
+                Expr::Input { array: 0, row: RowRef::Fixed(0) }
+                    .mul(Expr::Const(0))
+                    .add(Expr::Lit(1.0))
+            } else {
+                let a = prev[(nexts() as usize) % prev.len()];
+                let b = prev[(nexts() as usize) % prev.len()];
+                // Keep values bounded: average then scale by a constant.
+                Expr::Var(a).add(Expr::Var(b)).mul(Expr::Lit(0.5)).mul(Expr::Const(0))
+            };
+            ops.push(Operation {
+                name: format!("op{layer}_{wi}"),
+                body: vec![Stmt::DefVar(v, e)],
+                n_locals: 0,
+                consts: vec![0.5 + ((nexts() % 100) as f64) / 100.0],
+                irows: vec![],
+                pinned_warp: None,
+                phase: layer as u32,
+            });
+            cur.push(v);
+        }
+        prev = cur;
+    }
+    let sum = prev.iter().fold(Expr::Lit(0.0), |a, &v| a.add(Expr::Var(v)));
+    ops.push(Operation {
+        name: "store".into(),
+        body: vec![Stmt::Store { array: 1, row: RowRef::Fixed(0), value: sum }],
+        n_locals: 0,
+        consts: vec![],
+        irows: vec![],
+        pinned_warp: None,
+        phase: layers as u32,
+    });
+    Dfg {
+        name: "prop".into(),
+        ops,
+        n_vars: var,
+        arrays: vec![
+            ArrayDecl { name: "in".into(), rows: 1, output: false },
+            ArrayDecl { name: "out".into(), rows: 1, output: true },
+        ],
+        force_shared: vec![],
+    }
+}
+
+/// Host evaluation of the random DAG for one input value.
+fn host_eval(dfg: &Dfg, input: f64) -> f64 {
+    let order = dfg.topo_order().unwrap();
+    let mut vars = vec![0.0f64; dfg.n_vars as usize];
+    let mut out = 0.0;
+    for o in order {
+        let op = &dfg.ops[o];
+        for s in &op.body {
+            match s {
+                Stmt::DefVar(v, e) => {
+                    vars[*v as usize] =
+                        eval(e, &op.consts, &[], &|x| vars[x as usize], &|_, _| input);
+                }
+                Stmt::Store { value, .. } => {
+                    out = eval(value, &op.consts, &[], &|x| vars[x as usize], &|_, _| input);
+                }
+                Stmt::Local(..) => unreachable!(),
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pipeline_never_deadlocks_and_matches_host(
+        layers in 1usize..5,
+        width in 1usize..6,
+        warps in 1usize..6,
+        buffered in proptest::bool::ANY,
+        seeds in proptest::collection::vec(0u32..1000, 8..32),
+    ) {
+        let dfg = random_dfg(layers, width, seeds);
+        let placement = if buffered { Placement::Buffer(8) } else { Placement::Store };
+        let opts = CompileOptions { warps, point_iters: 2, placement, ..Default::default() };
+        let arch = GpuArch::kepler_k20c();
+        // Tiny buffer pools may legally be infeasible; everything else
+        // must compile.
+        let compiled = match compile_dfg(&dfg, &opts, &arch) {
+            Ok(c) => c,
+            Err(singe::CompileError::ResourceExhausted(_)) if buffered => return Ok(()),
+            Err(e) => panic!("compile failed: {e}"),
+        };
+        let points = compiled.kernel.points_per_cta;
+        let input: Vec<f64> = (0..points).map(|i| 1.0 + i as f64 * 0.125).collect();
+        // Deadlock would be reported as an error here (Theorem 1 property).
+        let out = launch(
+            &compiled.kernel,
+            &arch,
+            &LaunchInputs { arrays: vec![&input, &[]] },
+            points,
+            LaunchMode::Full,
+        ).expect("no deadlock, no memory faults");
+        for (p, &x) in input.iter().enumerate() {
+            let want = host_eval(&dfg, x);
+            let got = out.outputs[1][p];
+            prop_assert!(
+                (got - want).abs() <= 1e-9 * want.abs().max(1.0),
+                "point {p}: got {got}, want {want}"
+            );
+        }
+    }
+}
