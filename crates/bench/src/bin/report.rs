@@ -2,8 +2,10 @@
 //!
 //! Usage: `report [figure]` where figure is one of
 //! `mechanisms fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 gflops
-//! ablate-barriers spills all` (default `all`). Results also land in
-//! `target/report.json`.
+//! ablate-barriers spills verify all` (default `all`). Results also land
+//! in `target/report.json`. `verify` runs the independent schedule
+//! verifier over every kernel × mechanism × architecture × compiler
+//! combination and exits non-zero on any violation.
 
 use chemkin::synth;
 use chemkin::Mechanism;
@@ -11,8 +13,17 @@ use gpu_sim::arch::GpuArch;
 use singe::config::CompileOptions;
 use singe_bench::*;
 
+const FIGURES: &[&str] = &[
+    "mechanisms", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+    "fig15", "fig16", "gflops", "ablate-barriers", "spills", "verify", "all",
+];
+
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    if !FIGURES.contains(&which.as_str()) {
+        eprintln!("unknown figure '{which}'; expected one of: {}", FIGURES.join(" "));
+        std::process::exit(2);
+    }
     let dme = synth::dme();
     let heptane = synth::heptane();
     let archs = [GpuArch::fermi_c2070(), GpuArch::kepler_k20c()];
@@ -48,9 +59,12 @@ fn main() {
     if matches!(which.as_str(), "spills" | "all") {
         spills(&heptane, &archs);
     }
+    if matches!(which.as_str(), "verify" | "all") {
+        verify_all(&[&dme, &heptane], &archs);
+    }
 
     if !rows.is_empty() {
-        let json = serde_json::to_string_pretty(&rows).expect("serialize");
+        let json = rows_to_json(&rows);
         std::fs::create_dir_all("target").ok();
         std::fs::write("target/report.json", json).expect("write report.json");
         eprintln!("\n[wrote {} rows to target/report.json]", rows.len());
@@ -222,6 +236,79 @@ fn ablate_barriers(dme: &Mechanism, archs: &[GpuArch], rows: &mut Vec<Row>) {
         );
         rows.push(row("s6.2", Kind::Diffusion, "dme", arch, Variant::WarpSpecialized, 0, &r1));
         rows.push(row("s6.2-nobar", Kind::Diffusion, "dme", arch, Variant::WarpSpecialized, 1, &r2));
+    }
+    println!();
+}
+
+/// Independent schedule verification of every kernel the harness can
+/// build, plus the §6.2 ablation rejection check.
+fn verify_all(mechs: &[&Mechanism], archs: &[GpuArch]) {
+    println!("== Schedule verification (kernel x mechanism x arch x compiler) ==");
+    let mut failures = 0usize;
+    for mech in mechs {
+        for arch in archs {
+            for kind in [Kind::Viscosity, Kind::Diffusion, Kind::Chemistry] {
+                for variant in [Variant::Baseline, Variant::WarpSpecialized, Variant::Naive] {
+                    let opts = ws_options(kind, mech.n_transported(), arch);
+                    let label = format!(
+                        "{:<10} {:<10} {:<12} {:<16}",
+                        mech.name,
+                        kind.name(),
+                        arch.name.split_whitespace().last().unwrap_or(arch.name),
+                        variant.name()
+                    );
+                    let built = match build_with_options(kind, mech, arch, variant, &opts) {
+                        Ok(b) => b,
+                        Err(singe::CompileError::ResourceExhausted(m)) => {
+                            println!("{label} skipped (does not fit: {m})");
+                            continue;
+                        }
+                        Err(e) => {
+                            println!("{label} FAILED to compile: {e}");
+                            failures += 1;
+                            continue;
+                        }
+                    };
+                    match singe::verify::verify_kernel(&built.kernel, arch) {
+                        Ok(r) => println!(
+                            "{label} ok ({} barrier ops, {} generations, {} shared accesses)",
+                            r.barrier_ops, r.generations, r.shared_accesses
+                        ),
+                        Err(violations) => {
+                            println!("{label} VIOLATIONS:");
+                            for v in &violations {
+                                println!("    {v}");
+                            }
+                            failures += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // The §6.2 unsafe barrier-removal ablation must be flagged under
+    // VerifyLevel::Strict (Basic deliberately waives it for the timing
+    // study).
+    let mut opts = ws_options(Kind::Diffusion, mechs[0].n_transported(), &archs[0]);
+    opts.unsafe_remove_barriers = true;
+    opts.verify = singe::VerifyLevel::Strict;
+    match build_with_options(Kind::Diffusion, mechs[0], &archs[0], Variant::WarpSpecialized, &opts)
+    {
+        Err(singe::CompileError::Verification(_)) => {
+            println!("s6.2 barrier-removal ablation: rejected by VerifyLevel::Strict (expected)");
+        }
+        Ok(_) => {
+            println!("s6.2 barrier-removal ablation: NOT flagged under Strict — verifier gap!");
+            failures += 1;
+        }
+        Err(e) => {
+            println!("s6.2 barrier-removal ablation: unexpected error {e}");
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("\nschedule verification: {failures} failure(s)");
+        std::process::exit(1);
     }
     println!();
 }

@@ -13,7 +13,6 @@ use gpu_sim::arch::GpuArch;
 use gpu_sim::isa::Kernel;
 use gpu_sim::launch::{launch, LaunchInputs, LaunchMode};
 use gpu_sim::timing::{estimate, SimReport};
-use serde::Serialize;
 use singe::baseline::compile_baseline;
 use singe::codegen::{compile_dfg, CompileStats};
 use singe::config::{CompileOptions, Placement};
@@ -79,7 +78,7 @@ pub struct Built {
 /// evenly divide the number of species").
 pub fn viscosity_warps(n: usize) -> usize {
     for w in (4..=14).rev() {
-        if n % w == 0 {
+        if n.is_multiple_of(w) {
             return w;
         }
     }
@@ -174,14 +173,14 @@ pub fn build_with_options(
 pub fn timing_report(built: &Built, arch: &GpuArch, grid_points: usize) -> SimReport {
     let probe = built.kernel.points_per_cta;
     let g = GridState::random(GridDims { nx: probe, ny: 1, nz: 1 }, built.n_species, 1234);
-    let arrays = launch_arrays(&built.kernel.global_arrays, &g);
+    let arrays = launch_arrays(&built.kernel.global_arrays, &g).expect("known arrays");
     let out = launch(&built.kernel, arch, &LaunchInputs { arrays }, probe, LaunchMode::Full)
         .expect("probe launch");
     estimate(&built.kernel, arch, &out.report.counts, grid_points)
 }
 
 /// One output row (a point in a paper figure).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Figure/experiment id ("fig11", ...).
     pub figure: String,
@@ -224,6 +223,70 @@ pub fn row(figure: &str, kind: Kind, mech: &str, arch: &GpuArch, variant: Varian
         spilled_bytes: r.spilled_bytes_per_thread,
         limiter: r.limiter.into(),
         seconds: r.seconds,
+    }
+}
+
+impl Row {
+    /// JSON object for this row (the build is offline, so serialization
+    /// is hand-rolled rather than serde-derived).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"figure\": {}, \"kernel\": {}, \"mechanism\": {}, \"arch\": {}, \
+             \"variant\": {}, \"x\": {}, \"points_per_sec\": {}, \"gflops\": {}, \
+             \"bandwidth_gbs\": {}, \"spilled_bytes\": {}, \"limiter\": {}, \"seconds\": {}}}",
+            json_string(&self.figure),
+            json_string(&self.kernel),
+            json_string(&self.mechanism),
+            json_string(&self.arch),
+            json_string(&self.variant),
+            self.x,
+            json_f64(self.points_per_sec),
+            json_f64(self.gflops),
+            json_f64(self.bandwidth_gbs),
+            self.spilled_bytes,
+            json_string(&self.limiter),
+            json_f64(self.seconds),
+        )
+    }
+}
+
+/// Serialize a slice of rows as a pretty-printed JSON array.
+pub fn rows_to_json(rows: &[Row]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&r.to_json());
+        if i + 1 < rows.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
     }
 }
 

@@ -17,6 +17,10 @@
 //! * structure-of-arrays grid state helpers matching the field layout the
 //!   paper describes (each field contiguous for coalesced loads).
 
+// Indexed `for i in 0..n` loops over parallel arrays are the prevailing
+// idiom in the numeric kernels here; iterator rewrites obscure them.
+#![allow(clippy::needless_range_loop)]
+
 pub mod elements;
 pub mod error;
 pub mod mechanism;

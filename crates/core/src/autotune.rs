@@ -90,7 +90,7 @@ pub fn autotune(
             }
         };
         points.push(TunePoint { options: cand.clone(), seconds: Some(sec) });
-        if best.as_ref().map_or(true, |(b, _, _)| sec < *b) {
+        if best.as_ref().is_none_or(|(b, _, _)| sec < *b) {
             best = Some((sec, compiled, cand.clone()));
         }
     }
@@ -129,6 +129,7 @@ mod tests {
         let r = autotune(&d, &arch, &cands, 256, &|k, pts| {
             let g = GridState::random(GridDims { nx: pts, ny: 1, nz: 1 }, 6, 1);
             launch_arrays(&k.global_arrays, &g)
+                .expect("known arrays")
                 .iter()
                 .map(|s| s.to_vec())
                 .collect()

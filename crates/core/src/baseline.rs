@@ -260,6 +260,7 @@ pub fn compile_baseline(
         exp_const_from_registers: false,
     };
     kernel.check().map_err(CompileError::Internal)?;
+    crate::verify::enforce(&kernel, arch, options)?;
     Ok(BaselineCompiled {
         kernel,
         spilled_words: n_spill as usize,

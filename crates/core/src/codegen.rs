@@ -32,7 +32,7 @@ use crate::sync::{schedule, Item, Schedule};
 use crate::{CResult, CompileError};
 use gpu_sim::arch::{BroadcastKind, GpuArch};
 use gpu_sim::isa::{
-    ArrayDecl, GlobalId, IdxInstr, IdxOp, Instr, Kernel, Node, Op, PointRef, Reg, SAddr,
+    GlobalId, IdxInstr, IdxOp, Instr, Kernel, Node, Op, PointRef, Reg, SAddr,
 };
 use gpu_sim::WARP_SIZE;
 
@@ -97,7 +97,9 @@ pub fn compile_dfg(dfg: &Dfg, options: &CompileOptions, arch: &GpuArch) -> CResu
     let sched = schedule(dfg, &mapping, options)?;
     sched.verify(dfg)?;
     let barriers = allocate(&sched)?;
-    emit(dfg, &mapping, &sched, &barriers, options, arch)
+    let compiled = emit(dfg, &mapping, &sched, &barriers, options, arch)?;
+    crate::verify::enforce(&compiled.kernel, arch, options)?;
+    Ok(compiled)
 }
 
 /// Per-warp register plan.
@@ -202,7 +204,6 @@ fn plan_registers(
 
 /// The emission context for one warp group.
 struct WsCtx<'a> {
-    dfg: &'a Dfg,
     mapping: &'a Mapping,
     sched: &'a Schedule,
     plans: &'a [RegPlan],
@@ -440,8 +441,7 @@ fn emit(
     };
     let all_mask: u64 = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
 
-    let mut emit_ctx = |warp: usize, seg: usize, iseg: usize, max_vr: u16| WsCtx {
-        dfg,
+    let emit_ctx = |warp: usize, seg: usize, iseg: usize, max_vr: u16| WsCtx {
         mapping,
         sched,
         plans: &plans,
@@ -468,7 +468,7 @@ fn emit(
         for wi in 0..w {
             if cursors[wi] < sched.items[wi].len() {
                 let (k, _) = sched.items[wi][cursors[wi]];
-                if seed.map_or(true, |(_, sk)| k < sk) {
+                if seed.is_none_or(|(_, sk)| k < sk) {
                     seed = Some((wi, k));
                 }
             }
@@ -599,8 +599,8 @@ fn emit(
                         }
                         None => {
                             // Padding values (never read by this warp).
-                            const_arrays[wi].extend(std::iter::repeat(0.0).take(clen));
-                            iconst_arrays[wi].extend(std::iter::repeat(0u32).take(ilen));
+                            const_arrays[wi].extend(std::iter::repeat_n(0.0, clen));
+                            iconst_arrays[wi].extend(std::iter::repeat_n(0u32, ilen));
                         }
                     }
                 }

@@ -1,6 +1,8 @@
 //! Compiler options — the command-line surface of the paper's Figure 8
 //! compiler, which the brute-force autotuner drives (§4).
 
+pub use crate::verify::VerifyLevel;
+
 /// How cross-warp dataflow values use shared memory (§4.1's three modes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Placement {
@@ -45,6 +47,9 @@ pub struct CompileOptions {
     /// §6.2 ablation: unsafely drop all named-barrier synchronization
     /// (results become undefined — timing studies only).
     pub unsafe_remove_barriers: bool,
+    /// Post-codegen schedule verification (independent re-check of the
+    /// barrier protocol, shared-memory ordering, and resource limits).
+    pub verify: VerifyLevel,
 }
 
 impl Default for CompileOptions {
@@ -60,6 +65,7 @@ impl Default for CompileOptions {
             uniform_shared_reads: true,
             exp_const_from_registers: false,
             unsafe_remove_barriers: false,
+            verify: VerifyLevel::Basic,
         }
     }
 }

@@ -254,7 +254,7 @@ fn stmt_expr(s: &Stmt) -> &Expr {
 }
 
 fn scan_slots(e: &Expr, max_const: &mut Option<u16>, max_row: &mut Option<u16>) {
-    let mut upd = |m: &mut Option<u16>, v: u16| {
+    let upd = |m: &mut Option<u16>, v: u16| {
         *m = Some(m.map_or(v, |x| x.max(v)));
     };
     match e {

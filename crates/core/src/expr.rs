@@ -113,6 +113,10 @@ pub enum Expr {
     Tri(TriOp, Box<Expr>, Box<Expr>, Box<Expr>),
 }
 
+// The arithmetic builders are deliberately inherent methods rather than
+// the std ops traits, so the whole DSL reads uniformly:
+// `a.add(b).max(c).exp()`.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// `self + o`.
     pub fn add(self, o: Expr) -> Expr {

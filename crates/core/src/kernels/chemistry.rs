@@ -78,7 +78,7 @@ pub fn chemistry_dfg(spec: &ChemistrySpec, warps: usize) -> Dfg {
     let qssa_warps: Vec<usize> = (w - wq..w).collect();
 
     let mut next_var: VarId = 0;
-    let mut alloc = |next_var: &mut VarId, k: usize| -> usize {
+    let alloc = |next_var: &mut VarId, k: usize| -> usize {
         let v = *next_var;
         *next_var += k as VarId;
         v as usize
@@ -167,7 +167,7 @@ pub fn chemistry_dfg(spec: &ChemistrySpec, warps: usize) -> Dfg {
         let mut consts: Vec<f64> = Vec::new();
         let mut body: Vec<Stmt> = Vec::new();
         let mut n_locals: u16 = 0;
-        let mut local = |body: &mut Vec<Stmt>, n_locals: &mut u16, e: Expr| -> Expr {
+        let local = |body: &mut Vec<Stmt>, n_locals: &mut u16, e: Expr| -> Expr {
             let l = *n_locals;
             *n_locals += 1;
             body.push(Stmt::Local(l, e));
@@ -565,7 +565,7 @@ mod tests {
         let points = kernel.points_per_cta * 2;
         let g = GridState::random(GridDims { nx: points, ny: 1, nz: 1 }, s.n_trans, 31);
         let expect = reference_chemistry(s, &g);
-        let arrays = launch_arrays(&kernel.global_arrays, &g);
+        let arrays = launch_arrays(&kernel.global_arrays, &g).expect("known arrays");
         let out = launch(kernel, arch, &LaunchInputs { arrays }, points, LaunchMode::Full).unwrap();
         // wdot values span many orders of magnitude and involve large
         // cancellations; compare with a relative tolerance plus a floor

@@ -41,9 +41,7 @@ pub const ARR_OUT: u16 = 3;
 
 /// Number of `d` values column `c` computes (Figure 5).
 pub fn column_count(c: usize, n: usize) -> usize {
-    if n % 2 == 1 {
-        n / 2
-    } else if c < n / 2 {
+    if n % 2 == 1 || c < n / 2 {
         n / 2
     } else {
         n / 2 - 1
@@ -68,7 +66,7 @@ pub fn diffusion_dfg(t: &DiffusionTables, warps: usize) -> Dfg {
     assert!(n >= 2, "diffusion needs at least two species");
     let mut ops: Vec<Operation> = Vec::new();
     let mut next_var: VarId = 0;
-    let mut alloc = |next_var: &mut VarId, k: usize| -> usize {
+    let alloc = |next_var: &mut VarId, k: usize| -> usize {
         let v = *next_var;
         *next_var += k as VarId;
         v as usize
@@ -324,7 +322,7 @@ mod tests {
         let points = kernel.points_per_cta * 2;
         let g = GridState::random(GridDims { nx: points, ny: 1, nz: 1 }, t.n, 21);
         let expect = reference_diffusion(t, &g);
-        let arrays = launch_arrays(&kernel.global_arrays, &g);
+        let arrays = launch_arrays(&kernel.global_arrays, &g).expect("known arrays");
         let out = launch(kernel, arch, &LaunchInputs { arrays }, points, LaunchMode::Full).unwrap();
         for s in 0..t.n {
             for p in 0..points {

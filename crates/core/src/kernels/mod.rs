@@ -19,29 +19,33 @@ pub mod chemistry;
 pub mod diffusion;
 pub mod viscosity;
 
+use crate::{CResult, CompileError};
 use chemkin::state::GridState;
 
 /// Build the flat SoA input slices a kernel launch expects, given a grid
 /// state and the kernel's array declarations. Outputs get empty slices.
 ///
 /// The convention: array names declared by the frontends are looked up to
-/// select the matching `GridState` field.
+/// select the matching `GridState` field; an undeclared name is a
+/// [`CompileError::UnknownArray`].
 pub fn launch_arrays<'a>(
     kernel_arrays: &[gpu_sim::isa::ArrayDecl],
     grid: &'a GridState,
-) -> Vec<&'a [f64]> {
+) -> CResult<Vec<&'a [f64]>> {
     kernel_arrays
         .iter()
-        .map(|decl| -> &'a [f64] {
+        .map(|decl| -> CResult<&'a [f64]> {
             if decl.output {
-                return &[];
+                return Ok(&[]);
             }
             match decl.name.as_str() {
-                "temperature" => &grid.temperature,
-                "pressure" => &grid.pressure,
-                "mole_frac" => &grid.mole_frac,
-                "diffusion" => &grid.diffusion,
-                other => panic!("unknown input array '{other}'"),
+                "temperature" => Ok(&grid.temperature),
+                "pressure" => Ok(&grid.pressure),
+                "mole_frac" => Ok(&grid.mole_frac),
+                "diffusion" => Ok(&grid.diffusion),
+                other => Err(CompileError::UnknownArray(format!(
+                    "kernel declares input array '{other}' but the grid state has no such field"
+                ))),
             }
         })
         .collect()
@@ -61,9 +65,18 @@ mod tests {
             ArrayDecl { name: "mole_frac".into(), rows: 3, output: false },
             ArrayDecl { name: "out".into(), rows: 1, output: true },
         ];
-        let arrays = launch_arrays(&decls, &g);
+        let arrays = launch_arrays(&decls, &g).expect("known arrays");
         assert_eq!(arrays[0].len(), 8);
         assert_eq!(arrays[1].len(), 24);
         assert!(arrays[2].is_empty());
+    }
+
+    #[test]
+    fn unknown_array_is_a_typed_error() {
+        let g = GridState::random(GridDims::cube(2), 3, 1);
+        let decls =
+            vec![ArrayDecl { name: "vorticity".into(), rows: 1, output: false }];
+        let err = launch_arrays(&decls, &g).unwrap_err();
+        assert!(matches!(err, crate::CompileError::UnknownArray(_)), "{err}");
     }
 }

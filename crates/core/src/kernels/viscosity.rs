@@ -185,7 +185,7 @@ mod tests {
         let points = kernel.points_per_cta * 3;
         let g = GridState::random(GridDims { nx: points, ny: 1, nz: 1 }, t.n, 7);
         let expect = reference_viscosity(t, &g);
-        let arrays = launch_arrays(&kernel.global_arrays, &g);
+        let arrays = launch_arrays(&kernel.global_arrays, &g).expect("known arrays");
         let out = launch(kernel, arch, &LaunchInputs { arrays }, points, LaunchMode::Full).unwrap();
         for p in 0..points {
             let got = out.outputs[ARR_OUT as usize][p];

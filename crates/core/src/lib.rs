@@ -27,6 +27,10 @@
 //!          --codegen-->    overlaid gpu-sim IR (+ CUDA text)  [codegen, cuda]
 //! ```
 
+// Indexed `for i in 0..n` loops over parallel arrays are the prevailing
+// idiom in the numeric kernels here; iterator rewrites obscure them.
+#![allow(clippy::needless_range_loop)]
+
 pub mod autotune;
 pub mod baseline;
 pub mod barrier_alloc;
@@ -39,8 +43,10 @@ pub mod kernels;
 pub mod mapping;
 pub mod naive;
 pub mod sync;
+pub mod verify;
 
 pub use config::{CompileOptions, Placement};
+pub use verify::{VerifyLevel, VerifyReport, Violation, ViolationKind};
 pub use dfg::{Dfg, OpId, Operation};
 pub use expr::VarId;
 pub use expr::{BinOp, Expr, RowRef, ScalarProgram, Stmt, TriOp, UnOp};
@@ -52,6 +58,11 @@ pub enum CompileError {
     ResourceExhausted(String),
     /// Internal invariant violation.
     Internal(String),
+    /// The emitted kernel failed independent schedule verification
+    /// (deadlock, shared-memory race, or resource violation).
+    Verification(String),
+    /// A kernel references a named input array the runtime does not know.
+    UnknownArray(String),
 }
 
 impl std::fmt::Display for CompileError {
@@ -59,6 +70,8 @@ impl std::fmt::Display for CompileError {
         match self {
             CompileError::ResourceExhausted(m) => write!(f, "resource exhausted: {m}"),
             CompileError::Internal(m) => write!(f, "internal compiler error: {m}"),
+            CompileError::Verification(m) => write!(f, "schedule verification failed: {m}"),
+            CompileError::UnknownArray(m) => write!(f, "unknown array: {m}"),
         }
     }
 }

@@ -206,7 +206,7 @@ mod tests {
         assert!(m.flop_imbalance() < 1.3, "imbalance {}", m.flop_imbalance());
         // All warps used.
         for w in 0..8 {
-            assert!(m.warp_of.iter().any(|&x| x == w), "warp {w} unused");
+            assert!(m.warp_of.contains(&w), "warp {w} unused");
         }
     }
 

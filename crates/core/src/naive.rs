@@ -240,6 +240,7 @@ pub fn compile_naive(dfg: &Dfg, options: &CompileOptions, arch: &GpuArch) -> CRe
         exp_const_from_registers: options.exp_const_from_registers,
     };
     kernel.check().map_err(CompileError::Internal)?;
+    crate::verify::enforce(&kernel, arch, options)?;
     let stats = CompileStats {
         sync_points: sched.sync_points.len(),
         merged_syncs: sched.merged_syncs,
@@ -281,7 +282,7 @@ mod tests {
         let points = c.kernel.points_per_cta * 2;
         let g = GridState::random(GridDims { nx: points, ny: 1, nz: 1 }, t.n, 3);
         let expect = reference_viscosity(&t, &g);
-        let arrays = launch_arrays(&c.kernel.global_arrays, &g);
+        let arrays = launch_arrays(&c.kernel.global_arrays, &g).expect("known arrays");
         let out = launch(&c.kernel, &arch, &LaunchInputs { arrays }, points, LaunchMode::Full)
             .unwrap();
         for p in 0..points {

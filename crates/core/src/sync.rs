@@ -480,24 +480,6 @@ fn item_sub(it: &Item) -> u64 {
     }
 }
 
-fn consumers_first_pos(
-    dfg: &Dfg,
-    consumers: &[Vec<OpId>],
-    sp: &SyncPoint,
-    warp: usize,
-    mapping: &Mapping,
-    pos: &[u64],
-) -> u64 {
-    let _ = dfg;
-    sp.vars
-        .iter()
-        .flat_map(|&v| consumers[v as usize].iter())
-        .filter(|&&c| mapping.warp_of[c] == warp)
-        .map(|&c| pos[c])
-        .min()
-        .unwrap_or(sp.arrive_key + 1)
-}
-
 impl Schedule {
     /// Sanity check: per-warp keys sorted; waits and arrives reference real
     /// sync points; every op appears exactly once.
@@ -517,11 +499,10 @@ impl Schedule {
                         }
                         seen[*o] = true;
                     }
-                    Item::Wait(s) | Item::Arrive(s) => {
-                        if *s >= self.sync_points.len() {
+                    Item::Wait(s) | Item::Arrive(s)
+                        if *s >= self.sync_points.len() => {
                             return Err(CompileError::Internal("bad sync id".into()));
                         }
-                    }
                     _ => {}
                 }
             }

@@ -5,10 +5,9 @@
 //! specifications of those parts; derived quantities (peak GFLOPS) are
 //! cross-checked against the paper's §6.1 arithmetic in tests.
 
-use serde::Serialize;
 
 /// Which broadcast mechanism constant deduplication uses (paper §5.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BroadcastKind {
     /// Fermi: write through a shared-memory mirror location (Listing 2).
     SharedMirror,
@@ -17,7 +16,7 @@ pub enum BroadcastKind {
 }
 
 /// A simulated GPU architecture.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct GpuArch {
     /// Human-readable name.
     pub name: &'static str,

@@ -5,10 +5,9 @@
 //! conflicts, cache behavior, barrier waits) and `timing` turns that into
 //! cycles using the architecture parameters.
 
-use serde::Serialize;
 
 /// Aggregate event counts for one CTA execution.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct EventCounts {
     /// Total issue slots (warp-instructions, with multi-slot expansions).
     pub issue_slots: u64,

@@ -49,6 +49,47 @@ pub struct FlatProgram {
     pub static_size: u32,
 }
 
+/// One step of a warp's flattened stream, exposed read-only for external
+/// structural analyses (e.g. the barrier-protocol verifier in the compiler
+/// crate, which must not depend on interpreter internals).
+#[derive(Debug, Clone, Copy)]
+pub struct FlatStep<'a> {
+    /// Static instruction address.
+    pub addr: u32,
+    /// Streaming point-set index (PointLoop iteration), 0 for branch
+    /// headers and code outside any point loop.
+    pub pset: u32,
+    /// The instruction, or `None` for a warp-branch header.
+    pub instr: Option<&'a Instr>,
+}
+
+impl FlatProgram {
+    /// Number of per-warp streams (= warps per CTA).
+    pub fn n_warps(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Length of one warp's stream.
+    pub fn stream_len(&self, warp: usize) -> usize {
+        self.streams[warp].len()
+    }
+
+    /// One step of a warp's stream.
+    pub fn step(&self, warp: usize, pos: usize) -> FlatStep<'_> {
+        match self.streams[warp][pos] {
+            FlatOp::Exec { addr, instr, pset } => {
+                FlatStep { addr, pset, instr: Some(&self.instrs[instr as usize]) }
+            }
+            FlatOp::Branch { addr } => FlatStep { addr, pset: 0, instr: None },
+        }
+    }
+
+    /// Iterate one warp's flattened stream.
+    pub fn warp_stream(&self, warp: usize) -> impl Iterator<Item = FlatStep<'_>> + '_ {
+        (0..self.streams[warp].len()).map(move |i| self.step(warp, i))
+    }
+}
+
 /// Flatten a kernel's structured body into per-warp streams.
 pub fn flatten(kernel: &Kernel) -> FlatProgram {
     let w = kernel.warps_per_cta;

@@ -18,7 +18,6 @@
 //! * Named barriers follow PTX `bar.arrive` / `bar.sync` semantics with an
 //!   expected-warp count (§2, Figure 2).
 
-use serde::Serialize;
 
 /// A per-thread double-precision register id.
 pub type Reg = u16;
@@ -26,7 +25,7 @@ pub type Reg = u16;
 pub type IdxReg = u16;
 
 /// Identifier of a global (device-memory) array declared by the kernel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GlobalId(pub usize);
 
 /// A double-precision operand: register or immediate.
@@ -303,7 +302,7 @@ pub enum Node {
 }
 
 /// A declared global array (SoA field: `rows x points` doubles).
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ArrayDecl {
     /// Name for diagnostics.
     pub name: String,
@@ -408,21 +407,18 @@ impl Kernel {
                         chk_reg(*r, "src");
                     }
                 }
-                Instr::BarArrive { bar, .. } | Instr::BarSync { bar, .. } => {
-                    if usize::from(*bar) >= self.barriers_used {
+                Instr::BarArrive { bar, .. } | Instr::BarSync { bar, .. }
+                    if usize::from(*bar) >= self.barriers_used => {
                         err = Some(format!("barrier {bar} out of declared range"));
                     }
-                }
-                Instr::LdGlobal { addr, .. } | Instr::StGlobal { addr, .. } => {
-                    if addr.array.0 >= self.global_arrays.len() {
+                Instr::LdGlobal { addr, .. } | Instr::StGlobal { addr, .. }
+                    if addr.array.0 >= self.global_arrays.len() => {
                         err = Some(format!("global array {} undeclared", addr.array.0));
                     }
-                }
-                Instr::LdConst { bank, .. } => {
-                    if usize::from(*bank) >= self.const_banks.len() {
+                Instr::LdConst { bank, .. }
+                    if usize::from(*bank) >= self.const_banks.len() => {
                         err = Some(format!("const bank {bank} undeclared"));
                     }
-                }
                 _ => {}
             }
         });

@@ -62,7 +62,7 @@ pub fn launch(
             )));
         }
     }
-    if total_points % kernel.points_per_cta != 0 {
+    if !total_points.is_multiple_of(kernel.points_per_cta) {
         return Err(SimError::BadLaunch(format!(
             "grid of {} points not divisible by points_per_cta {}",
             total_points, kernel.points_per_cta
@@ -93,12 +93,12 @@ pub fn launch(
 
     if n_ctas > 1 {
         let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-        let results: SimResult<Vec<Vec<(usize, CtaResult)>>> = crossbeam::thread::scope(|s| {
+        let results: SimResult<Vec<Vec<(usize, CtaResult)>>> = std::thread::scope(|s| {
             let mut handles = Vec::new();
             for t in 0..threads {
                 let prog = &prog;
                 let arrays = &inputs.arrays;
-                handles.push(s.spawn(move |_| -> SimResult<Vec<(usize, CtaResult)>> {
+                handles.push(s.spawn(move || -> SimResult<Vec<(usize, CtaResult)>> {
                     let mut local = Vec::new();
                     let mut cta = 1 + t;
                     while cta < n_ctas {
@@ -110,8 +110,7 @@ pub fn launch(
                 }));
             }
             handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        })
-        .expect("thread scope");
+        });
         for batch in results? {
             for (cta, r) in batch {
                 scatter(kernel, total_points, cta, &r, &mut outputs);

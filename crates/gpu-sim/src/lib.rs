@@ -22,6 +22,10 @@
 //! shared-memory latency at low occupancy — is modeled explicitly, so the
 //! qualitative shapes of the paper's figures emerge from the same causes.
 
+// Indexed `for i in 0..n` loops over parallel arrays are the prevailing
+// idiom in the numeric kernels here; iterator rewrites obscure them.
+#![allow(clippy::needless_range_loop)]
+
 pub mod arch;
 pub mod ccache;
 pub mod counts;

@@ -7,10 +7,9 @@
 
 use crate::arch::GpuArch;
 use crate::isa::Kernel;
-use serde::Serialize;
 
 /// Result of the occupancy calculation.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Occupancy {
     /// Concurrent CTAs per SM.
     pub ctas_per_sm: usize,
@@ -21,7 +20,7 @@ pub struct Occupancy {
 }
 
 /// The binding resource.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OccLimiter {
     /// Register file.
     Registers,
@@ -60,19 +59,16 @@ pub fn occupancy(kernel: &Kernel, arch: &GpuArch) -> Occupancy {
     };
 
     consider(arch.regs_per_sm / (regs * threads), OccLimiter::Registers);
-    if kernel.shared_bytes() > 0 {
-        consider(arch.shared_per_sm / kernel.shared_bytes(), OccLimiter::SharedMemory);
+    if let Some(q) = arch.shared_per_sm.checked_div(kernel.shared_bytes()) {
+        consider(q, OccLimiter::SharedMemory);
     }
     consider(arch.max_warps_per_sm / kernel.warps_per_cta, OccLimiter::Warps);
     consider(arch.max_ctas_per_sm, OccLimiter::CtaLimit);
-    if kernel.barriers_used > 0 {
-        consider(
-            arch.named_barriers_per_sm / kernel.barriers_used,
-            OccLimiter::NamedBarriers,
-        );
+    if let Some(q) = arch.named_barriers_per_sm.checked_div(kernel.barriers_used) {
+        consider(q, OccLimiter::NamedBarriers);
     }
 
-    let ctas = best.0.max(0);
+    let ctas = best.0;
     Occupancy {
         ctas_per_sm: ctas,
         warps_per_sm: ctas * kernel.warps_per_cta,

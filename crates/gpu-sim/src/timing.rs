@@ -20,11 +20,10 @@ use crate::arch::GpuArch;
 use crate::counts::EventCounts;
 use crate::isa::Kernel;
 use crate::occupancy::{occupancy, Occupancy};
-use serde::Serialize;
 
 /// Cycle breakdown for one SM wave (diagnostics; the shape explanations of
 /// §6 come from comparing these terms).
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct TimingBreakdown {
     /// Double-precision issue cycles (incl. const-operand penalty).
     pub dp_cycles: f64,
@@ -82,7 +81,7 @@ impl TimingBreakdown {
 }
 
 /// Full simulation report for a kernel launch.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SimReport {
     /// Kernel name.
     pub kernel: String,

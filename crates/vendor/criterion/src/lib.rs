@@ -1,0 +1,128 @@
+//! Offline subset of the `criterion` benchmarking API.
+//!
+//! Provides `Criterion`, `benchmark_group`/`sample_size`/
+//! `bench_function`/`finish`, and the `criterion_group!`/
+//! `criterion_main!` macros so the workspace's `harness = false`
+//! benches compile and run without the real crate. Timing is a plain
+//! monotonic-clock mean over `sample_size` samples (no warmup
+//! modeling, outlier rejection, or HTML reports) — good enough for
+//! relative comparisons in this simulated-GPU setting.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Top-level benchmark context.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            _ctx: self,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _ctx: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { samples: Vec::with_capacity(self.sample_size) };
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        let n = bencher.samples.len().max(1);
+        let total: f64 = bencher.samples.iter().sum();
+        let mean = total / n as f64;
+        let best = bencher.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!(
+            "{}/{}: mean {:.3} ms, best {:.3} ms ({} samples)",
+            self.name,
+            id,
+            mean * 1e3,
+            if best.is_finite() { best * 1e3 } else { 0.0 },
+            n
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Per-sample measurement context passed to `bench_function` closures.
+pub struct Bencher {
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time one sample of `f`, preventing the result from being
+    /// optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.samples.push(start.elapsed().as_secs_f64());
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_closures() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("self_test");
+        let mut runs = 0u32;
+        g.sample_size(3).bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        g.finish();
+        assert_eq!(runs, 3);
+    }
+}

@@ -1,0 +1,294 @@
+//! Offline subset of `proptest`.
+//!
+//! Supports exactly the surface the workspace tests use: the
+//! `proptest!` macro with an optional `#![proptest_config(...)]`
+//! header, `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, integer
+//! range strategies, `proptest::bool::ANY`, and
+//! `proptest::collection::vec`. Cases are generated from a
+//! deterministic per-test RNG (FNV-hashed test name + case index), so
+//! runs are reproducible without persistence files. Shrinking is not
+//! implemented; failures print the fully-instantiated case instead.
+//! Checked-in `.proptest-regressions` files are kept as documentation
+//! of historical shrunk cases and mirrored by explicit unit tests.
+
+pub mod test_runner {
+    /// Error type returned by generated test closures.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed — the case is discarded, not counted.
+        Reject,
+        /// `prop_assert!`-family failure with a rendered message.
+        Fail(String),
+    }
+
+    /// Subset of proptest's config: only `cases` matters here.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic SplitMix64 stream keyed by test name and case index.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn deterministic(test_name: &str, case: u32) -> Self {
+            // FNV-1a over the test name, mixed with the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h ^ (u64::from(case) << 32) ^ u64::from(case) }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use core::ops::Range;
+
+    /// A value generator. Unlike real proptest there is no value tree or
+    /// shrinking — `sample` draws a fresh instance.
+    pub trait Strategy {
+        type Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+pub mod bool {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy yielding uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use core::ops::Range;
+
+    /// Strategy for `Vec`s with element strategy `S` and a length range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = Strategy::sample(&self.len, rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {} — {}",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs == rhs) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                lhs,
+                rhs
+            )));
+        }
+    }};
+}
+
+/// The `proptest!` block: declares `#[test]` functions whose arguments
+/// are drawn from strategies. Rejected cases (via `prop_assume!`) do not
+/// count toward the configured case total, bounded by a 16x attempt cap.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr;
+     $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let max_attempts = config.cases.saturating_mul(16).max(64);
+                let mut accepted = 0u32;
+                let mut attempts = 0u32;
+                while accepted < config.cases && attempts < max_attempts {
+                    let mut case_rng = $crate::test_runner::TestRng::deterministic(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        attempts,
+                    );
+                    attempts += 1;
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(&($strat), &mut case_rng);
+                    )+
+                    let case_desc = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            #[allow(unreachable_code)]
+                            Ok(())
+                        })();
+                    match outcome {
+                        Ok(()) => accepted += 1,
+                        Err($crate::test_runner::TestCaseError::Reject) => {}
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest case failed: {}\n  case: {}",
+                                msg, case_desc
+                            );
+                        }
+                    }
+                }
+                assert!(
+                    accepted >= config.cases.min(1),
+                    "proptest: all {} attempts were rejected by prop_assume!",
+                    attempts
+                );
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_assume_work(a in 0usize..10, b in 2u64..5, flip in crate::bool::ANY) {
+            prop_assume!(a != 3);
+            prop_assert!(a < 10);
+            prop_assert!((2..5).contains(&b), "b = {}", b);
+            prop_assert_eq!(flip, flip);
+        }
+
+        #[test]
+        fn vec_strategy_respects_bounds(xs in crate::collection::vec(0u32..7, 2..6)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 6);
+            for x in xs {
+                prop_assert!(x < 7);
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let mut a = crate::test_runner::TestRng::deterministic("t", 0);
+        let mut b = crate::test_runner::TestRng::deterministic("t", 0);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

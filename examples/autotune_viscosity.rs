@@ -36,7 +36,7 @@ fn main() {
         let dfg = viscosity_dfg(&t, cand.warps);
         let r = autotune(&dfg, &arch, std::slice::from_ref(cand), 4096, &|k, pts| {
             let g = GridState::random(GridDims { nx: pts, ny: 1, nz: 1 }, n, 7);
-            launch_arrays(&k.global_arrays, &g).iter().map(|s| s.to_vec()).collect()
+            launch_arrays(&k.global_arrays, &g).expect("known arrays").iter().map(|s| s.to_vec()).collect()
         });
         if let Ok(r) = r {
             let sec = r.points[0].seconds.unwrap_or(f64::INFINITY);

@@ -52,7 +52,7 @@ fn main() {
     let mut grid = GridState::random(GridDims { nx: points, ny: 1, nz: 1 }, n, 99);
 
     // 1. Viscosity.
-    let arrays = launch_arrays(&vis.kernel.global_arrays, &grid);
+    let arrays = launch_arrays(&vis.kernel.global_arrays, &grid).expect("known arrays");
     let vout = launch(&vis.kernel, &arch, &LaunchInputs { arrays }, points, LaunchMode::Full)
         .expect("viscosity launch");
     println!(
@@ -64,7 +64,7 @@ fn main() {
     );
 
     // 2. Diffusion — its per-species outputs feed chemistry's stiffness.
-    let arrays = launch_arrays(&diff.kernel.global_arrays, &grid);
+    let arrays = launch_arrays(&diff.kernel.global_arrays, &grid).expect("known arrays");
     let dout = launch(&diff.kernel, &arch, &LaunchInputs { arrays }, points, LaunchMode::Full)
         .expect("diffusion launch");
     println!(
@@ -77,7 +77,7 @@ fn main() {
     grid.diffusion = dout.outputs[diffusion::ARR_OUT as usize].clone();
 
     // 3. Chemistry, consuming the diffusion rates (Listing 4 coupling).
-    let arrays = launch_arrays(&chem.kernel.global_arrays, &grid);
+    let arrays = launch_arrays(&chem.kernel.global_arrays, &grid).expect("known arrays");
     let cout = launch(&chem.kernel, &arch, &LaunchInputs { arrays }, points, LaunchMode::Full)
         .expect("chemistry launch");
     println!(

@@ -61,7 +61,7 @@ fn main() {
     for (name, kernel) in [("warp-specialized", &ws.kernel), ("baseline", &base.kernel)] {
         let pts = points.div_ceil(kernel.points_per_cta) * kernel.points_per_cta;
         let g = GridState::random(GridDims { nx: pts, ny: 1, nz: 1 }, tables.n, 42);
-        let arrays = launch_arrays(&kernel.global_arrays, &g);
+        let arrays = launch_arrays(&kernel.global_arrays, &g).expect("known arrays");
         let out = launch(kernel, &arch, &LaunchInputs { arrays }, pts, LaunchMode::Full)
             .expect("launch");
         let max_rel = (0..points)

@@ -91,8 +91,8 @@ fn figure2_protocol_under_heavy_reuse() {
     let input: Vec<f64> = (0..points).map(|i| i as f64).collect();
     let out = launch(&kernel, &arch, &LaunchInputs { arrays: vec![&input, &[]] }, points, LaunchMode::Full)
         .expect("protocol must not deadlock across generations");
-    for p in 0..points {
-        assert_eq!(out.outputs[1][p], input[p] + 1.0, "point {p}");
+    for (p, (&o, &i)) in out.outputs[1].iter().zip(&input).enumerate() {
+        assert_eq!(o, i + 1.0, "point {p}");
     }
 }
 

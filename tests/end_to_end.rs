@@ -27,7 +27,7 @@ fn mech() -> chemkin::Mechanism {
 fn run(kernel: &gpu_sim::isa::Kernel, arch: &GpuArch, n: usize, seed: u64) -> (GridState, Vec<Vec<f64>>) {
     let points = kernel.points_per_cta * 2;
     let g = GridState::random(GridDims { nx: points, ny: 1, nz: 1 }, n, seed);
-    let arrays = launch_arrays(&kernel.global_arrays, &g);
+    let arrays = launch_arrays(&kernel.global_arrays, &g).expect("known arrays");
     let out = launch(kernel, arch, &LaunchInputs { arrays }, points, LaunchMode::Full)
         .expect("launch succeeds");
     (g, out.outputs)
@@ -133,7 +133,7 @@ fn warp_specialized_beats_baseline_where_the_paper_says() {
         for k in [&base.kernel, &ws.kernel] {
             let points = k.points_per_cta;
             let g = GridState::random(GridDims { nx: points, ny: 1, nz: 1 }, t.n, 3);
-            let arrays = launch_arrays(&k.global_arrays, &g);
+            let arrays = launch_arrays(&k.global_arrays, &g).expect("known arrays");
             let out = launch(k, &arch, &LaunchInputs { arrays }, points, LaunchMode::Full).unwrap();
             let r = gpu_sim::timing::estimate(k, &arch, &out.report.counts, 64 * 64 * 64);
             tp.push(r.points_per_sec);

@@ -95,3 +95,41 @@ proptest! {
         }
     }
 }
+
+/// Deterministic pin of the case recorded in
+/// `parser_roundtrip_prop.proptest-regressions` (`n_species = 5,
+/// extra_reactions = 0, n_qssa = 3, n_stiff = 0, seed = 0`): a QSSA-heavy
+/// mechanism whose species list is dominated by non-transported species.
+/// The regression file only replays under the RNG stream that produced
+/// it, so the shrunk configuration is pinned explicitly here — across a
+/// band of seeds, since the failure was in the QSSA section round-trip,
+/// not in one sampled reaction set.
+#[test]
+fn qssa_heavy_roundtrip_regression() {
+    for seed in 0..50u64 {
+        let cfg = SynthConfig {
+            name: "prop".into(),
+            n_species: 5,
+            n_reactions: 5,
+            n_qssa: 3,
+            n_stiff: 0,
+            seed,
+        };
+        let m = synth::synthesize(&cfg);
+        let files = MechanismFiles::from_mechanism(&m);
+        let m2 = files.parse("prop").expect("round-trip parse");
+        assert_eq!(m.n_species(), m2.n_species(), "seed {seed}");
+        assert_eq!(m.n_reactions(), m2.n_reactions(), "seed {seed}");
+        assert_eq!(m.qssa, m2.qssa, "seed {seed}");
+        for (a, b) in m.reactions.iter().zip(m2.reactions.iter()) {
+            assert_eq!(a.reactants, b.reactants, "seed {seed}");
+            assert_eq!(a.products, b.products, "seed {seed}");
+            for t in [500.0, 1200.0, 2400.0] {
+                let (ka, kb) = (a.rate.forward(t, 1e-5), b.rate.forward(t, 1e-5));
+                if ka != 0.0 {
+                    assert!(((ka - kb) / ka).abs() < 1e-9, "seed {seed}: {ka} vs {kb}");
+                }
+            }
+        }
+    }
+}
