@@ -1,0 +1,39 @@
+//! Criterion bench: raw interpreter throughput — warp-instructions per
+//! second executing one warp-specialized DME chemistry CTA (the hot loop
+//! behind every probe launch and figure sweep).
+use chemkin::state::{GridDims, GridState};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gpu_sim::arch::GpuArch;
+use gpu_sim::flatten_cached;
+use gpu_sim::interp::run_cta;
+use singe::kernels::launch_arrays;
+use singe_bench::{build, Kind, Variant};
+
+fn bench(c: &mut Criterion) {
+    let mech = chemkin::synth::dme();
+    let arch = GpuArch::kepler_k20c();
+    let built = build(Kind::Chemistry, &mech, &arch, Variant::WarpSpecialized);
+    let prog = flatten_cached(&built.kernel);
+    let points = built.kernel.points_per_cta;
+    let grid = GridState::random(GridDims { nx: points, ny: 1, nz: 1 }, built.n_species, 1234);
+    let arrays = launch_arrays(&built.kernel.global_arrays, &grid).expect("known arrays");
+
+    // Warp-instructions actually replayed per CTA: the sum of every warp's
+    // flattened stream (loop trip counts included).
+    let warp_instrs: u64 = (0..prog.n_warps()).map(|w| prog.stream_len(w) as u64).sum();
+
+    let mut g = c.benchmark_group("interp_throughput");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(warp_instrs));
+    g.bench_function("dme_chemistry_ws_cta", |b| {
+        b.iter(|| {
+            run_cta(&built.kernel, &prog, &arrays, points, 0, false, &arch)
+                .expect("probe CTA")
+                .out_buffers
+                .len()
+        })
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

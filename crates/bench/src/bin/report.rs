@@ -1,11 +1,21 @@
 //! Regenerates every table and figure of the paper as text (and JSON).
 //!
-//! Usage: `report [figure]` where figure is one of
+//! Usage: `report [figure] [--jobs N]` where figure is one of
 //! `mechanisms fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 gflops
 //! ablate-barriers spills verify all` (default `all`). Results also land
 //! in `target/report.json`. `verify` runs the independent schedule
 //! verifier over every kernel × mechanism × architecture × compiler
 //! combination and exits non-zero on any violation.
+//!
+//! Figures are computed on a worker pool (`--jobs`, `SINGE_JOBS`, default
+//! = available parallelism) but every figure renders into its own buffer
+//! and the buffers are printed in input order, so stdout and
+//! `target/report.json` are byte-identical at any worker count. Wall-clock
+//! per figure goes to **stderr**, and `report all` additionally writes a
+//! `BENCH_report.json` at the repo root to track the perf trajectory.
+
+use std::fmt::Write as _;
+use std::time::Instant;
 
 use chemkin::synth;
 use chemkin::Mechanism;
@@ -18,25 +28,65 @@ const FIGURES: &[&str] = &[
     "fig15", "fig16", "gflops", "ablate-barriers", "spills", "verify", "all",
 ];
 
+/// Wall-clock of the serial `report all` before the fast-path/memoization/
+/// pool overhaul, measured on the CI machine. `BENCH_report.json` records
+/// the current run against it; override with `SINGE_BASELINE_SECONDS` when
+/// re-baselining on different hardware.
+const PRE_PR_SEQUENTIAL_SECONDS: f64 = 4.297;
+
+/// One figure's rendered output: stdout text, JSON rows, and the number of
+/// verification failures (non-zero only for `verify`).
+struct FigOutput {
+    text: String,
+    rows: Vec<Row>,
+    failures: usize,
+}
+
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let mut which: Option<String> = None;
+    let mut jobs: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--jobs" {
+            let v = args.next().unwrap_or_default();
+            match v.parse::<usize>() {
+                Ok(n) if n >= 1 => jobs = Some(n),
+                _ => {
+                    eprintln!("--jobs expects a positive integer, got '{v}'");
+                    std::process::exit(2);
+                }
+            }
+        } else if which.is_none() {
+            which = Some(a);
+        } else {
+            eprintln!("unexpected argument '{a}'");
+            std::process::exit(2);
+        }
+    }
+    let which = which.unwrap_or_else(|| "all".into());
     if !FIGURES.contains(&which.as_str()) {
         eprintln!("unknown figure '{which}'; expected one of: {}", FIGURES.join(" "));
         std::process::exit(2);
     }
+    let jobs = jobs.unwrap_or_else(singe::pool::default_jobs);
+
     let dme = synth::dme();
     let heptane = synth::heptane();
     let archs = [GpuArch::fermi_c2070(), GpuArch::kepler_k20c()];
-    let mut rows: Vec<Row> = Vec::new();
 
-    if matches!(which.as_str(), "mechanisms" | "all") {
-        figure3(&[&dme, &heptane]);
+    // Every figure as a (name, render) pair; rendering is pure with respect
+    // to stdout so figures can run on the pool in any order.
+    type FigFn<'a> = Box<dyn Fn() -> FigOutput + Sync + 'a>;
+    let mut figs: Vec<(&'static str, FigFn<'_>)> = Vec::new();
+    let selected = |name: &str| which == name || which == "all";
+    if selected("mechanisms") {
+        figs.push(("mechanisms", Box::new(|| figure3(&[&dme, &heptane]))));
     }
-    if matches!(which.as_str(), "fig9" | "all") {
-        fig9(&dme, &archs[1], &mut rows);
+    if selected("fig9") {
+        figs.push(("fig9", Box::new(|| fig9(&dme, &archs[1]))));
     }
-    if matches!(which.as_str(), "fig10" | "all") {
-        fig10(&[&dme, &heptane], &archs[1]);
+    if selected("fig10") {
+        figs.push(("fig10", Box::new(|| fig10(&[&dme, &heptane], &archs[1]))));
     }
     for (fig, kind, mech) in [
         ("fig11", Kind::Viscosity, &dme),
@@ -46,21 +96,41 @@ fn main() {
         ("fig15", Kind::Chemistry, &dme),
         ("fig16", Kind::Chemistry, &heptane),
     ] {
-        if matches!(which.as_str(), f if f == fig || f == "all") {
-            throughput_figure(fig, kind, mech, &archs, &mut rows);
+        if selected(fig) {
+            let archs = &archs;
+            figs.push((fig, Box::new(move || throughput_figure(fig, kind, mech, archs))));
         }
     }
-    if matches!(which.as_str(), "gflops" | "all") {
-        gflops_analysis(&dme, &archs, &mut rows);
+    if selected("gflops") {
+        figs.push(("gflops", Box::new(|| gflops_analysis(&dme, &archs))));
     }
-    if matches!(which.as_str(), "ablate-barriers" | "all") {
-        ablate_barriers(&dme, &archs, &mut rows);
+    if selected("ablate-barriers") {
+        figs.push(("ablate-barriers", Box::new(|| ablate_barriers(&dme, &archs))));
     }
-    if matches!(which.as_str(), "spills" | "all") {
-        spills(&heptane, &archs);
+    if selected("spills") {
+        figs.push(("spills", Box::new(|| spills(&heptane, &archs))));
     }
-    if matches!(which.as_str(), "verify" | "all") {
-        verify_all(&[&dme, &heptane], &archs);
+    if selected("verify") {
+        figs.push(("verify", Box::new(|| verify_all(&[&dme, &heptane], &archs))));
+    }
+
+    let t_all = Instant::now();
+    let results: Vec<(FigOutput, f64)> = singe::pool::run_ordered(jobs, figs.len(), |i| {
+        let t0 = Instant::now();
+        let out = figs[i].1();
+        (out, t0.elapsed().as_secs_f64())
+    });
+    let total_seconds = t_all.elapsed().as_secs_f64();
+
+    // Commit output in input order: stdout is deterministic at any --jobs.
+    let mut rows: Vec<Row> = Vec::new();
+    let mut failures = 0usize;
+    let mut timings: Vec<(&'static str, f64, usize)> = Vec::new();
+    for ((name, _), (out, seconds)) in figs.iter().zip(&results) {
+        print!("{}", out.text);
+        failures += out.failures;
+        timings.push((name, *seconds, out.rows.len()));
+        rows.extend(out.rows.iter().cloned());
     }
 
     if !rows.is_empty() {
@@ -69,27 +139,80 @@ fn main() {
         std::fs::write("target/report.json", json).expect("write report.json");
         eprintln!("\n[wrote {} rows to target/report.json]", rows.len());
     }
+
+    // Wall-clock summary on stderr (stdout stays byte-comparable).
+    eprintln!("\n[timing: jobs={jobs}]");
+    for (name, seconds, n_rows) in &timings {
+        eprintln!("[  {name:<16} {seconds:8.3}s  {n_rows:>3} rows]");
+    }
+    eprintln!("[  {:<16} {total_seconds:8.3}s]", "total");
+
+    // SINGE_BENCH_JSON=0 keeps wall-clock bookkeeping out of runs whose
+    // outputs are compared byte-for-byte (the determinism test).
+    if which == "all" && std::env::var("SINGE_BENCH_JSON").as_deref() != Ok("0") {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_report.json");
+        let bench = bench_report_json(jobs, total_seconds, &timings);
+        match std::fs::write(path, bench) {
+            Ok(()) => eprintln!("[wrote {path}]"),
+            Err(e) => eprintln!("[could not write {path}: {e}]"),
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("\nschedule verification: {failures} failure(s)");
+        std::process::exit(1);
+    }
+}
+
+/// Render `BENCH_report.json`: current wall-clock vs the recorded pre-PR
+/// sequential baseline.
+fn bench_report_json(jobs: usize, total_seconds: f64, timings: &[(&'static str, f64, usize)]) -> String {
+    let baseline = std::env::var("SINGE_BASELINE_SECONDS")
+        .ok()
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .unwrap_or(PRE_PR_SEQUENTIAL_SECONDS);
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"jobs\": {jobs},");
+    let _ = writeln!(out, "  \"total_seconds\": {total_seconds:.3},");
+    let _ = writeln!(out, "  \"pre_pr_sequential_seconds\": {baseline:.3},");
+    let _ = writeln!(out, "  \"speedup_vs_pre_pr\": {:.2},", baseline / total_seconds);
+    out.push_str("  \"figures\": [\n");
+    for (i, (name, seconds, n_rows)) in timings.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"figure\": \"{name}\", \"seconds\": {seconds:.3}, \"rows\": {n_rows}}}"
+        );
+        out.push_str(if i + 1 < timings.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// Figure 3: mechanism characteristics table.
-fn figure3(mechs: &[&Mechanism]) {
-    println!("== Figure 3: chemical mechanisms ==");
-    println!("{:<10} {:>9} {:>8} {:>5} {:>6}", "Mechanism", "Reactions", "Species", "QSSA", "Stiff");
+fn figure3(mechs: &[&Mechanism]) -> FigOutput {
+    let mut t = String::new();
+    let _ = writeln!(t, "== Figure 3: chemical mechanisms ==");
+    let _ = writeln!(t, "{:<10} {:>9} {:>8} {:>5} {:>6}", "Mechanism", "Reactions", "Species", "QSSA", "Stiff");
     for m in mechs {
         let c = m.characteristics();
-        println!(
+        let _ = writeln!(
+            t,
             "{:<10} {:>9} {:>8} {:>5} {:>6}",
             m.name, c.reactions, c.species, c.qssa, c.stiff
         );
     }
-    println!();
+    let _ = writeln!(t);
+    FigOutput { text: t, rows: Vec::new(), failures: 0 }
 }
 
 /// Figure 9: naïve vs overlaid codegen over warps/CTA (DME viscosity,
 /// Kepler, 64^3).
-fn fig9(dme: &Mechanism, arch: &GpuArch, rows: &mut Vec<Row>) {
-    println!("== Figure 9: warp-specialized code generation (DME viscosity, {}) ==", arch.name);
-    println!("{:>6} {:>18} {:>18} {:>8}", "warps", "naive Mpts/s", "singe Mpts/s", "ratio");
+fn fig9(dme: &Mechanism, arch: &GpuArch) -> FigOutput {
+    let mut t = String::new();
+    let mut rows = Vec::new();
+    let _ = writeln!(t, "== Figure 9: warp-specialized code generation (DME viscosity, {}) ==", arch.name);
+    let _ = writeln!(t, "{:>6} {:>18} {:>18} {:>8}", "warps", "naive Mpts/s", "singe Mpts/s", "ratio");
     let grid = 64 * 64 * 64;
     for warps in [2usize, 4, 6, 8, 10, 12, 14, 16] {
         let opts = CompileOptions {
@@ -104,11 +227,12 @@ fn fig9(dme: &Mechanism, arch: &GpuArch, rows: &mut Vec<Row>) {
         let (n_r, s_r) = match (naive, singe_v) {
             (Ok(n), Ok(s)) => (timing_report(&n, arch, grid), timing_report(&s, arch, grid)),
             _ => {
-                println!("{warps:>6}  (configuration did not compile)");
+                let _ = writeln!(t, "{warps:>6}  (configuration did not compile)");
                 continue;
             }
         };
-        println!(
+        let _ = writeln!(
+            t,
             "{:>6} {:>18.2} {:>18.2} {:>8.2}",
             warps,
             n_r.points_per_sec / 1e6,
@@ -118,39 +242,39 @@ fn fig9(dme: &Mechanism, arch: &GpuArch, rows: &mut Vec<Row>) {
         rows.push(row("fig9", Kind::Viscosity, "dme", arch, Variant::Naive, warps, &n_r));
         rows.push(row("fig9", Kind::Viscosity, "dme", arch, Variant::WarpSpecialized, warps, &s_r));
     }
-    println!();
+    let _ = writeln!(t);
+    FigOutput { text: t, rows, failures: 0 }
 }
 
 /// Figure 10: constant registers per thread on Kepler.
-fn fig10(mechs: &[&Mechanism], arch: &GpuArch) {
-    println!("== Figure 10: constant registers per thread ({}) ==", arch.name);
-    println!("{:<10} {:>10} {:>10} {:>10}", "Mechanism", "Viscosity", "Diffusion", "Chemistry");
+fn fig10(mechs: &[&Mechanism], arch: &GpuArch) -> FigOutput {
+    let mut t = String::new();
+    let _ = writeln!(t, "== Figure 10: constant registers per thread ({}) ==", arch.name);
+    let _ = writeln!(t, "{:<10} {:>10} {:>10} {:>10}", "Mechanism", "Viscosity", "Diffusion", "Chemistry");
     for m in mechs {
         let mut cells = Vec::new();
         for kind in [Kind::Viscosity, Kind::Diffusion, Kind::Chemistry] {
             let b = build(kind, m, arch, Variant::WarpSpecialized);
-            cells.push(b.stats.map(|s| s.const_regs_per_thread).unwrap_or(0));
+            cells.push(b.stats.as_ref().map(|s| s.const_regs_per_thread).unwrap_or(0));
         }
-        println!("{:<10} {:>10} {:>10} {:>10}", m.name, cells[0], cells[1], cells[2]);
+        let _ = writeln!(t, "{:<10} {:>10} {:>10} {:>10}", m.name, cells[0], cells[1], cells[2]);
     }
-    println!();
+    let _ = writeln!(t);
+    FigOutput { text: t, rows: Vec::new(), failures: 0 }
 }
 
 /// Figures 11-16: baseline vs warp-specialized throughput on both
 /// architectures across the three grid sizes.
-fn throughput_figure(
-    fig: &str,
-    kind: Kind,
-    mech: &Mechanism,
-    archs: &[GpuArch],
-    rows: &mut Vec<Row>,
-) {
-    println!("== {}: {} performance, {} mechanism ==", fig, kind.name(), mech.name);
+fn throughput_figure(fig: &str, kind: Kind, mech: &Mechanism, archs: &[GpuArch]) -> FigOutput {
+    let mut t = String::new();
+    let mut rows = Vec::new();
+    let _ = writeln!(t, "== {}: {} performance, {} mechanism ==", fig, kind.name(), mech.name);
     for arch in archs {
         let base = build(kind, mech, arch, Variant::Baseline);
         let ws = build(kind, mech, arch, Variant::WarpSpecialized);
-        println!("{}:", arch.name);
-        println!(
+        let _ = writeln!(t, "{}:", arch.name);
+        let _ = writeln!(
+            t,
             "  {:>6} {:>16} {:>16} {:>8}   (limiters: base={}, ws={})",
             "grid",
             "baseline Mpts/s",
@@ -163,7 +287,8 @@ fn throughput_figure(
             let pts = edge * edge * edge;
             let rb = timing_report(&base, arch, pts);
             let rw = timing_report(&ws, arch, pts);
-            println!(
+            let _ = writeln!(
+                t,
                 "  {:>4}^3 {:>16.3} {:>16.3} {:>7.2}x",
                 edge,
                 rb.points_per_sec / 1e6,
@@ -174,14 +299,17 @@ fn throughput_figure(
             rows.push(row(fig, kind, &mech.name, arch, Variant::WarpSpecialized, edge, &rw));
         }
     }
-    println!();
+    let _ = writeln!(t);
+    FigOutput { text: t, rows, failures: 0 }
 }
 
 /// §6.1 GFLOPS analysis, including the constants-in-registers exponential
 /// ablation (the paper measured ~750 GFLOPS with it on Kepler).
-fn gflops_analysis(dme: &Mechanism, archs: &[GpuArch], rows: &mut Vec<Row>) {
-    println!("== Section 6.1: DME viscosity GFLOPS analysis ==");
-    println!("(paper: Fermi base/ws = 197.9/257.3, Kepler = 220.6/617.7, reg-exp ablation ~750)");
+fn gflops_analysis(dme: &Mechanism, archs: &[GpuArch]) -> FigOutput {
+    let mut t = String::new();
+    let mut rows = Vec::new();
+    let _ = writeln!(t, "== Section 6.1: DME viscosity GFLOPS analysis ==");
+    let _ = writeln!(t, "(paper: Fermi base/ws = 197.9/257.3, Kepler = 220.6/617.7, reg-exp ablation ~750)");
     let grid = 128 * 128 * 128;
     for arch in archs {
         let base = build(Kind::Viscosity, dme, arch, Variant::Baseline);
@@ -194,7 +322,8 @@ fn gflops_analysis(dme: &Mechanism, archs: &[GpuArch], rows: &mut Vec<Row>) {
         let abl = build_with_options(Kind::Viscosity, dme, arch, Variant::WarpSpecialized, &opts)
             .expect("ablation compiles");
         let ra = timing_report(&abl, arch, grid);
-        println!(
+        let _ = writeln!(
+            t,
             "{:<22} baseline {:>7.1} GF | ws {:>7.1} GF | ws+reg-exp {:>7.1} GF (peak {:.0}, practical {:.0})",
             arch.name,
             rb.gflops,
@@ -207,13 +336,16 @@ fn gflops_analysis(dme: &Mechanism, archs: &[GpuArch], rows: &mut Vec<Row>) {
         rows.push(row("s6.1", Kind::Viscosity, "dme", arch, Variant::WarpSpecialized, 128, &rw));
         rows.push(row("s6.1-regexp", Kind::Viscosity, "dme", arch, Variant::WarpSpecialized, 128, &ra));
     }
-    println!();
+    let _ = writeln!(t);
+    FigOutput { text: t, rows, failures: 0 }
 }
 
 /// §6.2 ablation: unsafely removing the diffusion barriers (timing only).
-fn ablate_barriers(dme: &Mechanism, archs: &[GpuArch], rows: &mut Vec<Row>) {
-    println!("== Section 6.2: diffusion barrier-overhead ablation (DME) ==");
-    println!("(paper: 212.8 -> ~250 GFLOPS on Fermi, 526.6 -> ~625 on Kepler)");
+fn ablate_barriers(dme: &Mechanism, archs: &[GpuArch]) -> FigOutput {
+    let mut t = String::new();
+    let mut rows = Vec::new();
+    let _ = writeln!(t, "== Section 6.2: diffusion barrier-overhead ablation (DME) ==");
+    let _ = writeln!(t, "(paper: 212.8 -> ~250 GFLOPS on Fermi, 526.6 -> ~625 on Kepler)");
     let grid = 128 * 128 * 128;
     for arch in archs {
         let opts = ws_options(Kind::Diffusion, dme.n_transported(), arch);
@@ -227,7 +359,8 @@ fn ablate_barriers(dme: &Mechanism, archs: &[GpuArch], rows: &mut Vec<Row>) {
         let r1 = timing_report(&with, arch, grid);
         // The barrier-free kernel computes garbage; only its timing matters.
         let r2 = timing_report(&without, arch, grid);
-        println!(
+        let _ = writeln!(
+            t,
             "{:<22} with barriers {:>7.1} GF | without {:>7.1} GF ({:+.1}%)",
             arch.name,
             r1.gflops,
@@ -237,13 +370,15 @@ fn ablate_barriers(dme: &Mechanism, archs: &[GpuArch], rows: &mut Vec<Row>) {
         rows.push(row("s6.2", Kind::Diffusion, "dme", arch, Variant::WarpSpecialized, 0, &r1));
         rows.push(row("s6.2-nobar", Kind::Diffusion, "dme", arch, Variant::WarpSpecialized, 1, &r2));
     }
-    println!();
+    let _ = writeln!(t);
+    FigOutput { text: t, rows, failures: 0 }
 }
 
 /// Independent schedule verification of every kernel the harness can
 /// build, plus the §6.2 ablation rejection check.
-fn verify_all(mechs: &[&Mechanism], archs: &[GpuArch]) {
-    println!("== Schedule verification (kernel x mechanism x arch x compiler) ==");
+fn verify_all(mechs: &[&Mechanism], archs: &[GpuArch]) -> FigOutput {
+    let mut t = String::new();
+    let _ = writeln!(t, "== Schedule verification (kernel x mechanism x arch x compiler) ==");
     let mut failures = 0usize;
     for mech in mechs {
         for arch in archs {
@@ -260,24 +395,27 @@ fn verify_all(mechs: &[&Mechanism], archs: &[GpuArch]) {
                     let built = match build_with_options(kind, mech, arch, variant, &opts) {
                         Ok(b) => b,
                         Err(singe::CompileError::ResourceExhausted(m)) => {
-                            println!("{label} skipped (does not fit: {m})");
+                            let _ = writeln!(t, "{label} skipped (does not fit: {m})");
                             continue;
                         }
                         Err(e) => {
-                            println!("{label} FAILED to compile: {e}");
+                            let _ = writeln!(t, "{label} FAILED to compile: {e}");
                             failures += 1;
                             continue;
                         }
                     };
                     match singe::verify::verify_kernel(&built.kernel, arch) {
-                        Ok(r) => println!(
-                            "{label} ok ({} barrier ops, {} generations, {} shared accesses)",
-                            r.barrier_ops, r.generations, r.shared_accesses
-                        ),
+                        Ok(r) => {
+                            let _ = writeln!(
+                                t,
+                                "{label} ok ({} barrier ops, {} generations, {} shared accesses)",
+                                r.barrier_ops, r.generations, r.shared_accesses
+                            );
+                        }
                         Err(violations) => {
-                            println!("{label} VIOLATIONS:");
+                            let _ = writeln!(t, "{label} VIOLATIONS:");
                             for v in &violations {
-                                println!("    {v}");
+                                let _ = writeln!(t, "    {v}");
                             }
                             failures += 1;
                         }
@@ -295,36 +433,35 @@ fn verify_all(mechs: &[&Mechanism], archs: &[GpuArch]) {
     match build_with_options(Kind::Diffusion, mechs[0], &archs[0], Variant::WarpSpecialized, &opts)
     {
         Err(singe::CompileError::Verification(_)) => {
-            println!("s6.2 barrier-removal ablation: rejected by VerifyLevel::Strict (expected)");
+            let _ = writeln!(t, "s6.2 barrier-removal ablation: rejected by VerifyLevel::Strict (expected)");
         }
         Ok(_) => {
-            println!("s6.2 barrier-removal ablation: NOT flagged under Strict — verifier gap!");
+            let _ = writeln!(t, "s6.2 barrier-removal ablation: NOT flagged under Strict — verifier gap!");
             failures += 1;
         }
         Err(e) => {
-            println!("s6.2 barrier-removal ablation: unexpected error {e}");
+            let _ = writeln!(t, "s6.2 barrier-removal ablation: unexpected error {e}");
             failures += 1;
         }
     }
-    if failures > 0 {
-        eprintln!("\nschedule verification: {failures} failure(s)");
-        std::process::exit(1);
-    }
-    println!();
+    let _ = writeln!(t);
+    FigOutput { text: t, rows: Vec::new(), failures }
 }
 
 /// §6.3: chemistry spill and bandwidth analysis (heptane).
-fn spills(heptane: &Mechanism, archs: &[GpuArch]) {
-    println!("== Section 6.3: heptane chemistry working-set analysis ==");
-    println!("(paper: baseline spills 8736/8500 B per thread; ws spills 276/44 B;");
-    println!(" baseline is local-bandwidth bound at 85/100 GB/s, ws shared-latency bound)");
+fn spills(heptane: &Mechanism, archs: &[GpuArch]) -> FigOutput {
+    let mut t = String::new();
+    let _ = writeln!(t, "== Section 6.3: heptane chemistry working-set analysis ==");
+    let _ = writeln!(t, "(paper: baseline spills 8736/8500 B per thread; ws spills 276/44 B;");
+    let _ = writeln!(t, " baseline is local-bandwidth bound at 85/100 GB/s, ws shared-latency bound)");
     let grid = 64 * 64 * 64;
     for arch in archs {
         let base = build(Kind::Chemistry, heptane, arch, Variant::Baseline);
         let ws = build(Kind::Chemistry, heptane, arch, Variant::WarpSpecialized);
         let rb = timing_report(&base, arch, grid);
         let rw = timing_report(&ws, arch, grid);
-        println!(
+        let _ = writeln!(
+            t,
             "{:<22} baseline: {:>6} B spilled, {:>6.1} GB/s, limiter {:<16} | ws: {:>4} B spilled, limiter {}",
             arch.name,
             rb.spilled_bytes_per_thread,
@@ -334,5 +471,6 @@ fn spills(heptane: &Mechanism, archs: &[GpuArch]) {
             rw.limiter
         );
     }
-    println!();
+    let _ = writeln!(t);
+    FigOutput { text: t, rows: Vec::new(), failures: 0 }
 }

@@ -6,10 +6,16 @@
 //! model extrapolates to the paper's grid sizes (32^3, 64^3, 128^3) —
 //! mirroring how the per-point kernels scale across a homogeneous grid.
 
+use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
 use chemkin::reference::tables::{ChemistrySpec, DiffusionTables, ViscosityTables};
 use chemkin::state::{GridDims, GridState};
 use chemkin::Mechanism;
 use gpu_sim::arch::GpuArch;
+use gpu_sim::counts::EventCounts;
 use gpu_sim::isa::Kernel;
 use gpu_sim::launch::{launch, LaunchInputs, LaunchMode};
 use gpu_sim::timing::{estimate, SimReport};
@@ -71,6 +77,72 @@ pub struct Built {
     pub stats: Option<CompileStats>,
     /// Transported species count.
     pub n_species: usize,
+    /// Process-unique id used to key the probe-counts cache; every distinct
+    /// compilation gets its own, and cached `Arc<Built>` clones share it.
+    probe_key: u64,
+}
+
+fn next_probe_key() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Bound for the memo tables below. Sweeps in this repo stay far under
+/// these; the clear-on-full policy only guards pathological callers.
+const MAX_CACHE_ENTRIES: usize = 256;
+
+type BuildCache = Mutex<HashMap<u64, Result<Arc<Built>, singe::CompileError>>>;
+
+fn build_cache() -> &'static BuildCache {
+    static CACHE: OnceLock<BuildCache> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Fingerprint a mechanism by content (names are not unique across tests).
+fn mech_fingerprint(mech: &Mechanism) -> u64 {
+    let mut h = DefaultHasher::new();
+    format!("{mech:?}").hash(&mut h);
+    h.finish()
+}
+
+/// Cache key over (call shape, kind, variant, arch, mechanism, options).
+/// `build()` and `build_with_options()` key separately (`shape`): the
+/// default-options Baseline path compiles with `with_warps(8)` against a
+/// dfg built for the warp-specialized warp count, which no explicit
+/// options value reproduces.
+fn build_key(
+    shape: &str,
+    kind: Kind,
+    variant: Variant,
+    arch: &GpuArch,
+    mech: &Mechanism,
+    opts: Option<&CompileOptions>,
+) -> u64 {
+    let mut h = DefaultHasher::new();
+    shape.hash(&mut h);
+    format!("{kind:?}|{variant:?}|{}", arch.name).hash(&mut h);
+    mech_fingerprint(mech).hash(&mut h);
+    if let Some(o) = opts {
+        format!("{o:?}").hash(&mut h);
+    }
+    h.finish()
+}
+
+fn build_cached(
+    key: u64,
+    compile: impl FnOnce() -> Result<Built, singe::CompileError>,
+) -> Result<Arc<Built>, singe::CompileError> {
+    if let Some(hit) = build_cache().lock().unwrap().get(&key) {
+        return hit.clone();
+    }
+    // Compile outside the lock: compilation is the expensive part and may
+    // itself launch the verifier.
+    let result = compile().map(Arc::new);
+    let mut cache = build_cache().lock().unwrap();
+    if cache.len() >= MAX_CACHE_ENTRIES {
+        cache.clear();
+    }
+    cache.entry(key).or_insert(result).clone()
 }
 
 /// Pick a warp count for the warp-specialized viscosity kernel: prefer a
@@ -111,72 +183,116 @@ pub fn ws_options(kind: Kind, n_species: usize, arch: &GpuArch) -> CompileOption
     }
 }
 
-/// Build a kernel variant for a mechanism on an architecture.
-pub fn build(kind: Kind, mech: &Mechanism, arch: &GpuArch, variant: Variant) -> Built {
-    let n = mech.n_transported();
-    let opts = ws_options(kind, n, arch);
-    let dfg = match kind {
-        Kind::Viscosity => viscosity::viscosity_dfg(&ViscosityTables::build(mech), opts.warps),
-        Kind::Diffusion => diffusion::diffusion_dfg(&DiffusionTables::build(mech), opts.warps),
-        Kind::Chemistry => chemistry::chemistry_dfg(&ChemistrySpec::build(mech), opts.warps),
-    };
+/// Build a kernel variant for a mechanism on an architecture. Memoized:
+/// repeated sweep rows (e.g. fig11–16 sharing variants across grid sizes)
+/// reuse the compiled artifact.
+pub fn build(kind: Kind, mech: &Mechanism, arch: &GpuArch, variant: Variant) -> Arc<Built> {
+    let opts = ws_options(kind, mech.n_transported(), arch);
     match variant {
+        // Non-baseline default builds are exactly `build_with_options` at
+        // the default options; delegating shares one cache entry with
+        // explicit-option callers (e.g. the verifier sweep).
+        Variant::WarpSpecialized | Variant::Naive => {
+            build_with_options(kind, mech, arch, variant, &opts).expect("default variant compiles")
+        }
+        // The default Baseline path is special: it compiles with
+        // `with_warps(8)` against a dfg built for the warp-specialized
+        // warp count, which no explicit options value reproduces.
         Variant::Baseline => {
-            let c = compile_baseline(&dfg, &CompileOptions::with_warps(8), arch)
-                .expect("baseline compiles");
-            Built { kernel: c.kernel, stats: None, n_species: n }
-        }
-        Variant::WarpSpecialized => {
-            let c = compile_dfg(&dfg, &opts, arch).expect("warp-specialized compiles");
-            Built { kernel: c.kernel, stats: Some(c.stats), n_species: n }
-        }
-        Variant::Naive => {
-            let c = compile_naive(&dfg, &opts, arch).expect("naive compiles");
-            Built { kernel: c.kernel, stats: Some(c.stats), n_species: n }
+            let key = build_key("default", kind, variant, arch, mech, None);
+            build_cached(key, || {
+                let n = mech.n_transported();
+                let dfg = match kind {
+                    Kind::Viscosity => {
+                        viscosity::viscosity_dfg(&ViscosityTables::build(mech), opts.warps)
+                    }
+                    Kind::Diffusion => {
+                        diffusion::diffusion_dfg(&DiffusionTables::build(mech), opts.warps)
+                    }
+                    Kind::Chemistry => {
+                        chemistry::chemistry_dfg(&ChemistrySpec::build(mech), opts.warps)
+                    }
+                };
+                let c = compile_baseline(&dfg, &CompileOptions::with_warps(8), arch)
+                    .expect("baseline compiles");
+                Ok(Built { kernel: c.kernel, stats: None, n_species: n, probe_key: next_probe_key() })
+            })
+            .expect("infallible build path")
         }
     }
 }
 
 /// Build with explicit options (Figure 9 warp sweeps, ablations).
+/// Memoized on (kind, mechanism, arch, variant, options); compile errors
+/// are cached too, so failing sweep points stay cheap on re-query.
 pub fn build_with_options(
     kind: Kind,
     mech: &Mechanism,
     arch: &GpuArch,
     variant: Variant,
     opts: &CompileOptions,
-) -> Result<Built, singe::CompileError> {
-    let n = mech.n_transported();
-    let dfg = match kind {
-        Kind::Viscosity => viscosity::viscosity_dfg(&ViscosityTables::build(mech), opts.warps),
-        Kind::Diffusion => diffusion::diffusion_dfg(&DiffusionTables::build(mech), opts.warps),
-        Kind::Chemistry => chemistry::chemistry_dfg(&ChemistrySpec::build(mech), opts.warps),
-    };
-    let (kernel, stats) = match variant {
-        Variant::Baseline => {
-            let c = compile_baseline(&dfg, opts, arch)?;
-            (c.kernel, None)
-        }
-        Variant::WarpSpecialized => {
-            let c = compile_dfg(&dfg, opts, arch)?;
-            (c.kernel, Some(c.stats))
-        }
-        Variant::Naive => {
-            let c = compile_naive(&dfg, opts, arch)?;
-            (c.kernel, Some(c.stats))
-        }
-    };
-    Ok(Built { kernel, stats, n_species: n })
+) -> Result<Arc<Built>, singe::CompileError> {
+    let key = build_key("opts", kind, variant, arch, mech, Some(opts));
+    build_cached(key, || {
+        let n = mech.n_transported();
+        let dfg = match kind {
+            Kind::Viscosity => viscosity::viscosity_dfg(&ViscosityTables::build(mech), opts.warps),
+            Kind::Diffusion => diffusion::diffusion_dfg(&DiffusionTables::build(mech), opts.warps),
+            Kind::Chemistry => chemistry::chemistry_dfg(&ChemistrySpec::build(mech), opts.warps),
+        };
+        let (kernel, stats) = match variant {
+            Variant::Baseline => {
+                let c = compile_baseline(&dfg, opts, arch)?;
+                (c.kernel, None)
+            }
+            Variant::WarpSpecialized => {
+                let c = compile_dfg(&dfg, opts, arch)?;
+                (c.kernel, Some(c.stats))
+            }
+            Variant::Naive => {
+                let c = compile_naive(&dfg, opts, arch)?;
+                (c.kernel, Some(c.stats))
+            }
+        };
+        Ok(Built { kernel, stats, n_species: n, probe_key: next_probe_key() })
+    })
+}
+
+type ProbeCache = Mutex<HashMap<(u64, &'static str), EventCounts>>;
+
+fn probe_cache() -> &'static ProbeCache {
+    static CACHE: OnceLock<ProbeCache> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
 /// Run one CTA functionally and extrapolate the timing model to
 /// `grid_points` points. Returns the simulation report.
+///
+/// The probe launch is deterministic for a given kernel and architecture
+/// (fixed grid seed), so its event counts are memoized per `Built`; only
+/// the analytic `estimate` re-runs per grid size.
 pub fn timing_report(built: &Built, arch: &GpuArch, grid_points: usize) -> SimReport {
-    let probe = built.kernel.points_per_cta;
-    let g = GridState::random(GridDims { nx: probe, ny: 1, nz: 1 }, built.n_species, 1234);
-    let arrays = launch_arrays(&built.kernel.global_arrays, &g).expect("known arrays");
-    let out = launch(&built.kernel, arch, &LaunchInputs { arrays }, probe, LaunchMode::Full)
-        .expect("probe launch");
-    estimate(&built.kernel, arch, &out.report.counts, grid_points)
+    let key = (built.probe_key, arch.name);
+    let cached = probe_cache().lock().unwrap().get(&key).cloned();
+    let counts = match cached {
+        Some(c) => c,
+        None => {
+            let probe = built.kernel.points_per_cta;
+            let g =
+                GridState::random(GridDims { nx: probe, ny: 1, nz: 1 }, built.n_species, 1234);
+            let arrays = launch_arrays(&built.kernel.global_arrays, &g).expect("known arrays");
+            let out =
+                launch(&built.kernel, arch, &LaunchInputs { arrays }, probe, LaunchMode::Full)
+                    .expect("probe launch");
+            let mut cache = probe_cache().lock().unwrap();
+            if cache.len() >= MAX_CACHE_ENTRIES {
+                cache.clear();
+            }
+            cache.insert(key, out.report.counts.clone());
+            out.report.counts
+        }
+    };
+    estimate(&built.kernel, arch, &counts, grid_points)
 }
 
 /// One output row (a point in a paper figure).

@@ -1,0 +1,42 @@
+//! The report generator must be bit-deterministic across worker counts:
+//! stdout and `target/report.json` from `--jobs 1` and `--jobs 8` must be
+//! byte-identical, or parallel sweeps have changed result order or
+//! floating-point evaluation order.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn run_report(figure: &str, jobs: &str, dir: &PathBuf) -> (Vec<u8>, Vec<u8>) {
+    std::fs::create_dir_all(dir).expect("mkdir");
+    let out = Command::new(env!("CARGO_BIN_EXE_report"))
+        .args([figure, "--jobs", jobs])
+        .current_dir(dir)
+        // Keep benchmark bookkeeping out of determinism runs: the timing
+        // JSON is wall-clock and never identical.
+        .env("SINGE_BENCH_JSON", "0")
+        .output()
+        .expect("spawn report");
+    assert!(
+        out.status.success(),
+        "report {figure} --jobs {jobs} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read(dir.join("target/report.json")).unwrap_or_default();
+    (out.stdout, json)
+}
+
+#[test]
+fn report_is_bit_identical_across_job_counts() {
+    // Debug builds interpret ~20x slower; one figure is enough to exercise
+    // the pool + ordered commit there, the full report runs in release.
+    let figure = if cfg!(debug_assertions) { "fig9" } else { "all" };
+    let base = std::env::temp_dir().join(format!("singe-determinism-{}", std::process::id()));
+    let d1 = base.join("jobs1");
+    let d8 = base.join("jobs8");
+    let (stdout1, json1) = run_report(figure, "1", &d1);
+    let (stdout8, json8) = run_report(figure, "8", &d8);
+    std::fs::remove_dir_all(&base).ok();
+    assert!(!stdout1.is_empty(), "report produced no output");
+    assert_eq!(stdout1, stdout8, "stdout differs between --jobs 1 and --jobs 8");
+    assert_eq!(json1, json8, "target/report.json differs between --jobs 1 and --jobs 8");
+}

@@ -11,18 +11,43 @@
 use crate::codegen::{compile_dfg, Compiled};
 use crate::config::{CompileOptions, Placement};
 use crate::dfg::Dfg;
+use crate::pool::run_ordered;
 use crate::CResult;
 use gpu_sim::arch::GpuArch;
 use gpu_sim::launch::{launch, LaunchInputs, LaunchMode};
+
+/// Why a candidate produced no time: compilation and execution failures
+/// are different autotuner outcomes (a config that does not fit is a legal
+/// probe result; a kernel that compiled but failed to launch points at a
+/// harness or compiler bug) and must not be conflated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TuneFailure {
+    /// The candidate did not compile (message from the compiler).
+    Compile(String),
+    /// The candidate compiled but the probe launch failed (message from
+    /// the simulator).
+    Launch(String),
+}
+
+impl std::fmt::Display for TuneFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TuneFailure::Compile(m) => write!(f, "did not compile: {m}"),
+            TuneFailure::Launch(m) => write!(f, "compiled but failed to run: {m}"),
+        }
+    }
+}
 
 /// One autotuning result row.
 #[derive(Debug, Clone)]
 pub struct TunePoint {
     /// The options evaluated.
     pub options: CompileOptions,
-    /// Simulated kernel seconds on the probe grid (None = did not compile
-    /// or run: resource exhaustion is a legal autotuner outcome).
+    /// Simulated kernel seconds on the probe grid (None = the candidate
+    /// failed; see `failure` for the distinct reason).
     pub seconds: Option<f64>,
+    /// Why `seconds` is None (None when the candidate ran).
+    pub failure: Option<TuneFailure>,
 }
 
 /// Autotuning outcome: every point probed plus the winner.
@@ -55,44 +80,79 @@ pub fn candidate_grid(placement: Placement) -> Vec<CompileOptions> {
 
 /// Exhaustively evaluate `candidates` for `dfg` on `arch`; the probe grid
 /// covers `probe_points` points (rounded up to a whole number of CTAs).
+///
+/// Candidates are evaluated on [`run_ordered`]'s worker pool (`jobs` from
+/// [`crate::pool::default_jobs`]) and folded in input order, so the winner
+/// — first candidate with the strictly best simulated time — is identical
+/// to the serial loop's at any worker count.
 pub fn autotune(
     dfg: &Dfg,
     arch: &GpuArch,
     candidates: &[CompileOptions],
     probe_points: usize,
-    inputs_for: &dyn Fn(&gpu_sim::isa::Kernel, usize) -> Vec<Vec<f64>>,
+    inputs_for: &(dyn Fn(&gpu_sim::isa::Kernel, usize) -> Vec<Vec<f64>> + Sync),
 ) -> CResult<TuneResult> {
-    let mut points = Vec::new();
+    autotune_with_jobs(dfg, arch, candidates, probe_points, inputs_for, crate::pool::default_jobs())
+}
+
+/// [`autotune`] with an explicit worker count.
+pub fn autotune_with_jobs(
+    dfg: &Dfg,
+    arch: &GpuArch,
+    candidates: &[CompileOptions],
+    probe_points: usize,
+    inputs_for: &(dyn Fn(&gpu_sim::isa::Kernel, usize) -> Vec<Vec<f64>> + Sync),
+    jobs: usize,
+) -> CResult<TuneResult> {
+    let evaluated: Vec<(TunePoint, Option<Compiled>)> =
+        run_ordered(jobs, candidates.len(), |i| {
+            let cand = &candidates[i];
+            let compiled = match compile_dfg(dfg, cand, arch) {
+                Ok(c) => c,
+                Err(e) => {
+                    let p = TunePoint {
+                        options: cand.clone(),
+                        seconds: None,
+                        failure: Some(TuneFailure::Compile(e.to_string())),
+                    };
+                    return (p, None);
+                }
+            };
+            let ppc = compiled.kernel.points_per_cta;
+            let grid = probe_points.div_ceil(ppc) * ppc;
+            let owned = inputs_for(&compiled.kernel, grid);
+            let arrays: Vec<&[f64]> = owned.iter().map(|v| v.as_slice()).collect();
+            match launch(&compiled.kernel, arch, &LaunchInputs { arrays }, grid, LaunchMode::TimingOnly)
+            {
+                Ok(out) => {
+                    let p = TunePoint {
+                        options: cand.clone(),
+                        seconds: Some(out.report.seconds),
+                        failure: None,
+                    };
+                    (p, Some(compiled))
+                }
+                Err(e) => {
+                    let p = TunePoint {
+                        options: cand.clone(),
+                        seconds: None,
+                        failure: Some(TuneFailure::Launch(e.to_string())),
+                    };
+                    (p, None)
+                }
+            }
+        });
+
+    let mut points = Vec::with_capacity(evaluated.len());
     let mut best: Option<(f64, Compiled, CompileOptions)> = None;
-    for cand in candidates {
-        let compiled = match compile_dfg(dfg, cand, arch) {
-            Ok(c) => c,
-            Err(_) => {
-                points.push(TunePoint { options: cand.clone(), seconds: None });
-                continue;
+    for (point, compiled) in evaluated {
+        if let (Some(sec), Some(c)) = (point.seconds, compiled) {
+            // Strict `<` keeps the serial first-best-wins winner.
+            if best.as_ref().is_none_or(|(b, _, _)| sec < *b) {
+                best = Some((sec, c, point.options.clone()));
             }
-        };
-        let ppc = compiled.kernel.points_per_cta;
-        let grid = probe_points.div_ceil(ppc) * ppc;
-        let owned = inputs_for(&compiled.kernel, grid);
-        let arrays: Vec<&[f64]> = owned.iter().map(|v| v.as_slice()).collect();
-        let sec = match launch(
-            &compiled.kernel,
-            arch,
-            &LaunchInputs { arrays },
-            grid,
-            LaunchMode::TimingOnly,
-        ) {
-            Ok(out) => out.report.seconds,
-            Err(_) => {
-                points.push(TunePoint { options: cand.clone(), seconds: None });
-                continue;
-            }
-        };
-        points.push(TunePoint { options: cand.clone(), seconds: Some(sec) });
-        if best.as_ref().is_none_or(|(b, _, _)| sec < *b) {
-            best = Some((sec, compiled, cand.clone()));
         }
+        points.push(point);
     }
     let (_, best, best_options) = best.ok_or_else(|| {
         crate::CompileError::ResourceExhausted("no autotune candidate compiled".into())
@@ -144,5 +204,67 @@ mod tests {
     fn candidate_grid_has_coarse_dimensions() {
         let g = candidate_grid(Placement::Store);
         assert_eq!(g.len(), 16);
+    }
+
+    #[test]
+    fn failed_candidates_record_distinct_reasons() {
+        let m = synth::via_text(&synth::SynthConfig {
+            name: "atf".into(),
+            n_species: 6,
+            n_reactions: 8,
+            n_qssa: 0,
+            n_stiff: 0,
+            seed: 4,
+        });
+        let t = ViscosityTables::build(&m);
+        let d = viscosity_dfg(&t, 3);
+        let arch = GpuArch::kepler_k20c();
+        // Absurd warp count: cannot fit the SM, must record a Compile
+        // failure (not a bare seconds=None).
+        let cands = vec![CompileOptions::with_warps(3), CompileOptions::with_warps(4096)];
+        let r = autotune(&d, &arch, &cands, 256, &|k, pts| {
+            let g = GridState::random(GridDims { nx: pts, ny: 1, nz: 1 }, 6, 1);
+            launch_arrays(&k.global_arrays, &g)
+                .expect("known arrays")
+                .iter()
+                .map(|s| s.to_vec())
+                .collect()
+        })
+        .unwrap();
+        assert!(r.points[0].seconds.is_some());
+        assert!(r.points[0].failure.is_none());
+        assert!(r.points[1].seconds.is_none());
+        assert!(matches!(r.points[1].failure, Some(TuneFailure::Compile(_))));
+    }
+
+    #[test]
+    fn winner_is_identical_across_job_counts() {
+        let m = synth::via_text(&synth::SynthConfig {
+            name: "atj".into(),
+            n_species: 6,
+            n_reactions: 8,
+            n_qssa: 0,
+            n_stiff: 0,
+            seed: 4,
+        });
+        let t = ViscosityTables::build(&m);
+        let d = viscosity_dfg(&t, 3);
+        let arch = GpuArch::kepler_k20c();
+        let cands: Vec<CompileOptions> =
+            [2usize, 3, 4, 6].iter().map(|&w| CompileOptions::with_warps(w)).collect();
+        let inputs = |k: &gpu_sim::isa::Kernel, pts: usize| {
+            let g = GridState::random(GridDims { nx: pts, ny: 1, nz: 1 }, 6, 1);
+            launch_arrays(&k.global_arrays, &g)
+                .expect("known arrays")
+                .iter()
+                .map(|s| s.to_vec())
+                .collect::<Vec<_>>()
+        };
+        let serial = autotune_with_jobs(&d, &arch, &cands, 256, &inputs, 1).unwrap();
+        let parallel = autotune_with_jobs(&d, &arch, &cands, 256, &inputs, 8).unwrap();
+        assert_eq!(serial.best_options.warps, parallel.best_options.warps);
+        let s: Vec<Option<f64>> = serial.points.iter().map(|p| p.seconds).collect();
+        let p: Vec<Option<f64>> = parallel.points.iter().map(|p| p.seconds).collect();
+        assert_eq!(s, p);
     }
 }

@@ -42,6 +42,7 @@ pub mod expr;
 pub mod kernels;
 pub mod mapping;
 pub mod naive;
+pub mod pool;
 pub mod sync;
 pub mod verify;
 

@@ -1,0 +1,103 @@
+//! Dependency-free, order-preserving work pool for sweep workloads.
+//!
+//! Autotuning, the figure harness, and the verifier sweep all evaluate a
+//! known list of independent candidates. [`run_ordered`] fans the list out
+//! over `std::thread::scope` workers and commits results **in input
+//! order**, so callers observe exactly the sequence a serial loop would
+//! have produced — parallelism never changes output bytes, row order, or
+//! winner selection.
+//!
+//! The worker count comes from the caller (a `--jobs` flag), the
+//! `SINGE_JOBS` environment variable, or the machine's available
+//! parallelism — see [`default_jobs`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolve the default worker count: `SINGE_JOBS` if set to a positive
+/// integer, otherwise `std::thread::available_parallelism()`.
+pub fn default_jobs() -> usize {
+    if let Ok(v) = std::env::var("SINGE_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Evaluate `f(0..n)` on up to `jobs` worker threads and return the
+/// results in input order (`out[i] == f(i)`).
+///
+/// `jobs <= 1` (or `n <= 1`) runs inline on the caller's thread with no
+/// thread or lock overhead, so `--jobs 1` is byte-for-byte the serial
+/// path. Worker panics propagate to the caller via `std::thread::scope`.
+pub fn run_ordered<R, F>(jobs: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if jobs <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..jobs.min(n) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i);
+                *slots[i].lock().expect("pool slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner().expect("pool slot poisoned").expect("worker committed every claimed slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        for jobs in [1, 2, 8] {
+            let out = run_ordered(jobs, 100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn matches_serial_results_under_contention() {
+        // Uneven work per item: order must still be input order.
+        let f = |i: usize| {
+            let mut acc = 0u64;
+            for k in 0..(i % 7) * 1000 {
+                acc = acc.wrapping_mul(31).wrapping_add(k as u64);
+            }
+            (i, acc)
+        };
+        let serial = run_ordered(1, 64, f);
+        let parallel = run_ordered(8, 64, f);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        assert_eq!(run_ordered(4, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(run_ordered(4, 1, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn more_jobs_than_items() {
+        assert_eq!(run_ordered(32, 3, |i| i), vec![0, 1, 2]);
+    }
+}

@@ -39,11 +39,13 @@
 use crate::config::CompileOptions;
 use crate::{CResult, CompileError};
 use gpu_sim::arch::GpuArch;
-use gpu_sim::interp::{flatten, FlatProgram};
+use gpu_sim::flatcache::{fingerprint, flatten_cached};
+use gpu_sim::interp::FlatProgram;
 use gpu_sim::isa::{IdxInstr, IdxOp, Instr, Kernel, SAddr};
 use gpu_sim::WARP_SIZE;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::sync::{Mutex, OnceLock};
 
 /// How much verification [`enforce`] performs after codegen.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -119,18 +121,41 @@ pub struct VerifyReport {
     pub generations: u64,
 }
 
+type VerifyMemo = Mutex<HashMap<((u64, u64), &'static str), Result<VerifyReport, Vec<Violation>>>>;
+
+fn verify_memo() -> &'static VerifyMemo {
+    static CACHE: OnceLock<VerifyMemo> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Bound for the verify memo; cleared wholesale when full (sweeps churn
+/// through distinct kernels, LRU bookkeeping is not worth the locking).
+const VERIFY_MEMO_MAX: usize = 256;
+
 /// Verify `kernel` against `arch`. Returns statistics on success or the
 /// full list of violations (not just the first) on failure.
+///
+/// Memoized per (kernel fingerprint, arch): verification is deterministic,
+/// and the same kernel is typically verified twice — once by [`enforce`]
+/// right after codegen and again by the `report verify` sweep.
 pub fn verify_kernel(kernel: &Kernel, arch: &GpuArch) -> Result<VerifyReport, Vec<Violation>> {
-    let prog = flatten(kernel);
+    let key = (fingerprint(kernel), arch.name);
+    if let Some(hit) = verify_memo().lock().unwrap().get(&key) {
+        return hit.clone();
+    }
+    // Verify outside the lock: the dynamic protocol run is the expensive
+    // part, and parallel sweep workers must not serialize on it.
+    let prog = flatten_cached(kernel);
     let mut v = Verifier::new(kernel, arch, &prog);
     v.check_static();
     v.run();
-    if v.violations.is_empty() {
-        Ok(v.report)
-    } else {
-        Err(v.violations)
+    let result =
+        if v.violations.is_empty() { Ok(v.report) } else { Err(v.violations) };
+    let mut memo = verify_memo().lock().unwrap();
+    if memo.len() >= VERIFY_MEMO_MAX {
+        memo.clear();
     }
+    memo.entry(key).or_insert(result).clone()
 }
 
 /// Policy wrapper used by the compilers: run [`verify_kernel`] according
@@ -203,12 +228,28 @@ struct AbsBarrier {
     releases: Vec<VClock>,
 }
 
-/// Per-shared-word access history. Reads keep one entry per warp (the
-/// latest epoch subsumes earlier ones for the WAR check).
-#[derive(Debug, Clone, Default)]
-struct Slot {
-    last_write: Option<(usize, u64, u32)>,
-    reads: Vec<(usize, u64, u32)>,
+/// Per-shared-word access history, struct-of-arrays over
+/// `shared_words x warps`: the verifier touches millions of (word, warp)
+/// pairs on big kernels, so read tracking must be O(1) per word with no
+/// per-slot heap structures. Reads keep one entry per warp (the latest
+/// epoch subsumes earlier ones for the WAR check; epoch 0 = no read,
+/// real epochs start at 1).
+struct SlotTable {
+    n_warps: usize,
+    last_write: Vec<Option<(usize, u64, u32)>>,
+    read_epoch: Vec<u64>,
+    read_addr: Vec<u32>,
+}
+
+impl SlotTable {
+    fn new(shared_words: usize, n_warps: usize) -> SlotTable {
+        SlotTable {
+            n_warps,
+            last_write: vec![None; shared_words],
+            read_epoch: vec![0; shared_words * n_warps],
+            read_addr: vec![0; shared_words * n_warps],
+        }
+    }
 }
 
 /// Per-warp abstract state.
@@ -226,7 +267,7 @@ struct Verifier<'a> {
     prog: &'a FlatProgram,
     warps: Vec<WarpAbs>,
     barriers: Vec<AbsBarrier>,
-    slots: Vec<Slot>,
+    slots: SlotTable,
     violations: Vec<Violation>,
     /// Deduplication of repeated violations from unrolled code: one
     /// report per (kind, static address).
@@ -261,7 +302,7 @@ impl<'a> Verifier<'a> {
                 };
                 n_barriers
             ],
-            slots: vec![Slot::default(); kernel.shared_words],
+            slots: SlotTable::new(kernel.shared_words, n),
             violations: Vec::new(),
             reported: BTreeSet::new(),
             report: VerifyReport { warps: n, ..VerifyReport::default() },
@@ -486,12 +527,18 @@ impl<'a> Verifier<'a> {
                 }
             },
         };
-        let lanes: Vec<usize> = match lane_pred {
-            Some(p) => vec![usize::from(p) % WARP_SIZE],
-            None => (0..WARP_SIZE).collect(),
+        let (lane_lo, lane_hi) = match lane_pred {
+            Some(p) => {
+                let l = usize::from(p) % WARP_SIZE;
+                (l, l + 1)
+            }
+            None => (0, WARP_SIZE),
         };
-        let mut words = BTreeSet::new();
-        for l in lanes {
+        // Stack-buffered sort+dedup: this runs once per shared access
+        // (tens of thousands per kernel), so no per-access heap sets.
+        let mut words = [0u32; WARP_SIZE];
+        let mut n = 0usize;
+        for l in lane_lo..lane_hi {
             let word = base[l].wrapping_add(s.imm).wrapping_add(s.lane_stride * l as u32);
             if word as usize >= self.kernel.shared_words {
                 self.flag(
@@ -505,9 +552,18 @@ impl<'a> Verifier<'a> {
                 );
                 continue;
             }
-            words.insert(word);
+            words[n] = word;
+            n += 1;
         }
-        Some(words.into_iter().collect())
+        let words = &mut words[..n];
+        words.sort_unstable();
+        let mut out = Vec::with_capacity(n);
+        for &word in words.iter() {
+            if out.last() != Some(&word) {
+                out.push(word);
+            }
+        }
+        Some(out)
     }
 
     fn shared_read(&mut self, w: usize, addr: u32, s: &SAddr) {
@@ -516,8 +572,8 @@ impl<'a> Verifier<'a> {
         if let Some(words) = self.saddr_words(w, addr, s, None) {
             self.report.shared_accesses += 1;
             for word in words {
-                let slot = &self.slots[word as usize];
-                if let Some((ww, we, waddr)) = slot.last_write {
+                let wi = word as usize;
+                if let Some((ww, we, waddr)) = self.slots.last_write[wi] {
                     if ww != w && !self.warps[w].clock.ordered_after(ww, we) {
                         let msg = format!(
                             "shared word {}: read by warp {} at addr {} is not barrier-ordered \
@@ -527,11 +583,9 @@ impl<'a> Verifier<'a> {
                         self.flag(ViolationKind::Race, addr, msg);
                     }
                 }
-                let slot = &mut self.slots[word as usize];
-                match slot.reads.iter_mut().find(|(rw, _, _)| *rw == w) {
-                    Some(entry) => *entry = (w, epoch, addr),
-                    None => slot.reads.push((w, epoch, addr)),
-                }
+                let idx = wi * self.slots.n_warps + w;
+                self.slots.read_epoch[idx] = epoch;
+                self.slots.read_addr[idx] = addr;
             }
         }
     }
@@ -542,8 +596,8 @@ impl<'a> Verifier<'a> {
         if let Some(words) = self.saddr_words(w, addr, s, lane_pred) {
             self.report.shared_accesses += 1;
             for word in words {
-                let slot = &self.slots[word as usize];
-                if let Some((ww, we, waddr)) = slot.last_write {
+                let wi = word as usize;
+                if let Some((ww, we, waddr)) = self.slots.last_write[wi] {
                     if ww != w && !self.warps[w].clock.ordered_after(ww, we) {
                         let msg = format!(
                             "shared word {}: write by warp {} at addr {} is not barrier-ordered \
@@ -553,39 +607,37 @@ impl<'a> Verifier<'a> {
                         self.flag(ViolationKind::Race, addr, msg);
                     }
                 }
-                let war: Vec<(usize, u64, u32)> = self.slots[word as usize]
-                    .reads
-                    .iter()
-                    .copied()
-                    .filter(|&(rw, re, _)| rw != w && !self.warps[w].clock.ordered_after(rw, re))
-                    .collect();
-                for (rw, _, raddr) in war {
-                    let msg = format!(
-                        "shared word {}: write by warp {} at addr {} recycles the slot before \
-                         the read by warp {} at addr {} is barrier-ordered (write-after-read \
-                         across generations)",
-                        word, w, addr, rw, raddr
-                    );
-                    self.flag(ViolationKind::Race, addr, msg);
+                let n = self.slots.n_warps;
+                let base = wi * n;
+                for rw in 0..n {
+                    let re = self.slots.read_epoch[base + rw];
+                    if re != 0 && rw != w && !self.warps[w].clock.ordered_after(rw, re) {
+                        let raddr = self.slots.read_addr[base + rw];
+                        let msg = format!(
+                            "shared word {}: write by warp {} at addr {} recycles the slot before \
+                             the read by warp {} at addr {} is barrier-ordered (write-after-read \
+                             across generations)",
+                            word, w, addr, rw, raddr
+                        );
+                        self.flag(ViolationKind::Race, addr, msg);
+                    }
                 }
-                let slot = &mut self.slots[word as usize];
-                slot.last_write = Some((w, epoch, addr));
-                slot.reads.clear();
+                self.slots.read_epoch[base..base + n].fill(0);
+                self.slots.last_write[wi] = Some((w, epoch, addr));
             }
         }
     }
 
     /// Run warp `w` until it blocks or finishes. Returns true if it made
     /// progress.
+    ///
+    /// `pc` indexes the synchronization-relevant substream: arithmetic
+    /// ops cannot affect index registers, shared memory, or barrier state,
+    /// so the protocol run skips them wholesale.
     fn run_warp(&mut self, w: usize) -> bool {
         let start = self.warps[w].pc;
-        while self.warps[w].pc < self.prog.stream_len(w) {
-            let step = self.prog.step(w, self.warps[w].pc);
-            let addr = step.addr;
-            let Some(instr) = step.instr else {
-                self.warps[w].pc += 1;
-                continue;
-            };
+        while self.warps[w].pc < self.prog.sync_stream_len(w) {
+            let (addr, instr) = self.prog.sync_step(w, self.warps[w].pc);
             match instr.clone() {
                 Instr::Idx(i) => self.exec_idx(w, addr, i),
                 Instr::LdShared { addr: s, .. } => self.shared_read(w, addr, &s),
@@ -637,11 +689,12 @@ impl<'a> Verifier<'a> {
                         continue;
                     }
                 }
-                if self.warps[w].pc < self.prog.stream_len(w) {
+                if self.warps[w].pc < self.prog.sync_stream_len(w) {
                     if self.run_warp(w) {
                         progressed = true;
                     }
-                    if self.warps[w].pc < self.prog.stream_len(w) || self.warps[w].blocked_on.is_some()
+                    if self.warps[w].pc < self.prog.sync_stream_len(w)
+                        || self.warps[w].blocked_on.is_some()
                     {
                         all_done = false;
                     }

@@ -1,0 +1,453 @@
+//! Process-wide memoization of [`flatten`](crate::interp::flatten).
+//!
+//! Sweep-style workloads (autotuning, the figure harness, the verifier
+//! sweep) launch the same kernel many times; re-flattening on every launch
+//! re-expands every loop and rebuilds the pre-decoded side tables each
+//! time. This cache keys a shared [`FlatProgram`] on a structural
+//! fingerprint of the kernel, so repeated launches reuse one flatten.
+//!
+//! The fingerprint covers every kernel field (f64s by bit pattern) and is
+//! two independent 64-bit hashes, making accidental collisions between the
+//! handful of kernels alive in one process vanishingly unlikely. The cache
+//! is bounded: when it exceeds [`MAX_ENTRIES`] it is cleared wholesale
+//! (sweeps churn through distinct kernels; LRU bookkeeping is not worth
+//! the locking).
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::Hasher;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::interp::{flatten, FlatProgram};
+use crate::isa::*;
+
+const MAX_ENTRIES: usize = 256;
+
+type FlatCache = Mutex<HashMap<(u64, u64), Arc<FlatProgram>>>;
+
+static CACHE: OnceLock<FlatCache> = OnceLock::new();
+
+/// Flatten `kernel`, reusing a cached [`FlatProgram`] when an identical
+/// kernel was flattened before in this process.
+pub fn flatten_cached(kernel: &Kernel) -> Arc<FlatProgram> {
+    let key = fingerprint(kernel);
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(hit) = cache.lock().expect("flatten cache poisoned").get(&key) {
+        return hit.clone();
+    }
+    // Flatten outside the lock so parallel sweep workers don't serialize.
+    let prog = Arc::new(flatten(kernel));
+    let mut g = cache.lock().expect("flatten cache poisoned");
+    if g.len() >= MAX_ENTRIES {
+        g.clear();
+    }
+    g.entry(key).or_insert_with(|| prog.clone()).clone()
+}
+
+/// Two independent structural hashes of the kernel. Public so other
+/// deterministic per-kernel memos (e.g. the schedule verifier's) can share
+/// one identity scheme instead of re-walking the IR their own way.
+pub fn fingerprint(k: &Kernel) -> (u64, u64) {
+    let mut h1 = DefaultHasher::new();
+    let mut h2 = DefaultHasher::new();
+    // Distinct prefixes decorrelate the two hash streams.
+    h1.write_u8(0x51);
+    h2.write_u8(0xa7);
+    hash_kernel(k, &mut h1);
+    hash_kernel(k, &mut h2);
+    (h1.finish(), h2.finish())
+}
+
+fn hash_kernel(k: &Kernel, h: &mut impl Hasher) {
+    h.write(k.name.as_bytes());
+    h.write_usize(k.warps_per_cta);
+    h.write_usize(k.points_per_cta);
+    h.write_usize(k.dregs_per_thread);
+    h.write_usize(k.iregs_per_thread);
+    h.write_usize(k.shared_words);
+    h.write_usize(k.local_words_per_thread);
+    h.write_usize(k.barriers_used);
+    h.write_usize(k.spilled_bytes_per_thread);
+    h.write_u8(k.exp_const_from_registers as u8);
+    h.write_usize(k.const_banks.len());
+    for b in &k.const_banks {
+        h.write_usize(b.len());
+        for v in b {
+            h.write_u64(v.to_bits());
+        }
+    }
+    h.write_usize(k.iconst_banks.len());
+    for b in &k.iconst_banks {
+        h.write_usize(b.len());
+        for v in b {
+            h.write_u32(*v);
+        }
+    }
+    h.write_usize(k.global_arrays.len());
+    for a in &k.global_arrays {
+        h.write(a.name.as_bytes());
+        h.write_usize(a.rows);
+        h.write_u8(a.output as u8);
+    }
+    h.write_usize(k.body.len());
+    hash_nodes(&k.body, h);
+}
+
+fn hash_nodes(nodes: &[Node], h: &mut impl Hasher) {
+    for n in nodes {
+        match n {
+            Node::Op(i) => {
+                h.write_u8(0);
+                hash_instr(i, h);
+            }
+            Node::WarpIf { mask, body } => {
+                h.write_u8(1);
+                h.write_u64(*mask);
+                h.write_usize(body.len());
+                hash_nodes(body, h);
+            }
+            Node::WarpSwitch { case_of_warp, cases } => {
+                h.write_u8(2);
+                h.write_usize(case_of_warp.len());
+                for c in case_of_warp {
+                    h.write_usize(*c);
+                }
+                h.write_usize(cases.len());
+                for c in cases {
+                    h.write_usize(c.len());
+                    hash_nodes(c, h);
+                }
+            }
+            Node::Loop { count, body } => {
+                h.write_u8(3);
+                h.write_u32(*count);
+                h.write_usize(body.len());
+                hash_nodes(body, h);
+            }
+            Node::PointLoop { iters, body } => {
+                h.write_u8(4);
+                h.write_u32(*iters);
+                h.write_usize(body.len());
+                hash_nodes(body, h);
+            }
+        }
+    }
+}
+
+fn hash_op(o: &Op, h: &mut impl Hasher) {
+    match o {
+        Op::Reg(r) => {
+            h.write_u8(0);
+            h.write_u16(*r);
+        }
+        Op::Imm(v) => {
+            h.write_u8(1);
+            h.write_u64(v.to_bits());
+        }
+    }
+}
+
+fn hash_iop(o: &IdxOp, h: &mut impl Hasher) {
+    match o {
+        IdxOp::Imm(v) => {
+            h.write_u8(0);
+            h.write_u32(*v);
+        }
+        IdxOp::Reg(r) => {
+            h.write_u8(1);
+            h.write_u16(*r);
+        }
+    }
+}
+
+fn hash_gaddr(a: &GAddr, h: &mut impl Hasher) {
+    h.write_usize(a.array.0);
+    hash_iop(&a.row, h);
+    match &a.point {
+        PointRef::Lane => h.write_u8(0),
+        PointRef::Thread => h.write_u8(1),
+        PointRef::Reg(r) => {
+            h.write_u8(2);
+            h.write_u16(*r);
+        }
+    }
+}
+
+fn hash_saddr(a: &SAddr, h: &mut impl Hasher) {
+    match a.base {
+        None => h.write_u8(0),
+        Some(r) => {
+            h.write_u8(1);
+            h.write_u16(r);
+        }
+    }
+    h.write_u32(a.imm);
+    h.write_u32(a.lane_stride);
+}
+
+fn hash_cmp(c: &Cmp, h: &mut impl Hasher) {
+    h.write_u8(match c {
+        Cmp::Lt => 0,
+        Cmp::Le => 1,
+        Cmp::Gt => 2,
+        Cmp::Ge => 3,
+        Cmp::Eq => 4,
+        Cmp::Ne => 5,
+    });
+}
+
+fn hash_instr(i: &Instr, h: &mut impl Hasher) {
+    match i {
+        Instr::DMov { dst, src } => {
+            h.write_u8(0);
+            h.write_u16(*dst);
+            hash_op(src, h);
+        }
+        Instr::DAdd { dst, a, b } => {
+            h.write_u8(1);
+            h.write_u16(*dst);
+            hash_op(a, h);
+            hash_op(b, h);
+        }
+        Instr::DSub { dst, a, b } => {
+            h.write_u8(2);
+            h.write_u16(*dst);
+            hash_op(a, h);
+            hash_op(b, h);
+        }
+        Instr::DMul { dst, a, b } => {
+            h.write_u8(3);
+            h.write_u16(*dst);
+            hash_op(a, h);
+            hash_op(b, h);
+        }
+        Instr::DFma { dst, a, b, c, const_c } => {
+            h.write_u8(4);
+            h.write_u16(*dst);
+            hash_op(a, h);
+            hash_op(b, h);
+            hash_op(c, h);
+            h.write_u8(*const_c as u8);
+        }
+        Instr::DDiv { dst, a, b } => {
+            h.write_u8(5);
+            h.write_u16(*dst);
+            hash_op(a, h);
+            hash_op(b, h);
+        }
+        Instr::DSqrt { dst, a } => {
+            h.write_u8(6);
+            h.write_u16(*dst);
+            hash_op(a, h);
+        }
+        Instr::DExp { dst, a } => {
+            h.write_u8(7);
+            h.write_u16(*dst);
+            hash_op(a, h);
+        }
+        Instr::DLog { dst, a } => {
+            h.write_u8(8);
+            h.write_u16(*dst);
+            hash_op(a, h);
+        }
+        Instr::DLog10 { dst, a } => {
+            h.write_u8(9);
+            h.write_u16(*dst);
+            hash_op(a, h);
+        }
+        Instr::DCbrt { dst, a } => {
+            h.write_u8(10);
+            h.write_u16(*dst);
+            hash_op(a, h);
+        }
+        Instr::DPow { dst, a, b } => {
+            h.write_u8(11);
+            h.write_u16(*dst);
+            hash_op(a, h);
+            hash_op(b, h);
+        }
+        Instr::DMax { dst, a, b } => {
+            h.write_u8(12);
+            h.write_u16(*dst);
+            hash_op(a, h);
+            hash_op(b, h);
+        }
+        Instr::DMin { dst, a, b } => {
+            h.write_u8(13);
+            h.write_u16(*dst);
+            hash_op(a, h);
+            hash_op(b, h);
+        }
+        Instr::DNeg { dst, a } => {
+            h.write_u8(14);
+            h.write_u16(*dst);
+            hash_op(a, h);
+        }
+        Instr::DSel { dst, pred, a, b } => {
+            h.write_u8(15);
+            h.write_u16(*dst);
+            h.write_u16(*pred);
+            hash_op(a, h);
+            hash_op(b, h);
+        }
+        Instr::DCmp { dst, cmp, a, b } => {
+            h.write_u8(16);
+            h.write_u16(*dst);
+            hash_cmp(cmp, h);
+            hash_op(a, h);
+            hash_op(b, h);
+        }
+        Instr::LdGlobal { dst, addr, ldg } => {
+            h.write_u8(17);
+            h.write_u16(*dst);
+            hash_gaddr(addr, h);
+            h.write_u8(*ldg as u8);
+        }
+        Instr::StGlobal { src, addr } => {
+            h.write_u8(18);
+            hash_op(src, h);
+            hash_gaddr(addr, h);
+        }
+        Instr::LdShared { dst, addr } => {
+            h.write_u8(19);
+            h.write_u16(*dst);
+            hash_saddr(addr, h);
+        }
+        Instr::StShared { src, addr, lane_pred } => {
+            h.write_u8(20);
+            hash_op(src, h);
+            hash_saddr(addr, h);
+            match lane_pred {
+                None => h.write_u8(0),
+                Some(p) => {
+                    h.write_u8(1);
+                    h.write_u8(*p);
+                }
+            }
+        }
+        Instr::LdConst { dst, bank, idx } => {
+            h.write_u8(21);
+            h.write_u16(*dst);
+            h.write_u16(*bank);
+            hash_iop(idx, h);
+        }
+        Instr::LdLocal { dst, slot } => {
+            h.write_u8(22);
+            h.write_u16(*dst);
+            h.write_u32(*slot);
+        }
+        Instr::StLocal { src, slot } => {
+            h.write_u8(23);
+            hash_op(src, h);
+            h.write_u32(*slot);
+        }
+        Instr::Shfl { dst, src, lane } => {
+            h.write_u8(24);
+            h.write_u16(*dst);
+            h.write_u16(*src);
+            h.write_u8(*lane);
+        }
+        Instr::Idx(ii) => {
+            h.write_u8(25);
+            match ii {
+                IdxInstr::Mov { dst, src } => {
+                    h.write_u8(0);
+                    h.write_u16(*dst);
+                    hash_iop(src, h);
+                }
+                IdxInstr::Add { dst, a, b } => {
+                    h.write_u8(1);
+                    h.write_u16(*dst);
+                    hash_iop(a, h);
+                    hash_iop(b, h);
+                }
+                IdxInstr::Mul { dst, a, b } => {
+                    h.write_u8(2);
+                    h.write_u16(*dst);
+                    hash_iop(a, h);
+                    hash_iop(b, h);
+                }
+                IdxInstr::LaneId { dst } => {
+                    h.write_u8(3);
+                    h.write_u16(*dst);
+                }
+                IdxInstr::WarpId { dst } => {
+                    h.write_u8(4);
+                    h.write_u16(*dst);
+                }
+                IdxInstr::LdConst { dst, bank, idx } => {
+                    h.write_u8(5);
+                    h.write_u16(*dst);
+                    h.write_u16(*bank);
+                    hash_iop(idx, h);
+                }
+                IdxInstr::Shfl { dst, src, lane } => {
+                    h.write_u8(6);
+                    h.write_u16(*dst);
+                    h.write_u16(*src);
+                    h.write_u8(*lane);
+                }
+            }
+        }
+        Instr::BarArrive { bar, warps } => {
+            h.write_u8(26);
+            h.write_u8(*bar);
+            h.write_u16(*warps);
+        }
+        Instr::BarSync { bar, warps } => {
+            h.write_u8(27);
+            h.write_u8(*bar);
+            h.write_u16(*warps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel(imm: f64) -> Kernel {
+        Kernel {
+            name: "fc".into(),
+            body: vec![Node::Op(Instr::DMov { dst: 0, src: Op::Imm(imm) })],
+            warps_per_cta: 1,
+            points_per_cta: 32,
+            dregs_per_thread: 2,
+            iregs_per_thread: 1,
+            shared_words: 0,
+            local_words_per_thread: 0,
+            const_banks: vec![],
+            iconst_banks: vec![],
+            barriers_used: 0,
+            global_arrays: vec![],
+            spilled_bytes_per_thread: 0,
+            exp_const_from_registers: false,
+        }
+    }
+
+    #[test]
+    fn identical_kernels_share_one_flatten() {
+        let a = flatten_cached(&kernel(1.25));
+        let b = flatten_cached(&kernel(1.25));
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn different_kernels_do_not_collide() {
+        let a = flatten_cached(&kernel(1.25));
+        let b = flatten_cached(&kernel(2.5));
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(fingerprint(&kernel(1.25)), fingerprint(&kernel(2.5)));
+    }
+
+    #[test]
+    fn fingerprint_covers_flags_and_banks() {
+        let base = kernel(0.0);
+        let mut k2 = kernel(0.0);
+        k2.exp_const_from_registers = true;
+        assert_ne!(fingerprint(&base), fingerprint(&k2));
+        let mut k3 = kernel(0.0);
+        k3.const_banks = vec![vec![1.0]];
+        assert_ne!(fingerprint(&base), fingerprint(&k3));
+    }
+}

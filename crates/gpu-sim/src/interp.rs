@@ -37,6 +37,237 @@ impl FlatOp {
     }
 }
 
+/// Pre-resolved double-precision operand: a register's base offset into the
+/// warp's lane-major register file (`reg * WARP_SIZE`), or a splat immediate.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Src {
+    /// Base index of the register's 32 contiguous lane slots.
+    Reg(usize),
+    /// Immediate broadcast to all lanes.
+    Imm(f64),
+}
+
+/// Two-operand arithmetic kinds for the decoded fast path.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum BinKind {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Pow,
+    Max,
+    Min,
+}
+
+/// One-operand arithmetic kinds for the decoded fast path.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum UnKind {
+    Mov,
+    Sqrt,
+    Exp,
+    Log,
+    Log10,
+    Cbrt,
+    Neg,
+}
+
+/// An instruction pre-decoded at `flatten()` time: register ids resolved to
+/// base offsets, destination ranges pre-validated, and barrier parameters
+/// extracted — so the dynamic execute loop neither re-matches the full
+/// [`Instr`] enum nor re-derives static properties per executed op.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum DecodedInstr {
+    /// `dst[l] = a[l] <op> b[l]`.
+    Bin { kind: BinKind, dst: usize, a: Src, b: Src },
+    /// `dst[l] = <op>(a[l])`.
+    Un { kind: UnKind, dst: usize, a: Src },
+    /// `dst[l] = fma(a[l], b[l], c[l])`.
+    Fma { dst: usize, a: Src, b: Src, c: Src },
+    /// Branch-free select.
+    Sel { dst: usize, pred: usize, a: Src, b: Src },
+    /// Compare producing 0.0/1.0.
+    CmpOp { dst: usize, cmp: Cmp, a: Src, b: Src },
+    /// Broadcast from a fixed lane.
+    Shfl { dst: usize, src: usize, lane: usize },
+    /// Local (spill) load from a pre-validated slot.
+    LdLocal { dst: usize, slot: usize },
+    /// Local (spill) store to a pre-validated slot.
+    StLocal { src: Src, slot: usize },
+    /// Non-blocking named-barrier arrival (scheduler-level).
+    BarArrive { bar: u8, expected: u16 },
+    /// Blocking named-barrier wait (scheduler-level).
+    BarSync { bar: u8, expected: u16 },
+    /// A register/slot id is out of range. The error is deferred to
+    /// execution time so flatten stays infallible (streams that never run
+    /// may legally carry such code, exactly as before pre-decoding).
+    Invalid { space: &'static str, addr: usize, limit: usize },
+    /// Memory/constant/index op: dispatch on the original [`Instr`].
+    Slow,
+}
+
+/// Static per-instruction costs, precomputed once at `flatten()` time so
+/// event collection stops re-deriving them per executed op.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct OpCost {
+    /// Issue slots (warp-instructions).
+    slots: u64,
+    /// DP FLOPs per warp (per-lane flops * WARP_SIZE).
+    flops_warp: u64,
+    /// DP slots reading the constant cache (respects the §6.1 ablation).
+    const_slots: u64,
+    /// Issues on the double-precision pipe.
+    dp: bool,
+}
+
+/// Pre-decode one instruction against the kernel's static limits,
+/// mirroring the check order of the interpreter's original execute path.
+fn decode(ins: &Instr, kernel: &Kernel) -> DecodedInstr {
+    let nd = kernel.dregs_per_thread;
+    let bad = |r: Reg| DecodedInstr::Invalid { space: "dreg", addr: r as usize, limit: nd };
+    let ok = |r: Reg| (r as usize) < nd;
+    let base = |r: Reg| r as usize * WARP_SIZE;
+    let src = |o: &Op| match o {
+        Op::Reg(r) => Src::Reg(base(*r)),
+        Op::Imm(v) => Src::Imm(*v),
+    };
+    match ins {
+        Instr::DMov { dst, src: a } => {
+            if !ok(*dst) {
+                return bad(*dst);
+            }
+            DecodedInstr::Un { kind: UnKind::Mov, dst: base(*dst), a: src(a) }
+        }
+        Instr::DAdd { dst, a, b } => {
+            if !ok(*dst) {
+                return bad(*dst);
+            }
+            DecodedInstr::Bin { kind: BinKind::Add, dst: base(*dst), a: src(a), b: src(b) }
+        }
+        Instr::DSub { dst, a, b } => {
+            if !ok(*dst) {
+                return bad(*dst);
+            }
+            DecodedInstr::Bin { kind: BinKind::Sub, dst: base(*dst), a: src(a), b: src(b) }
+        }
+        Instr::DMul { dst, a, b } => {
+            if !ok(*dst) {
+                return bad(*dst);
+            }
+            DecodedInstr::Bin { kind: BinKind::Mul, dst: base(*dst), a: src(a), b: src(b) }
+        }
+        Instr::DFma { dst, a, b, c, .. } => {
+            if !ok(*dst) {
+                return bad(*dst);
+            }
+            DecodedInstr::Fma { dst: base(*dst), a: src(a), b: src(b), c: src(c) }
+        }
+        Instr::DDiv { dst, a, b } => {
+            if !ok(*dst) {
+                return bad(*dst);
+            }
+            DecodedInstr::Bin { kind: BinKind::Div, dst: base(*dst), a: src(a), b: src(b) }
+        }
+        Instr::DSqrt { dst, a } => {
+            if !ok(*dst) {
+                return bad(*dst);
+            }
+            DecodedInstr::Un { kind: UnKind::Sqrt, dst: base(*dst), a: src(a) }
+        }
+        Instr::DExp { dst, a } => {
+            if !ok(*dst) {
+                return bad(*dst);
+            }
+            DecodedInstr::Un { kind: UnKind::Exp, dst: base(*dst), a: src(a) }
+        }
+        Instr::DLog { dst, a } => {
+            if !ok(*dst) {
+                return bad(*dst);
+            }
+            DecodedInstr::Un { kind: UnKind::Log, dst: base(*dst), a: src(a) }
+        }
+        Instr::DLog10 { dst, a } => {
+            if !ok(*dst) {
+                return bad(*dst);
+            }
+            DecodedInstr::Un { kind: UnKind::Log10, dst: base(*dst), a: src(a) }
+        }
+        Instr::DCbrt { dst, a } => {
+            if !ok(*dst) {
+                return bad(*dst);
+            }
+            DecodedInstr::Un { kind: UnKind::Cbrt, dst: base(*dst), a: src(a) }
+        }
+        Instr::DPow { dst, a, b } => {
+            if !ok(*dst) {
+                return bad(*dst);
+            }
+            DecodedInstr::Bin { kind: BinKind::Pow, dst: base(*dst), a: src(a), b: src(b) }
+        }
+        Instr::DMax { dst, a, b } => {
+            if !ok(*dst) {
+                return bad(*dst);
+            }
+            DecodedInstr::Bin { kind: BinKind::Max, dst: base(*dst), a: src(a), b: src(b) }
+        }
+        Instr::DMin { dst, a, b } => {
+            if !ok(*dst) {
+                return bad(*dst);
+            }
+            DecodedInstr::Bin { kind: BinKind::Min, dst: base(*dst), a: src(a), b: src(b) }
+        }
+        Instr::DNeg { dst, a } => {
+            if !ok(*dst) {
+                return bad(*dst);
+            }
+            DecodedInstr::Un { kind: UnKind::Neg, dst: base(*dst), a: src(a) }
+        }
+        Instr::DSel { dst, pred, a, b } => {
+            if !ok(*dst) {
+                return bad(*dst);
+            }
+            if !ok(*pred) {
+                return bad(*pred);
+            }
+            DecodedInstr::Sel { dst: base(*dst), pred: base(*pred), a: src(a), b: src(b) }
+        }
+        Instr::DCmp { dst, cmp, a, b } => {
+            if !ok(*dst) {
+                return bad(*dst);
+            }
+            DecodedInstr::CmpOp { dst: base(*dst), cmp: *cmp, a: src(a), b: src(b) }
+        }
+        Instr::Shfl { dst, src: s, lane } => {
+            if !ok(*dst) {
+                return bad(*dst);
+            }
+            if !ok(*s) {
+                return bad(*s);
+            }
+            DecodedInstr::Shfl { dst: base(*dst), src: base(*s), lane: *lane as usize }
+        }
+        Instr::LdLocal { dst, slot } => {
+            if !ok(*dst) {
+                return bad(*dst);
+            }
+            let lw = kernel.local_words_per_thread;
+            if *slot as usize >= lw {
+                return DecodedInstr::Invalid { space: "local", addr: *slot as usize, limit: lw };
+            }
+            DecodedInstr::LdLocal { dst: base(*dst), slot: *slot as usize * WARP_SIZE }
+        }
+        Instr::StLocal { src: s, slot } => {
+            let lw = kernel.local_words_per_thread;
+            if *slot as usize >= lw {
+                return DecodedInstr::Invalid { space: "local", addr: *slot as usize, limit: lw };
+            }
+            DecodedInstr::StLocal { src: src(s), slot: *slot as usize * WARP_SIZE }
+        }
+        Instr::BarArrive { bar, warps } => DecodedInstr::BarArrive { bar: *bar, expected: *warps },
+        Instr::BarSync { bar, warps } => DecodedInstr::BarSync { bar: *bar, expected: *warps },
+        _ => DecodedInstr::Slow,
+    }
+}
+
 /// Per-warp flattened program: the exact instruction sequence each warp
 /// executes, with static addresses shared across warps (overlaid code keeps
 /// these streams on common addresses; naïve switches give them disjoint
@@ -45,6 +276,17 @@ impl FlatOp {
 pub struct FlatProgram {
     pub(crate) streams: Vec<Vec<FlatOp>>,
     pub(crate) instrs: Vec<Instr>,
+    /// Pre-decoded fast-path table, parallel to `instrs`.
+    pub(crate) decoded: Vec<DecodedInstr>,
+    /// Precomputed static costs, parallel to `instrs`.
+    pub(crate) costs: Vec<OpCost>,
+    /// Per-warp static fetch address streams (icache model input),
+    /// precomputed so event collection stops rebuilding them per CTA.
+    pub(crate) addr_streams: Vec<Vec<u32>>,
+    /// Per-warp substreams of only the synchronization-relevant ops
+    /// (index ISA, shared accesses, named barriers) as
+    /// (static address, arena index) pairs.
+    pub(crate) sync_streams: Vec<Vec<(u32, u32)>>,
     /// Total static instructions (address space size).
     pub static_size: u32,
 }
@@ -88,6 +330,21 @@ impl FlatProgram {
     pub fn warp_stream(&self, warp: usize) -> impl Iterator<Item = FlatStep<'_>> + '_ {
         (0..self.streams[warp].len()).map(move |i| self.step(warp, i))
     }
+
+    /// Length of one warp's synchronization-relevant substream.
+    pub fn sync_stream_len(&self, warp: usize) -> usize {
+        self.sync_streams[warp].len()
+    }
+
+    /// One step of a warp's synchronization-relevant substream — exactly
+    /// the ops a barrier-protocol or shared-memory analysis must model
+    /// (index ISA, shared accesses, named barriers), in stream order with
+    /// original static addresses. Everything skipped is arithmetic with no
+    /// effect on index registers, shared memory, or barrier state.
+    pub fn sync_step(&self, warp: usize, pos: usize) -> (u32, &Instr) {
+        let (addr, idx) = self.sync_streams[warp][pos];
+        (addr, &self.instrs[idx as usize])
+    }
 }
 
 /// Flatten a kernel's structured body into per-warp streams.
@@ -98,10 +355,17 @@ pub fn flatten(kernel: &Kernel) -> FlatProgram {
 
     // Assign addresses in tree order; every warp walking the same tree sees
     // the same addresses. `emit` is called per warp with that warp's path.
+    //
+    // Loop bodies are re-walked per iteration with the address counter
+    // reset, so a static address always denotes the same instruction; the
+    // arena is memoized by address (`addr_to_idx`, u32::MAX = unassigned)
+    // to keep it — and the decode/cost tables built from it — sized by
+    // static code, not by trip counts.
     fn walk(
         nodes: &[Node],
         counter: &mut u32,
         instrs: &mut Vec<Instr>,
+        addr_to_idx: &mut Vec<u32>,
         streams: &mut [Vec<FlatOp>],
         active: &[usize],
         pset: u32,
@@ -111,8 +375,18 @@ pub fn flatten(kernel: &Kernel) -> FlatProgram {
                 Node::Op(i) => {
                     let addr = *counter;
                     *counter += 1;
-                    let idx = instrs.len() as u32;
-                    instrs.push(i.clone());
+                    if addr_to_idx.len() <= addr as usize {
+                        addr_to_idx.resize(addr as usize + 1, u32::MAX);
+                    }
+                    let idx = match addr_to_idx[addr as usize] {
+                        u32::MAX => {
+                            let idx = instrs.len() as u32;
+                            instrs.push(i.clone());
+                            addr_to_idx[addr as usize] = idx;
+                            idx
+                        }
+                        idx => idx,
+                    };
                     for &wid in active {
                         streams[wid].push(FlatOp::Exec { addr, instr: idx, pset });
                     }
@@ -128,7 +402,7 @@ pub fn flatten(kernel: &Kernel) -> FlatProgram {
                         .copied()
                         .filter(|&wid| mask & (1u64 << wid) != 0)
                         .collect();
-                    walk(body, counter, instrs, streams, &taken, pset);
+                    walk(body, counter, instrs, addr_to_idx, streams, &taken, pset);
                 }
                 Node::WarpSwitch { case_of_warp, cases } => {
                     let addr = *counter;
@@ -142,19 +416,19 @@ pub fn flatten(kernel: &Kernel) -> FlatProgram {
                             .copied()
                             .filter(|&wid| case_of_warp.get(wid) == Some(&ci))
                             .collect();
-                        walk(case, counter, instrs, streams, &taken, pset);
+                        walk(case, counter, instrs, addr_to_idx, streams, &taken, pset);
                     }
                 }
                 Node::Loop { count, body } => {
                     let start = *counter;
                     for _ in 0..*count {
                         *counter = start;
-                        walk(body, counter, instrs, streams, active, pset);
+                        walk(body, counter, instrs, addr_to_idx, streams, active, pset);
                     }
                     if *count == 0 {
                         // Still reserve the addresses.
                         let mut c = start;
-                        walk(body, &mut c, instrs, &mut vec![Vec::new(); streams.len()], &[], pset);
+                        walk(body, &mut c, instrs, addr_to_idx, &mut vec![Vec::new(); streams.len()], &[], pset);
                         *counter = c;
                     }
                 }
@@ -162,7 +436,7 @@ pub fn flatten(kernel: &Kernel) -> FlatProgram {
                     let start = *counter;
                     for it in 0..*iters {
                         *counter = start;
-                        walk(body, counter, instrs, streams, active, it);
+                        walk(body, counter, instrs, addr_to_idx, streams, active, it);
                     }
                 }
             }
@@ -171,8 +445,51 @@ pub fn flatten(kernel: &Kernel) -> FlatProgram {
 
     let all: Vec<usize> = (0..w).collect();
     let mut counter = 0u32;
-    walk(&kernel.body, &mut counter, &mut instrs, &mut streams, &all, 0);
-    FlatProgram { streams, instrs, static_size: counter }
+    let mut addr_to_idx: Vec<u32> = Vec::new();
+    walk(&kernel.body, &mut counter, &mut instrs, &mut addr_to_idx, &mut streams, &all, 0);
+
+    // Pre-decode each arena instruction once: fast-path form, static costs,
+    // and the fetch address streams the icache model replays.
+    let decoded: Vec<DecodedInstr> = instrs.iter().map(|i| decode(i, kernel)).collect();
+    let costs: Vec<OpCost> = instrs
+        .iter()
+        .map(|i| OpCost {
+            slots: i.issue_slots() as u64,
+            flops_warp: (i.flops() * WARP_SIZE) as u64,
+            const_slots: i.const_operand_slots(kernel.exp_const_from_registers) as u64,
+            dp: i.is_dp(),
+        })
+        .collect();
+    let addr_streams: Vec<Vec<u32>> =
+        streams.iter().map(|s| s.iter().map(|op| op.addr()).collect()).collect();
+
+    // Substreams of only the synchronization-relevant ops. Protocol
+    // analyses (the schedule verifier) model index registers, shared
+    // memory, and named barriers; pre-filtering here lets them skip the
+    // arithmetic bulk of each stream entirely.
+    let sync_streams: Vec<Vec<(u32, u32)>> = streams
+        .iter()
+        .map(|s| {
+            s.iter()
+                .filter_map(|op| match *op {
+                    FlatOp::Exec { addr, instr, .. } => {
+                        let relevant = matches!(
+                            instrs[instr as usize],
+                            Instr::Idx(_)
+                                | Instr::LdShared { .. }
+                                | Instr::StShared { .. }
+                                | Instr::BarArrive { .. }
+                                | Instr::BarSync { .. }
+                        );
+                        relevant.then_some((addr, instr))
+                    }
+                    FlatOp::Branch { .. } => None,
+                })
+                .collect()
+        })
+        .collect();
+
+    FlatProgram { streams, instrs, decoded, costs, addr_streams, sync_streams, static_size: counter }
 }
 
 /// Named-barrier state. `generation` increments on every completion so a
@@ -306,14 +623,10 @@ pub fn run_cta(
     if collect {
         counts.const_hits = ccache.hits();
         counts.const_misses = ccache.misses();
-        // Instruction-cache simulation over the interleaved fetch streams.
-        let fetch_streams: Vec<Vec<u32>> = prog
-            .streams
-            .iter()
-            .map(|s| s.iter().map(|op| op.addr()).collect())
-            .collect();
+        // Instruction-cache simulation over the interleaved fetch streams
+        // (precomputed at flatten time).
         let (fetches, misses) = interleaved_fetch_trace(
-            &fetch_streams,
+            &prog.addr_streams,
             arch.instr_bytes,
             arch.icache_bytes,
             arch.icache_line_bytes,
@@ -368,44 +681,56 @@ fn step_warp(
                 ran = true;
             }
             FlatOp::Exec { instr, pset, .. } => {
-                let ins = &prog.instrs[instr as usize];
+                let i = instr as usize;
+                if collect {
+                    let cost = prog.costs[i];
+                    counts.issue_slots += cost.slots;
+                    if cost.dp {
+                        counts.dp_slots += cost.slots;
+                        counts.flops += cost.flops_warp;
+                        counts.dp_const_slots += cost.const_slots;
+                    }
+                }
                 // Barriers are handled at scheduler level.
-                match ins {
-                    Instr::BarArrive { bar, warps: expected } => {
+                match prog.decoded[i] {
+                    DecodedInstr::BarArrive { bar, expected } => {
                         if collect {
-                            counts.issue_slots += 1;
                             counts.barrier_arrives += 1;
                         }
-                        barrier_arrive(barriers, *bar, *expected)?;
+                        barrier_arrive(barriers, bar, expected)?;
                         warps[w].pc += 1;
                         ran = true;
                     }
-                    Instr::BarSync { bar, warps: expected } => {
+                    DecodedInstr::BarSync { bar, expected } => {
                         if collect {
-                            counts.issue_slots += 1;
                             counts.barrier_syncs += 1;
                         }
                         // Record the generation *before* arriving: if our
                         // own arrival completes the barrier the generation
                         // advances and we are not blocked.
-                        let gen = barriers[*bar as usize].generation;
-                        let released = barrier_arrive(barriers, *bar, *expected)?;
+                        let gen = barriers[bar as usize].generation;
+                        let released = barrier_arrive(barriers, bar, expected)?;
                         warps[w].pc += 1;
                         ran = true;
                         if !released {
-                            warps[w].blocked = Some((*bar, gen));
+                            warps[w].blocked = Some((bar, gen));
                             if collect {
                                 counts.barrier_stall_switches += 1;
                             }
                             return Ok(ran);
                         }
                     }
-                    _ => {
-                        exec_instr(
-                            kernel, ins, pset, inputs, total_points, base_point, w,
-                            &mut warps[w], shared, out_buffers, ccache, bank_base, collect,
+                    DecodedInstr::Slow => {
+                        exec_slow(
+                            kernel, &prog.instrs[i], pset, inputs, total_points, base_point,
+                            w, &mut warps[w], shared, out_buffers, ccache, bank_base, collect,
                             counts,
                         )?;
+                        warps[w].pc += 1;
+                        ran = true;
+                    }
+                    dec => {
+                        exec_fast(dec, &mut warps[w], collect, counts)?;
                         warps[w].pc += 1;
                         ran = true;
                     }
@@ -442,8 +767,176 @@ fn barrier_arrive(barriers: &mut [BarrierState], bar: u8, expected: u16) -> SimR
     }
 }
 
+/// Snapshot an operand's 32 lane values from the contiguous register file.
+/// Copying first makes destination aliasing trivially safe while keeping
+/// the arithmetic loops over plain contiguous slices.
+#[inline]
+fn src_vals(dregs: &[f64], s: Src) -> [f64; WARP_SIZE] {
+    match s {
+        Src::Reg(base) => dregs[base..base + WARP_SIZE].try_into().expect("warp slice"),
+        Src::Imm(v) => [v; WARP_SIZE],
+    }
+}
+
+/// Execute a pre-decoded register-only instruction: the 32-lane loops run
+/// over contiguous register-file slices with no per-lane operand matching
+/// or bounds rederivation.
+fn exec_fast(
+    dec: DecodedInstr,
+    warp: &mut WarpState,
+    collect: bool,
+    counts: &mut EventCounts,
+) -> SimResult<()> {
+    match dec {
+        DecodedInstr::Bin { kind, dst, a, b } => {
+            let av = src_vals(&warp.dregs, a);
+            let bv = src_vals(&warp.dregs, b);
+            let out = &mut warp.dregs[dst..dst + WARP_SIZE];
+            match kind {
+                BinKind::Add => {
+                    for l in 0..WARP_SIZE {
+                        out[l] = av[l] + bv[l];
+                    }
+                }
+                BinKind::Sub => {
+                    for l in 0..WARP_SIZE {
+                        out[l] = av[l] - bv[l];
+                    }
+                }
+                BinKind::Mul => {
+                    for l in 0..WARP_SIZE {
+                        out[l] = av[l] * bv[l];
+                    }
+                }
+                BinKind::Div => {
+                    for l in 0..WARP_SIZE {
+                        out[l] = av[l] / bv[l];
+                    }
+                }
+                BinKind::Pow => {
+                    for l in 0..WARP_SIZE {
+                        out[l] = av[l].powf(bv[l]);
+                    }
+                }
+                BinKind::Max => {
+                    for l in 0..WARP_SIZE {
+                        out[l] = av[l].max(bv[l]);
+                    }
+                }
+                BinKind::Min => {
+                    for l in 0..WARP_SIZE {
+                        out[l] = av[l].min(bv[l]);
+                    }
+                }
+            }
+        }
+        DecodedInstr::Un { kind, dst, a } => {
+            let av = src_vals(&warp.dregs, a);
+            let out = &mut warp.dregs[dst..dst + WARP_SIZE];
+            match kind {
+                UnKind::Mov => out.copy_from_slice(&av),
+                UnKind::Sqrt => {
+                    for l in 0..WARP_SIZE {
+                        out[l] = av[l].sqrt();
+                    }
+                }
+                UnKind::Exp => {
+                    for l in 0..WARP_SIZE {
+                        out[l] = av[l].exp();
+                    }
+                }
+                UnKind::Log => {
+                    for l in 0..WARP_SIZE {
+                        out[l] = av[l].ln();
+                    }
+                }
+                UnKind::Log10 => {
+                    for l in 0..WARP_SIZE {
+                        out[l] = av[l].log10();
+                    }
+                }
+                UnKind::Cbrt => {
+                    for l in 0..WARP_SIZE {
+                        out[l] = av[l].cbrt();
+                    }
+                }
+                UnKind::Neg => {
+                    for l in 0..WARP_SIZE {
+                        out[l] = -av[l];
+                    }
+                }
+            }
+        }
+        DecodedInstr::Fma { dst, a, b, c } => {
+            let av = src_vals(&warp.dregs, a);
+            let bv = src_vals(&warp.dregs, b);
+            let cv = src_vals(&warp.dregs, c);
+            let out = &mut warp.dregs[dst..dst + WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                out[l] = av[l].mul_add(bv[l], cv[l]);
+            }
+        }
+        DecodedInstr::Sel { dst, pred, a, b } => {
+            let pv = src_vals(&warp.dregs, Src::Reg(pred));
+            let av = src_vals(&warp.dregs, a);
+            let bv = src_vals(&warp.dregs, b);
+            let out = &mut warp.dregs[dst..dst + WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                out[l] = if pv[l] != 0.0 { av[l] } else { bv[l] };
+            }
+        }
+        DecodedInstr::CmpOp { dst, cmp, a, b } => {
+            let av = src_vals(&warp.dregs, a);
+            let bv = src_vals(&warp.dregs, b);
+            let out = &mut warp.dregs[dst..dst + WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                let (x, y) = (av[l], bv[l]);
+                let t = match cmp {
+                    Cmp::Lt => x < y,
+                    Cmp::Le => x <= y,
+                    Cmp::Gt => x > y,
+                    Cmp::Ge => x >= y,
+                    Cmp::Eq => x == y,
+                    Cmp::Ne => x != y,
+                };
+                out[l] = if t { 1.0 } else { 0.0 };
+            }
+        }
+        DecodedInstr::Shfl { dst, src, lane } => {
+            let v = warp.dregs[src + lane];
+            for slot in &mut warp.dregs[dst..dst + WARP_SIZE] {
+                *slot = v;
+            }
+        }
+        DecodedInstr::LdLocal { dst, slot } => {
+            let (local, dregs) = (&warp.local, &mut warp.dregs);
+            dregs[dst..dst + WARP_SIZE].copy_from_slice(&local[slot..slot + WARP_SIZE]);
+            if collect {
+                counts.local_bytes += (WARP_SIZE * 8) as u64;
+            }
+        }
+        DecodedInstr::StLocal { src, slot } => {
+            let sv = src_vals(&warp.dregs, src);
+            warp.local[slot..slot + WARP_SIZE].copy_from_slice(&sv);
+            if collect {
+                counts.local_bytes += (WARP_SIZE * 8) as u64;
+            }
+        }
+        DecodedInstr::Invalid { space, addr, limit } => {
+            return Err(SimError::OutOfBounds { space, addr, limit });
+        }
+        DecodedInstr::BarArrive { .. } | DecodedInstr::BarSync { .. } | DecodedInstr::Slow => {
+            unreachable!("handled by scheduler / slow path")
+        }
+    }
+    Ok(())
+}
+
+/// Execute an instruction the fast path does not cover (memory, constant
+/// and index operations, with their error paths). Event-count preambles
+/// are applied by the scheduler from the precomputed cost table.
 #[allow(clippy::too_many_arguments)]
-fn exec_instr(
+fn exec_slow(
     kernel: &Kernel,
     ins: &Instr,
     pset: u32,
@@ -459,17 +952,6 @@ fn exec_instr(
     collect: bool,
     counts: &mut EventCounts,
 ) -> SimResult<()> {
-    if collect {
-        let slots = ins.issue_slots() as u64;
-        counts.issue_slots += slots;
-        if ins.is_dp() {
-            counts.dp_slots += slots;
-            counts.flops += (ins.flops() * WARP_SIZE) as u64;
-            counts.dp_const_slots +=
-                ins.const_operand_slots(kernel.exp_const_from_registers) as u64;
-        }
-    }
-
     let nd = kernel.dregs_per_thread;
     let ni = kernel.iregs_per_thread;
     macro_rules! d {

@@ -3,7 +3,8 @@
 
 use crate::arch::GpuArch;
 use crate::error::{SimError, SimResult};
-use crate::interp::{flatten, run_cta, CtaResult};
+use crate::flatcache::flatten_cached;
+use crate::interp::{run_cta, CtaResult};
 use crate::isa::Kernel;
 use crate::occupancy::occupancy;
 use crate::timing::{estimate, SimReport};
@@ -74,7 +75,9 @@ pub fn launch(
         ));
     }
 
-    let prog = flatten(kernel);
+    // Memoized: sweeps re-launch the same kernel many times; the flatten
+    // (loop expansion + pre-decode) is shared across launches.
+    let prog = flatten_cached(kernel);
     let n_ctas = match mode {
         LaunchMode::Full => total_points / kernel.points_per_cta,
         LaunchMode::TimingOnly => 1,

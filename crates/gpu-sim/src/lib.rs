@@ -30,6 +30,7 @@ pub mod arch;
 pub mod ccache;
 pub mod counts;
 pub mod error;
+pub mod flatcache;
 pub mod icache;
 pub mod interp;
 pub mod isa;
@@ -39,6 +40,7 @@ pub mod timing;
 
 pub use arch::GpuArch;
 pub use counts::EventCounts;
+pub use flatcache::flatten_cached;
 pub use error::{SimError, SimResult};
 pub use isa::{
     ArrayDecl, GAddr, GlobalId, IdxInstr, IdxOp, Instr, Kernel, Node, Op, PointRef, Reg, SAddr,

@@ -27,15 +27,27 @@ impl Criterion {
         BenchmarkGroup {
             name: name.into(),
             sample_size: self.default_sample_size,
+            throughput: None,
             _ctx: self,
         }
     }
+}
+
+/// Work performed per sample, for rate reporting (mirrors the real
+/// criterion's `Throughput`).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Abstract elements per iteration (instructions, rows, points...).
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
 }
 
 /// A named group of related benchmarks.
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
+    throughput: Option<Throughput>,
     _ctx: &'a mut Criterion,
 }
 
@@ -43,6 +55,13 @@ impl BenchmarkGroup<'_> {
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         assert!(n > 0, "sample_size must be positive");
         self.sample_size = n;
+        self
+    }
+
+    /// Declare the work done per iteration; subsequent benches in the
+    /// group report a rate alongside the raw times.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
         self
     }
 
@@ -59,13 +78,23 @@ impl BenchmarkGroup<'_> {
         let total: f64 = bencher.samples.iter().sum();
         let mean = total / n as f64;
         let best = bencher.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let rate = match (self.throughput, best.is_finite() && best > 0.0) {
+            (Some(Throughput::Elements(e)), true) => {
+                format!(", {:.1} Melem/s", e as f64 / best / 1e6)
+            }
+            (Some(Throughput::Bytes(b)), true) => {
+                format!(", {:.1} MiB/s", b as f64 / best / (1024.0 * 1024.0))
+            }
+            _ => String::new(),
+        };
         println!(
-            "{}/{}: mean {:.3} ms, best {:.3} ms ({} samples)",
+            "{}/{}: mean {:.3} ms, best {:.3} ms ({} samples{})",
             self.name,
             id,
             mean * 1e3,
             if best.is_finite() { best * 1e3 } else { 0.0 },
-            n
+            n,
+            rate
         );
         self
     }

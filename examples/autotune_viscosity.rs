@@ -32,15 +32,20 @@ fn main() {
     // the §4 stage-1 input includes the target warp count).
     let n = t.n;
     let mut results = Vec::new();
+    let mut failures = Vec::new();
     for cand in &candidates {
         let dfg = viscosity_dfg(&t, cand.warps);
         let r = autotune(&dfg, &arch, std::slice::from_ref(cand), 4096, &|k, pts| {
             let g = GridState::random(GridDims { nx: pts, ny: 1, nz: 1 }, n, 7);
             launch_arrays(&k.global_arrays, &g).expect("known arrays").iter().map(|s| s.to_vec()).collect()
         });
-        if let Ok(r) = r {
-            let sec = r.points[0].seconds.unwrap_or(f64::INFINITY);
-            results.push((cand.clone(), sec));
+        match r {
+            Ok(r) => match (r.points[0].seconds, &r.points[0].failure) {
+                (Some(sec), _) => results.push((cand.clone(), sec)),
+                (None, Some(why)) => failures.push((cand.clone(), why.to_string())),
+                (None, None) => failures.push((cand.clone(), "unknown failure".into())),
+            },
+            Err(e) => failures.push((cand.clone(), format!("did not compile: {e}"))),
         }
     }
     results.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
@@ -48,6 +53,12 @@ fn main() {
     println!("\n{:>6} {:>6} {:>14}", "warps", "iters", "sim us / 4096pt");
     for (opts, sec) in results.iter().take(8) {
         println!("{:>6} {:>6} {:>14.1}", opts.warps, opts.point_iters, sec * 1e6);
+    }
+    if !failures.is_empty() {
+        println!("\n{} candidate(s) failed:", failures.len());
+        for (opts, why) in &failures {
+            println!("{:>6} {:>6}   {}", opts.warps, opts.point_iters, why);
+        }
     }
     let best = &results[0].0;
     println!("\nbest: {} warps, {} point iterations", best.warps, best.point_iters);
