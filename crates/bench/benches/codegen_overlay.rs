@@ -8,12 +8,11 @@ use singe_bench::{build_with_options, Kind, Variant};
 fn bench(c: &mut Criterion) {
     let mech = chemkin::synth::dme();
     let arch = GpuArch::kepler_k20c();
-    let opts = CompileOptions {
-        warps: 10,
-        point_iters: 4,
-        placement: Placement::Store,
-        ..Default::default()
-    };
+    let opts = CompileOptions::builder()
+        .warps(10)
+        .point_iters(4)
+        .placement(Placement::Store)
+        .build();
     let mut g = c.benchmark_group("fig9_codegen");
     g.sample_size(10);
     g.bench_function("naive_compile", |b| {

@@ -13,13 +13,12 @@ fn bench(c: &mut Criterion) {
     let mech = chemkin::synth::heptane();
     let spec = ChemistrySpec::build(&mech);
     let dfg = chemistry_dfg(&spec, 16);
-    let opts = CompileOptions {
-        warps: 16,
-        point_iters: 2,
-        placement: Placement::Buffer(176),
-        w_locality: 1.0,
-        ..Default::default()
-    };
+    let opts = CompileOptions::builder()
+        .warps(16)
+        .point_iters(2)
+        .placement(Placement::Buffer(176))
+        .w_locality(1.0)
+        .build();
     let mut g = c.benchmark_group("compiler_stages_heptane_chemistry");
     g.sample_size(10);
     g.bench_function("mapping", |b| b.iter(|| map_ops(&dfg, &opts).unwrap()));

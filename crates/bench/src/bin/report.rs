@@ -2,10 +2,15 @@
 //!
 //! Usage: `report [figure] [--jobs N]` where figure is one of
 //! `mechanisms fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 gflops
-//! ablate-barriers spills verify all` (default `all`). Results also land
-//! in `target/report.json`. `verify` runs the independent schedule
-//! verifier over every kernel × mechanism × architecture × compiler
-//! combination and exits non-zero on any violation.
+//! ablate-barriers spills verify profile all` (default `all`). Results
+//! also land in `target/report.json`. `verify` runs the independent
+//! schedule verifier over every kernel × mechanism × architecture ×
+//! compiler combination and exits non-zero on any violation. `profile`
+//! runs the per-warp cycle-attribution profiler over every kernel ×
+//! variant × architecture, prints the paper-style stall breakdown,
+//! writes `target/profile.json`, and exports a Chrome trace to
+//! `target/profile_trace.json`; it is deliberately NOT part of `all` so
+//! `BENCH_report.json` wall-clock stays comparable across runs.
 //!
 //! Figures are computed on a worker pool (`--jobs`, `SINGE_JOBS`, default
 //! = available parallelism) but every figure renders into its own buffer
@@ -25,7 +30,8 @@ use singe_bench::*;
 
 const FIGURES: &[&str] = &[
     "mechanisms", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-    "fig15", "fig16", "gflops", "ablate-barriers", "spills", "verify", "all",
+    "fig15", "fig16", "gflops", "ablate-barriers", "spills", "verify",
+    "profile", "all",
 ];
 
 /// Wall-clock of the serial `report all` before the fast-path/memoization/
@@ -73,6 +79,17 @@ fn main() {
     let dme = synth::dme();
     let heptane = synth::heptane();
     let archs = [GpuArch::fermi_c2070(), GpuArch::kepler_k20c()];
+
+    // `profile` runs solo (never under `all`): its probe launches would
+    // shift the wall-clock figures `BENCH_report.json` tracks.
+    if which == "profile" {
+        let failures = profile_report(&dme, &archs);
+        if failures > 0 {
+            eprintln!("\ncycle attribution: {failures} failure(s)");
+            std::process::exit(1);
+        }
+        return;
+    }
 
     // Every figure as a (name, render) pair; rendering is pure with respect
     // to stdout so figures can run on the pool in any order.
@@ -215,12 +232,11 @@ fn fig9(dme: &Mechanism, arch: &GpuArch) -> FigOutput {
     let _ = writeln!(t, "{:>6} {:>18} {:>18} {:>8}", "warps", "naive Mpts/s", "singe Mpts/s", "ratio");
     let grid = 64 * 64 * 64;
     for warps in [2usize, 4, 6, 8, 10, 12, 14, 16] {
-        let opts = CompileOptions {
-            warps,
-            point_iters: 4,
-            placement: singe::config::Placement::Store,
-            ..Default::default()
-        };
+        let opts = CompileOptions::builder()
+            .warps(warps)
+            .point_iters(4)
+            .placement(singe::config::Placement::Store)
+            .build();
         let naive = build_with_options(Kind::Viscosity, dme, arch, Variant::Naive, &opts);
         let singe_v =
             build_with_options(Kind::Viscosity, dme, arch, Variant::WarpSpecialized, &opts);
@@ -446,6 +462,98 @@ fn verify_all(mechs: &[&Mechanism], archs: &[GpuArch]) -> FigOutput {
     }
     let _ = writeln!(t);
     FigOutput { text: t, rows: Vec::new(), failures }
+}
+
+/// Stall-cycle attribution tables (`report profile`): every simulated
+/// cycle of the one-CTA probe attributed to exactly one reason, for every
+/// kernel × variant × architecture (paper-style baseline vs
+/// warp-specialized vs naïve comparison). Validates the attribution-sum
+/// invariant per warp, writes `target/profile.json`, and exports the
+/// structured event stream of the diffusion kernels (the named-barrier
+/// showcase) as a `chrome://tracing` / Perfetto JSON at
+/// `target/profile_trace.json`. Returns the failure count.
+fn profile_report(dme: &Mechanism, archs: &[GpuArch]) -> usize {
+    let mut failures = 0usize;
+    let mut rows: Vec<ProfileRow> = Vec::new();
+    let mut traces: Vec<(String, Vec<gpu_sim::TraceEvent>)> = Vec::new();
+    let trace_arch = archs[archs.len() - 1].name;
+    println!("== Stall-cycle attribution ({} mechanism, one-CTA probe) ==", dme.name);
+    println!(
+        "{:<22} {:<10} {:<16} {:>5} {:>9} {:>7} {:>8} {:>7} {:>6} {:>6} {:>6}",
+        "arch", "kernel", "variant", "warps", "cycles", "issue%", "barrier%", "icache%",
+        "const%", "ovh%", "idle%"
+    );
+    for arch in archs {
+        for kind in [Kind::Viscosity, Kind::Diffusion, Kind::Chemistry] {
+            for variant in [Variant::Baseline, Variant::WarpSpecialized, Variant::Naive] {
+                let opts = ws_options(kind, dme.n_transported(), arch);
+                let built = match build_with_options(kind, dme, arch, variant, &opts) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        println!(
+                            "{:<22} {:<10} {:<16} skipped ({e})",
+                            arch.name,
+                            kind.name(),
+                            variant.name()
+                        );
+                        continue;
+                    }
+                };
+                // Record the event stream only for diffusion on the last
+                // (Kepler) arch — it exercises the named-barrier protocol
+                // — so the trace file stays a few hundred KB.
+                let want_trace = kind == Kind::Diffusion && arch.name == trace_arch;
+                let prof = profile_built(&built, arch, want_trace);
+                let r = profile_row(kind, &dme.name, arch, variant, &prof);
+                if !r.attribution_ok {
+                    println!(
+                        "ATTRIBUTION MISMATCH: {} {} {} (per-warp reasons do not sum to total)",
+                        r.arch, r.kernel, r.variant
+                    );
+                    failures += 1;
+                }
+                // Reasons are summed over warps; every warp's timeline is
+                // `total_cycles` long, so the CTA denominator is their
+                // product.
+                let denom = (r.total_cycles.max(1) * r.warps.max(1) as u64) as f64 / 100.0;
+                println!(
+                    "{:<22} {:<10} {:<16} {:>5} {:>9} {:>6.1}% {:>7.1}% {:>6.1}% {:>5.1}% {:>5.1}% {:>5.1}%",
+                    r.arch,
+                    r.kernel,
+                    r.variant,
+                    r.warps,
+                    r.total_cycles,
+                    r.issue as f64 / denom,
+                    r.barrier_wait as f64 / denom,
+                    r.icache_miss as f64 / denom,
+                    r.const_replay as f64 / denom,
+                    r.overhead as f64 / denom,
+                    r.idle as f64 / denom,
+                );
+                if want_trace {
+                    traces.push((
+                        format!("{}/{}", kind.name(), variant.name()),
+                        prof.events.clone(),
+                    ));
+                }
+                rows.push(r);
+            }
+        }
+    }
+    println!();
+    std::fs::create_dir_all("target").ok();
+    std::fs::write("target/profile.json", profile_rows_to_json(&rows))
+        .expect("write profile.json");
+    let groups: Vec<(&str, &[gpu_sim::TraceEvent])> =
+        traces.iter().map(|(n, e)| (n.as_str(), e.as_slice())).collect();
+    std::fs::write("target/profile_trace.json", gpu_sim::chrome_trace_json(&groups))
+        .expect("write profile_trace.json");
+    eprintln!(
+        "[wrote {} rows to target/profile.json, {} trace group(s) to target/profile_trace.json]",
+        rows.len(),
+        groups.len()
+    );
+    failures
 }
 
 /// §6.3: chemistry spill and bandwidth analysis (heptane).

@@ -17,13 +17,15 @@ use chemkin::Mechanism;
 use gpu_sim::arch::GpuArch;
 use gpu_sim::counts::EventCounts;
 use gpu_sim::isa::Kernel;
-use gpu_sim::launch::{launch, LaunchInputs, LaunchMode};
+use gpu_sim::launch::{launch, launch_with_config, LaunchConfig, LaunchInputs, LaunchMode};
+use gpu_sim::profile::CtaProfile;
 use gpu_sim::timing::{estimate, SimReport};
-use singe::baseline::compile_baseline;
-use singe::codegen::{compile_dfg, CompileStats};
+use singe::codegen::CompileStats;
 use singe::config::{CompileOptions, Placement};
 use singe::kernels::{chemistry, diffusion, launch_arrays, viscosity};
-use singe::naive::compile_naive;
+use singe::Compiler;
+
+pub use singe::Variant;
 
 /// Kernel selector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,28 +45,6 @@ impl Kind {
             Kind::Viscosity => "viscosity",
             Kind::Diffusion => "diffusion",
             Kind::Chemistry => "chemistry",
-        }
-    }
-}
-
-/// Compiler variant.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Variant {
-    /// Optimized data-parallel CUDA baseline (§6).
-    Baseline,
-    /// Warp-specialized Singe output.
-    WarpSpecialized,
-    /// Naïve warp switch (Figure 9).
-    Naive,
-}
-
-impl Variant {
-    /// Display name.
-    pub fn name(self) -> &'static str {
-        match self {
-            Variant::Baseline => "baseline",
-            Variant::WarpSpecialized => "warp-specialized",
-            Variant::Naive => "naive",
         }
     }
 }
@@ -105,26 +85,25 @@ fn mech_fingerprint(mech: &Mechanism) -> u64 {
     h.finish()
 }
 
-/// Cache key over (call shape, kind, variant, arch, mechanism, options).
-/// `build()` and `build_with_options()` key separately (`shape`): the
-/// default-options Baseline path compiles with `with_warps(8)` against a
-/// dfg built for the warp-specialized warp count, which no explicit
-/// options value reproduces.
+/// Cache key over (kind, variant, arch, mechanism, dfg warp count,
+/// options). `dfg_warps` is keyed separately from `opts.warps` because the
+/// default Baseline path compiles a dfg built for the warp-specialized
+/// warp count with `with_warps(8)` options. Every build path — `build()`
+/// and `build_with_options()` — derives its key here, so an option added
+/// to [`CompileOptions`] can never be hashed on one path and silently
+/// dropped on the other (it would poison the memoization).
 fn build_key(
-    shape: &str,
     kind: Kind,
     variant: Variant,
     arch: &GpuArch,
     mech: &Mechanism,
-    opts: Option<&CompileOptions>,
+    dfg_warps: usize,
+    opts: &CompileOptions,
 ) -> u64 {
     let mut h = DefaultHasher::new();
-    shape.hash(&mut h);
-    format!("{kind:?}|{variant:?}|{}", arch.name).hash(&mut h);
+    format!("{kind:?}|{variant:?}|{}|{dfg_warps}", arch.name).hash(&mut h);
     mech_fingerprint(mech).hash(&mut h);
-    if let Some(o) = opts {
-        format!("{o:?}").hash(&mut h);
-    }
+    format!("{opts:?}").hash(&mut h);
     h.finish()
 }
 
@@ -160,27 +139,55 @@ pub fn viscosity_warps(n: usize) -> usize {
 /// Default warp-specialized options per kernel kind.
 pub fn ws_options(kind: Kind, n_species: usize, arch: &GpuArch) -> CompileOptions {
     match kind {
-        Kind::Viscosity => CompileOptions {
-            warps: viscosity_warps(n_species),
-            point_iters: 4,
-            placement: Placement::Store,
-            ..Default::default()
-        },
-        Kind::Diffusion => CompileOptions {
-            warps: 8,
-            point_iters: 4,
-            placement: Placement::Mixed(176),
-            ..Default::default()
-        },
-        Kind::Chemistry => CompileOptions {
+        Kind::Viscosity => CompileOptions::builder()
+            .warps(viscosity_warps(n_species))
+            .point_iters(4)
+            .placement(Placement::Store)
+            .build(),
+        Kind::Diffusion => CompileOptions::builder()
+            .warps(8)
+            .point_iters(4)
+            .placement(Placement::Mixed(176))
+            .build(),
+        Kind::Chemistry => CompileOptions::builder()
             // 16-20 warps per SM at one CTA (§6.3).
-            warps: if arch.max_warps_per_sm >= 64 { 16 } else { 20 },
-            point_iters: 2,
-            placement: Placement::Buffer(176),
-            w_locality: 1.0,
-            ..Default::default()
-        },
+            .warps(if arch.max_warps_per_sm >= 64 { 16 } else { 20 })
+            .point_iters(2)
+            .placement(Placement::Buffer(176))
+            .w_locality(1.0)
+            .build(),
     }
+}
+
+/// The single compile path behind [`build`] and [`build_with_options`]:
+/// build the kernel's dfg at `dfg_warps` warps, compile it through the
+/// [`Compiler`] front door, memoize on the unified [`build_key`].
+fn compile_variant(
+    kind: Kind,
+    mech: &Mechanism,
+    arch: &GpuArch,
+    variant: Variant,
+    dfg_warps: usize,
+    opts: &CompileOptions,
+) -> Result<Arc<Built>, singe::CompileError> {
+    let key = build_key(kind, variant, arch, mech, dfg_warps, opts);
+    build_cached(key, || {
+        let n = mech.n_transported();
+        let dfg = match kind {
+            Kind::Viscosity => viscosity::viscosity_dfg(&ViscosityTables::build(mech), dfg_warps),
+            Kind::Diffusion => diffusion::diffusion_dfg(&DiffusionTables::build(mech), dfg_warps),
+            Kind::Chemistry => chemistry::chemistry_dfg(&ChemistrySpec::build(mech), dfg_warps),
+        };
+        let c = Compiler::new(arch).options(opts.clone()).compile(&dfg, variant)?;
+        // The baseline's unified stats carry only the spill count; keep the
+        // historical `None` so report code doesn't mistake them for
+        // warp-specialization statistics.
+        let stats = match variant {
+            Variant::Baseline => None,
+            Variant::WarpSpecialized | Variant::Naive => Some(c.stats),
+        };
+        Ok(Built { kernel: c.kernel, stats, n_species: n, probe_key: next_probe_key() })
+    })
 }
 
 /// Build a kernel variant for a mechanism on an architecture. Memoized:
@@ -195,29 +202,12 @@ pub fn build(kind: Kind, mech: &Mechanism, arch: &GpuArch, variant: Variant) -> 
         Variant::WarpSpecialized | Variant::Naive => {
             build_with_options(kind, mech, arch, variant, &opts).expect("default variant compiles")
         }
-        // The default Baseline path is special: it compiles with
-        // `with_warps(8)` against a dfg built for the warp-specialized
-        // warp count, which no explicit options value reproduces.
+        // The default Baseline path compiles with `with_warps(8)` options
+        // against a dfg built for the warp-specialized warp count — which
+        // is why `compile_variant` keys the dfg warp count separately.
         Variant::Baseline => {
-            let key = build_key("default", kind, variant, arch, mech, None);
-            build_cached(key, || {
-                let n = mech.n_transported();
-                let dfg = match kind {
-                    Kind::Viscosity => {
-                        viscosity::viscosity_dfg(&ViscosityTables::build(mech), opts.warps)
-                    }
-                    Kind::Diffusion => {
-                        diffusion::diffusion_dfg(&DiffusionTables::build(mech), opts.warps)
-                    }
-                    Kind::Chemistry => {
-                        chemistry::chemistry_dfg(&ChemistrySpec::build(mech), opts.warps)
-                    }
-                };
-                let c = compile_baseline(&dfg, &CompileOptions::with_warps(8), arch)
-                    .expect("baseline compiles");
-                Ok(Built { kernel: c.kernel, stats: None, n_species: n, probe_key: next_probe_key() })
-            })
-            .expect("infallible build path")
+            compile_variant(kind, mech, arch, variant, opts.warps, &CompileOptions::with_warps(8))
+                .expect("baseline compiles")
         }
     }
 }
@@ -232,30 +222,7 @@ pub fn build_with_options(
     variant: Variant,
     opts: &CompileOptions,
 ) -> Result<Arc<Built>, singe::CompileError> {
-    let key = build_key("opts", kind, variant, arch, mech, Some(opts));
-    build_cached(key, || {
-        let n = mech.n_transported();
-        let dfg = match kind {
-            Kind::Viscosity => viscosity::viscosity_dfg(&ViscosityTables::build(mech), opts.warps),
-            Kind::Diffusion => diffusion::diffusion_dfg(&DiffusionTables::build(mech), opts.warps),
-            Kind::Chemistry => chemistry::chemistry_dfg(&ChemistrySpec::build(mech), opts.warps),
-        };
-        let (kernel, stats) = match variant {
-            Variant::Baseline => {
-                let c = compile_baseline(&dfg, opts, arch)?;
-                (c.kernel, None)
-            }
-            Variant::WarpSpecialized => {
-                let c = compile_dfg(&dfg, opts, arch)?;
-                (c.kernel, Some(c.stats))
-            }
-            Variant::Naive => {
-                let c = compile_naive(&dfg, opts, arch)?;
-                (c.kernel, Some(c.stats))
-            }
-        };
-        Ok(Built { kernel, stats, n_species: n, probe_key: next_probe_key() })
-    })
+    compile_variant(kind, mech, arch, variant, opts.warps, opts)
 }
 
 type ProbeCache = Mutex<HashMap<(u64, &'static str), EventCounts>>;
@@ -293,6 +260,136 @@ pub fn timing_report(built: &Built, arch: &GpuArch, grid_points: usize) -> SimRe
         }
     };
     estimate(&built.kernel, arch, &counts, grid_points)
+}
+
+/// Run the deterministic probe launch for `built` with the cycle
+/// profiler enabled and return the per-warp attribution. `trace_events`
+/// additionally records the structured event stream (phase spans,
+/// barrier arrive/sync edges) for Chrome-trace export.
+///
+/// Not memoized: profiling is a one-shot diagnostic pass, unlike the
+/// event counts feeding every grid-size extrapolation.
+pub fn profile_built(built: &Built, arch: &GpuArch, trace_events: bool) -> CtaProfile {
+    let probe = built.kernel.points_per_cta;
+    let g = GridState::random(GridDims { nx: probe, ny: 1, nz: 1 }, built.n_species, 1234);
+    let arrays = launch_arrays(&built.kernel.global_arrays, &g).expect("known arrays");
+    let out = launch_with_config(
+        &built.kernel,
+        arch,
+        &LaunchInputs { arrays },
+        probe,
+        LaunchConfig { mode: LaunchMode::Full, profile: true, trace_events },
+    )
+    .expect("profiled probe launch");
+    out.profile.expect("profiler enabled")
+}
+
+/// One row of the stall-breakdown table (`report profile`): a kernel
+/// variant's cycles attributed across the closed reason set, summed over
+/// the CTA's warps.
+#[derive(Debug, Clone)]
+pub struct ProfileRow {
+    /// Kernel name.
+    pub kernel: String,
+    /// Mechanism name.
+    pub mechanism: String,
+    /// Architecture name.
+    pub arch: String,
+    /// Compiler variant.
+    pub variant: String,
+    /// Warps in the CTA.
+    pub warps: usize,
+    /// CTA total (per-warp timeline length; every warp sums to this).
+    pub total_cycles: u64,
+    /// Cycles attributed per reason, summed over warps.
+    pub issue: u64,
+    /// Cycles spent blocked at named barriers (all barrier ids).
+    pub barrier_wait: u64,
+    /// Instruction-cache miss stall cycles.
+    pub icache_miss: u64,
+    /// Constant-cache replay cycles.
+    pub const_replay: u64,
+    /// Operand/launch/branch overhead cycles.
+    pub overhead: u64,
+    /// Idle-after-exit cycles.
+    pub idle: u64,
+    /// Barrier-wait cycles split by barrier id (index = id).
+    pub barrier_wait_by_id: Vec<u64>,
+    /// Whether every warp's reasons summed exactly to `total_cycles`.
+    pub attribution_ok: bool,
+}
+
+/// Aggregate a [`CtaProfile`] into a [`ProfileRow`].
+pub fn profile_row(
+    kind: Kind,
+    mech: &str,
+    arch: &GpuArch,
+    variant: Variant,
+    profile: &CtaProfile,
+) -> ProfileRow {
+    let totals = profile.totals();
+    let mut by_id = totals.barrier_wait.clone();
+    while by_id.last() == Some(&0) {
+        by_id.pop();
+    }
+    ProfileRow {
+        kernel: kind.name().into(),
+        mechanism: mech.into(),
+        arch: arch.name.into(),
+        variant: variant.name().into(),
+        warps: profile.warps.len(),
+        total_cycles: profile.total_cycles,
+        issue: totals.issue,
+        barrier_wait: totals.barrier_wait_total(),
+        icache_miss: totals.icache_miss,
+        const_replay: totals.const_replay,
+        overhead: totals.overhead,
+        idle: totals.idle,
+        barrier_wait_by_id: by_id,
+        attribution_ok: profile.check_attribution().is_ok(),
+    }
+}
+
+impl ProfileRow {
+    /// JSON object for this row (hand-rolled; the build is offline).
+    pub fn to_json(&self) -> String {
+        let by_id: Vec<String> = self.barrier_wait_by_id.iter().map(|v| v.to_string()).collect();
+        format!(
+            "{{\"kernel\": {}, \"mechanism\": {}, \"arch\": {}, \"variant\": {}, \
+             \"warps\": {}, \"total_cycles\": {}, \"issue\": {}, \"barrier_wait\": {}, \
+             \"icache_miss\": {}, \"const_replay\": {}, \"overhead\": {}, \"idle\": {}, \
+             \"barrier_wait_by_id\": [{}], \"attribution_ok\": {}}}",
+            json_string(&self.kernel),
+            json_string(&self.mechanism),
+            json_string(&self.arch),
+            json_string(&self.variant),
+            self.warps,
+            self.total_cycles,
+            self.issue,
+            self.barrier_wait,
+            self.icache_miss,
+            self.const_replay,
+            self.overhead,
+            self.idle,
+            by_id.join(", "),
+            self.attribution_ok,
+        )
+    }
+}
+
+/// Serialize profile rows as a pretty-printed JSON array.
+pub fn profile_rows_to_json(rows: &[ProfileRow]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&r.to_json());
+        if i + 1 < rows.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out
 }
 
 /// One output row (a point in a paper figure).

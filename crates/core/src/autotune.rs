@@ -8,7 +8,7 @@
 //! Candidates are compiled and scored with the simulator's timing model on
 //! a representative grid; the best configuration wins.
 
-use crate::codegen::{compile_dfg, Compiled};
+use crate::codegen::{compile_warp_specialized, Compiled};
 use crate::config::{CompileOptions, Placement};
 use crate::dfg::Dfg;
 use crate::pool::run_ordered;
@@ -107,7 +107,7 @@ pub fn autotune_with_jobs(
     let evaluated: Vec<(TunePoint, Option<Compiled>)> =
         run_ordered(jobs, candidates.len(), |i| {
             let cand = &candidates[i];
-            let compiled = match compile_dfg(dfg, cand, arch) {
+            let compiled = match compile_warp_specialized(dfg, cand, arch, None) {
                 Ok(c) => c,
                 Err(e) => {
                     let p = TunePoint {

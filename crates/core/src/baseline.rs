@@ -136,7 +136,22 @@ impl<'a> EmitCtx for BaselineCtx<'a> {
 }
 
 /// Compile the dataflow graph as a purely data-parallel kernel.
+#[deprecated(
+    since = "0.2.0",
+    note = "use singe::Compiler::new(&arch).options(opts).compile(&dfg, Variant::Baseline)"
+)]
 pub fn compile_baseline(
+    dfg: &Dfg,
+    options: &CompileOptions,
+    arch: &GpuArch,
+) -> CResult<BaselineCompiled> {
+    baseline_impl(dfg, options, arch)
+}
+
+/// Implementation behind the deprecated [`compile_baseline`] shim and the
+/// [`crate::Compiler`] front door (which also needs the
+/// [`BaselineCompiled`]-specific statistics).
+pub(crate) fn baseline_impl(
     dfg: &Dfg,
     options: &CompileOptions,
     arch: &GpuArch,
@@ -279,7 +294,7 @@ mod tests {
     fn diamond_baseline_matches_reference() {
         let d = diamond();
         let opts = CompileOptions::with_warps(2);
-        let c = compile_baseline(&d, &opts, &GpuArch::kepler_k20c()).unwrap();
+        let c = baseline_impl(&d, &opts, &GpuArch::kepler_k20c()).unwrap();
         assert_eq!(c.kernel.points_per_cta, 64);
         let points = 128;
         let input: Vec<f64> = (0..points).map(|i| i as f64 * 0.5).collect();
@@ -339,7 +354,7 @@ mod tests {
             ],
             force_shared: vec![],
         };
-        let c = compile_baseline(&d, &CompileOptions::with_warps(1), &arch).unwrap();
+        let c = baseline_impl(&d, &CompileOptions::with_warps(1), &arch).unwrap();
         assert!(c.spilled_words > 0, "expected spills");
         assert_eq!(c.kernel.spilled_bytes_per_thread, c.spilled_words * 8);
         // And the kernel still computes the right value.
@@ -353,7 +368,7 @@ mod tests {
     #[test]
     fn constants_go_to_constant_memory() {
         let d = diamond();
-        let c = compile_baseline(&d, &CompileOptions::with_warps(1), &GpuArch::fermi_c2070()).unwrap();
+        let c = baseline_impl(&d, &CompileOptions::with_warps(1), &GpuArch::fermi_c2070()).unwrap();
         assert_eq!(c.const_bytes, 2 * 8);
         assert_eq!(c.kernel.const_banks.len(), 1);
     }

@@ -90,16 +90,40 @@ enum VarHome {
     Spill(u32),
 }
 
-/// Compile a dataflow graph into a warp-specialized kernel.
-pub fn compile_dfg(dfg: &Dfg, options: &CompileOptions, arch: &GpuArch) -> CResult<Compiled> {
+/// Compile a dataflow graph into a warp-specialized kernel, optionally
+/// recording a per-stage timing span for each Figure 8 pipeline stage
+/// (see [`crate::compiler::StageTimer`]).
+pub(crate) fn compile_warp_specialized(
+    dfg: &Dfg,
+    options: &CompileOptions,
+    arch: &GpuArch,
+    spans: Option<&mut Vec<gpu_sim::TraceEvent>>,
+) -> CResult<Compiled> {
+    let mut timer = crate::compiler::StageTimer::new(spans);
     dfg.validate()?;
+    timer.mark("validate");
     let mapping = map_ops(dfg, options)?;
+    timer.mark("mapping");
     let sched = schedule(dfg, &mapping, options)?;
+    timer.mark("schedule");
     sched.verify(dfg)?;
+    timer.mark("schedule-verify");
     let barriers = allocate(&sched)?;
+    timer.mark("barrier-alloc");
     let compiled = emit(dfg, &mapping, &sched, &barriers, options, arch)?;
+    timer.mark("emit");
     crate::verify::enforce(&compiled.kernel, arch, options)?;
+    timer.mark("verify");
     Ok(compiled)
+}
+
+/// Compile a dataflow graph into a warp-specialized kernel.
+#[deprecated(
+    since = "0.2.0",
+    note = "use singe::Compiler::new(&arch).options(opts).compile(&dfg, Variant::WarpSpecialized)"
+)]
+pub fn compile_dfg(dfg: &Dfg, options: &CompileOptions, arch: &GpuArch) -> CResult<Compiled> {
+    compile_warp_specialized(dfg, options, arch, None)
 }
 
 /// Per-warp register plan.
@@ -844,7 +868,7 @@ mod tests {
         }
         let mut opts = CompileOptions::with_warps(warps);
         opts.point_iters = 2;
-        let c = compile_dfg(&d, &opts, arch).unwrap();
+        let c = compile_warp_specialized(&d, &opts, arch, None).unwrap();
         let points = c.kernel.points_per_cta * 2;
         let input: Vec<f64> = (0..points).map(|i| i as f64 * 0.25 + 1.0).collect();
         let out = launch(
@@ -896,7 +920,7 @@ mod tests {
         d.ops[2].pinned_warp = Some(2);
         d.ops[3].pinned_warp = Some(0);
         let opts = CompileOptions::with_warps(3);
-        let c = compile_dfg(&d, &opts, &GpuArch::kepler_k20c()).unwrap();
+        let c = compile_warp_specialized(&d, &opts, &GpuArch::kepler_k20c(), None).unwrap();
         assert!(c.stats.sync_points > 0);
         assert!(c.stats.barriers_used >= 1);
         assert!(c.kernel.barriers_used <= 16);

@@ -21,7 +21,12 @@ pub enum Placement {
 /// Options for one compilation — every knob is autotunable (§4: "it is
 /// valuable for a warp-specializing compiler to generate correct code for
 /// any number of warps and choice of mapping decisions").
+///
+/// Construct with [`CompileOptions::default`], [`CompileOptions::builder`],
+/// or [`CompileOptions::with_warps`]; the struct is `#[non_exhaustive]`
+/// so new knobs can be added without breaking downstream code.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct CompileOptions {
     /// Warps per CTA to target.
     pub warps: usize,
@@ -75,6 +80,93 @@ impl CompileOptions {
     pub fn with_warps(warps: usize) -> CompileOptions {
         CompileOptions { warps, ..Default::default() }
     }
+
+    /// Start a fluent builder over the defaults:
+    /// `CompileOptions::builder().warps(12).verify(VerifyLevel::Strict).build()`.
+    pub fn builder() -> CompileOptionsBuilder {
+        CompileOptionsBuilder::default()
+    }
+}
+
+/// Fluent builder for [`CompileOptions`]. Every setter overrides one field
+/// of the defaults; finish with [`CompileOptionsBuilder::build`].
+#[derive(Debug, Clone, Default)]
+#[must_use = "a builder does nothing until .build() is called"]
+pub struct CompileOptionsBuilder {
+    opts: CompileOptions,
+}
+
+impl CompileOptionsBuilder {
+    /// Warps per CTA to target.
+    pub fn warps(mut self, warps: usize) -> Self {
+        self.opts.warps = warps;
+        self
+    }
+
+    /// Streaming point-sets per CTA (§5.2 constant amortization).
+    pub fn point_iters(mut self, point_iters: u32) -> Self {
+        self.opts.point_iters = point_iters;
+        self
+    }
+
+    /// Desired CTAs per SM.
+    pub fn target_ctas_per_sm(mut self, n: usize) -> Self {
+        self.opts.target_ctas_per_sm = n;
+        self
+    }
+
+    /// Mapping metric weight: computational load (FLOPs).
+    pub fn w_flops(mut self, w: f64) -> Self {
+        self.opts.w_flops = w;
+        self
+    }
+
+    /// Mapping metric weight: per-warp register balance.
+    pub fn w_regs(mut self, w: f64) -> Self {
+        self.opts.w_regs = w;
+        self
+    }
+
+    /// Mapping metric weight: locality (cross-warp edges).
+    pub fn w_locality(mut self, w: f64) -> Self {
+        self.opts.w_locality = w;
+        self
+    }
+
+    /// Shared-memory usage mode.
+    pub fn placement(mut self, placement: Placement) -> Self {
+        self.opts.placement = placement;
+        self
+    }
+
+    /// §3.2 uniform-shared-reads discipline.
+    pub fn uniform_shared_reads(mut self, on: bool) -> Self {
+        self.opts.uniform_shared_reads = on;
+        self
+    }
+
+    /// §6.1 ablation: keep exp Taylor constants in registers.
+    pub fn exp_const_from_registers(mut self, on: bool) -> Self {
+        self.opts.exp_const_from_registers = on;
+        self
+    }
+
+    /// §6.2 ablation: unsafely drop named-barrier synchronization.
+    pub fn unsafe_remove_barriers(mut self, on: bool) -> Self {
+        self.opts.unsafe_remove_barriers = on;
+        self
+    }
+
+    /// Post-codegen schedule verification level.
+    pub fn verify(mut self, level: VerifyLevel) -> Self {
+        self.opts.verify = level;
+        self
+    }
+
+    /// Finish, yielding the configured [`CompileOptions`].
+    pub fn build(self) -> CompileOptions {
+        self.opts
+    }
 }
 
 #[cfg(test)]
@@ -94,5 +186,25 @@ mod tests {
         let o = CompileOptions::with_warps(12);
         assert_eq!(o.warps, 12);
         assert_eq!(o.target_ctas_per_sm, CompileOptions::default().target_ctas_per_sm);
+    }
+
+    #[test]
+    fn builder_overrides_compose() {
+        let o = CompileOptions::builder()
+            .warps(16)
+            .point_iters(2)
+            .placement(Placement::Buffer(96))
+            .w_locality(1.0)
+            .verify(VerifyLevel::Strict)
+            .build();
+        assert_eq!(o.warps, 16);
+        assert_eq!(o.point_iters, 2);
+        assert_eq!(o.placement, Placement::Buffer(96));
+        assert_eq!(o.w_locality, 1.0);
+        assert_eq!(o.verify, VerifyLevel::Strict);
+        // Untouched knobs keep their defaults.
+        let d = CompileOptions::default();
+        assert_eq!(o.uniform_shared_reads, d.uniform_shared_reads);
+        assert_eq!(o.w_flops, d.w_flops);
     }
 }

@@ -539,8 +539,7 @@ fn remap_stmt(s: &mut Stmt, remap: &[VarId]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::baseline::compile_baseline;
-    use crate::codegen::compile_dfg;
+    use crate::compiler::{Compiler, Variant};
     use crate::config::{CompileOptions, Placement};
     use crate::kernels::launch_arrays;
     use chemkin::reference::reference_chemistry;
@@ -589,7 +588,10 @@ mod tests {
         let s = spec(8, 14, 2, 2);
         let d = chemistry_dfg(&s, 4);
         let c =
-            compile_baseline(&d, &CompileOptions::with_warps(2), &GpuArch::kepler_k20c()).unwrap();
+            Compiler::new(&GpuArch::kepler_k20c())
+            .options(CompileOptions::with_warps(2))
+            .compile(&d, Variant::Baseline)
+            .unwrap();
         check(&c.kernel, &s, &GpuArch::kepler_k20c());
     }
 
@@ -600,7 +602,7 @@ mod tests {
         let mut opts = CompileOptions::with_warps(4);
         opts.placement = Placement::Buffer(96);
         opts.point_iters = 2;
-        let c = compile_dfg(&d, &opts, &GpuArch::kepler_k20c()).unwrap();
+        let c = Compiler::new(&GpuArch::kepler_k20c()).options(opts).compile(&d, Variant::WarpSpecialized).unwrap();
         check(&c.kernel, &s, &GpuArch::kepler_k20c());
     }
 
@@ -610,7 +612,7 @@ mod tests {
         let d = chemistry_dfg(&s, 3);
         let mut opts = CompileOptions::with_warps(3);
         opts.placement = Placement::Buffer(96);
-        let c = compile_dfg(&d, &opts, &GpuArch::fermi_c2070()).unwrap();
+        let c = Compiler::new(&GpuArch::fermi_c2070()).options(opts).compile(&d, Variant::WarpSpecialized).unwrap();
         check(&c.kernel, &s, &GpuArch::fermi_c2070());
     }
 

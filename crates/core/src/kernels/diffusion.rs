@@ -265,8 +265,7 @@ pub fn diffusion_dfg(t: &DiffusionTables, warps: usize) -> Dfg {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::baseline::compile_baseline;
-    use crate::codegen::compile_dfg;
+    use crate::compiler::{Compiler, Variant};
     use crate::config::{CompileOptions, Placement};
     use crate::kernels::launch_arrays;
     use chemkin::reference::reference_diffusion;
@@ -341,7 +340,10 @@ mod tests {
         let t = tables(6);
         let d = diffusion_dfg(&t, 2);
         let c =
-            compile_baseline(&d, &CompileOptions::with_warps(2), &GpuArch::kepler_k20c()).unwrap();
+            Compiler::new(&GpuArch::kepler_k20c())
+            .options(CompileOptions::with_warps(2))
+            .compile(&d, Variant::Baseline)
+            .unwrap();
         check(&c.kernel, &t, &GpuArch::kepler_k20c());
     }
 
@@ -352,7 +354,7 @@ mod tests {
         let mut opts = CompileOptions::with_warps(3);
         opts.placement = Placement::Mixed(64);
         opts.point_iters = 2;
-        let c = compile_dfg(&d, &opts, &GpuArch::kepler_k20c()).unwrap();
+        let c = Compiler::new(&GpuArch::kepler_k20c()).options(opts).compile(&d, Variant::WarpSpecialized).unwrap();
         check(&c.kernel, &t, &GpuArch::kepler_k20c());
     }
 
@@ -362,7 +364,7 @@ mod tests {
         let d = diffusion_dfg(&t, 2);
         let mut opts = CompileOptions::with_warps(2);
         opts.placement = Placement::Mixed(64);
-        let c = compile_dfg(&d, &opts, &GpuArch::fermi_c2070()).unwrap();
+        let c = Compiler::new(&GpuArch::fermi_c2070()).options(opts).compile(&d, Variant::WarpSpecialized).unwrap();
         check(&c.kernel, &t, &GpuArch::fermi_c2070());
     }
 
@@ -374,7 +376,7 @@ mod tests {
         let d = diffusion_dfg(&t, 4);
         let mut opts = CompileOptions::with_warps(4);
         opts.placement = Placement::Mixed(96);
-        let c = compile_dfg(&d, &opts, &GpuArch::kepler_k20c()).unwrap();
+        let c = Compiler::new(&GpuArch::kepler_k20c()).options(opts).compile(&d, Variant::WarpSpecialized).unwrap();
         assert!(c.stats.sync_points >= 4, "{:?}", c.stats);
     }
 }

@@ -158,8 +158,7 @@ pub fn viscosity_dfg(t: &ViscosityTables, warps: usize) -> Dfg {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::baseline::compile_baseline;
-    use crate::codegen::compile_dfg;
+    use crate::compiler::{Compiler, Variant};
     use crate::config::CompileOptions;
     use crate::kernels::launch_arrays;
     use chemkin::reference::reference_viscosity;
@@ -209,7 +208,10 @@ mod tests {
     fn baseline_matches_reference() {
         let t = small_tables();
         let d = viscosity_dfg(&t, 3);
-        let c = compile_baseline(&d, &CompileOptions::with_warps(2), &GpuArch::kepler_k20c()).unwrap();
+        let c = Compiler::new(&GpuArch::kepler_k20c())
+            .options(CompileOptions::with_warps(2))
+            .compile(&d, Variant::Baseline)
+            .unwrap();
         check_against_reference(&c.kernel, &t, &GpuArch::kepler_k20c());
     }
 
@@ -219,7 +221,7 @@ mod tests {
         let d = viscosity_dfg(&t, 3);
         let mut opts = CompileOptions::with_warps(3);
         opts.point_iters = 2;
-        let c = compile_dfg(&d, &opts, &GpuArch::kepler_k20c()).unwrap();
+        let c = Compiler::new(&GpuArch::kepler_k20c()).options(opts).compile(&d, Variant::WarpSpecialized).unwrap();
         check_against_reference(&c.kernel, &t, &GpuArch::kepler_k20c());
     }
 
@@ -228,7 +230,7 @@ mod tests {
         let t = small_tables();
         let d = viscosity_dfg(&t, 2);
         let opts = CompileOptions::with_warps(2);
-        let c = compile_dfg(&d, &opts, &GpuArch::fermi_c2070()).unwrap();
+        let c = Compiler::new(&GpuArch::fermi_c2070()).options(opts).compile(&d, Variant::WarpSpecialized).unwrap();
         check_against_reference(&c.kernel, &t, &GpuArch::fermi_c2070());
     }
 
@@ -239,7 +241,7 @@ mod tests {
         let t = small_tables();
         let d = viscosity_dfg(&t, 3);
         let opts = CompileOptions::with_warps(3);
-        let c = compile_dfg(&d, &opts, &GpuArch::kepler_k20c()).unwrap();
+        let c = Compiler::new(&GpuArch::kepler_k20c()).options(opts).compile(&d, Variant::WarpSpecialized).unwrap();
         assert!(
             c.stats.overlay_groups >= 2,
             "expected overlaid groups, got {:?}",

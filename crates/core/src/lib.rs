@@ -35,6 +35,7 @@ pub mod autotune;
 pub mod baseline;
 pub mod barrier_alloc;
 pub mod codegen;
+pub mod compiler;
 pub mod config;
 pub mod cuda;
 pub mod dfg;
@@ -46,22 +47,29 @@ pub mod pool;
 pub mod sync;
 pub mod verify;
 
-pub use config::{CompileOptions, Placement};
-pub use verify::{VerifyLevel, VerifyReport, Violation, ViolationKind};
+pub use compiler::{Compiler, Variant};
+pub use config::{CompileOptions, CompileOptionsBuilder, Placement};
+pub use verify::{VerifyFailure, VerifyLevel, VerifyReport, Violation, ViolationKind};
 pub use dfg::{Dfg, OpId, Operation};
 pub use expr::VarId;
 pub use expr::{BinOp, Expr, RowRef, ScalarProgram, Stmt, TriOp, UnOp};
 
 /// Compiler errors.
+///
+/// `#[non_exhaustive]`: downstream matches need a wildcard arm so new
+/// failure classes can be added without a breaking change.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum CompileError {
     /// The kernel cannot fit (registers/shared/barriers) with the options.
     ResourceExhausted(String),
     /// Internal invariant violation.
     Internal(String),
     /// The emitted kernel failed independent schedule verification
-    /// (deadlock, shared-memory race, or resource violation).
-    Verification(String),
+    /// (deadlock, shared-memory race, or resource violation). The payload
+    /// carries the full structured violation list and is exposed as this
+    /// error's [`std::error::Error::source`].
+    Verification(VerifyFailure),
     /// A kernel references a named input array the runtime does not know.
     UnknownArray(String),
 }
@@ -71,13 +79,20 @@ impl std::fmt::Display for CompileError {
         match self {
             CompileError::ResourceExhausted(m) => write!(f, "resource exhausted: {m}"),
             CompileError::Internal(m) => write!(f, "internal compiler error: {m}"),
-            CompileError::Verification(m) => write!(f, "schedule verification failed: {m}"),
+            CompileError::Verification(v) => write!(f, "schedule verification failed: {v}"),
             CompileError::UnknownArray(m) => write!(f, "unknown array: {m}"),
         }
     }
 }
 
-impl std::error::Error for CompileError {}
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::Verification(v) => Some(v),
+            _ => None,
+        }
+    }
+}
 
 /// Result alias.
 pub type CResult<T> = Result<T, CompileError>;

@@ -114,7 +114,17 @@ impl<'a> EmitCtx for NaiveCtx<'a> {
 }
 
 /// Compile with the naïve top-level warp switch (Figure 9's comparison).
+#[deprecated(
+    since = "0.2.0",
+    note = "use singe::Compiler::new(&arch).options(opts).compile(&dfg, Variant::Naive)"
+)]
 pub fn compile_naive(dfg: &Dfg, options: &CompileOptions, arch: &GpuArch) -> CResult<Compiled> {
+    naive_impl(dfg, options, arch)
+}
+
+/// Implementation behind the deprecated [`compile_naive`] shim and the
+/// [`crate::Compiler`] front door.
+pub(crate) fn naive_impl(dfg: &Dfg, options: &CompileOptions, arch: &GpuArch) -> CResult<Compiled> {
     dfg.validate()?;
     let mapping = map_ops(dfg, options)?;
     let sched = schedule(dfg, &mapping, options)?;
@@ -278,7 +288,7 @@ mod tests {
         let d = viscosity_dfg(&t, 3);
         let opts = CompileOptions::with_warps(3);
         let arch = GpuArch::kepler_k20c();
-        let c = compile_naive(&d, &opts, &arch).unwrap();
+        let c = naive_impl(&d, &opts, &arch).unwrap();
         let points = c.kernel.points_per_cta * 2;
         let g = GridState::random(GridDims { nx: points, ny: 1, nz: 1 }, t.n, 3);
         let expect = reference_viscosity(&t, &g);
@@ -305,8 +315,8 @@ mod tests {
         let d = viscosity_dfg(&t, 4);
         let opts = CompileOptions::with_warps(4);
         let arch = GpuArch::kepler_k20c();
-        let naive = compile_naive(&d, &opts, &arch).unwrap();
-        let overlaid = crate::codegen::compile_dfg(&d, &opts, &arch).unwrap();
+        let naive = naive_impl(&d, &opts, &arch).unwrap();
+        let overlaid = crate::codegen::compile_warp_specialized(&d, &opts, &arch, None).unwrap();
         let ni = naive.kernel.static_instructions();
         let oi = overlaid.kernel.static_instructions();
         assert!(ni as f64 > 1.3 * oi as f64, "naive {ni} instructions vs overlaid {oi}");

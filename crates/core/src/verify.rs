@@ -92,7 +92,7 @@ impl fmt::Display for ViolationKind {
 }
 
 /// One verification failure.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     /// Property family.
     pub kind: ViolationKind,
@@ -105,6 +105,39 @@ impl fmt::Display for Violation {
         write!(f, "[{}] {}", self.kind, self.msg)
     }
 }
+
+/// A failed verification as a structured error: the kernel name plus the
+/// complete violation list. This is what
+/// [`CompileError::Verification`] wraps, and it is reachable through
+/// `std::error::Error::source` for callers that walk error chains.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyFailure {
+    /// Name of the kernel that failed verification.
+    pub kernel: String,
+    /// Every violation found (not just the first).
+    pub violations: Vec<Violation>,
+}
+
+impl fmt::Display for VerifyFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "kernel '{}' failed schedule verification ({} violation{}):",
+            self.kernel,
+            self.violations.len(),
+            if self.violations.len() == 1 { "" } else { "s" }
+        )?;
+        for v in self.violations.iter().take(8) {
+            write!(f, "\n  {v}")?;
+        }
+        if self.violations.len() > 8 {
+            write!(f, "\n  ... and {} more", self.violations.len() - 8)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for VerifyFailure {}
 
 /// Statistics from a successful verification.
 #[derive(Debug, Clone, Default)]
@@ -172,22 +205,10 @@ pub fn enforce(kernel: &Kernel, arch: &GpuArch, options: &CompileOptions) -> CRe
     }
     match verify_kernel(kernel, arch) {
         Ok(_) => Ok(()),
-        Err(violations) => {
-            let mut msg = format!(
-                "kernel '{}' failed schedule verification ({} violation{}):",
-                kernel.name,
-                violations.len(),
-                if violations.len() == 1 { "" } else { "s" }
-            );
-            for v in violations.iter().take(8) {
-                msg.push_str("\n  ");
-                msg.push_str(&v.to_string());
-            }
-            if violations.len() > 8 {
-                msg.push_str(&format!("\n  ... and {} more", violations.len() - 8));
-            }
-            Err(CompileError::Verification(msg))
-        }
+        Err(violations) => Err(CompileError::Verification(VerifyFailure {
+            kernel: kernel.name.clone(),
+            violations,
+        })),
     }
 }
 

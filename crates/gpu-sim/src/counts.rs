@@ -7,7 +7,7 @@
 
 
 /// Aggregate event counts for one CTA execution.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EventCounts {
     /// Total issue slots (warp-instructions, with multi-slot expansions).
     pub issue_slots: u64,

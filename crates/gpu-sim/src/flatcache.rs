@@ -1,4 +1,4 @@
-//! Process-wide memoization of [`flatten`](crate::interp::flatten).
+//! Process-wide memoization of [`crate::interp::flatten`].
 //!
 //! Sweep-style workloads (autotuning, the figure harness, the verifier
 //! sweep) launch the same kernel many times; re-flattening on every launch
@@ -9,7 +9,7 @@
 //! The fingerprint covers every kernel field (f64s by bit pattern) and is
 //! two independent 64-bit hashes, making accidental collisions between the
 //! handful of kernels alive in one process vanishingly unlikely. The cache
-//! is bounded: when it exceeds [`MAX_ENTRIES`] it is cleared wholesale
+//! is bounded: when it exceeds `MAX_ENTRIES` it is cleared wholesale
 //! (sweeps churn through distinct kernels; LRU bookkeeping is not worth
 //! the locking).
 

@@ -68,9 +68,22 @@ impl ICache {
     }
 }
 
+/// Result of an interleaved fetch-trace simulation, with misses broken
+/// down per warp so the profiler can attribute icache penalties.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FetchProfile {
+    /// Total instruction fetches across all warps.
+    pub fetches: u64,
+    /// Total cache misses.
+    pub misses: u64,
+    /// Misses attributed to each warp's stream.
+    pub per_warp_misses: Vec<u64>,
+}
+
 /// Simulate an interleaved round-robin fetch of per-warp instruction
 /// address streams, the way an SM's scheduler rotates among resident
-/// warps. Returns `(fetches, misses)`.
+/// warps. Returns `(fetches, misses)`; use [`interleaved_fetch_profile`]
+/// for the per-warp miss breakdown.
 ///
 /// Each stream entry is a static instruction address (index); addresses are
 /// scaled by `instr_bytes`. `group` controls how many consecutive
@@ -85,7 +98,22 @@ pub fn interleaved_fetch_trace(
     assoc: usize,
     group: usize,
 ) -> (u64, u64) {
+    let p = interleaved_fetch_profile(streams, instr_bytes, capacity_bytes, line_bytes, assoc, group);
+    (p.fetches, p.misses)
+}
+
+/// Same simulation as [`interleaved_fetch_trace`], also attributing each
+/// miss to the warp whose fetch missed.
+pub fn interleaved_fetch_profile(
+    streams: &[Vec<u32>],
+    instr_bytes: usize,
+    capacity_bytes: usize,
+    line_bytes: usize,
+    assoc: usize,
+    group: usize,
+) -> FetchProfile {
     let mut cache = ICache::new(capacity_bytes, line_bytes, assoc);
+    let mut per_warp = vec![0u64; streams.len()];
     let mut cursors = vec![0usize; streams.len()];
     let mut live = streams.iter().filter(|s| !s.is_empty()).count();
     let group = group.max(1);
@@ -98,7 +126,9 @@ pub fn interleaved_fetch_trace(
             }
             let end = (c + group).min(stream.len());
             for &addr in &stream[c..end] {
-                cache.fetch(addr as u64 * instr_bytes as u64);
+                if !cache.fetch(addr as u64 * instr_bytes as u64) {
+                    per_warp[w] += 1;
+                }
             }
             cursors[w] = end;
             if end < stream.len() {
@@ -106,7 +136,11 @@ pub fn interleaved_fetch_trace(
             }
         }
     }
-    (cache.hits() + cache.misses(), cache.misses())
+    FetchProfile {
+        fetches: cache.hits() + cache.misses(),
+        misses: cache.misses(),
+        per_warp_misses: per_warp,
+    }
 }
 
 #[cfg(test)]
@@ -146,6 +180,18 @@ mod tests {
         let (_, misses) = interleaved_fetch_trace(&streams, 8, 8192, 64, 4, 8);
         // Only cold misses: 512 instrs * 8B / 64B = 64 lines.
         assert_eq!(misses, 64);
+    }
+
+    #[test]
+    fn per_warp_misses_sum_to_total() {
+        let streams: Vec<Vec<u32>> = (0..8u32)
+            .map(|w| (w * 512..(w + 1) * 512).collect())
+            .collect();
+        let p = interleaved_fetch_profile(&streams, 8, 8192, 64, 4, 8);
+        assert_eq!(p.per_warp_misses.len(), 8);
+        assert_eq!(p.per_warp_misses.iter().sum::<u64>(), p.misses);
+        let (fetches, misses) = interleaved_fetch_trace(&streams, 8, 8192, 64, 4, 8);
+        assert_eq!((fetches, misses), (p.fetches, p.misses));
     }
 
     #[test]

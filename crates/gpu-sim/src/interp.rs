@@ -14,8 +14,9 @@
 use crate::ccache::ConstCache;
 use crate::counts::EventCounts;
 use crate::error::{SimError, SimResult};
-use crate::icache::interleaved_fetch_trace;
+use crate::icache::interleaved_fetch_profile;
 use crate::isa::*;
+use crate::profile::Profiler;
 use crate::WARP_SIZE;
 
 /// One flattened operation in a warp's instruction stream.
@@ -538,6 +539,26 @@ pub fn run_cta(
     collect: bool,
     arch: &crate::arch::GpuArch,
 ) -> SimResult<CtaResult> {
+    run_cta_profiled(kernel, prog, inputs, total_points, cta, collect, arch, None)
+}
+
+/// [`run_cta`] with an optional cycle-attribution profiler attached
+/// (see [`crate::profile`]). Passing a profiler forces event collection
+/// (attribution needs the cache simulations); passing `None` is exactly
+/// the unprofiled path — the hooks sit behind already-taken branches, so
+/// the disabled overhead is near zero.
+#[allow(clippy::too_many_arguments)]
+pub fn run_cta_profiled(
+    kernel: &Kernel,
+    prog: &FlatProgram,
+    inputs: &[&[f64]],
+    total_points: usize,
+    cta: usize,
+    collect: bool,
+    arch: &crate::arch::GpuArch,
+    mut profiler: Option<&mut Profiler>,
+) -> SimResult<CtaResult> {
+    let collect = collect || profiler.is_some();
     let nw = kernel.warps_per_cta;
     let base_point = cta * kernel.points_per_cta;
     let mut counts = EventCounts::default();
@@ -591,6 +612,9 @@ pub fn run_cta(
             if let Some((b, gen)) = warps[w].blocked {
                 if barriers[b as usize].generation > gen {
                     warps[w].blocked = None;
+                    if let Some(p) = profiler.as_deref_mut() {
+                        p.on_release(w, b, gen);
+                    }
                 } else {
                     continue;
                 }
@@ -598,6 +622,7 @@ pub fn run_cta(
             let ran = step_warp(
                 kernel, prog, inputs, total_points, base_point, w, &mut warps, &mut shared,
                 &mut barriers, &mut out_buffers, &mut ccache, &bank_base, collect, &mut counts,
+                profiler.as_deref_mut(),
             )?;
             progressed |= ran;
         }
@@ -625,7 +650,7 @@ pub fn run_cta(
         counts.const_misses = ccache.misses();
         // Instruction-cache simulation over the interleaved fetch streams
         // (precomputed at flatten time).
-        let (fetches, misses) = interleaved_fetch_trace(
+        let fp = interleaved_fetch_profile(
             &prog.addr_streams,
             arch.instr_bytes,
             arch.icache_bytes,
@@ -636,8 +661,11 @@ pub fn run_cta(
             // regions up to a few hundred instructions).
             128,
         );
-        counts.icache_fetches = fetches;
-        counts.icache_misses = misses;
+        counts.icache_fetches = fp.fetches;
+        counts.icache_misses = fp.misses;
+        if let Some(p) = profiler {
+            p.add_icache_misses(&fp.per_warp_misses);
+        }
     }
 
     Ok(CtaResult { out_buffers, counts })
@@ -661,12 +689,18 @@ fn step_warp(
     bank_base: &[u64],
     collect: bool,
     counts: &mut EventCounts,
+    mut profiler: Option<&mut Profiler>,
 ) -> SimResult<bool> {
     let stream = &prog.streams[w];
     let mut ran = false;
     loop {
         let pc = warps[w].pc;
         if pc >= stream.len() {
+            if !warps[w].done {
+                if let Some(p) = profiler.as_deref_mut() {
+                    p.on_warp_done(w);
+                }
+            }
             warps[w].done = true;
             return Ok(ran);
         }
@@ -676,6 +710,9 @@ fn step_warp(
                 if collect {
                     counts.issue_slots += 1;
                     counts.warp_branches += 1;
+                    if let Some(p) = profiler.as_deref_mut() {
+                        p.on_overhead(w, 1);
+                    }
                 }
                 warps[w].pc += 1;
                 ran = true;
@@ -683,12 +720,24 @@ fn step_warp(
             FlatOp::Exec { instr, pset, .. } => {
                 let i = instr as usize;
                 if collect {
+                    let is_barrier = matches!(
+                        prog.decoded[i],
+                        DecodedInstr::BarArrive { .. } | DecodedInstr::BarSync { .. }
+                    );
                     let cost = prog.costs[i];
                     counts.issue_slots += cost.slots;
                     if cost.dp {
                         counts.dp_slots += cost.slots;
                         counts.flops += cost.flops_warp;
                         counts.dp_const_slots += cost.const_slots;
+                    }
+                    if !is_barrier {
+                        // Barrier instructions are charged by the profiler
+                        // as overhead (with the architectural sync cost),
+                        // not as plain issue.
+                        if let Some(p) = profiler.as_deref_mut() {
+                            p.on_issue(w, cost.slots);
+                        }
                     }
                 }
                 // Barriers are handled at scheduler level.
@@ -697,7 +746,13 @@ fn step_warp(
                         if collect {
                             counts.barrier_arrives += 1;
                         }
-                        barrier_arrive(barriers, bar, expected)?;
+                        let released = barrier_arrive(barriers, bar, expected)?;
+                        if let Some(p) = profiler.as_deref_mut() {
+                            p.on_barrier_op(w, bar, false);
+                            if released {
+                                p.on_barrier_complete(bar, barriers[bar as usize].generation);
+                            }
+                        }
                         warps[w].pc += 1;
                         ran = true;
                     }
@@ -710,12 +765,21 @@ fn step_warp(
                         // advances and we are not blocked.
                         let gen = barriers[bar as usize].generation;
                         let released = barrier_arrive(barriers, bar, expected)?;
+                        if let Some(p) = profiler.as_deref_mut() {
+                            p.on_barrier_op(w, bar, true);
+                            if released {
+                                p.on_barrier_complete(bar, barriers[bar as usize].generation);
+                            }
+                        }
                         warps[w].pc += 1;
                         ran = true;
                         if !released {
                             warps[w].blocked = Some((bar, gen));
                             if collect {
                                 counts.barrier_stall_switches += 1;
+                            }
+                            if let Some(p) = profiler.as_deref_mut() {
+                                p.on_block(w, bar);
                             }
                             return Ok(ran);
                         }
@@ -724,7 +788,7 @@ fn step_warp(
                         exec_slow(
                             kernel, &prog.instrs[i], pset, inputs, total_points, base_point,
                             w, &mut warps[w], shared, out_buffers, ccache, bank_base, collect,
-                            counts,
+                            counts, profiler.as_deref_mut(),
                         )?;
                         warps[w].pc += 1;
                         ran = true;
@@ -951,6 +1015,7 @@ fn exec_slow(
     bank_base: &[u64],
     collect: bool,
     counts: &mut EventCounts,
+    profiler: Option<&mut Profiler>,
 ) -> SimResult<()> {
     let nd = kernel.dregs_per_thread;
     let ni = kernel.iregs_per_thread;
@@ -1247,8 +1312,15 @@ fn exec_slow(
                 }
             }
             if collect {
+                let mut line_misses = 0u64;
+                let n_lines = lines.len() as u64;
                 for line in lines {
-                    ccache.access(line * 64);
+                    if !ccache.access(line * 64) {
+                        line_misses += 1;
+                    }
+                }
+                if let Some(p) = profiler {
+                    p.on_const_replay(wid, n_lines, line_misses);
                 }
             }
         }
@@ -1533,6 +1605,77 @@ mod tests {
         }
         assert!(r.counts.barrier_syncs >= 2);
         assert!(r.counts.barrier_arrives >= 2);
+    }
+
+    #[test]
+    fn profiler_attributes_producer_consumer_waits() {
+        // Same Figure 2 protocol as above, but run with the
+        // cycle-attribution profiler: the consumer warp must be charged a
+        // wait on barrier 0 (it syncs before the producer has filled the
+        // buffer), and every warp's attributed reasons must sum to the
+        // CTA total.
+        let mut k = base_kernel(2);
+        k.points_per_cta = 32;
+        k.body = vec![
+            Node::WarpIf {
+                mask: 0b10,
+                body: vec![Node::Op(Instr::BarArrive { bar: 1, warps: 2 })],
+            },
+            Node::WarpIf {
+                mask: 0b01,
+                body: vec![
+                    Node::Op(Instr::BarSync { bar: 1, warps: 2 }),
+                    Node::Op(Instr::LdGlobal {
+                        dst: 0,
+                        addr: GAddr { array: GlobalId(0), row: IdxOp::Imm(0), point: PointRef::Lane },
+                        ldg: false,
+                    }),
+                    Node::Op(Instr::DMul { dst: 0, a: Op::Reg(0), b: Op::Imm(3.0) }),
+                    Node::Op(Instr::StShared { src: Op::Reg(0), addr: SAddr::lane(0), lane_pred: None }),
+                    Node::Op(Instr::BarArrive { bar: 0, warps: 2 }),
+                ],
+            },
+            Node::WarpIf {
+                mask: 0b10,
+                body: vec![
+                    Node::Op(Instr::BarSync { bar: 0, warps: 2 }),
+                    Node::Op(Instr::LdShared { dst: 1, addr: SAddr::lane(0) }),
+                    Node::Op(Instr::StGlobal {
+                        src: Op::Reg(1),
+                        addr: GAddr { array: GlobalId(1), row: IdxOp::Imm(0), point: PointRef::Lane },
+                    }),
+                ],
+            },
+        ];
+        let input: Vec<f64> = (0..64).map(|i| i as f64 + 1.0).collect();
+        let prog = flatten(&k);
+        let arch = GpuArch::kepler_k20c();
+        let mut profiler = Profiler::new(2, 16, true, &arch);
+        let r = run_cta_profiled(&k, &prog, &[&input, &[]], 32, 0, true, &arch, Some(&mut profiler))
+            .unwrap();
+        // Profiling must not perturb functional results.
+        for p in 0..32 {
+            assert_eq!(r.out_buffers[1][p], (p as f64 + 1.0) * 3.0);
+        }
+        let prof = profiler.finish();
+        prof.check_attribution().unwrap();
+        assert!(prof.total_cycles > 0);
+        // The consumer (warp 1) blocked on barrier 0 while the producer
+        // loaded/multiplied/stored; the producer never waits on barrier 0.
+        assert!(prof.warps[1].barrier_wait[0] > 0, "{:?}", prof.warps[1]);
+        assert_eq!(prof.warps[0].barrier_wait[0], 0);
+        // Barrier instructions were charged as overhead.
+        assert!(prof.warps[0].overhead > 0 && prof.warps[1].overhead > 0);
+        // Event stream carries exec spans, a wait span, and barrier edges.
+        use crate::profile::EventKind;
+        let evs = &prof.events;
+        assert!(evs.iter().any(|e| e.name == "exec" && e.kind == EventKind::Span));
+        assert!(evs.iter().any(|e| e.name == "wait b0" && e.tid == 1));
+        assert!(evs.iter().any(|e| e.name.starts_with("arrive b0")));
+        // Deterministic: a second profiled run produces the same profile.
+        let mut p2 = Profiler::new(2, 16, true, &arch);
+        run_cta_profiled(&k, &prog, &[&input, &[]], 32, 0, true, &arch, Some(&mut p2)).unwrap();
+        assert_eq!(p2.finish(), prof);
     }
 
     #[test]

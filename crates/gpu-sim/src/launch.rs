@@ -4,9 +4,10 @@
 use crate::arch::GpuArch;
 use crate::error::{SimError, SimResult};
 use crate::flatcache::flatten_cached;
-use crate::interp::{run_cta, CtaResult};
+use crate::interp::{run_cta, run_cta_profiled, CtaResult};
 use crate::isa::Kernel;
 use crate::occupancy::occupancy;
+use crate::profile::{CtaProfile, Profiler};
 use crate::timing::{estimate, SimReport};
 
 /// Input arrays, parallel to `kernel.global_arrays`; output slots may be
@@ -25,6 +26,10 @@ pub struct LaunchOutput {
     pub outputs: Vec<Vec<f64>>,
     /// Timing estimate (event counts from CTA 0).
     pub report: SimReport,
+    /// Cycle-attribution profile of CTA 0 (requires
+    /// [`LaunchConfig::profile`]; CTAs are homogeneous so one is
+    /// representative).
+    pub profile: Option<CtaProfile>,
 }
 
 /// How much of the grid to execute functionally.
@@ -37,6 +42,26 @@ pub enum LaunchMode {
     TimingOnly,
 }
 
+/// Launch-time knobs beyond the grid shape (see [`launch_with_config`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// How much of the grid to execute functionally.
+    pub mode: LaunchMode,
+    /// Attach a cycle-attribution profiler to CTA 0
+    /// ([`LaunchOutput::profile`]).
+    pub profile: bool,
+    /// Also record the structured event stream (warp phase spans, barrier
+    /// edges) for Chrome-trace export. Implies nothing unless `profile`
+    /// is set.
+    pub trace_events: bool,
+}
+
+impl Default for LaunchConfig {
+    fn default() -> LaunchConfig {
+        LaunchConfig { mode: LaunchMode::Full, profile: false, trace_events: false }
+    }
+}
+
 /// Validate and launch `kernel` over `total_points` grid points.
 pub fn launch(
     kernel: &Kernel,
@@ -45,6 +70,25 @@ pub fn launch(
     total_points: usize,
     mode: LaunchMode,
 ) -> SimResult<LaunchOutput> {
+    launch_with_config(
+        kernel,
+        arch,
+        inputs,
+        total_points,
+        LaunchConfig { mode, ..LaunchConfig::default() },
+    )
+}
+
+/// [`launch`] with a full [`LaunchConfig`], optionally attaching the
+/// per-warp cycle-attribution profiler to CTA 0.
+pub fn launch_with_config(
+    kernel: &Kernel,
+    arch: &GpuArch,
+    inputs: &LaunchInputs<'_>,
+    total_points: usize,
+    config: LaunchConfig,
+) -> SimResult<LaunchOutput> {
+    let mode = config.mode;
     kernel.check().map_err(SimError::InvalidKernel)?;
     if inputs.arrays.len() != kernel.global_arrays.len() {
         return Err(SimError::BadLaunch(format!(
@@ -90,9 +134,15 @@ pub fn launch(
         .collect();
 
     // CTA 0 runs with event collection; scatter its buffers too.
-    let first = run_cta(kernel, &prog, &inputs.arrays, total_points, 0, true, arch)?;
+    let mut profiler = config.profile.then(|| {
+        Profiler::new(kernel.warps_per_cta, kernel.barriers_used.max(16), config.trace_events, arch)
+    });
+    let first = run_cta_profiled(
+        kernel, &prog, &inputs.arrays, total_points, 0, true, arch, profiler.as_mut(),
+    )?;
     scatter(kernel, total_points, 0, &first, &mut outputs);
     let counts = first.counts;
+    let profile = profiler.map(Profiler::finish);
 
     if n_ctas > 1 {
         let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
@@ -122,7 +172,7 @@ pub fn launch(
     }
 
     let report = estimate(kernel, arch, &counts, total_points);
-    Ok(LaunchOutput { outputs, report })
+    Ok(LaunchOutput { outputs, report, profile })
 }
 
 /// Scatter a CTA's output buffers into the full output arrays.
@@ -217,6 +267,31 @@ mod tests {
         // First CTA's points are computed, the rest remain zero.
         assert_eq!(out.outputs[1][0], 3.5);
         assert_eq!(out.outputs[1][63], 0.0);
+    }
+
+    #[test]
+    fn profiled_launch_attributes_every_cycle() {
+        let k = saxpy_kernel();
+        let arch = GpuArch::kepler_k20c();
+        let points = 32 * 4;
+        let input: Vec<f64> = (0..2 * points).map(|i| i as f64).collect();
+        let cfg = LaunchConfig { mode: LaunchMode::Full, profile: true, trace_events: true };
+        let out =
+            launch_with_config(&k, &arch, &LaunchInputs { arrays: vec![&input, &[]] }, points, cfg)
+                .unwrap();
+        let prof = out.profile.expect("profile requested");
+        prof.check_attribution().unwrap();
+        assert_eq!(prof.warps.len(), 1);
+        assert!(prof.total_cycles > 0);
+        // Functional results are unaffected by profiling.
+        for p in 0..points {
+            assert_eq!(out.outputs[1][p], 2.5 * input[p] + input[points + p]);
+        }
+        // Unprofiled launches don't pay for or carry a profile.
+        let plain = launch(&k, &arch, &LaunchInputs { arrays: vec![&input, &[]] }, points, LaunchMode::Full)
+            .unwrap();
+        assert!(plain.profile.is_none());
+        assert_eq!(plain.report.counts, out.report.counts);
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod interp;
 pub mod isa;
 pub mod launch;
 pub mod occupancy;
+pub mod profile;
 pub mod timing;
 
 pub use arch::GpuArch;
@@ -45,8 +46,9 @@ pub use error::{SimError, SimResult};
 pub use isa::{
     ArrayDecl, GAddr, GlobalId, IdxInstr, IdxOp, Instr, Kernel, Node, Op, PointRef, Reg, SAddr,
 };
-pub use launch::{launch, LaunchInputs, LaunchOutput};
+pub use launch::{launch, launch_with_config, LaunchConfig, LaunchInputs, LaunchMode, LaunchOutput};
 pub use occupancy::Occupancy;
+pub use profile::{chrome_trace_json, CtaProfile, Profiler, TraceEvent, WarpCycles};
 pub use timing::{SimReport, TimingBreakdown};
 
 /// Number of lanes in a warp. All modeled architectures use 32.

@@ -10,8 +10,8 @@ use chemkin::state::{GridDims, GridState};
 use chemkin::synth;
 use gpu_sim::arch::GpuArch;
 use gpu_sim::launch::{launch, LaunchInputs, LaunchMode};
-use singe::codegen::compile_dfg;
 use singe::config::{CompileOptions, Placement};
+use singe::{Compiler, Variant};
 use singe::kernels::{chemistry, diffusion, launch_arrays, viscosity};
 
 fn main() {
@@ -28,25 +28,44 @@ fn main() {
     let arch = GpuArch::kepler_k20c();
     println!("mechanism '{}', {} transported species, {}", mech.name, n, arch.name);
 
-    // Compile the three kernels with their §4.1 placement strategies.
-    let vis = compile_dfg(
-        &viscosity::viscosity_dfg(&ViscosityTables::build(&mech), 4),
-        &CompileOptions { warps: 4, point_iters: 2, placement: Placement::Store, ..Default::default() },
-        &arch,
-    )
-    .expect("viscosity");
-    let diff = compile_dfg(
-        &diffusion::diffusion_dfg(&DiffusionTables::build(&mech), 4),
-        &CompileOptions { warps: 4, point_iters: 2, placement: Placement::Mixed(128), ..Default::default() },
-        &arch,
-    )
-    .expect("diffusion");
-    let chem = compile_dfg(
-        &chemistry::chemistry_dfg(&ChemistrySpec::build(&mech), 8),
-        &CompileOptions { warps: 8, point_iters: 2, placement: Placement::Buffer(150), w_locality: 1.0, ..Default::default() },
-        &arch,
-    )
-    .expect("chemistry");
+    // Compile the three kernels with their §4.1 placement strategies
+    // through the unified front door.
+    let vis = Compiler::new(&arch)
+        .options(
+            CompileOptions::builder().warps(4).point_iters(2).placement(Placement::Store).build(),
+        )
+        .compile(
+            &viscosity::viscosity_dfg(&ViscosityTables::build(&mech), 4),
+            Variant::WarpSpecialized,
+        )
+        .expect("viscosity");
+    let diff = Compiler::new(&arch)
+        .options(
+            CompileOptions::builder()
+                .warps(4)
+                .point_iters(2)
+                .placement(Placement::Mixed(128))
+                .build(),
+        )
+        .compile(
+            &diffusion::diffusion_dfg(&DiffusionTables::build(&mech), 4),
+            Variant::WarpSpecialized,
+        )
+        .expect("diffusion");
+    let chem = Compiler::new(&arch)
+        .options(
+            CompileOptions::builder()
+                .warps(8)
+                .point_iters(2)
+                .placement(Placement::Buffer(150))
+                .w_locality(1.0)
+                .build(),
+        )
+        .compile(
+            &chemistry::chemistry_dfg(&ChemistrySpec::build(&mech), 8),
+            Variant::WarpSpecialized,
+        )
+        .expect("chemistry");
 
     let points = 256;
     let mut grid = GridState::random(GridDims { nx: points, ny: 1, nz: 1 }, n, 99);

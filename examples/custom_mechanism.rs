@@ -7,8 +7,8 @@
 use chemkin::parser::parse_mechanism;
 use chemkin::reference::tables::{ChemistrySpec, DiffusionTables, ViscosityTables};
 use gpu_sim::arch::GpuArch;
-use singe::codegen::compile_dfg;
 use singe::config::{CompileOptions, Placement};
+use singe::{Compiler, Variant};
 use singe::cuda;
 use singe::kernels::{chemistry, diffusion, viscosity};
 
@@ -70,36 +70,27 @@ fn main() {
     );
 
     let arch = GpuArch::kepler_k20c();
-    let opts = CompileOptions { warps: 3, point_iters: 1, ..Default::default() };
+    // One builder per kernel: `CompileOptions` is `#[non_exhaustive]`, so
+    // options compose through the builder rather than struct updates.
+    let base = || CompileOptions::builder().warps(3).point_iters(1);
 
-    let vis = compile_dfg(
-        &viscosity::viscosity_dfg(&ViscosityTables::build(&mech), 3),
-        &opts,
-        &arch,
-    )
-    .expect("viscosity compiles");
+    let vis = Compiler::new(&arch)
+        .options(base().build())
+        .compile(&viscosity::viscosity_dfg(&ViscosityTables::build(&mech), 3), Variant::WarpSpecialized)
+        .expect("viscosity compiles");
     println!("\n--- generated CUDA (viscosity, first 40 lines) ---");
     for line in cuda::render(&vis.kernel).lines().take(40) {
         println!("{line}");
     }
 
-    let diff = compile_dfg(
-        &diffusion::diffusion_dfg(&DiffusionTables::build(&mech), 3),
-        &CompileOptions { placement: Placement::Mixed(96), ..opts.clone() },
-        &arch,
-    )
-    .expect("diffusion compiles");
-    let chem = compile_dfg(
-        &chemistry::chemistry_dfg(&ChemistrySpec::build(&mech), 4),
-        &CompileOptions {
-            warps: 4,
-            placement: Placement::Buffer(120),
-            w_locality: 1.0,
-            ..opts
-        },
-        &arch,
-    )
-    .expect("chemistry compiles");
+    let diff = Compiler::new(&arch)
+        .options(base().placement(Placement::Mixed(96)).build())
+        .compile(&diffusion::diffusion_dfg(&DiffusionTables::build(&mech), 3), Variant::WarpSpecialized)
+        .expect("diffusion compiles");
+    let chem = Compiler::new(&arch)
+        .options(base().warps(4).placement(Placement::Buffer(120)).w_locality(1.0).build())
+        .compile(&chemistry::chemistry_dfg(&ChemistrySpec::build(&mech), 4), Variant::WarpSpecialized)
+        .expect("chemistry compiles");
 
     println!("\nkernel summary:");
     for (name, k) in

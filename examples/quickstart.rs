@@ -10,9 +10,8 @@ use chemkin::state::{GridDims, GridState};
 use chemkin::synth;
 use gpu_sim::arch::GpuArch;
 use gpu_sim::launch::{launch, LaunchInputs, LaunchMode};
-use singe::baseline::compile_baseline;
-use singe::codegen::compile_dfg;
 use singe::config::CompileOptions;
+use singe::{Compiler, Variant};
 use singe::kernels::viscosity::{viscosity_dfg, ARR_OUT};
 use singe::kernels::launch_arrays;
 
@@ -32,11 +31,16 @@ fn main() {
     // 2. Build the viscosity dataflow graph and compile it twice.
     let tables = ViscosityTables::build(&mech);
     let arch = GpuArch::kepler_k20c();
-    let opts = CompileOptions { warps: 10, point_iters: 4, ..Default::default() };
+    let opts = CompileOptions::builder().warps(10).point_iters(4).build();
     let dfg = viscosity_dfg(&tables, opts.warps);
 
-    let ws = compile_dfg(&dfg, &opts, &arch).expect("warp-specialized compile");
-    let base = compile_baseline(&dfg, &CompileOptions::with_warps(8), &arch)
+    let ws = Compiler::new(&arch)
+        .options(opts)
+        .compile(&dfg, Variant::WarpSpecialized)
+        .expect("warp-specialized compile");
+    let base = Compiler::new(&arch)
+        .options(CompileOptions::with_warps(8))
+        .compile(&dfg, Variant::Baseline)
         .expect("baseline compile");
     println!(
         "warp-specialized: {} warps/CTA, {} regs32/thread, {} shared bytes, {} named barriers, {} constant regs",
@@ -50,7 +54,7 @@ fn main() {
         "baseline: {} regs32/thread, {} bytes spilled/thread, {} KB of constants",
         base.kernel.regs32_per_thread(),
         base.kernel.spilled_bytes_per_thread,
-        base.const_bytes / 1024,
+        base.kernel.total_dconstants() * 8 / 1024,
     );
 
     // 3. Run on a small grid and compare against the CPU reference.

@@ -27,33 +27,37 @@ pub fn compile_all_kernels(
     warps: usize,
 ) -> Result<Vec<(String, gpu_sim::isa::Kernel)>, singe::CompileError> {
     use chemkin::reference::tables::{ChemistrySpec, DiffusionTables, ViscosityTables};
-    use singe::codegen::compile_dfg;
     use singe::config::{CompileOptions, Placement};
     use singe::kernels::{chemistry, diffusion, viscosity};
+    use singe::{Compiler, Variant};
 
     let mut out = Vec::new();
-    let vis = compile_dfg(
-        &viscosity::viscosity_dfg(&ViscosityTables::build(mech), warps),
-        &CompileOptions { warps, placement: Placement::Store, ..Default::default() },
-        arch,
-    )?;
+    let vis = Compiler::new(arch)
+        .options(CompileOptions::builder().warps(warps).placement(Placement::Store).build())
+        .compile(
+            &viscosity::viscosity_dfg(&ViscosityTables::build(mech), warps),
+            Variant::WarpSpecialized,
+        )?;
     out.push(("viscosity".to_string(), vis.kernel));
-    let diff = compile_dfg(
-        &diffusion::diffusion_dfg(&DiffusionTables::build(mech), warps),
-        &CompileOptions { warps, placement: Placement::Mixed(176), ..Default::default() },
-        arch,
-    )?;
+    let diff = Compiler::new(arch)
+        .options(CompileOptions::builder().warps(warps).placement(Placement::Mixed(176)).build())
+        .compile(
+            &diffusion::diffusion_dfg(&DiffusionTables::build(mech), warps),
+            Variant::WarpSpecialized,
+        )?;
     out.push(("diffusion".to_string(), diff.kernel));
-    let chem = compile_dfg(
-        &chemistry::chemistry_dfg(&ChemistrySpec::build(mech), warps),
-        &CompileOptions {
-            warps,
-            placement: Placement::Buffer(176),
-            w_locality: 1.0,
-            ..Default::default()
-        },
-        arch,
-    )?;
+    let chem = Compiler::new(arch)
+        .options(
+            CompileOptions::builder()
+                .warps(warps)
+                .placement(Placement::Buffer(176))
+                .w_locality(1.0)
+                .build(),
+        )
+        .compile(
+            &chemistry::chemistry_dfg(&ChemistrySpec::build(mech), warps),
+            Variant::WarpSpecialized,
+        )?;
     out.push(("chemistry".to_string(), chem.kernel));
     Ok(out)
 }

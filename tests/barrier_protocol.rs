@@ -9,7 +9,7 @@ use gpu_sim::arch::GpuArch;
 use gpu_sim::isa::*;
 use gpu_sim::launch::{launch, LaunchInputs, LaunchMode};
 use gpu_sim::occupancy::occupancy;
-use singe::codegen::compile_dfg;
+use singe::{Compiler, Variant};
 use singe::config::{CompileOptions, Placement};
 use singe::kernels::{chemistry, diffusion};
 
@@ -110,15 +110,14 @@ fn named_barriers_limit_occupancy_of_compiled_chemistry() {
     });
     let spec = ChemistrySpec::build(&m);
     let dfg = chemistry::chemistry_dfg(&spec, 8);
-    let opts = CompileOptions {
-        warps: 8,
-        point_iters: 2,
-        placement: Placement::Buffer(64),
-        w_locality: 1.0,
-        ..Default::default()
-    };
+    let opts = CompileOptions::builder()
+        .warps(8)
+        .point_iters(2)
+        .placement(Placement::Buffer(64))
+        .w_locality(1.0)
+        .build();
     let arch = GpuArch::kepler_k20c();
-    let c = compile_dfg(&dfg, &opts, &arch).unwrap();
+    let c = Compiler::new(&arch).options(opts).compile(&dfg, Variant::WarpSpecialized).unwrap();
     let occ = occupancy(&c.kernel, &arch);
     assert!(
         occ.ctas_per_sm * c.kernel.barriers_used <= arch.named_barriers_per_sm,
@@ -143,15 +142,15 @@ fn barrier_ablation_strips_all_barriers() {
     let t = DiffusionTables::build(&m);
     let dfg = diffusion::diffusion_dfg(&t, 4);
     let arch = GpuArch::fermi_c2070();
-    let mut opts = CompileOptions {
-        warps: 4,
-        point_iters: 2,
-        placement: Placement::Mixed(96),
-        ..Default::default()
-    };
-    let with = compile_dfg(&dfg, &opts, &arch).unwrap();
+    let mut opts = CompileOptions::builder()
+        .warps(4)
+        .point_iters(2)
+        .placement(Placement::Mixed(96))
+        .build();
+    let compiler = Compiler::new(&arch);
+    let with = compiler.clone().options(opts.clone()).compile(&dfg, Variant::WarpSpecialized).unwrap();
     opts.unsafe_remove_barriers = true;
-    let without = compile_dfg(&dfg, &opts, &arch).unwrap();
+    let without = compiler.options(opts).compile(&dfg, Variant::WarpSpecialized).unwrap();
 
     let count_bars = |k: &Kernel| {
         let mut n = 0;

@@ -8,9 +8,8 @@ use chemkin::state::{GridDims, GridState};
 use chemkin::synth;
 use gpu_sim::arch::GpuArch;
 use gpu_sim::launch::{launch, LaunchInputs, LaunchMode};
-use singe::baseline::compile_baseline;
-use singe::codegen::compile_dfg;
 use singe::config::{CompileOptions, Placement};
+use singe::{Compiler, Variant};
 use singe::kernels::{chemistry, diffusion, launch_arrays, viscosity};
 
 fn mech() -> chemkin::Mechanism {
@@ -39,8 +38,13 @@ fn viscosity_all_compilers_all_archs() {
     let t = ViscosityTables::build(&m);
     for arch in [GpuArch::fermi_c2070(), GpuArch::kepler_k20c()] {
         let dfg = viscosity_dfg_for(&t, 4);
-        let ws = compile_dfg(&dfg, &CompileOptions { warps: 4, point_iters: 2, ..Default::default() }, &arch).unwrap();
-        let base = compile_baseline(&dfg, &CompileOptions::with_warps(2), &arch).unwrap();
+        let c = Compiler::new(&arch)
+            .options(CompileOptions::builder().warps(4).point_iters(2).build());
+        let ws = c.compile(&dfg, Variant::WarpSpecialized).unwrap();
+        let base = Compiler::new(&arch)
+            .options(CompileOptions::with_warps(2))
+            .compile(&dfg, Variant::Baseline)
+            .unwrap();
         for k in [&ws.kernel, &base.kernel] {
             let (g, outs) = run(k, &arch, t.n, 7);
             let expect = reference_viscosity(&t, &g);
@@ -62,14 +66,16 @@ fn diffusion_all_compilers_all_archs() {
     let t = DiffusionTables::build(&m);
     for arch in [GpuArch::fermi_c2070(), GpuArch::kepler_k20c()] {
         let dfg = diffusion::diffusion_dfg(&t, 3);
-        let opts = CompileOptions {
-            warps: 3,
-            point_iters: 2,
-            placement: Placement::Mixed(96),
-            ..Default::default()
-        };
-        let ws = compile_dfg(&dfg, &opts, &arch).unwrap();
-        let base = compile_baseline(&dfg, &CompileOptions::with_warps(2), &arch).unwrap();
+        let opts = CompileOptions::builder()
+            .warps(3)
+            .point_iters(2)
+            .placement(Placement::Mixed(96))
+            .build();
+        let ws = Compiler::new(&arch).options(opts).compile(&dfg, Variant::WarpSpecialized).unwrap();
+        let base = Compiler::new(&arch)
+            .options(CompileOptions::with_warps(2))
+            .compile(&dfg, Variant::Baseline)
+            .unwrap();
         for k in [&ws.kernel, &base.kernel] {
             let (g, outs) = run(k, &arch, t.n, 8);
             let points = g.points();
@@ -91,15 +97,17 @@ fn chemistry_all_compilers_all_archs() {
     let spec = ChemistrySpec::build(&m);
     for arch in [GpuArch::fermi_c2070(), GpuArch::kepler_k20c()] {
         let dfg = chemistry::chemistry_dfg(&spec, 4);
-        let opts = CompileOptions {
-            warps: 4,
-            point_iters: 2,
-            placement: Placement::Buffer(120),
-            w_locality: 1.0,
-            ..Default::default()
-        };
-        let ws = compile_dfg(&dfg, &opts, &arch).unwrap();
-        let base = compile_baseline(&dfg, &CompileOptions::with_warps(2), &arch).unwrap();
+        let opts = CompileOptions::builder()
+            .warps(4)
+            .point_iters(2)
+            .placement(Placement::Buffer(120))
+            .w_locality(1.0)
+            .build();
+        let ws = Compiler::new(&arch).options(opts).compile(&dfg, Variant::WarpSpecialized).unwrap();
+        let base = Compiler::new(&arch)
+            .options(CompileOptions::with_warps(2))
+            .compile(&dfg, Variant::Baseline)
+            .unwrap();
         for k in [&ws.kernel, &base.kernel] {
             let (g, outs) = run(k, &arch, spec.n_trans, 9);
             let points = g.points();
@@ -126,9 +134,12 @@ fn warp_specialized_beats_baseline_where_the_paper_says() {
     let mut speedups = Vec::new();
     for arch in [GpuArch::fermi_c2070(), GpuArch::kepler_k20c()] {
         let dfg = viscosity::viscosity_dfg(&t, 10);
-        let opts = CompileOptions { warps: 10, point_iters: 4, ..Default::default() };
-        let ws = compile_dfg(&dfg, &opts, &arch).unwrap();
-        let base = compile_baseline(&dfg, &CompileOptions::with_warps(8), &arch).unwrap();
+        let opts = CompileOptions::builder().warps(10).point_iters(4).build();
+        let ws = Compiler::new(&arch).options(opts).compile(&dfg, Variant::WarpSpecialized).unwrap();
+        let base = Compiler::new(&arch)
+            .options(CompileOptions::with_warps(8))
+            .compile(&dfg, Variant::Baseline)
+            .unwrap();
         let mut tp = Vec::new();
         for k in [&base.kernel, &ws.kernel] {
             let points = k.points_per_cta;

@@ -4,7 +4,7 @@
 //! a host evaluation of the same graph.
 
 use proptest::prelude::*;
-use singe::codegen::compile_dfg;
+use singe::{Compiler, Variant};
 use singe::config::{CompileOptions, Placement};
 use singe::dfg::{Dfg, Operation};
 use singe::expr::{eval, Expr, RowRef, Stmt};
@@ -107,11 +107,12 @@ proptest! {
     ) {
         let dfg = random_dfg(layers, width, seeds);
         let placement = if buffered { Placement::Buffer(8) } else { Placement::Store };
-        let opts = CompileOptions { warps, point_iters: 2, placement, ..Default::default() };
+        let opts =
+            CompileOptions::builder().warps(warps).point_iters(2).placement(placement).build();
         let arch = GpuArch::kepler_k20c();
         // Tiny buffer pools may legally be infeasible; everything else
         // must compile.
-        let compiled = match compile_dfg(&dfg, &opts, &arch) {
+        let compiled = match Compiler::new(&arch).options(opts).compile(&dfg, Variant::WarpSpecialized) {
             Ok(c) => c,
             Err(singe::CompileError::ResourceExhausted(_)) if buffered => return Ok(()),
             Err(e) => panic!("compile failed: {e}"),

@@ -7,11 +7,9 @@ use chemkin::synth;
 use gpu_sim::arch::GpuArch;
 use gpu_sim::isa::*;
 use gpu_sim::launch::{launch, LaunchInputs, LaunchMode};
-use singe::baseline::compile_baseline;
-use singe::codegen::compile_dfg;
 use singe::config::{CompileOptions, Placement};
 use singe::kernels::{chemistry, diffusion, viscosity};
-use singe::naive::compile_naive;
+use singe::{Compiler, Variant};
 use singe::verify::{verify_kernel, ViolationKind};
 use singe::{CompileError, VerifyLevel};
 
@@ -206,15 +204,19 @@ fn all_end_to_end_kernels_verify_clean() {
                     Placement::Buffer(128),
                 ),
             };
-            let opts =
-                CompileOptions { warps, point_iters: 2, placement, ..Default::default() };
-            // compile_* already enforce VerifyLevel::Basic internally;
+            let opts = CompileOptions::builder()
+                .warps(warps)
+                .point_iters(2)
+                .placement(placement)
+                .build();
+            // The compiler already enforces VerifyLevel::Basic internally;
             // re-run the verifier explicitly to assert a clean report.
-            let ws = compile_dfg(&dfg, &opts, arch).expect("ws compiles");
+            let c = Compiler::new(arch).options(opts);
+            let ws = c.compile(&dfg, Variant::WarpSpecialized).expect("ws compiles");
             verify_kernel(&ws.kernel, arch).expect("ws verifies");
-            let nv = compile_naive(&dfg, &opts, arch).expect("naive compiles");
+            let nv = c.compile(&dfg, Variant::Naive).expect("naive compiles");
             verify_kernel(&nv.kernel, arch).expect("naive verifies");
-            let bl = compile_baseline(&dfg, &opts, arch).expect("baseline compiles");
+            let bl = c.compile(&dfg, Variant::Baseline).expect("baseline compiles");
             verify_kernel(&bl.kernel, arch).expect("baseline verifies");
         }
     }
@@ -234,17 +236,26 @@ fn strict_rejects_barrier_ablation() {
     });
     let dfg = diffusion::diffusion_dfg(&DiffusionTables::build(&m), 4);
     let arch = GpuArch::fermi_c2070();
-    let mut opts = CompileOptions {
-        warps: 4,
-        point_iters: 2,
-        placement: Placement::Mixed(96),
-        unsafe_remove_barriers: true,
-        ..Default::default()
-    };
+    let mut opts = CompileOptions::builder()
+        .warps(4)
+        .point_iters(2)
+        .placement(Placement::Mixed(96))
+        .unsafe_remove_barriers(true)
+        .build();
     assert!(matches!(opts.verify, VerifyLevel::Basic));
-    compile_dfg(&dfg, &opts, &arch).expect("Basic waives the deliberate ablation");
+    Compiler::new(&arch)
+        .options(opts.clone())
+        .compile(&dfg, Variant::WarpSpecialized)
+        .expect("Basic waives the deliberate ablation");
 
     opts.verify = VerifyLevel::Strict;
-    let err = compile_dfg(&dfg, &opts, &arch).unwrap_err();
+    let err = Compiler::new(&arch)
+        .options(opts)
+        .compile(&dfg, Variant::WarpSpecialized)
+        .unwrap_err();
     assert!(matches!(err, CompileError::Verification(_)), "{err}");
+    // The new error plumbing exposes the verification payload through
+    // `std::error::Error::source`.
+    let src = std::error::Error::source(&err).expect("Verification carries a source");
+    assert!(src.to_string().contains("schedule verification"), "{src}");
 }
