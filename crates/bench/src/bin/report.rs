@@ -10,7 +10,11 @@
 //! variant × architecture, prints the paper-style stall breakdown,
 //! writes `target/profile.json`, and exports a Chrome trace to
 //! `target/profile_trace.json`; it is deliberately NOT part of `all` so
-//! `BENCH_report.json` wall-clock stays comparable across runs.
+//! `BENCH_report.json` wall-clock stays comparable across runs. `model`
+//! compares the static analytical performance model against the simulator
+//! for every kernel × variant × architecture, writes `target/model.json`,
+//! and exits non-zero if the accuracy gate (Spearman ≥ 0.8, ratio within
+//! 2x) fails; like `profile` it runs solo, never under `all`.
 //!
 //! Figures are computed on a worker pool (`--jobs`, `SINGE_JOBS`, default
 //! = available parallelism) but every figure renders into its own buffer
@@ -31,7 +35,7 @@ use singe_bench::*;
 const FIGURES: &[&str] = &[
     "mechanisms", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
     "fig15", "fig16", "gflops", "ablate-barriers", "spills", "verify",
-    "profile", "all",
+    "profile", "model", "all",
 ];
 
 /// Wall-clock of the serial `report all` before the fast-path/memoization/
@@ -86,6 +90,16 @@ fn main() {
         let failures = profile_report(&dme, &archs);
         if failures > 0 {
             eprintln!("\ncycle attribution: {failures} failure(s)");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // `model` also runs solo: it shares `profile`'s probe launches and
+    // would likewise shift the `BENCH_report.json` wall-clock figures.
+    if which == "model" {
+        if !model_report(&dme, &archs) {
+            eprintln!("\nmodel accuracy gate FAILED");
             std::process::exit(1);
         }
         return;
@@ -554,6 +568,81 @@ fn profile_report(dme: &Mechanism, archs: &[GpuArch]) -> usize {
         groups.len()
     );
     failures
+}
+
+/// Model accuracy table (`report model`): the static analytical
+/// performance model's predicted seconds and CTA cycles next to the
+/// simulator's measurements, for every kernel × variant × architecture.
+/// Writes `target/model.json` (summary + rows) and returns whether the
+/// accuracy gate passed: Spearman rank correlation between predicted and
+/// simulated seconds ≥ [`MODEL_GATE_SPEARMAN`] and every ratio within
+/// [`MODEL_GATE_RATIO`]x of 1.
+fn model_report(dme: &Mechanism, archs: &[GpuArch]) -> bool {
+    let grid = 64 * 64 * 64;
+    let mut rows: Vec<ModelRow> = Vec::new();
+    println!("== Model accuracy: analytical prediction vs simulation ({}, 64^3) ==", dme.name);
+    println!(
+        "{:<22} {:<10} {:<16} {:>5} {:>12} {:>12} {:>7} {:>10} {:>10}",
+        "arch", "kernel", "variant", "warps", "pred s", "sim s", "ratio", "pred cyc", "prof cyc"
+    );
+    for arch in archs {
+        for kind in [Kind::Viscosity, Kind::Diffusion, Kind::Chemistry] {
+            for variant in [Variant::Baseline, Variant::WarpSpecialized, Variant::Naive] {
+                let opts = ws_options(kind, dme.n_transported(), arch);
+                let built = match build_with_options(kind, dme, arch, variant, &opts) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        println!(
+                            "{:<22} {:<10} {:<16} skipped ({e})",
+                            arch.name,
+                            kind.name(),
+                            variant.name()
+                        );
+                        continue;
+                    }
+                };
+                let predicted = predict_built(&built, arch, grid);
+                let simulated = timing_report(&built, arch, grid);
+                let profiled = profile_built(&built, arch, false);
+                let r = ModelRow {
+                    kernel: kind.name().into(),
+                    mechanism: dme.name.clone(),
+                    arch: arch.name.into(),
+                    variant: variant.name().into(),
+                    warps: built.kernel.warps_per_cta,
+                    grid_points: grid,
+                    predicted_seconds: predicted.seconds(),
+                    simulated_seconds: simulated.seconds,
+                    ratio: predicted.seconds() / simulated.seconds,
+                    predicted_cycles: predicted.profile.cta.total_cycles,
+                    profiled_cycles: profiled.total_cycles,
+                };
+                println!(
+                    "{:<22} {:<10} {:<16} {:>5} {:>12.4e} {:>12.4e} {:>7.3} {:>10} {:>10}",
+                    r.arch,
+                    r.kernel,
+                    r.variant,
+                    r.warps,
+                    r.predicted_seconds,
+                    r.simulated_seconds,
+                    r.ratio,
+                    r.predicted_cycles,
+                    r.profiled_cycles,
+                );
+                rows.push(r);
+            }
+        }
+    }
+    let preds: Vec<f64> = rows.iter().map(|r| r.predicted_seconds).collect();
+    let sims: Vec<f64> = rows.iter().map(|r| r.simulated_seconds).collect();
+    let rho = spearman(&preds, &sims);
+    println!("\nSpearman(predicted, simulated) over {} rows: {rho:.4}", rows.len());
+    let json = model_report_json(&rows);
+    let gate_ok = json.contains("\"gate_ok\": true");
+    std::fs::create_dir_all("target").ok();
+    std::fs::write("target/model.json", &json).expect("write model.json");
+    eprintln!("[wrote {} rows to target/model.json, gate_ok={gate_ok}]", rows.len());
+    gate_ok
 }
 
 /// §6.3: chemistry spill and bandwidth analysis (heptane).

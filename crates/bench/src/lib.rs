@@ -392,6 +392,158 @@ pub fn profile_rows_to_json(rows: &[ProfileRow]) -> String {
     out
 }
 
+/// Predict `built`'s performance on `arch` for `grid_points` using the
+/// static analytical model ([`singe::perfmodel`]) — no interpretation.
+/// Compiled kernels always satisfy the model's barrier-protocol
+/// preconditions, so this cannot fail for harness-built kernels.
+pub fn predict_built(built: &Built, arch: &GpuArch, grid_points: usize) -> singe::ModelReport {
+    singe::perfmodel::predict(&built.kernel, arch, grid_points).expect("compiled kernel predicts")
+}
+
+/// Spearman rank correlation between two equal-length samples (average
+/// ranks for ties). Returns 1.0 for degenerate inputs (constant series or
+/// fewer than two points) — a constant predictor over a constant truth is
+/// a perfect rank match for gating purposes.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "spearman needs paired samples");
+    fn ranks(v: &[f64]) -> Vec<f64> {
+        let n = v.len();
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by(|&a, &b| v[a].partial_cmp(&v[b]).expect("finite samples"));
+        let mut r = vec![0.0; n];
+        let mut i = 0;
+        while i < n {
+            let mut j = i;
+            while j + 1 < n && v[idx[j + 1]] == v[idx[i]] {
+                j += 1;
+            }
+            let avg = (i + j) as f64 / 2.0 + 1.0;
+            for k in i..=j {
+                r[idx[k]] = avg;
+            }
+            i = j + 1;
+        }
+        r
+    }
+    if xs.len() < 2 {
+        return 1.0;
+    }
+    let rx = ranks(xs);
+    let ry = ranks(ys);
+    let n = xs.len() as f64;
+    let mx = rx.iter().sum::<f64>() / n;
+    let my = ry.iter().sum::<f64>() / n;
+    let mut num = 0.0;
+    let mut dx = 0.0;
+    let mut dy = 0.0;
+    for i in 0..xs.len() {
+        num += (rx[i] - mx) * (ry[i] - my);
+        dx += (rx[i] - mx) * (rx[i] - mx);
+        dy += (ry[i] - my) * (ry[i] - my);
+    }
+    if dx == 0.0 || dy == 0.0 {
+        return 1.0;
+    }
+    num / (dx * dy).sqrt()
+}
+
+/// One row of the model-accuracy table (`report model`): the analytical
+/// model's prediction next to the simulator's measurement for one kernel
+/// × variant × architecture.
+#[derive(Debug, Clone)]
+pub struct ModelRow {
+    /// Kernel name.
+    pub kernel: String,
+    /// Mechanism name.
+    pub mechanism: String,
+    /// Architecture name.
+    pub arch: String,
+    /// Compiler variant.
+    pub variant: String,
+    /// Warps in the CTA.
+    pub warps: usize,
+    /// Grid points the seconds are extrapolated to.
+    pub grid_points: usize,
+    /// Model-predicted wall-clock seconds for the grid.
+    pub predicted_seconds: f64,
+    /// Simulated (probe + timing model) seconds for the grid.
+    pub simulated_seconds: f64,
+    /// predicted / simulated.
+    pub ratio: f64,
+    /// Model-predicted CTA cycles (per-warp timeline length).
+    pub predicted_cycles: u64,
+    /// Profiler-measured CTA cycles from the interpreted probe.
+    pub profiled_cycles: u64,
+}
+
+impl ModelRow {
+    /// JSON object for this row (hand-rolled; the build is offline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"kernel\": {}, \"mechanism\": {}, \"arch\": {}, \"variant\": {}, \
+             \"warps\": {}, \"grid_points\": {}, \"predicted_seconds\": {}, \
+             \"simulated_seconds\": {}, \"ratio\": {}, \"predicted_cycles\": {}, \
+             \"profiled_cycles\": {}}}",
+            json_string(&self.kernel),
+            json_string(&self.mechanism),
+            json_string(&self.arch),
+            json_string(&self.variant),
+            self.warps,
+            self.grid_points,
+            json_f64(self.predicted_seconds),
+            json_f64(self.simulated_seconds),
+            json_f64(self.ratio),
+            self.predicted_cycles,
+            self.profiled_cycles,
+        )
+    }
+}
+
+/// Accuracy gate for `target/model.json`: Spearman rank correlation
+/// between predicted and simulated seconds must be at least this.
+pub const MODEL_GATE_SPEARMAN: f64 = 0.8;
+
+/// Accuracy gate: every row's predicted/simulated ratio must lie in
+/// `[1/MODEL_GATE_RATIO, MODEL_GATE_RATIO]`.
+pub const MODEL_GATE_RATIO: f64 = 2.0;
+
+/// Serialize the model-accuracy report: a summary object (Spearman, ratio
+/// envelope, gate verdict) followed by the per-kernel rows.
+pub fn model_report_json(rows: &[ModelRow]) -> String {
+    let preds: Vec<f64> = rows.iter().map(|r| r.predicted_seconds).collect();
+    let sims: Vec<f64> = rows.iter().map(|r| r.simulated_seconds).collect();
+    let rho = spearman(&preds, &sims);
+    let ratio_min = rows.iter().map(|r| r.ratio).fold(f64::INFINITY, f64::min);
+    let ratio_max = rows.iter().map(|r| r.ratio).fold(f64::NEG_INFINITY, f64::max);
+    let gate_ok = !rows.is_empty()
+        && rho >= MODEL_GATE_SPEARMAN
+        && ratio_min >= 1.0 / MODEL_GATE_RATIO
+        && ratio_max <= MODEL_GATE_RATIO;
+    let mut out = String::from("{\n  \"summary\": ");
+    out.push_str(&format!(
+        "{{\"rows\": {}, \"spearman\": {}, \"ratio_min\": {}, \"ratio_max\": {}, \
+         \"gate_spearman\": {}, \"gate_ratio\": {}, \"gate_ok\": {}}},\n",
+        rows.len(),
+        json_f64(rho),
+        json_f64(if ratio_min.is_finite() { ratio_min } else { 0.0 }),
+        json_f64(if ratio_max.is_finite() { ratio_max } else { 0.0 }),
+        json_f64(MODEL_GATE_SPEARMAN),
+        json_f64(MODEL_GATE_RATIO),
+        gate_ok,
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(&r.to_json());
+        if i + 1 < rows.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}");
+    out
+}
+
 /// One output row (a point in a paper figure).
 #[derive(Debug, Clone)]
 pub struct Row {
@@ -516,6 +668,41 @@ mod tests {
         assert_eq!(viscosity_warps(30), 10);
         assert_eq!(viscosity_warps(52), 13);
         assert_eq!(viscosity_warps(31), 8); // prime fallback
+    }
+
+    #[test]
+    fn spearman_matches_hand_computed_cases() {
+        // Perfect monotone agreement, reversal, and a tie-heavy case.
+        assert_eq!(spearman(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]), 1.0);
+        assert_eq!(spearman(&[1.0, 2.0, 3.0], &[30.0, 20.0, 10.0]), -1.0);
+        let rho = spearman(&[1.0, 1.0, 2.0, 3.0], &[5.0, 5.0, 6.0, 7.0]);
+        assert!((rho - 1.0).abs() < 1e-12, "ties share average ranks: {rho}");
+        // Degenerate: constant series rank-match by convention.
+        assert_eq!(spearman(&[1.0, 1.0], &[2.0, 3.0]), 1.0);
+    }
+
+    #[test]
+    fn model_report_json_gates_on_rank_and_ratio() {
+        let row = |p: f64, s: f64| ModelRow {
+            kernel: "k".into(),
+            mechanism: "m".into(),
+            arch: "a".into(),
+            variant: "v".into(),
+            warps: 4,
+            grid_points: 64,
+            predicted_seconds: p,
+            simulated_seconds: s,
+            ratio: p / s,
+            predicted_cycles: 100,
+            profiled_cycles: 100,
+        };
+        let good = model_report_json(&[row(1.0, 1.1), row(2.0, 1.9), row(3.0, 3.2)]);
+        assert!(good.contains("\"gate_ok\": true"), "{good}");
+        // A 3x over-prediction violates the ratio band even though ranks
+        // still agree.
+        let bad = model_report_json(&[row(1.0, 1.1), row(6.0, 2.0), row(9.0, 3.2)]);
+        assert!(bad.contains("\"gate_ok\": false"), "{bad}");
+        assert!(model_report_json(&[]).contains("\"gate_ok\": false"));
     }
 
     #[test]

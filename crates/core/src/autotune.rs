@@ -7,6 +7,17 @@
 //!
 //! Candidates are compiled and scored with the simulator's timing model on
 //! a representative grid; the best configuration wins.
+//!
+//! Two search modes are provided:
+//!
+//! * [`autotune`] — the paper's exhaustive sweep: every candidate is
+//!   compiled *and* simulated.
+//! * [`autotune_guided`] — model-guided pruning: every candidate is
+//!   compiled and ranked by the static performance model
+//!   ([`crate::perfmodel`], no interpretation), and only the top-K
+//!   predictions are simulated. Both modes record each point's
+//!   `predicted_seconds` next to its measured seconds, so the model's
+//!   ranking quality is auditable from any [`TuneResult`].
 
 use crate::codegen::{compile_warp_specialized, Compiled};
 use crate::config::{CompileOptions, Placement};
@@ -44,9 +55,13 @@ pub struct TunePoint {
     /// The options evaluated.
     pub options: CompileOptions,
     /// Simulated kernel seconds on the probe grid (None = the candidate
-    /// failed; see `failure` for the distinct reason).
+    /// failed — see `failure` — or was pruned by model-guided search
+    /// before simulation).
     pub seconds: Option<f64>,
-    /// Why `seconds` is None (None when the candidate ran).
+    /// Seconds predicted by the static performance model for the same
+    /// probe grid (None only if the candidate did not compile).
+    pub predicted_seconds: Option<f64>,
+    /// Why `seconds` is None (None when the candidate ran or was pruned).
     pub failure: Option<TuneFailure>,
 }
 
@@ -77,6 +92,29 @@ pub fn candidate_grid(placement: Placement) -> Vec<CompileOptions> {
     }
     v
 }
+
+/// [`candidate_grid`] with a finer streaming-depth axis (24 points:
+/// 8 warp counts x 3 point-iteration depths). The denser grid is what
+/// model-guided search is for — with the default top-K of
+/// [`GUIDED_TOP_K`], [`autotune_guided`] simulates at most `5/24 ≈ 21%`
+/// of it.
+pub fn candidate_grid_extended(placement: Placement) -> Vec<CompileOptions> {
+    let mut v = Vec::new();
+    for &warps in &[2usize, 3, 4, 6, 8, 10, 12, 16] {
+        for &iters in &[1u32, 2, 4] {
+            v.push(CompileOptions {
+                warps,
+                point_iters: iters,
+                placement,
+                ..Default::default()
+            });
+        }
+    }
+    v
+}
+
+/// Default number of top-ranked candidates [`autotune_guided`] simulates.
+pub const GUIDED_TOP_K: usize = 5;
 
 /// Exhaustively evaluate `candidates` for `dfg` on `arch`; the probe grid
 /// covers `probe_points` points (rounded up to a whole number of CTAs).
@@ -113,6 +151,7 @@ pub fn autotune_with_jobs(
                     let p = TunePoint {
                         options: cand.clone(),
                         seconds: None,
+                        predicted_seconds: None,
                         failure: Some(TuneFailure::Compile(e.to_string())),
                     };
                     return (p, None);
@@ -120,6 +159,7 @@ pub fn autotune_with_jobs(
             };
             let ppc = compiled.kernel.points_per_cta;
             let grid = probe_points.div_ceil(ppc) * ppc;
+            let predicted = predict_seconds(&compiled, arch, grid);
             let owned = inputs_for(&compiled.kernel, grid);
             let arrays: Vec<&[f64]> = owned.iter().map(|v| v.as_slice()).collect();
             match launch(&compiled.kernel, arch, &LaunchInputs { arrays }, grid, LaunchMode::TimingOnly)
@@ -128,6 +168,7 @@ pub fn autotune_with_jobs(
                     let p = TunePoint {
                         options: cand.clone(),
                         seconds: Some(out.report.seconds),
+                        predicted_seconds: predicted,
                         failure: None,
                     };
                     (p, Some(compiled))
@@ -136,6 +177,7 @@ pub fn autotune_with_jobs(
                     let p = TunePoint {
                         options: cand.clone(),
                         seconds: None,
+                        predicted_seconds: predicted,
                         failure: Some(TuneFailure::Launch(e.to_string())),
                     };
                     (p, None)
@@ -158,6 +200,147 @@ pub fn autotune_with_jobs(
         crate::CompileError::ResourceExhausted("no autotune candidate compiled".into())
     })?;
     Ok(TuneResult { points, best, best_options })
+}
+
+/// Predicted probe-grid seconds for a compiled candidate (None if the
+/// model rejects the kernel — it never does for verified compiles).
+fn predict_seconds(compiled: &Compiled, arch: &GpuArch, grid: usize) -> Option<f64> {
+    crate::perfmodel::predict(&compiled.kernel, arch, grid).ok().map(|m| m.seconds())
+}
+
+/// Model-guided autotuning: compile and *predict* every candidate with
+/// the static performance model, then simulate only the `top_k`
+/// best-predicted ones; the winner is the best **simulated** time among
+/// those. Every point still records its `predicted_seconds`, so the
+/// pruning decision is auditable; pruned points carry neither seconds
+/// nor a failure.
+///
+/// With `top_k = `[`GUIDED_TOP_K`] over [`candidate_grid_extended`] this
+/// simulates ≤ 25% of the grid.
+pub fn autotune_guided(
+    dfg: &Dfg,
+    arch: &GpuArch,
+    candidates: &[CompileOptions],
+    probe_points: usize,
+    top_k: usize,
+    inputs_for: &(dyn Fn(&gpu_sim::isa::Kernel, usize) -> Vec<Vec<f64>> + Sync),
+) -> CResult<TuneResult> {
+    autotune_guided_with_jobs(
+        dfg,
+        arch,
+        candidates,
+        probe_points,
+        top_k,
+        inputs_for,
+        crate::pool::default_jobs(),
+    )
+}
+
+/// [`autotune_guided`] with an explicit worker count. Like
+/// [`autotune_with_jobs`], ranking and winner folds are in candidate
+/// input order, so results are identical at any worker count.
+#[allow(clippy::type_complexity)]
+pub fn autotune_guided_with_jobs(
+    dfg: &Dfg,
+    arch: &GpuArch,
+    candidates: &[CompileOptions],
+    probe_points: usize,
+    top_k: usize,
+    inputs_for: &(dyn Fn(&gpu_sim::isa::Kernel, usize) -> Vec<Vec<f64>> + Sync),
+    jobs: usize,
+) -> CResult<TuneResult> {
+    let n = candidates.len();
+    // Phase 1: compile everything, predict with the static model only.
+    let mut compiled: Vec<Result<(Compiled, Option<f64>), String>> =
+        run_ordered(jobs, n, |i| match compile_warp_specialized(dfg, &candidates[i], arch, None) {
+            Ok(c) => {
+                let ppc = c.kernel.points_per_cta;
+                let grid = probe_points.div_ceil(ppc) * ppc;
+                let predicted = predict_seconds(&c, arch, grid);
+                Ok((c, predicted))
+            }
+            Err(e) => Err(e.to_string()),
+        });
+
+    // Rank compiled candidates by predicted seconds (unpredictable ones
+    // last, ties to the lower candidate index) and keep the top K.
+    let mut ranked: Vec<usize> = (0..n).filter(|&i| compiled[i].is_ok()).collect();
+    ranked.sort_by(|&a, &b| {
+        let pa = compiled[a].as_ref().map(|(_, p)| *p).unwrap_or(None);
+        let pb = compiled[b].as_ref().map(|(_, p)| *p).unwrap_or(None);
+        match (pa, pb) {
+            (Some(x), Some(y)) => {
+                x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+            }
+            (Some(_), None) => std::cmp::Ordering::Less,
+            (None, Some(_)) => std::cmp::Ordering::Greater,
+            (None, None) => a.cmp(&b),
+        }
+    });
+    let chosen: Vec<usize> = ranked.into_iter().take(top_k).collect();
+
+    // Phase 2: simulate only the chosen candidates.
+    let sims: Vec<Result<f64, String>> = run_ordered(jobs, chosen.len(), |j| {
+        let (c, _) = compiled[chosen[j]].as_ref().expect("chosen candidates compiled");
+        let ppc = c.kernel.points_per_cta;
+        let grid = probe_points.div_ceil(ppc) * ppc;
+        let owned = inputs_for(&c.kernel, grid);
+        let arrays: Vec<&[f64]> = owned.iter().map(|v| v.as_slice()).collect();
+        match launch(&c.kernel, arch, &LaunchInputs { arrays }, grid, LaunchMode::TimingOnly) {
+            Ok(out) => Ok(out.report.seconds),
+            Err(e) => Err(e.to_string()),
+        }
+    });
+    let mut sim_of: Vec<Option<&Result<f64, String>>> = vec![None; n];
+    for (j, res) in sims.iter().enumerate() {
+        sim_of[chosen[j]] = Some(res);
+    }
+
+    let mut points = Vec::with_capacity(n);
+    let mut best: Option<(f64, usize)> = None;
+    for i in 0..n {
+        let point = match &compiled[i] {
+            Err(msg) => TunePoint {
+                options: candidates[i].clone(),
+                seconds: None,
+                predicted_seconds: None,
+                failure: Some(TuneFailure::Compile(msg.clone())),
+            },
+            Ok((_, predicted)) => match sim_of[i] {
+                Some(Ok(sec)) => {
+                    // Strict `<` keeps first-best-wins in input order.
+                    if best.is_none_or(|(b, _)| *sec < b) {
+                        best = Some((*sec, i));
+                    }
+                    TunePoint {
+                        options: candidates[i].clone(),
+                        seconds: Some(*sec),
+                        predicted_seconds: *predicted,
+                        failure: None,
+                    }
+                }
+                Some(Err(e)) => TunePoint {
+                    options: candidates[i].clone(),
+                    seconds: None,
+                    predicted_seconds: *predicted,
+                    failure: Some(TuneFailure::Launch(e.clone())),
+                },
+                None => TunePoint {
+                    options: candidates[i].clone(),
+                    seconds: None,
+                    predicted_seconds: *predicted,
+                    failure: None,
+                },
+            },
+        };
+        points.push(point);
+    }
+    let (_, bi) = best.ok_or_else(|| {
+        crate::CompileError::ResourceExhausted("no model-guided autotune candidate ran".into())
+    })?;
+    let (best, _) = std::mem::replace(&mut compiled[bi], Err(String::new()))
+        .expect("winner was compiled");
+    Ok(TuneResult { points, best, best_options: candidates[bi].clone() })
 }
 
 #[cfg(test)]
@@ -235,6 +418,117 @@ mod tests {
         assert!(r.points[0].failure.is_none());
         assert!(r.points[1].seconds.is_none());
         assert!(matches!(r.points[1].failure, Some(TuneFailure::Compile(_))));
+    }
+
+    #[test]
+    fn compile_and_launch_failures_are_distinct() {
+        let m = synth::via_text(&synth::SynthConfig {
+            name: "atcl".into(),
+            n_species: 6,
+            n_reactions: 8,
+            n_qssa: 0,
+            n_stiff: 0,
+            seed: 4,
+        });
+        let t = ViscosityTables::build(&m);
+        let d = viscosity_dfg(&t, 3);
+        let arch = GpuArch::kepler_k20c();
+        // Candidate 0: valid. Candidate 1: a one-slot buffered placement
+        // that cannot fit the kernel's simultaneously-live values ->
+        // Compile failure. Candidate 2: compiles, but the harness hands it
+        // truncated input arrays -> Launch failure.
+        let cands = vec![
+            CompileOptions::with_warps(3),
+            CompileOptions::builder().warps(3).placement(Placement::Buffer(1)).build(),
+            CompileOptions::with_warps(4),
+        ];
+        let r = autotune(&d, &arch, &cands, 256, &|k, pts| {
+            let g = GridState::random(GridDims { nx: pts, ny: 1, nz: 1 }, 6, 1);
+            let mut arrays: Vec<Vec<f64>> = launch_arrays(&k.global_arrays, &g)
+                .expect("known arrays")
+                .iter()
+                .map(|s| s.to_vec())
+                .collect();
+            if k.warps_per_cta == 4 {
+                // Sabotage only this candidate's probe inputs.
+                for a in &mut arrays {
+                    a.truncate(1);
+                }
+            }
+            arrays
+        })
+        .unwrap();
+
+        // The valid probe: a time, no failure.
+        assert!(r.points[0].seconds.is_some());
+        assert!(r.points[0].failure.is_none());
+        // The unfittable placement: Compile, never Launch.
+        assert!(r.points[1].seconds.is_none());
+        assert!(matches!(r.points[1].failure, Some(TuneFailure::Compile(_))));
+        // The sabotaged probe: Launch, never Compile.
+        assert!(r.points[2].seconds.is_none());
+        assert!(matches!(r.points[2].failure, Some(TuneFailure::Launch(_))));
+        // The two failure kinds render distinctly.
+        let c = r.points[1].failure.as_ref().unwrap().to_string();
+        let l = r.points[2].failure.as_ref().unwrap().to_string();
+        assert!(c.starts_with("did not compile:"), "{c}");
+        assert!(l.starts_with("compiled but failed to run:"), "{l}");
+        // And the winner is the valid probe, not a failed one.
+        assert_eq!(r.best_options.warps, 3);
+    }
+
+    #[test]
+    fn extended_grid_has_finer_streaming_axis() {
+        let g = candidate_grid_extended(Placement::Store);
+        assert_eq!(g.len(), 24);
+        // Guided search at the default K never simulates more than 25%.
+        assert!(GUIDED_TOP_K * 4 <= g.len());
+    }
+
+    #[test]
+    fn guided_simulates_top_k_only_and_matches_exhaustive() {
+        let m = synth::via_text(&synth::SynthConfig {
+            name: "atg".into(),
+            n_species: 6,
+            n_reactions: 8,
+            n_qssa: 0,
+            n_stiff: 0,
+            seed: 4,
+        });
+        let t = ViscosityTables::build(&m);
+        let d = viscosity_dfg(&t, 3);
+        let arch = GpuArch::kepler_k20c();
+        let cands: Vec<CompileOptions> =
+            [2usize, 3, 4, 6, 8, 12].iter().map(|&w| CompileOptions::with_warps(w)).collect();
+        let inputs = |k: &gpu_sim::isa::Kernel, pts: usize| {
+            let g = GridState::random(GridDims { nx: pts, ny: 1, nz: 1 }, 6, 1);
+            launch_arrays(&k.global_arrays, &g)
+                .expect("known arrays")
+                .iter()
+                .map(|s| s.to_vec())
+                .collect::<Vec<_>>()
+        };
+        let exhaustive = autotune(&d, &arch, &cands, 256, &inputs).unwrap();
+        let guided = autotune_guided(&d, &arch, &cands, 256, 3, &inputs).unwrap();
+        // Only K points carry simulated times; every *compiled* point
+        // carries a prediction (warps=2 cannot compile for this DFG).
+        assert_eq!(guided.points.iter().filter(|p| p.seconds.is_some()).count(), 3);
+        for p in &guided.points {
+            if !matches!(p.failure, Some(TuneFailure::Compile(_))) {
+                assert!(p.predicted_seconds.is_some(), "{:?}", p.options.warps);
+            }
+        }
+        // The guided winner's simulated time is within 2% of exhaustive.
+        let best_ex = exhaustive.points.iter().filter_map(|p| p.seconds).fold(f64::MAX, f64::min);
+        let best_gd = guided.points.iter().filter_map(|p| p.seconds).fold(f64::MAX, f64::min);
+        assert!(best_gd <= best_ex * 1.02, "guided {best_gd} vs exhaustive {best_ex}");
+        // And it is deterministic across worker counts.
+        let g1 = autotune_guided_with_jobs(&d, &arch, &cands, 256, 3, &inputs, 1).unwrap();
+        let g8 = autotune_guided_with_jobs(&d, &arch, &cands, 256, 3, &inputs, 8).unwrap();
+        assert_eq!(g1.best_options.warps, g8.best_options.warps);
+        let s1: Vec<Option<f64>> = g1.points.iter().map(|p| p.seconds).collect();
+        let s8: Vec<Option<f64>> = g8.points.iter().map(|p| p.seconds).collect();
+        assert_eq!(s1, s8);
     }
 
     #[test]

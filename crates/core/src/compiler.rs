@@ -112,6 +112,18 @@ impl Compiler {
         Ok((compiled, spans))
     }
 
+    /// Predict a compiled kernel's performance for a `grid_points`-point
+    /// launch on this compiler's architecture using the static analytical
+    /// model ([`crate::perfmodel`]) — no interpretation. The returned
+    /// report's `seconds()` is directly comparable to a simulated probe.
+    pub fn predict(
+        &self,
+        kernel: &gpu_sim::isa::Kernel,
+        grid_points: usize,
+    ) -> CResult<crate::perfmodel::ModelReport> {
+        crate::perfmodel::predict(kernel, &self.arch, grid_points)
+    }
+
     fn compile_inner(
         &self,
         dfg: &Dfg,

@@ -43,12 +43,14 @@ pub mod expr;
 pub mod kernels;
 pub mod mapping;
 pub mod naive;
+pub mod perfmodel;
 pub mod pool;
 pub mod sync;
 pub mod verify;
 
 pub use compiler::{Compiler, Variant};
 pub use config::{CompileOptions, CompileOptionsBuilder, Placement};
+pub use perfmodel::ModelReport;
 pub use verify::{VerifyFailure, VerifyLevel, VerifyReport, Violation, ViolationKind};
 pub use dfg::{Dfg, OpId, Operation};
 pub use expr::VarId;

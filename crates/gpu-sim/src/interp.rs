@@ -111,13 +111,13 @@ pub(crate) enum DecodedInstr {
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct OpCost {
     /// Issue slots (warp-instructions).
-    slots: u64,
+    pub(crate) slots: u64,
     /// DP FLOPs per warp (per-lane flops * WARP_SIZE).
-    flops_warp: u64,
+    pub(crate) flops_warp: u64,
     /// DP slots reading the constant cache (respects the §6.1 ablation).
-    const_slots: u64,
+    pub(crate) const_slots: u64,
     /// Issues on the double-precision pipe.
-    dp: bool,
+    pub(crate) dp: bool,
 }
 
 /// Pre-decode one instruction against the kernel's static limits,

@@ -35,6 +35,7 @@ pub mod icache;
 pub mod interp;
 pub mod isa;
 pub mod launch;
+pub mod model;
 pub mod occupancy;
 pub mod profile;
 pub mod timing;
@@ -47,6 +48,7 @@ pub use isa::{
     ArrayDecl, GAddr, GlobalId, IdxInstr, IdxOp, Instr, Kernel, Node, Op, PointRef, Reg, SAddr,
 };
 pub use launch::{launch, launch_with_config, LaunchConfig, LaunchInputs, LaunchMode, LaunchOutput};
+pub use model::{ModelProfile, WarpGroup};
 pub use occupancy::Occupancy;
 pub use profile::{chrome_trace_json, CtaProfile, Profiler, TraceEvent, WarpCycles};
 pub use timing::{SimReport, TimingBreakdown};

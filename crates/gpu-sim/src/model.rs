@@ -1,0 +1,591 @@
+//! Static analytical performance model.
+//!
+//! Predicts the per-warp cycle attribution of a compiled kernel from
+//! *static* features alone — the interpreter never runs. Because kernel
+//! streams carry no data-dependent control flow (warp branches and loop
+//! trip counts are resolved at flatten time), the flattened per-warp
+//! streams from [`crate::flatcache`] are exactly the instruction
+//! sequences a CTA would execute, and the named-barrier protocol over
+//! them can be replayed symbolically:
+//!
+//! 1. **Segment extraction** — each warp's stream is collapsed into
+//!    straight-line segments (aggregated issue slots, branch headers,
+//!    constant-line touches) separated by barrier operations.
+//! 2. **Constant-cache estimate** — the constant working set
+//!    (total bank bytes vs cache capacity) yields a total predicted miss
+//!    count, distributed deterministically across warps and segments by
+//!    largest-remainder apportionment (the one genuinely dynamic input,
+//!    replaced by a working-set model — §6.1's replay discussion).
+//! 3. **Barrier replay** — a cooperative round-robin over the segments
+//!    drives a real [`Profiler`], reproducing the producer/consumer
+//!    rate-matching of `bar.arrive`/`bar.sync` generations, so
+//!    barrier-wait attribution has *identical semantics* to the
+//!    interpreter-driven profile and inherits the closed-set sum
+//!    invariant by construction.
+//! 4. **Instruction-cache model** — the same
+//!    [`interleaved_fetch_profile`] the interpreter uses runs over the
+//!    precomputed static address streams, so the naïve-vs-overlaid
+//!    icache working-set difference (§5, Figure 9) is captured exactly.
+//!
+//! Alongside the cycle attribution the model produces a predicted
+//! [`EventCounts`]: issue/DP/FLOP/branch/barrier/local counts are exact
+//! (streams are static); shared-memory transactions, global coalescing,
+//! and constant hits/misses are estimates. Feeding these into
+//! [`crate::timing::estimate`] yields predicted seconds comparable to a
+//! simulated probe — the basis for model-guided autotuning.
+
+use crate::arch::GpuArch;
+use crate::counts::EventCounts;
+use crate::flatcache::flatten_cached;
+use crate::icache::interleaved_fetch_profile;
+use crate::interp::{FlatOp, FlatProgram};
+use crate::isa::{IdxOp, Instr, Kernel, SAddr};
+use crate::profile::{CtaProfile, Profiler, WarpCycles};
+
+/// A set of warps executing the same static instruction stream (same
+/// flattened fetch-address sequence) — the model's unit of reporting,
+/// matching the paper's producer/consumer warp groups.
+#[derive(Debug, Clone)]
+pub struct WarpGroup {
+    /// Warp ids in the group (stream order; groups are keyed by first
+    /// occurrence).
+    pub warps: Vec<usize>,
+    /// Cycle attribution summed over the group's warps.
+    pub cycles: WarpCycles,
+}
+
+/// The model's output: a predicted per-warp cycle attribution in the
+/// same shape the runtime profiler produces, plus predicted event
+/// counts and the per-warp-group rollup.
+#[derive(Debug, Clone)]
+pub struct ModelProfile {
+    /// Predicted per-warp attribution (same closed-set invariant as a
+    /// profiled run: every warp's reasons sum to `cta.total_cycles`).
+    pub cta: CtaProfile,
+    /// Predicted event counts (static-exact where possible, estimated
+    /// for the cache- and coalescing-dependent fields).
+    pub counts: EventCounts,
+    /// Per-warp-group attribution, grouped by identical static streams.
+    pub groups: Vec<WarpGroup>,
+}
+
+impl ModelProfile {
+    /// Index (into `groups`) of the predicted bottleneck group: the one
+    /// whose per-warp busy time (everything but idle) is largest —
+    /// ties broken toward the lower group index.
+    pub fn bottleneck_group(&self) -> usize {
+        let mut best = 0usize;
+        let mut best_busy = 0u64;
+        for (i, g) in self.groups.iter().enumerate() {
+            let per_warp = g.cycles.busy() / g.warps.len().max(1) as u64;
+            if per_warp > best_busy {
+                best_busy = per_warp;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// The barrier id predicted to accumulate the most wait cycles
+    /// (CTA-wide), with its total; `None` if no barrier ever waited.
+    pub fn hottest_barrier(&self) -> Option<(usize, u64)> {
+        let totals = self.cta.totals();
+        totals
+            .barrier_wait
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by_key(|&(b, v)| (v, std::cmp::Reverse(b)))
+            .filter(|&(_, v)| v > 0)
+    }
+}
+
+/// One straight-line run of a warp's stream, terminated by a barrier
+/// operation (or stream end, for the final segment).
+#[derive(Debug, Clone, Default)]
+struct Segment {
+    /// Aggregated issue slots of non-barrier instructions.
+    issue: u64,
+    /// Branch-header overhead cycles.
+    overhead: u64,
+    /// Number of `LdConst` (double) operations.
+    const_ops: u64,
+    /// Estimated constant-cache line touches across those ops.
+    const_lines: u64,
+    /// Predicted line misses (filled by the working-set distribution).
+    const_misses: u64,
+    /// Terminating barrier operation (`None` for the trailing segment).
+    bar: Option<BarOp>,
+}
+
+/// A barrier instruction at a segment boundary.
+#[derive(Debug, Clone, Copy)]
+struct BarOp {
+    bar: u8,
+    expected: u16,
+    /// `bar.sync` (blocking) vs `bar.arrive`.
+    sync: bool,
+}
+
+/// Named-barrier protocol state, mirroring the interpreter's.
+#[derive(Debug, Clone, Default)]
+struct BarState {
+    arrived: u16,
+    expected: Option<u16>,
+    generation: u64,
+}
+
+/// Register an arrival, mirroring the interpreter's `barrier_arrive`:
+/// returns `Ok(true)` when this arrival completed the generation.
+fn bar_arrive(bars: &mut [BarState], bar: u8, expected: u16) -> Result<bool, String> {
+    let b = bars
+        .get_mut(bar as usize)
+        .ok_or_else(|| format!("model: barrier id {bar} out of range"))?;
+    if let Some(e) = b.expected {
+        if e != expected {
+            return Err(format!(
+                "model: barrier {bar} expected-count mismatch: {e} vs {expected}"
+            ));
+        }
+    } else {
+        b.expected = Some(expected);
+    }
+    b.arrived += 1;
+    if b.arrived >= expected {
+        b.arrived = 0;
+        b.expected = None;
+        b.generation += 1;
+        Ok(true)
+    } else {
+        Ok(false)
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Shared-memory transaction estimate for a statically known address
+/// pattern `base + imm + lane_stride * lane` over 32 banks of 8-byte
+/// words (base assumed lane-uniform, as the codegen emits).
+fn shared_tx_estimate(addr: &SAddr, lane_pred: Option<u8>) -> (u64, u64) {
+    if lane_pred.is_some() {
+        return (1, 0);
+    }
+    let s = addr.lane_stride as u64;
+    let tx = if s == 0 { 1 } else { gcd(s, 32) };
+    (tx, tx - 1)
+}
+
+/// Estimated distinct constant-cache lines touched by one `LdConst`.
+/// An immediate index is a warp-wide broadcast (one line); a register
+/// index is assumed lane-striped over consecutive elements (32 doubles
+/// span four 64-byte lines), capped by the bank's own extent.
+fn const_lines_estimate(kernel: &Kernel, bank: u16, idx: &IdxOp) -> u64 {
+    match idx {
+        IdxOp::Imm(_) => 1,
+        IdxOp::Reg(_) => {
+            let bank_bytes =
+                kernel.const_banks.get(bank as usize).map(|b| b.len() * 8).unwrap_or(8);
+            (bank_bytes.div_ceil(64).max(1) as u64).min(4)
+        }
+    }
+}
+
+/// Apportion `total` across `weights` proportionally with deterministic
+/// largest-remainder rounding (ties to the lower index). Each share is
+/// capped at its weight; `total` is clamped to the weight sum so the
+/// result always sums to `min(total, sum(weights))`.
+fn distribute(total: u64, weights: &[u64]) -> Vec<u64> {
+    let wsum: u64 = weights.iter().sum();
+    let n = weights.len();
+    let mut out = vec![0u64; n];
+    if wsum == 0 || total == 0 {
+        return out;
+    }
+    let total = total.min(wsum);
+    for (i, &w) in weights.iter().enumerate() {
+        out[i] = total * w / wsum;
+    }
+    let mut rem = total - out.iter().sum::<u64>();
+    if rem > 0 {
+        let mut order: Vec<usize> = (0..n).filter(|&i| weights[i] > 0).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(total * weights[i] % wsum), i));
+        let mut j = 0usize;
+        while rem > 0 {
+            let i = order[j % order.len()];
+            if out[i] < weights[i] {
+                out[i] += 1;
+                rem -= 1;
+            }
+            j += 1;
+        }
+    }
+    out
+}
+
+/// Predict the per-warp cycle attribution and event counts of one CTA of
+/// `kernel` on `arch` without interpreting it. Errors only on protocol
+/// violations the interpreter would also reject (barrier expected-count
+/// mismatch, deadlock) — compiled-and-verified kernels never hit them.
+pub fn predict(kernel: &Kernel, arch: &GpuArch) -> Result<ModelProfile, String> {
+    let prog = flatten_cached(kernel);
+    predict_flat(kernel, &prog, arch)
+}
+
+/// [`predict`] over an already-flattened program (the model's static
+/// feature source; [`predict`] obtains it from the process-wide cache).
+pub fn predict_flat(
+    kernel: &Kernel,
+    prog: &FlatProgram,
+    arch: &GpuArch,
+) -> Result<ModelProfile, String> {
+    let nw = prog.streams.len();
+    let n_bars = kernel.barriers_used.max(16);
+    let mut counts = EventCounts::default();
+
+    // Pass 1: collapse each warp's stream into barrier-separated
+    // segments, accumulating the static-exact event counts as we go.
+    let mut segs: Vec<Vec<Segment>> = vec![Vec::new(); nw];
+    for (w, stream) in prog.streams.iter().enumerate() {
+        let mut cur = Segment::default();
+        for op in stream {
+            match *op {
+                FlatOp::Branch { .. } => {
+                    counts.issue_slots += 1;
+                    counts.warp_branches += 1;
+                    cur.overhead += 1;
+                }
+                FlatOp::Exec { instr, .. } => {
+                    let i = instr as usize;
+                    let cost = prog.costs[i];
+                    counts.issue_slots += cost.slots;
+                    if cost.dp {
+                        counts.dp_slots += cost.slots;
+                        counts.flops += cost.flops_warp;
+                        counts.dp_const_slots += cost.const_slots;
+                    }
+                    match &prog.instrs[i] {
+                        Instr::BarArrive { bar, warps } => {
+                            counts.barrier_arrives += 1;
+                            cur.bar = Some(BarOp { bar: *bar, expected: *warps, sync: false });
+                            segs[w].push(std::mem::take(&mut cur));
+                        }
+                        Instr::BarSync { bar, warps } => {
+                            counts.barrier_syncs += 1;
+                            cur.bar = Some(BarOp { bar: *bar, expected: *warps, sync: true });
+                            segs[w].push(std::mem::take(&mut cur));
+                        }
+                        Instr::LdConst { bank, idx, .. } => {
+                            cur.issue += cost.slots;
+                            cur.const_ops += 1;
+                            cur.const_lines += const_lines_estimate(kernel, *bank, idx);
+                        }
+                        Instr::LdShared { addr, .. } => {
+                            cur.issue += cost.slots;
+                            let (tx, conf) = shared_tx_estimate(addr, None);
+                            counts.shared_accesses += tx;
+                            counts.shared_conflicts += conf;
+                        }
+                        Instr::StShared { addr, lane_pred, .. } => {
+                            cur.issue += cost.slots;
+                            let (tx, conf) = shared_tx_estimate(addr, *lane_pred);
+                            counts.shared_accesses += tx;
+                            counts.shared_conflicts += conf;
+                        }
+                        Instr::LdGlobal { .. } | Instr::StGlobal { .. } => {
+                            cur.issue += cost.slots;
+                            // 32 consecutive doubles span two 128-byte
+                            // transactions (the codegen's point layout).
+                            counts.global_transactions += 2;
+                            counts.global_bytes += 256;
+                        }
+                        Instr::LdLocal { .. } | Instr::StLocal { .. } => {
+                            cur.issue += cost.slots;
+                            counts.local_bytes += (crate::WARP_SIZE * 8) as u64;
+                        }
+                        _ => cur.issue += cost.slots,
+                    }
+                }
+            }
+        }
+        if cur.issue + cur.overhead + cur.const_ops > 0 {
+            segs[w].push(cur);
+        }
+    }
+
+    // Pass 2: constant-cache working-set estimate. Total predicted
+    // misses = cold misses for the footprint, plus a thrash share of the
+    // remaining accesses once the footprint exceeds capacity; then
+    // apportioned warps -> segments by line-touch weight.
+    let accesses: u64 = segs.iter().flatten().map(|s| s.const_lines).sum();
+    let const_bytes: usize = kernel.const_banks.iter().map(|b| b.len() * 8).sum();
+    let footprint = (const_bytes as u64).div_ceil(64);
+    let capacity = (arch.const_cache_bytes as u64 / 64).max(1);
+    let miss_total = if accesses == 0 {
+        0
+    } else {
+        let cold = footprint.min(accesses);
+        if footprint <= capacity {
+            cold
+        } else {
+            (cold + (accesses - cold) * (footprint - capacity) / footprint).min(accesses)
+        }
+    };
+    let warp_weights: Vec<u64> = segs.iter().map(|s| s.iter().map(|g| g.const_lines).sum()).collect();
+    let warp_misses = distribute(miss_total, &warp_weights);
+    for (w, segments) in segs.iter_mut().enumerate() {
+        let weights: Vec<u64> = segments.iter().map(|g| g.const_lines).collect();
+        let shares = distribute(warp_misses[w], &weights);
+        for (g, m) in segments.iter_mut().zip(shares) {
+            g.const_misses = m;
+        }
+    }
+    counts.const_misses = miss_total;
+    counts.const_hits = accesses - miss_total;
+
+    // Pass 3: replay the barrier protocol over the segments, driving a
+    // real profiler so wait attribution is semantically identical to an
+    // interpreted run.
+    let mut p = Profiler::new(nw, n_bars, false, arch);
+    let mut bars: Vec<BarState> = vec![BarState::default(); n_bars];
+    let mut pos = vec![0usize; nw];
+    let mut done = vec![false; nw];
+    let mut blocked: Vec<Option<(u8, u64)>> = vec![None; nw];
+    loop {
+        let mut progressed = false;
+        let mut all_done = true;
+        for w in 0..nw {
+            if done[w] {
+                continue;
+            }
+            all_done = false;
+            if let Some((b, gen)) = blocked[w] {
+                if bars[b as usize].generation > gen {
+                    blocked[w] = None;
+                    p.on_release(w, b, gen);
+                } else {
+                    continue;
+                }
+            }
+            loop {
+                if pos[w] >= segs[w].len() {
+                    if !done[w] {
+                        p.on_warp_done(w);
+                    }
+                    done[w] = true;
+                    break;
+                }
+                let seg = segs[w][pos[w]].clone();
+                pos[w] += 1;
+                progressed = true;
+                if seg.issue > 0 {
+                    p.on_issue(w, seg.issue);
+                }
+                if seg.overhead > 0 {
+                    p.on_overhead(w, seg.overhead);
+                }
+                if seg.const_lines > seg.const_ops || seg.const_misses > 0 {
+                    // Replay cost is (lines - 1) + misses * latency per
+                    // op; aggregated over the segment that is
+                    // (const_lines - const_ops) + const_misses * latency.
+                    p.on_const_replay(w, seg.const_lines - seg.const_ops + 1, seg.const_misses);
+                }
+                let Some(bop) = seg.bar else { continue };
+                let gen = bars[bop.bar as usize].generation;
+                let released = bar_arrive(&mut bars, bop.bar, bop.expected)?;
+                p.on_barrier_op(w, bop.bar, bop.sync);
+                if released {
+                    p.on_barrier_complete(bop.bar, bars[bop.bar as usize].generation);
+                }
+                if bop.sync && !released {
+                    blocked[w] = Some((bop.bar, gen));
+                    counts.barrier_stall_switches += 1;
+                    p.on_block(w, bop.bar);
+                    break;
+                }
+            }
+        }
+        if all_done {
+            break;
+        }
+        if !progressed {
+            let stuck: Vec<usize> =
+                (0..nw).filter(|&w| !done[w]).collect();
+            if stuck.iter().all(|&w| blocked[w].is_none()) {
+                break;
+            }
+            return Err(format!("model: predicted deadlock, warps blocked: {stuck:?}"));
+        }
+    }
+
+    // Pass 4: instruction-cache model over the static address streams —
+    // the same computation the interpreter performs, so this term is
+    // exact (prefetch run length 128, as in `run_cta`).
+    let fp = interleaved_fetch_profile(
+        &prog.addr_streams,
+        arch.instr_bytes,
+        arch.icache_bytes,
+        arch.icache_line_bytes,
+        arch.icache_assoc,
+        128,
+    );
+    counts.icache_fetches = fp.fetches;
+    counts.icache_misses = fp.misses;
+    p.add_icache_misses(&fp.per_warp_misses);
+
+    let cta = p.finish();
+
+    // Warp groups: key by identical static fetch streams.
+    let mut reps: Vec<usize> = Vec::new();
+    let mut members: Vec<Vec<usize>> = Vec::new();
+    for w in 0..nw {
+        match reps.iter().position(|&r| prog.addr_streams[r] == prog.addr_streams[w]) {
+            Some(g) => members[g].push(w),
+            None => {
+                reps.push(w);
+                members.push(vec![w]);
+            }
+        }
+    }
+    let groups = members
+        .into_iter()
+        .map(|warps| {
+            let mut cycles = WarpCycles::default();
+            for &w in &warps {
+                cycles.accumulate(&cta.warps[w]);
+            }
+            WarpGroup { warps, cycles }
+        })
+        .collect();
+
+    Ok(ModelProfile { cta, counts, groups })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{ArrayDecl, Node, Op};
+
+    fn kernel_with(body: Vec<Node>, warps: usize) -> Kernel {
+        Kernel {
+            name: "model-test".into(),
+            body,
+            warps_per_cta: warps,
+            points_per_cta: 32,
+            dregs_per_thread: 8,
+            iregs_per_thread: 4,
+            shared_words: 128,
+            local_words_per_thread: 2,
+            const_banks: vec![vec![1.0; 16]],
+            iconst_banks: vec![],
+            barriers_used: 4,
+            global_arrays: vec![ArrayDecl { name: "out".into(), rows: 1, output: true }],
+            spilled_bytes_per_thread: 0,
+            exp_const_from_registers: false,
+        }
+    }
+
+    fn arch() -> GpuArch {
+        GpuArch::kepler_k20c()
+    }
+
+    #[test]
+    fn attribution_sums_to_total_for_every_warp() {
+        let body = vec![
+            Node::WarpIf {
+                mask: 0b01,
+                body: vec![
+                    Node::Op(Instr::DExp { dst: 0, a: Op::Imm(1.0) }),
+                    Node::Op(Instr::BarArrive { bar: 0, warps: 2 }),
+                ],
+            },
+            Node::WarpIf {
+                mask: 0b10,
+                body: vec![Node::Op(Instr::BarSync { bar: 0, warps: 2 })],
+            },
+        ];
+        let k = kernel_with(body, 2);
+        let m = predict(&k, &arch()).unwrap();
+        m.cta.check_attribution().unwrap();
+        assert_eq!(m.cta.warps.len(), 2);
+    }
+
+    #[test]
+    fn consumer_waits_on_slow_producer() {
+        // Warp 0 syncs immediately and blocks (it is scheduled first);
+        // warp 1 does heavy work then arrives — warp 0 is charged the
+        // wait, exactly as the interpreter-driven profiler would.
+        let body = vec![
+            Node::WarpIf {
+                mask: 0b01,
+                body: vec![Node::Op(Instr::BarSync { bar: 1, warps: 2 })],
+            },
+            Node::WarpIf {
+                mask: 0b10,
+                body: vec![
+                    Node::Loop {
+                        count: 10,
+                        body: vec![Node::Op(Instr::DExp { dst: 0, a: Op::Imm(1.0) })],
+                    },
+                    Node::Op(Instr::BarArrive { bar: 1, warps: 2 }),
+                ],
+            },
+        ];
+        let k = kernel_with(body, 2);
+        let m = predict(&k, &arch()).unwrap();
+        assert!(m.cta.warps[0].barrier_wait[1] > 0, "consumer should wait: {:?}", m.cta.warps);
+        assert_eq!(m.cta.warps[1].barrier_wait_total(), 0);
+        assert_eq!(m.hottest_barrier().unwrap().0, 1);
+        m.cta.check_attribution().unwrap();
+    }
+
+    #[test]
+    fn predictions_are_deterministic() {
+        let body = vec![
+            Node::Op(Instr::DAdd { dst: 0, a: Op::Imm(1.0), b: Op::Imm(2.0) }),
+            Node::Op(Instr::BarSync { bar: 0, warps: 3 }),
+            Node::Op(Instr::DMul { dst: 0, a: Op::Reg(0), b: Op::Imm(2.0) }),
+        ];
+        let k = kernel_with(body, 3);
+        let a = predict(&k, &arch()).unwrap();
+        let b = predict(&k, &arch()).unwrap();
+        assert_eq!(a.cta, b.cta);
+        assert_eq!(a.counts, b.counts);
+    }
+
+    #[test]
+    fn groups_split_by_stream_identity() {
+        let body = vec![
+            Node::WarpSwitch {
+                case_of_warp: vec![0, 0, 1],
+                cases: vec![
+                    vec![Node::Op(Instr::DAdd { dst: 0, a: Op::Imm(1.0), b: Op::Imm(2.0) })],
+                    vec![Node::Op(Instr::DExp { dst: 0, a: Op::Imm(1.0) })],
+                ],
+            },
+        ];
+        let k = kernel_with(body, 3);
+        let m = predict(&k, &arch()).unwrap();
+        assert_eq!(m.groups.len(), 2);
+        assert_eq!(m.groups[0].warps, vec![0, 1]);
+        assert_eq!(m.groups[1].warps, vec![2]);
+    }
+
+    #[test]
+    fn distribute_is_exact_and_capped() {
+        let shares = distribute(7, &[3, 0, 5, 2]);
+        assert_eq!(shares.iter().sum::<u64>(), 7);
+        assert_eq!(shares[1], 0);
+        for (s, w) in shares.iter().zip([3u64, 0, 5, 2]) {
+            assert!(*s <= w);
+        }
+        // Over-asking clamps to the weight sum.
+        let all = distribute(100, &[2, 3]);
+        assert_eq!(all, vec![2, 3]);
+    }
+}

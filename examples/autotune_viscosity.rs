@@ -1,6 +1,8 @@
-//! Drive the brute-force autotuner (paper §4) over the viscosity kernel:
-//! warp counts and streaming depths are explored exhaustively and scored
-//! with the simulator's timing model.
+//! Drive the autotuner (paper §4) over the viscosity kernel in both
+//! modes: the brute-force exhaustive sweep scores every candidate with
+//! the simulator's timing model, and the model-guided mode ranks every
+//! candidate with the static analytical performance model first and only
+//! simulates the top-K predictions.
 //!
 //! Run with: `cargo run --release --example autotune_viscosity`
 
@@ -8,7 +10,7 @@ use chemkin::reference::tables::ViscosityTables;
 use chemkin::state::{GridDims, GridState};
 use chemkin::synth;
 use gpu_sim::arch::GpuArch;
-use singe::autotune::{autotune, candidate_grid};
+use singe::autotune::{autotune, autotune_guided, candidate_grid_extended, GUIDED_TOP_K};
 use singe::config::Placement;
 use singe::kernels::launch_arrays;
 use singe::kernels::viscosity::viscosity_dfg;
@@ -25,11 +27,13 @@ fn main() {
     // The paper: "the search space for Singe was never more than a few
     // hundred points because warp-specialized decisions dealt with very
     // coarse-grained properties such as the number of target warps."
-    let candidates = candidate_grid(Placement::Store);
+    let candidates = candidate_grid_extended(Placement::Store);
     println!("{} candidate configurations", candidates.len());
 
     // One DFG per warp count (the partitioning is warp-count-dependent —
-    // the §4 stage-1 input includes the target warp count).
+    // the §4 stage-1 input includes the target warp count). Each
+    // candidate is both simulated and predicted by the static model, so
+    // the table doubles as a model-accuracy readout.
     let n = t.n;
     let mut results = Vec::new();
     let mut failures = Vec::new();
@@ -41,7 +45,7 @@ fn main() {
         });
         match r {
             Ok(r) => match (r.points[0].seconds, &r.points[0].failure) {
-                (Some(sec), _) => results.push((cand.clone(), sec)),
+                (Some(sec), _) => results.push((cand.clone(), sec, r.points[0].predicted_seconds)),
                 (None, Some(why)) => failures.push((cand.clone(), why.to_string())),
                 (None, None) => failures.push((cand.clone(), "unknown failure".into())),
             },
@@ -50,9 +54,21 @@ fn main() {
     }
     results.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
 
-    println!("\n{:>6} {:>6} {:>14}", "warps", "iters", "sim us / 4096pt");
-    for (opts, sec) in results.iter().take(8) {
-        println!("{:>6} {:>6} {:>14.1}", opts.warps, opts.point_iters, sec * 1e6);
+    println!(
+        "\n{:>6} {:>6} {:>16} {:>16}",
+        "warps", "iters", "sim us / 4096pt", "model us"
+    );
+    for (opts, sec, pred) in results.iter().take(8) {
+        match pred {
+            Some(p) => println!(
+                "{:>6} {:>6} {:>16.1} {:>16.1}",
+                opts.warps,
+                opts.point_iters,
+                sec * 1e6,
+                p * 1e6
+            ),
+            None => println!("{:>6} {:>6} {:>16.1} {:>16}", opts.warps, opts.point_iters, sec * 1e6, "-"),
+        }
     }
     if !failures.is_empty() {
         println!("\n{} candidate(s) failed:", failures.len());
@@ -61,7 +77,24 @@ fn main() {
         }
     }
     let best = &results[0].0;
-    println!("\nbest: {} warps, {} point iterations", best.warps, best.point_iters);
+    println!("\nexhaustive best: {} warps, {} point iterations", best.warps, best.point_iters);
+
+    // Model-guided mode over a single fixed DFG parameterization: rank
+    // all candidates with the static model, simulate only the top-K.
+    let dfg = viscosity_dfg(&t, 2);
+    let guided = autotune_guided(&dfg, &arch, &candidates, 4096, GUIDED_TOP_K, &|k, pts| {
+        let g = GridState::random(GridDims { nx: pts, ny: 1, nz: 1 }, n, 7);
+        launch_arrays(&k.global_arrays, &g).expect("known arrays").iter().map(|s| s.to_vec()).collect()
+    })
+    .expect("guided autotune runs");
+    let simulated = guided.points.iter().filter(|p| p.seconds.is_some()).count();
+    println!(
+        "\nmodel-guided (top-{GUIDED_TOP_K}): simulated {simulated}/{} candidates, \
+         best {} warps, {} point iterations",
+        candidates.len(),
+        guided.best_options.warps,
+        guided.best_options.point_iters
+    );
     println!(
         "(the Figure 9 peak structure favors warp counts dividing the {} species — \
          larger counts can still win by raising occupancy)",
