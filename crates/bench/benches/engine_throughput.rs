@@ -1,0 +1,67 @@
+//! Criterion bench: segment-compiled engine vs legacy interpreter on one
+//! warp-specialized DME viscosity CTA, on both modeled architectures.
+//!
+//! Two metrics per configuration:
+//! * `*_instrs` — warp-instructions per second (`Throughput::Elements` of
+//!   the summed flattened stream lengths), comparable to
+//!   `interp_throughput`;
+//! * `*_points` — grid points per CTA execution (Mpts/s in the report),
+//!   the paper's headline throughput metric.
+//!
+//! `run_cta` is the engine fast path (pre-lowered superblocks over SoA
+//! lane vectors, bulk event accounting); `run_cta_profiled` with no
+//! profiler is the legacy per-instruction interpreter kept as the
+//! differential-testing reference. The two must produce bit-identical
+//! outputs and EventCounts — this bench measures how much the lowering
+//! buys.
+use chemkin::state::{GridDims, GridState};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gpu_sim::arch::GpuArch;
+use gpu_sim::flatten_cached;
+use gpu_sim::interp::{run_cta, run_cta_profiled};
+use singe::kernels::launch_arrays;
+use singe_bench::{build, Kind, Variant};
+
+fn bench(c: &mut Criterion) {
+    let mech = chemkin::synth::dme();
+    for arch in [GpuArch::fermi_c2070(), GpuArch::kepler_k20c()] {
+        let label = arch.name.split_whitespace().last().unwrap_or(arch.name);
+        let built = build(Kind::Viscosity, &mech, &arch, Variant::WarpSpecialized);
+        let prog = flatten_cached(&built.kernel);
+        let points = built.kernel.points_per_cta;
+        let grid =
+            GridState::random(GridDims { nx: points, ny: 1, nz: 1 }, built.n_species, 1234);
+        let arrays = launch_arrays(&built.kernel.global_arrays, &grid).expect("known arrays");
+
+        let warp_instrs: u64 = (0..prog.n_warps()).map(|w| prog.stream_len(w) as u64).sum();
+
+        for (metric, elements) in
+            [("instrs", warp_instrs), ("points", points as u64)]
+        {
+            let mut g = c.benchmark_group(format!("engine_throughput/{label}/{metric}"));
+            g.sample_size(10);
+            g.throughput(Throughput::Elements(elements));
+            g.bench_function("engine", |b| {
+                b.iter(|| {
+                    run_cta(&built.kernel, &prog, &arrays, points, 0, false, &arch)
+                        .expect("engine CTA")
+                        .out_buffers
+                        .len()
+                })
+            });
+            g.bench_function("legacy_interp", |b| {
+                b.iter(|| {
+                    run_cta_profiled(
+                        &built.kernel, &prog, &arrays, points, 0, false, &arch, None,
+                    )
+                    .expect("interp CTA")
+                    .out_buffers
+                    .len()
+                })
+            });
+            g.finish();
+        }
+    }
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

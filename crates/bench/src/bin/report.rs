@@ -114,7 +114,7 @@ fn main() {
         figs.push(("mechanisms", Box::new(|| figure3(&[&dme, &heptane]))));
     }
     if selected("fig9") {
-        figs.push(("fig9", Box::new(|| fig9(&dme, &archs[1]))));
+        figs.push(("fig9", Box::new(|| fig9(&dme, &archs[1], jobs))));
     }
     if selected("fig10") {
         figs.push(("fig10", Box::new(|| fig10(&[&dme, &heptane], &archs[1]))));
@@ -129,7 +129,7 @@ fn main() {
     ] {
         if selected(fig) {
             let archs = &archs;
-            figs.push((fig, Box::new(move || throughput_figure(fig, kind, mech, archs))));
+            figs.push((fig, Box::new(move || throughput_figure(fig, kind, mech, archs, jobs))));
         }
     }
     if selected("gflops") {
@@ -142,7 +142,7 @@ fn main() {
         figs.push(("spills", Box::new(|| spills(&heptane, &archs))));
     }
     if selected("verify") {
-        figs.push(("verify", Box::new(|| verify_all(&[&dme, &heptane], &archs))));
+        figs.push(("verify", Box::new(|| verify_all(&[&dme, &heptane], &archs, jobs))));
     }
 
     let t_all = Instant::now();
@@ -182,7 +182,8 @@ fn main() {
     // outputs are compared byte-for-byte (the determinism test).
     if which == "all" && std::env::var("SINGE_BENCH_JSON").as_deref() != Ok("0") {
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_report.json");
-        let bench = bench_report_json(jobs, total_seconds, &timings);
+        let prior = std::fs::read_to_string(path).ok();
+        let bench = bench_report_json(jobs, total_seconds, &timings, prior.as_deref());
         match std::fs::write(path, bench) {
             Ok(()) => eprintln!("[wrote {path}]"),
             Err(e) => eprintln!("[could not write {path}: {e}]"),
@@ -196,18 +197,58 @@ fn main() {
 }
 
 /// Render `BENCH_report.json`: current wall-clock vs the recorded pre-PR
-/// sequential baseline.
-fn bench_report_json(jobs: usize, total_seconds: f64, timings: &[(&'static str, f64, usize)]) -> String {
+/// sequential baseline, plus a `runs` history keyed by worker count.
+///
+/// Each `runs` entry is one line of JSON. `prior` is the previous file's
+/// contents (if any): its entries for *other* job counts are kept, so one
+/// `report all --jobs 1` followed by `--jobs 8` leaves both timings on
+/// record (the CI smoke job regresses against the slowest committed run).
+fn bench_report_json(
+    jobs: usize,
+    total_seconds: f64,
+    timings: &[(&'static str, f64, usize)],
+    prior: Option<&str>,
+) -> String {
     let baseline = std::env::var("SINGE_BASELINE_SECONDS")
         .ok()
         .and_then(|v| v.trim().parse::<f64>().ok())
         .filter(|v| v.is_finite() && *v > 0.0)
         .unwrap_or(PRE_PR_SEQUENTIAL_SECONDS);
+    // Carry forward prior runs with a different `jobs` value (line-based:
+    // every runs entry this function ever wrote is a single line starting
+    // with `{"jobs": N,`).
+    let mut runs: Vec<(usize, String)> = Vec::new();
+    for line in prior.unwrap_or("").lines() {
+        let entry = line.trim().trim_end_matches(',');
+        if let Some(rest) = entry.strip_prefix("{\"jobs\": ") {
+            if let Some(j) = rest.split(',').next().and_then(|v| v.parse::<usize>().ok()) {
+                if j != jobs && entry.ends_with('}') {
+                    runs.push((j, entry.to_string()));
+                }
+            }
+        }
+    }
+    runs.push((
+        jobs,
+        format!(
+            "{{\"jobs\": {jobs}, \"total_seconds\": {total_seconds:.3}, \
+             \"speedup_vs_pre_pr\": {:.2}}}",
+            baseline / total_seconds
+        ),
+    ));
+    runs.sort_by_key(|(j, _)| *j);
+
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"jobs\": {jobs},");
     let _ = writeln!(out, "  \"total_seconds\": {total_seconds:.3},");
     let _ = writeln!(out, "  \"pre_pr_sequential_seconds\": {baseline:.3},");
     let _ = writeln!(out, "  \"speedup_vs_pre_pr\": {:.2},", baseline / total_seconds);
+    out.push_str("  \"runs\": [\n");
+    for (i, (_, entry)) in runs.iter().enumerate() {
+        let _ = write!(out, "    {entry}");
+        out.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
     out.push_str("  \"figures\": [\n");
     for (i, (name, seconds, n_rows)) in timings.iter().enumerate() {
         let _ = write!(
@@ -221,6 +262,11 @@ fn bench_report_json(jobs: usize, total_seconds: f64, timings: &[(&'static str, 
 }
 
 /// Figure 3: mechanism characteristics table.
+///
+/// Zero JSON rows is correct here: this table describes the *input*
+/// mechanisms (reaction/species counts of the benchmark suite), not a
+/// measurement, and `target/report.json` carries measured figure points
+/// only. The table itself lives on stdout.
 fn figure3(mechs: &[&Mechanism]) -> FigOutput {
     let mut t = String::new();
     let _ = writeln!(t, "== Figure 3: chemical mechanisms ==");
@@ -238,14 +284,18 @@ fn figure3(mechs: &[&Mechanism]) -> FigOutput {
 }
 
 /// Figure 9: naïve vs overlaid codegen over warps/CTA (DME viscosity,
-/// Kepler, 64^3).
-fn fig9(dme: &Mechanism, arch: &GpuArch) -> FigOutput {
+/// Kepler, 64^3). The eight warp-count configurations are independent
+/// compile+simulate pipelines, so they run on the pool; rendering commits
+/// in warp-count order, keeping stdout byte-identical at any `jobs`.
+fn fig9(dme: &Mechanism, arch: &GpuArch, jobs: usize) -> FigOutput {
     let mut t = String::new();
     let mut rows = Vec::new();
     let _ = writeln!(t, "== Figure 9: warp-specialized code generation (DME viscosity, {}) ==", arch.name);
     let _ = writeln!(t, "{:>6} {:>18} {:>18} {:>8}", "warps", "naive Mpts/s", "singe Mpts/s", "ratio");
     let grid = 64 * 64 * 64;
-    for warps in [2usize, 4, 6, 8, 10, 12, 14, 16] {
+    const WARPS: [usize; 8] = [2, 4, 6, 8, 10, 12, 14, 16];
+    let reports = singe::pool::run_ordered(jobs, WARPS.len(), |i| {
+        let warps = WARPS[i];
         let opts = CompileOptions::builder()
             .warps(warps)
             .point_iters(4)
@@ -254,9 +304,15 @@ fn fig9(dme: &Mechanism, arch: &GpuArch) -> FigOutput {
         let naive = build_with_options(Kind::Viscosity, dme, arch, Variant::Naive, &opts);
         let singe_v =
             build_with_options(Kind::Viscosity, dme, arch, Variant::WarpSpecialized, &opts);
-        let (n_r, s_r) = match (naive, singe_v) {
-            (Ok(n), Ok(s)) => (timing_report(&n, arch, grid), timing_report(&s, arch, grid)),
-            _ => {
+        match (naive, singe_v) {
+            (Ok(n), Ok(s)) => Some((timing_report(&n, arch, grid), timing_report(&s, arch, grid))),
+            _ => None,
+        }
+    });
+    for (warps, rep) in WARPS.iter().zip(reports) {
+        let (n_r, s_r) = match rep {
+            Some(pair) => pair,
+            None => {
                 let _ = writeln!(t, "{warps:>6}  (configuration did not compile)");
                 continue;
             }
@@ -269,8 +325,8 @@ fn fig9(dme: &Mechanism, arch: &GpuArch) -> FigOutput {
             s_r.points_per_sec / 1e6,
             s_r.points_per_sec / n_r.points_per_sec
         );
-        rows.push(row("fig9", Kind::Viscosity, "dme", arch, Variant::Naive, warps, &n_r));
-        rows.push(row("fig9", Kind::Viscosity, "dme", arch, Variant::WarpSpecialized, warps, &s_r));
+        rows.push(row("fig9", Kind::Viscosity, "dme", arch, Variant::Naive, *warps, &n_r));
+        rows.push(row("fig9", Kind::Viscosity, "dme", arch, Variant::WarpSpecialized, *warps, &s_r));
     }
     let _ = writeln!(t);
     FigOutput { text: t, rows, failures: 0 }
@@ -279,26 +335,57 @@ fn fig9(dme: &Mechanism, arch: &GpuArch) -> FigOutput {
 /// Figure 10: constant registers per thread on Kepler.
 fn fig10(mechs: &[&Mechanism], arch: &GpuArch) -> FigOutput {
     let mut t = String::new();
+    let mut rows = Vec::new();
     let _ = writeln!(t, "== Figure 10: constant registers per thread ({}) ==", arch.name);
     let _ = writeln!(t, "{:<10} {:>10} {:>10} {:>10}", "Mechanism", "Viscosity", "Diffusion", "Chemistry");
     for m in mechs {
         let mut cells = Vec::new();
         for kind in [Kind::Viscosity, Kind::Diffusion, Kind::Chemistry] {
             let b = build(kind, m, arch, Variant::WarpSpecialized);
-            cells.push(b.stats.as_ref().map(|s| s.const_regs_per_thread).unwrap_or(0));
+            let regs = b.stats.as_ref().map(|s| s.const_regs_per_thread).unwrap_or(0);
+            cells.push(regs);
+            // Figure 10 measures a compile-time quantity, so the Row's
+            // timing fields are vacuous; `x` carries the figure's value
+            // (constant registers per thread).
+            rows.push(Row {
+                figure: "fig10".into(),
+                kernel: kind.name().into(),
+                mechanism: m.name.clone(),
+                arch: arch.name.into(),
+                variant: Variant::WarpSpecialized.name().into(),
+                x: regs,
+                points_per_sec: 0.0,
+                gflops: 0.0,
+                bandwidth_gbs: 0.0,
+                spilled_bytes: 0,
+                limiter: "n/a (compile-time stat)".into(),
+                seconds: 0.0,
+            });
         }
         let _ = writeln!(t, "{:<10} {:>10} {:>10} {:>10}", m.name, cells[0], cells[1], cells[2]);
     }
     let _ = writeln!(t);
-    FigOutput { text: t, rows: Vec::new(), failures: 0 }
+    FigOutput { text: t, rows, failures: 0 }
 }
 
 /// Figures 11-16: baseline vs warp-specialized throughput on both
 /// architectures across the three grid sizes.
-fn throughput_figure(fig: &str, kind: Kind, mech: &Mechanism, archs: &[GpuArch]) -> FigOutput {
+fn throughput_figure(
+    fig: &str,
+    kind: Kind,
+    mech: &Mechanism,
+    archs: &[GpuArch],
+    jobs: usize,
+) -> FigOutput {
     let mut t = String::new();
     let mut rows = Vec::new();
     let _ = writeln!(t, "== {}: {} performance, {} mechanism ==", fig, kind.name(), mech.name);
+    // The arch×variant compilations dominate this figure; run them on the
+    // pool up front (they land in the build memo), then render serially.
+    singe::pool::run_ordered(jobs, archs.len() * 2, |i| {
+        let variant = if i % 2 == 0 { Variant::Baseline } else { Variant::WarpSpecialized };
+        build(kind, mech, &archs[i / 2], variant)
+    });
     for arch in archs {
         let base = build(kind, mech, arch, Variant::Baseline);
         let ws = build(kind, mech, arch, Variant::WarpSpecialized);
@@ -406,53 +493,71 @@ fn ablate_barriers(dme: &Mechanism, archs: &[GpuArch]) -> FigOutput {
 
 /// Independent schedule verification of every kernel the harness can
 /// build, plus the §6.2 ablation rejection check.
-fn verify_all(mechs: &[&Mechanism], archs: &[GpuArch]) -> FigOutput {
+///
+/// Zero JSON rows is correct here: verification is a pass/fail gate over
+/// compile-time schedules, not a figure measurement; its signal is the
+/// per-combination stdout lines and the process exit code (via
+/// `failures`), and `target/report.json` carries measured points only.
+///
+/// The mechanism×arch×kernel×variant combinations are independent
+/// compile+verify pipelines, so they run on the pool; their text chunks
+/// are committed in combination order, keeping stdout deterministic.
+fn verify_all(mechs: &[&Mechanism], archs: &[GpuArch], jobs: usize) -> FigOutput {
     let mut t = String::new();
     let _ = writeln!(t, "== Schedule verification (kernel x mechanism x arch x compiler) ==");
     let mut failures = 0usize;
+    let mut combos = Vec::new();
     for mech in mechs {
         for arch in archs {
             for kind in [Kind::Viscosity, Kind::Diffusion, Kind::Chemistry] {
                 for variant in [Variant::Baseline, Variant::WarpSpecialized, Variant::Naive] {
-                    let opts = ws_options(kind, mech.n_transported(), arch);
-                    let label = format!(
-                        "{:<10} {:<10} {:<12} {:<16}",
-                        mech.name,
-                        kind.name(),
-                        arch.name.split_whitespace().last().unwrap_or(arch.name),
-                        variant.name()
-                    );
-                    let built = match build_with_options(kind, mech, arch, variant, &opts) {
-                        Ok(b) => b,
-                        Err(singe::CompileError::ResourceExhausted(m)) => {
-                            let _ = writeln!(t, "{label} skipped (does not fit: {m})");
-                            continue;
-                        }
-                        Err(e) => {
-                            let _ = writeln!(t, "{label} FAILED to compile: {e}");
-                            failures += 1;
-                            continue;
-                        }
-                    };
-                    match singe::verify::verify_kernel(&built.kernel, arch) {
-                        Ok(r) => {
-                            let _ = writeln!(
-                                t,
-                                "{label} ok ({} barrier ops, {} generations, {} shared accesses)",
-                                r.barrier_ops, r.generations, r.shared_accesses
-                            );
-                        }
-                        Err(violations) => {
-                            let _ = writeln!(t, "{label} VIOLATIONS:");
-                            for v in &violations {
-                                let _ = writeln!(t, "    {v}");
-                            }
-                            failures += 1;
-                        }
-                    }
+                    combos.push((*mech, arch, kind, variant));
                 }
             }
         }
+    }
+    let chunks: Vec<(String, usize)> = singe::pool::run_ordered(jobs, combos.len(), |i| {
+        let (mech, arch, kind, variant) = combos[i];
+        let mut c = String::new();
+        let mut fails = 0usize;
+        let opts = ws_options(kind, mech.n_transported(), arch);
+        let label = format!(
+            "{:<10} {:<10} {:<12} {:<16}",
+            mech.name,
+            kind.name(),
+            arch.name.split_whitespace().last().unwrap_or(arch.name),
+            variant.name()
+        );
+        match build_with_options(kind, mech, arch, variant, &opts) {
+            Ok(built) => match singe::verify::verify_kernel(&built.kernel, arch) {
+                Ok(r) => {
+                    let _ = writeln!(
+                        c,
+                        "{label} ok ({} barrier ops, {} generations, {} shared accesses)",
+                        r.barrier_ops, r.generations, r.shared_accesses
+                    );
+                }
+                Err(violations) => {
+                    let _ = writeln!(c, "{label} VIOLATIONS:");
+                    for v in &violations {
+                        let _ = writeln!(c, "    {v}");
+                    }
+                    fails += 1;
+                }
+            },
+            Err(singe::CompileError::ResourceExhausted(m)) => {
+                let _ = writeln!(c, "{label} skipped (does not fit: {m})");
+            }
+            Err(e) => {
+                let _ = writeln!(c, "{label} FAILED to compile: {e}");
+                fails += 1;
+            }
+        }
+        (c, fails)
+    });
+    for (chunk, fails) in chunks {
+        t.push_str(&chunk);
+        failures += fails;
     }
     // The §6.2 unsafe barrier-removal ablation must be flagged under
     // VerifyLevel::Strict (Basic deliberately waives it for the timing
@@ -648,6 +753,7 @@ fn model_report(dme: &Mechanism, archs: &[GpuArch]) -> bool {
 /// §6.3: chemistry spill and bandwidth analysis (heptane).
 fn spills(heptane: &Mechanism, archs: &[GpuArch]) -> FigOutput {
     let mut t = String::new();
+    let mut rows = Vec::new();
     let _ = writeln!(t, "== Section 6.3: heptane chemistry working-set analysis ==");
     let _ = writeln!(t, "(paper: baseline spills 8736/8500 B per thread; ws spills 276/44 B;");
     let _ = writeln!(t, " baseline is local-bandwidth bound at 85/100 GB/s, ws shared-latency bound)");
@@ -667,7 +773,9 @@ fn spills(heptane: &Mechanism, archs: &[GpuArch]) -> FigOutput {
             rw.spilled_bytes_per_thread,
             rw.limiter
         );
+        rows.push(row("s6.3", Kind::Chemistry, &heptane.name, arch, Variant::Baseline, 64, &rb));
+        rows.push(row("s6.3", Kind::Chemistry, &heptane.name, arch, Variant::WarpSpecialized, 64, &rw));
     }
     let _ = writeln!(t);
-    FigOutput { text: t, rows: Vec::new(), failures: 0 }
+    FigOutput { text: t, rows, failures: 0 }
 }

@@ -71,7 +71,12 @@ fn next_probe_key() -> u64 {
 /// these; the clear-on-full policy only guards pathological callers.
 const MAX_CACHE_ENTRIES: usize = 256;
 
-type BuildCache = Mutex<HashMap<u64, Result<Arc<Built>, singe::CompileError>>>;
+/// Each entry is a once-cell slot: concurrent callers asking for the same
+/// key all wait on one compilation instead of racing to compile the same
+/// kernel N times (the parallel `report` sweeps hit every figure's shared
+/// builds from many workers at once).
+type BuildSlot = Arc<OnceLock<Result<Arc<Built>, singe::CompileError>>>;
+type BuildCache = Mutex<HashMap<u64, BuildSlot>>;
 
 fn build_cache() -> &'static BuildCache {
     static CACHE: OnceLock<BuildCache> = OnceLock::new();
@@ -111,17 +116,18 @@ fn build_cached(
     key: u64,
     compile: impl FnOnce() -> Result<Built, singe::CompileError>,
 ) -> Result<Arc<Built>, singe::CompileError> {
-    if let Some(hit) = build_cache().lock().unwrap().get(&key) {
-        return hit.clone();
-    }
-    // Compile outside the lock: compilation is the expensive part and may
-    // itself launch the verifier.
-    let result = compile().map(Arc::new);
-    let mut cache = build_cache().lock().unwrap();
-    if cache.len() >= MAX_CACHE_ENTRIES {
-        cache.clear();
-    }
-    cache.entry(key).or_insert(result).clone()
+    // Claim (or join) the slot for this key under the lock, then compile
+    // outside it: compilation is the expensive part and may itself launch
+    // the verifier. `OnceLock::get_or_init` blocks late arrivals until the
+    // first caller's compile finishes, so each key compiles exactly once.
+    let slot = {
+        let mut cache = build_cache().lock().unwrap();
+        if cache.len() >= MAX_CACHE_ENTRIES && !cache.contains_key(&key) {
+            cache.clear();
+        }
+        cache.entry(key).or_default().clone()
+    };
+    slot.get_or_init(|| compile().map(Arc::new)).clone()
 }
 
 /// Pick a warp count for the warp-specialized viscosity kernel: prefer a
@@ -278,7 +284,7 @@ pub fn profile_built(built: &Built, arch: &GpuArch, trace_events: bool) -> CtaPr
         arch,
         &LaunchInputs { arrays },
         probe,
-        LaunchConfig { mode: LaunchMode::Full, profile: true, trace_events },
+        LaunchConfig { mode: LaunchMode::Full, profile: true, trace_events, jobs: 0 },
     )
     .expect("profiled probe launch");
     out.profile.expect("profiler enabled")
@@ -557,7 +563,9 @@ pub struct Row {
     pub arch: String,
     /// Compiler variant.
     pub variant: String,
-    /// Grid edge (points = edge^3) or warp count for Figure 9.
+    /// Grid edge (points = edge^3); warp count for Figure 9; constant
+    /// registers per thread for Figure 10 (a compile-time stat, so its
+    /// rows leave the timing fields vacuous).
     pub x: usize,
     /// Grid points per second (the paper's throughput metric).
     pub points_per_sec: f64,

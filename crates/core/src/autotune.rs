@@ -6,7 +6,11 @@
 //! coarse-grained properties such as the number of target warps."
 //!
 //! Candidates are compiled and scored with the simulator's timing model on
-//! a representative grid; the best configuration wins.
+//! a representative grid; the best configuration wins. Probe launches use
+//! `LaunchMode::TimingOnly`, whose representative CTA runs on the
+//! segment-compiled engine (`gpu_sim::engine`) rather than the
+//! per-instruction interpreter, so sweeping a few hundred candidates
+//! stays cheap.
 //!
 //! Two search modes are provided:
 //!

@@ -135,22 +135,9 @@ impl<'a> EmitCtx for BaselineCtx<'a> {
     }
 }
 
-/// Compile the dataflow graph as a purely data-parallel kernel.
-#[deprecated(
-    since = "0.2.0",
-    note = "use singe::Compiler::new(&arch).options(opts).compile(&dfg, Variant::Baseline)"
-)]
-pub fn compile_baseline(
-    dfg: &Dfg,
-    options: &CompileOptions,
-    arch: &GpuArch,
-) -> CResult<BaselineCompiled> {
-    baseline_impl(dfg, options, arch)
-}
-
-/// Implementation behind the deprecated [`compile_baseline`] shim and the
-/// [`crate::Compiler`] front door (which also needs the
-/// [`BaselineCompiled`]-specific statistics).
+/// Implementation behind the [`crate::Compiler`] front door (which also
+/// needs the [`BaselineCompiled`]-specific statistics): compile the
+/// dataflow graph as a purely data-parallel kernel.
 pub(crate) fn baseline_impl(
     dfg: &Dfg,
     options: &CompileOptions,

@@ -117,15 +117,6 @@ pub(crate) fn compile_warp_specialized(
     Ok(compiled)
 }
 
-/// Compile a dataflow graph into a warp-specialized kernel.
-#[deprecated(
-    since = "0.2.0",
-    note = "use singe::Compiler::new(&arch).options(opts).compile(&dfg, Variant::WarpSpecialized)"
-)]
-pub fn compile_dfg(dfg: &Dfg, options: &CompileOptions, arch: &GpuArch) -> CResult<Compiled> {
-    compile_warp_specialized(dfg, options, arch, None)
-}
-
 /// Per-warp register plan.
 struct RegPlan {
     home: Vec<Option<VarHome>>, // per var (only for this warp's productions)

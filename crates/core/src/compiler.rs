@@ -1,8 +1,7 @@
 //! The unified compiler front door.
 //!
-//! Historically each kernel flavor had its own free function
-//! (`compile_dfg`, `compile_baseline`, `compile_naive`) with copy-pasted
-//! option plumbing. [`Compiler`] replaces all three:
+//! Historically each kernel flavor had its own free function with
+//! copy-pasted option plumbing. [`Compiler`] replaces all three:
 //!
 //! ```
 //! use singe::{Compiler, CompileOptions, Variant};
@@ -16,8 +15,6 @@
 //! # let _ = compiled; Ok(())
 //! # }
 //! ```
-//!
-//! The old free functions remain as thin `#[deprecated]` wrappers.
 
 use crate::baseline::baseline_impl;
 use crate::codegen::{compile_warp_specialized, Compiled, CompileStats};
@@ -88,9 +85,7 @@ impl Compiler {
     ///
     /// All variants return the unified [`Compiled`]; for
     /// [`Variant::Baseline`] the kernel has no mapping/overlay stages, so
-    /// only the spill statistic is populated (use
-    /// [`crate::baseline::BaselineCompiled`] via the deprecated shim if
-    /// the baseline-specific numbers are needed).
+    /// only the spill statistic is populated.
     pub fn compile(&self, dfg: &Dfg, variant: Variant) -> CResult<Compiled> {
         self.compile_inner(dfg, variant, None)
     }
@@ -211,30 +206,6 @@ mod tests {
         for variant in [Variant::WarpSpecialized, Variant::Baseline, Variant::Naive] {
             let out = c.compile(&dfg, variant).unwrap_or_else(|e| panic!("{variant:?}: {e}"));
             assert!(!out.kernel.body.is_empty(), "{variant:?}");
-        }
-    }
-
-    #[test]
-    fn front_door_matches_deprecated_shims() {
-        let arch = GpuArch::fermi_c2070();
-        let dfg = small_dfg();
-        let opts = CompileOptions::with_warps(4);
-        let c = Compiler::new(&arch).options(opts.clone());
-        let fingerprint = gpu_sim::flatcache::fingerprint;
-        #[allow(deprecated)]
-        {
-            let ws_old = crate::codegen::compile_dfg(&dfg, &opts, &arch).unwrap();
-            let ws_new = c.compile(&dfg, Variant::WarpSpecialized).unwrap();
-            assert_eq!(fingerprint(&ws_old.kernel), fingerprint(&ws_new.kernel));
-
-            let base_old = crate::baseline::compile_baseline(&dfg, &opts, &arch).unwrap();
-            let base_new = c.compile(&dfg, Variant::Baseline).unwrap();
-            assert_eq!(fingerprint(&base_old.kernel), fingerprint(&base_new.kernel));
-            assert_eq!(base_old.spilled_words, base_new.stats.spilled_vars);
-
-            let naive_old = crate::naive::compile_naive(&dfg, &opts, &arch).unwrap();
-            let naive_new = c.compile(&dfg, Variant::Naive).unwrap();
-            assert_eq!(fingerprint(&naive_old.kernel), fingerprint(&naive_new.kernel));
         }
     }
 

@@ -44,9 +44,12 @@ pub mod kernels;
 pub mod mapping;
 pub mod naive;
 pub mod perfmodel;
-pub mod pool;
 pub mod sync;
 pub mod verify;
+
+/// Deterministic ordered worker pool (moved into `gpu-sim` so grid
+/// launches can fan CTAs over it; re-exported here for existing users).
+pub use gpu_sim::pool;
 
 pub use compiler::{Compiler, Variant};
 pub use config::{CompileOptions, CompileOptionsBuilder, Placement};

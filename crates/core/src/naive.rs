@@ -113,17 +113,8 @@ impl<'a> EmitCtx for NaiveCtx<'a> {
     }
 }
 
-/// Compile with the naïve top-level warp switch (Figure 9's comparison).
-#[deprecated(
-    since = "0.2.0",
-    note = "use singe::Compiler::new(&arch).options(opts).compile(&dfg, Variant::Naive)"
-)]
-pub fn compile_naive(dfg: &Dfg, options: &CompileOptions, arch: &GpuArch) -> CResult<Compiled> {
-    naive_impl(dfg, options, arch)
-}
-
-/// Implementation behind the deprecated [`compile_naive`] shim and the
-/// [`crate::Compiler`] front door.
+/// Implementation behind the [`crate::Compiler`] front door: compile with
+/// the naïve top-level warp switch (Figure 9's comparison).
 pub(crate) fn naive_impl(dfg: &Dfg, options: &CompileOptions, arch: &GpuArch) -> CResult<Compiled> {
     dfg.validate()?;
     let mapping = map_ops(dfg, options)?;

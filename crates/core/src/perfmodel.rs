@@ -7,7 +7,11 @@
 //! same [`gpu_sim::timing::estimate`] the simulator uses for measured
 //! counts. Predicted and simulated seconds are therefore directly
 //! comparable: they differ only where the model had to estimate
-//! (constant-cache hits, coalescing) rather than count.
+//! (constant-cache hits, coalescing) rather than count. The simulated
+//! side of that comparison comes from the engine fast path
+//! (`gpu_sim::engine`), whose bulk per-segment accounting reproduces
+//! interpreter `EventCounts` bit-for-bit, so model-accuracy audits are
+//! unaffected by which executor ran the probe.
 
 use crate::{CompileError, CResult};
 use gpu_sim::arch::GpuArch;

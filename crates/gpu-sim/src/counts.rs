@@ -88,9 +88,68 @@ impl EventCounts {
     }
 }
 
+/// The statically-known slice of [`EventCounts`] for one engine segment
+/// (see [`crate::engine`]): everything the lowering pass can total up
+/// once per kernel — issue slots, DP pipe usage, branch/barrier ops,
+/// shared-memory transactions, local traffic — charged in one bulk add
+/// per executed segment instead of per instruction. Dynamic events
+/// (global coalescing, cache behavior) stay out of this struct.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct StaticSegCounts {
+    pub(crate) issue_slots: u64,
+    pub(crate) dp_slots: u64,
+    pub(crate) dp_const_slots: u64,
+    pub(crate) flops: u64,
+    pub(crate) warp_branches: u64,
+    pub(crate) shared_accesses: u64,
+    pub(crate) shared_conflicts: u64,
+    pub(crate) local_bytes: u64,
+    pub(crate) barrier_arrives: u64,
+    pub(crate) barrier_syncs: u64,
+}
+
+impl StaticSegCounts {
+    /// Charge this segment's static events in bulk.
+    pub(crate) fn apply(&self, c: &mut EventCounts) {
+        c.issue_slots += self.issue_slots;
+        c.dp_slots += self.dp_slots;
+        c.dp_const_slots += self.dp_const_slots;
+        c.flops += self.flops;
+        c.warp_branches += self.warp_branches;
+        c.shared_accesses += self.shared_accesses;
+        c.shared_conflicts += self.shared_conflicts;
+        c.local_bytes += self.local_bytes;
+        c.barrier_arrives += self.barrier_arrives;
+        c.barrier_syncs += self.barrier_syncs;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn static_seg_counts_apply_matches_fields() {
+        let s = StaticSegCounts {
+            issue_slots: 10,
+            dp_slots: 4,
+            dp_const_slots: 2,
+            flops: 320,
+            warp_branches: 1,
+            shared_accesses: 3,
+            shared_conflicts: 2,
+            local_bytes: 256,
+            barrier_arrives: 1,
+            barrier_syncs: 1,
+        };
+        let mut c = EventCounts::default();
+        s.apply(&mut c);
+        s.apply(&mut c);
+        assert_eq!(c.issue_slots, 20);
+        assert_eq!(c.flops, 640);
+        assert_eq!(c.barrier_syncs, 2);
+        assert_eq!(c.global_transactions, 0);
+    }
 
     #[test]
     fn merge_adds_fields() {

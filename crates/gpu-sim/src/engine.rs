@@ -1,0 +1,1084 @@
+//! Segment-compiled SoA execution engine — the fast path behind
+//! [`crate::interp::run_cta`].
+//!
+//! Warp streams in this IR have no data-dependent control flow: index
+//! registers are written only by the index ISA, whose inputs are lane ids,
+//! the warp id, integer constant banks, and immediates — never f64 data
+//! and never a CTA id. Every index-register value is therefore a static
+//! function of `(warp, stream position)` and identical across CTAs. The
+//! lowering pass exploits this: it abstractly interprets each warp's
+//! flattened stream once, *evaluating every index instruction at compile
+//! time*, and emits barrier-separated **segments** of dense micro-ops in
+//! which shared-memory addresses, constant values (and the constant-cache
+//! lines they touch), and global row/point offsets are already resolved.
+//! Only the grid placement (`total_points`, `base_point`) is supplied at
+//! run time, completing global indices as `row * total_points + point`.
+//!
+//! Execution replays the segments over the same SoA lane vectors the
+//! interpreter uses (32 contiguous `f64` slots per register), but:
+//!
+//! - per-instruction dispatch collapses to a small micro-op match with no
+//!   bounds re-derivation (lowering proved every static access in range);
+//! - statically-known event counts (issue slots, DP slots/flops, branch
+//!   and barrier ops, shared-memory transactions and conflicts, local
+//!   bytes) are charged **in bulk per segment** from a precomputed
+//!   [`StaticSegCounts`]; only genuinely dynamic events (global
+//!   coalescing, constant-cache line replays) remain per-op, and only on
+//!   the collecting path;
+//! - the scheduler replays the interpreter's cooperative round-robin
+//!   exactly (same block/release generations, same deadlock report), so
+//!   order-sensitive state — the shared LRU constant cache, barrier stall
+//!   switches, shared-memory write order — is bit-identical.
+//!
+//! Errors the interpreter would raise while executing (out-of-range
+//! registers, shared/constant overruns, stores to non-output arrays) are
+//! discovered during lowering and embedded as positional [`UOp::Trap`]
+//! micro-ops carrying the exact [`SimError`]; lowering stops for that warp
+//! at the trap. A trap only fires if the schedule actually reaches it, so
+//! kernels that deadlock first still report the deadlock, exactly like the
+//! interpreter. (The one knowing divergence: where the interpreter
+//! *panics* on an out-of-range index-register read, the engine reports a
+//! structured `OutOfBounds { space: "ireg", .. }` trap instead — no
+//! compiler in this repo emits such code.)
+//!
+//! Lowered programs are cached process-wide by the kernel's structural
+//! fingerprint (see [`crate::flatcache::engine_cached`]); lowering is
+//! independent of the grid, the architecture, and the CTA index. The
+//! profiled path ([`crate::interp::run_cta_profiled`] with a profiler)
+//! stays on the interpreter, whose per-instruction hooks the
+//! cycle-attribution model needs; differential tests pin the two paths
+//! bit-identical on outputs and [`EventCounts`].
+
+use std::collections::HashMap;
+
+use crate::ccache::ConstCache;
+use crate::counts::{EventCounts, StaticSegCounts};
+use crate::error::{SimError, SimResult};
+use crate::icache::interleaved_fetch_profile;
+use crate::interp::{
+    bank_transactions, barrier_arrive, coalesce, exec_fast, local_out_index, src_vals,
+    BarrierState, CtaResult, DecodedInstr, FlatOp, FlatProgram, Src,
+};
+use crate::isa::*;
+use crate::WARP_SIZE;
+
+/// How a segment ends: the end of the warp's stream, or a named-barrier
+/// operation handled at scheduler level.
+#[derive(Debug, Clone, Copy)]
+enum SegTerm {
+    /// Stream exhausted after this segment's micro-ops.
+    End,
+    /// Non-blocking `bar.arrive`.
+    Arrive { bar: u8, expected: u16 },
+    /// Potentially-blocking `bar.sync`.
+    Sync { bar: u8, expected: u16 },
+}
+
+/// One barrier-separated superblock of a warp's stream: a dense micro-op
+/// range, its statically-known event counts, and its terminator.
+#[derive(Debug)]
+struct Segment {
+    uops: std::ops::Range<u32>,
+    bulk: StaticSegCounts,
+    term: SegTerm,
+}
+
+/// Where a global access takes its per-lane point index from.
+#[derive(Debug, Clone, Copy)]
+enum PtsRef {
+    /// `point = base_point + delta + lane` (PointRef::Lane / ::Thread,
+    /// with the point-set or warp offset folded into `delta`).
+    Rel(u32),
+    /// Statically-resolved absolute points (PointRef::Reg): a 32-lane
+    /// chunk index into the u32 arena.
+    Abs(u32),
+}
+
+/// A pre-resolved micro-op. Register offsets are lane-major base indices
+/// (`reg * WARP_SIZE`), exactly as in the interpreter's decoded form; all
+/// static bounds were proven by lowering.
+#[derive(Debug, Clone, Copy)]
+enum UOp {
+    /// Register-only instruction, executed by the interpreter's own
+    /// [`exec_fast`] (guaranteeing identical floating-point behavior).
+    Fast(DecodedInstr),
+    /// Constant load with values fully resolved: copy a 32-lane chunk
+    /// from the f64 arena, then replay the precomputed distinct
+    /// cache-line list (collect path only).
+    ConstV { dst: u32, vals: u32, lines: u32, n_lines: u32 },
+    /// Shared load from pre-resolved, pre-validated addresses.
+    LdShared { dst: u32, addrs: u32 },
+    /// Shared store; `lane == u32::MAX` stores all lanes, otherwise only
+    /// the predicated lane (out-of-range predicates store nothing).
+    StShared { src: Src, addrs: u32, lane: u32 },
+    /// Global load: `idx[l] = rows[l] * total_points + point(l)`.
+    LdGlobal { dst: u32, array: u32, rows: u32, pts: PtsRef },
+    /// Global store, same addressing.
+    StGlobal { src: Src, array: u32, rows: u32, pts: PtsRef },
+    /// Deferred execution-time error discovered at lowering time.
+    Trap(u32),
+}
+
+/// A lowered CTA program: per-warp segment lists over shared micro-op and
+/// operand arenas. Arch/grid/CTA independent — cache freely.
+#[derive(Debug)]
+pub(crate) struct EngineProgram {
+    /// Per-warp segments, in stream order.
+    warps: Vec<Vec<Segment>>,
+    uops: Vec<UOp>,
+    /// 32-lane u32 chunks (shared addresses, global rows, absolute
+    /// points), deduplicated; indexed by chunk (byte offset = idx * 32).
+    u32x: Vec<u32>,
+    /// 32-lane f64 chunks (resolved constant loads), deduplicated.
+    f64x: Vec<f64>,
+    /// Ordered distinct constant-cache line lists, referenced by
+    /// `(start, len)` from [`UOp::ConstV`].
+    lines: Vec<u64>,
+    /// Deferred errors referenced by [`UOp::Trap`].
+    traps: Vec<SimError>,
+}
+
+struct Lowerer<'k> {
+    kernel: &'k Kernel,
+    bank_base: Vec<u64>,
+    uops: Vec<UOp>,
+    u32x: Vec<u32>,
+    f64x: Vec<f64>,
+    lines: Vec<u64>,
+    traps: Vec<SimError>,
+    u32_dedup: HashMap<[u32; WARP_SIZE], u32>,
+    f64_dedup: HashMap<[u64; WARP_SIZE], u32>,
+}
+
+/// Lower a flattened program into its segment-compiled form. Infallible:
+/// execution-time errors become positional traps.
+pub(crate) fn lower(kernel: &Kernel, prog: &FlatProgram) -> EngineProgram {
+    // Byte offset of each const bank within constant space (the constant
+    // cache is addressed across banks, exactly as in the interpreter).
+    let mut bank_base = Vec::with_capacity(kernel.const_banks.len());
+    let mut off = 0u64;
+    for b in &kernel.const_banks {
+        bank_base.push(off);
+        off += (b.len() * 8) as u64;
+    }
+    let mut lw = Lowerer {
+        kernel,
+        bank_base,
+        uops: Vec::new(),
+        u32x: Vec::new(),
+        f64x: Vec::new(),
+        lines: Vec::new(),
+        traps: Vec::new(),
+        u32_dedup: HashMap::new(),
+        f64_dedup: HashMap::new(),
+    };
+    let warps: Vec<Vec<Segment>> =
+        (0..prog.n_warps()).map(|w| lw.lower_warp(prog, w)).collect();
+    EngineProgram {
+        warps,
+        uops: lw.uops,
+        u32x: lw.u32x,
+        f64x: lw.f64x,
+        lines: lw.lines,
+        traps: lw.traps,
+    }
+}
+
+impl Lowerer<'_> {
+    fn push_u32x(&mut self, v: [u32; WARP_SIZE]) -> u32 {
+        if let Some(&idx) = self.u32_dedup.get(&v) {
+            return idx;
+        }
+        let idx = (self.u32x.len() / WARP_SIZE) as u32;
+        self.u32x.extend_from_slice(&v);
+        self.u32_dedup.insert(v, idx);
+        idx
+    }
+
+    fn push_f64x(&mut self, v: [f64; WARP_SIZE]) -> u32 {
+        let key: [u64; WARP_SIZE] = std::array::from_fn(|l| v[l].to_bits());
+        if let Some(&idx) = self.f64_dedup.get(&key) {
+            return idx;
+        }
+        let idx = (self.f64x.len() / WARP_SIZE) as u32;
+        self.f64x.extend_from_slice(&v);
+        self.f64_dedup.insert(key, idx);
+        idx
+    }
+
+    fn lower_warp(&mut self, prog: &FlatProgram, w: usize) -> Vec<Segment> {
+        let kernel = self.kernel;
+        // Concrete per-warp index-register state, abstractly interpreted
+        // in stream order. Values are CTA-invariant (see module docs).
+        let mut iregs = vec![0u32; kernel.iregs_per_thread * WARP_SIZE];
+        let mut segs: Vec<Segment> = Vec::new();
+        let mut seg_start = self.uops.len() as u32;
+        let mut bulk = StaticSegCounts::default();
+        let flush = |uops: &[UOp], segs: &mut Vec<Segment>,
+                         seg_start: &mut u32, bulk: &mut StaticSegCounts, term: SegTerm| {
+            let range = *seg_start..uops.len() as u32;
+            // A trailing empty segment would make a finished warp look
+            // like it still ran an instruction; skip it (a warp whose
+            // stream ends exactly at a barrier, or is empty, has no
+            // trailing work — matching the interpreter's `ran` logic).
+            let keep = !range.is_empty()
+                || *bulk != StaticSegCounts::default()
+                || !matches!(term, SegTerm::End);
+            if keep {
+                segs.push(Segment { uops: range, bulk: std::mem::take(bulk), term });
+            }
+            *seg_start = uops.len() as u32;
+        };
+        for op in &prog.streams[w] {
+            match *op {
+                FlatOp::Branch { .. } => {
+                    bulk.issue_slots += 1;
+                    bulk.warp_branches += 1;
+                }
+                FlatOp::Exec { instr, pset, .. } => {
+                    let i = instr as usize;
+                    let cost = prog.costs[i];
+                    bulk.issue_slots += cost.slots;
+                    if cost.dp {
+                        bulk.dp_slots += cost.slots;
+                        bulk.flops += cost.flops_warp;
+                        bulk.dp_const_slots += cost.const_slots;
+                    }
+                    match prog.decoded[i] {
+                        DecodedInstr::BarArrive { bar, expected } => {
+                            bulk.barrier_arrives += 1;
+                            flush(&self.uops, &mut segs, &mut seg_start, &mut bulk,
+                                  SegTerm::Arrive { bar, expected });
+                        }
+                        DecodedInstr::BarSync { bar, expected } => {
+                            bulk.barrier_syncs += 1;
+                            flush(&self.uops, &mut segs, &mut seg_start, &mut bulk,
+                                  SegTerm::Sync { bar, expected });
+                        }
+                        DecodedInstr::Invalid { space, addr, limit } => {
+                            self.trap(SimError::OutOfBounds { space, addr, limit });
+                            flush(&self.uops, &mut segs, &mut seg_start, &mut bulk, SegTerm::End);
+                            return segs;
+                        }
+                        DecodedInstr::Slow => {
+                            if let Err(e) =
+                                self.lower_slow(&prog.instrs[i], pset, w, &mut iregs, &mut bulk)
+                            {
+                                self.trap(e);
+                                flush(&self.uops, &mut segs, &mut seg_start, &mut bulk, SegTerm::End);
+                                return segs;
+                            }
+                        }
+                        dec @ (DecodedInstr::LdLocal { .. } | DecodedInstr::StLocal { .. }) => {
+                            bulk.local_bytes += (WARP_SIZE * 8) as u64;
+                            self.uops.push(UOp::Fast(dec));
+                        }
+                        dec => self.uops.push(UOp::Fast(dec)),
+                    }
+                }
+            }
+        }
+        flush(&self.uops, &mut segs, &mut seg_start, &mut bulk, SegTerm::End);
+        segs
+    }
+
+    fn trap(&mut self, e: SimError) {
+        let idx = self.traps.len() as u32;
+        self.traps.push(e);
+        self.uops.push(UOp::Trap(idx));
+    }
+
+    /// Lower one memory / constant / index instruction, statically
+    /// evaluating all index-register reads. Check order mirrors the
+    /// interpreter's `exec_slow` exactly, so a trap carries the error the
+    /// interpreter's first failing check would have produced.
+    fn lower_slow(
+        &mut self,
+        ins: &Instr,
+        pset: u32,
+        wid: usize,
+        iregs: &mut [u32],
+        bulk: &mut StaticSegCounts,
+    ) -> SimResult<()> {
+        let kernel = self.kernel;
+        let nd = kernel.dregs_per_thread;
+        let ni = kernel.iregs_per_thread;
+        let chk_d = |r: Reg| -> SimResult<()> {
+            if (r as usize) < nd {
+                Ok(())
+            } else {
+                Err(SimError::OutOfBounds { space: "dreg", addr: r as usize, limit: nd })
+            }
+        };
+        let chk_i = |r: IdxReg| -> SimResult<()> {
+            if (r as usize) < ni {
+                Ok(())
+            } else {
+                Err(SimError::OutOfBounds { space: "ireg", addr: r as usize, limit: ni })
+            }
+        };
+        // Static index-operand read. The interpreter indexes the register
+        // file raw here (panicking when out of range); the engine reports
+        // the same condition as a structured trap instead.
+        let ival = |iregs: &[u32], o: &IdxOp, l: usize| -> SimResult<u32> {
+            match o {
+                IdxOp::Imm(v) => Ok(*v),
+                IdxOp::Reg(r) => iregs
+                    .get(*r as usize * WARP_SIZE + l)
+                    .copied()
+                    .ok_or(SimError::OutOfBounds { space: "ireg", addr: *r as usize, limit: ni }),
+            }
+        };
+        let src = |o: &Op| match o {
+            Op::Reg(r) => Src::Reg(*r as usize * WARP_SIZE),
+            Op::Imm(v) => Src::Imm(*v),
+        };
+        let base_d = |r: Reg| (r as usize * WARP_SIZE) as u32;
+
+        // Resolve a global address into (rows chunk, points ref).
+        macro_rules! gaddr {
+            ($addr:expr) => {{
+                let a: &GAddr = $addr;
+                let mut rows = [0u32; WARP_SIZE];
+                for l in 0..WARP_SIZE {
+                    rows[l] = ival(iregs, &a.row, l)?;
+                }
+                let pts = match a.point {
+                    PointRef::Lane => PtsRef::Rel(pset * WARP_SIZE as u32),
+                    PointRef::Thread => PtsRef::Rel((wid * WARP_SIZE) as u32),
+                    PointRef::Reg(r) => {
+                        let mut pv = [0u32; WARP_SIZE];
+                        for l in 0..WARP_SIZE {
+                            pv[l] = ival(iregs, &IdxOp::Reg(r), l)?;
+                        }
+                        PtsRef::Abs(self.push_u32x(pv))
+                    }
+                };
+                (self.push_u32x(rows), pts)
+            }};
+        }
+        // Resolve a shared address vector (not yet bounds-checked).
+        macro_rules! saddrs {
+            ($addr:expr) => {{
+                let a: &SAddr = $addr;
+                let mut addrs = [0usize; WARP_SIZE];
+                for l in 0..WARP_SIZE {
+                    let base = match a.base {
+                        Some(r) => ival(iregs, &IdxOp::Reg(r), l)? as usize,
+                        None => 0,
+                    };
+                    addrs[l] = base + a.imm as usize + a.lane_stride as usize * l;
+                }
+                addrs
+            }};
+        }
+
+        match ins {
+            Instr::LdGlobal { dst, addr, .. } => {
+                chk_d(*dst)?;
+                let (rows, pts) = gaddr!(addr);
+                self.uops.push(UOp::LdGlobal {
+                    dst: base_d(*dst),
+                    array: addr.array.0 as u32,
+                    rows,
+                    pts,
+                });
+            }
+            Instr::StGlobal { src: s, addr } => {
+                let decl = &kernel.global_arrays[addr.array.0];
+                if !decl.output {
+                    return Err(SimError::BadLaunch(format!(
+                        "store to non-output array '{}'",
+                        decl.name
+                    )));
+                }
+                let (rows, pts) = gaddr!(addr);
+                self.uops.push(UOp::StGlobal {
+                    src: src(s),
+                    array: addr.array.0 as u32,
+                    rows,
+                    pts,
+                });
+            }
+            Instr::LdShared { dst, addr } => {
+                chk_d(*dst)?;
+                let addrs = saddrs!(addr);
+                for &a in &addrs {
+                    if a >= kernel.shared_words {
+                        return Err(SimError::OutOfBounds {
+                            space: "shared",
+                            addr: a,
+                            limit: kernel.shared_words,
+                        });
+                    }
+                }
+                let (tx, conf) = bank_transactions(&addrs, None);
+                bulk.shared_accesses += tx;
+                bulk.shared_conflicts += conf;
+                let a32: [u32; WARP_SIZE] = std::array::from_fn(|l| addrs[l] as u32);
+                let addrs = self.push_u32x(a32);
+                self.uops.push(UOp::LdShared { dst: base_d(*dst), addrs });
+            }
+            Instr::StShared { src: s, addr, lane_pred } => {
+                let addrs = saddrs!(addr);
+                for (l, &a) in addrs.iter().enumerate() {
+                    if let Some(p) = lane_pred {
+                        if *p as usize != l {
+                            continue;
+                        }
+                    }
+                    if a >= kernel.shared_words {
+                        return Err(SimError::OutOfBounds {
+                            space: "shared",
+                            addr: a,
+                            limit: kernel.shared_words,
+                        });
+                    }
+                }
+                let (tx, conf) = bank_transactions(&addrs, *lane_pred);
+                bulk.shared_accesses += tx;
+                bulk.shared_conflicts += conf;
+                // Lanes a predicate excludes were never bounds-checked
+                // (matching the interpreter) and are never read back;
+                // saturate them into the u32 arena.
+                let a32: [u32; WARP_SIZE] =
+                    std::array::from_fn(|l| addrs[l].min(u32::MAX as usize) as u32);
+                let addrs = self.push_u32x(a32);
+                self.uops.push(UOp::StShared {
+                    src: src(s),
+                    addrs,
+                    lane: lane_pred.map(|p| p as u32).unwrap_or(u32::MAX),
+                });
+            }
+            Instr::LdConst { dst, bank, idx } => {
+                chk_d(*dst)?;
+                let bankv =
+                    kernel.const_banks.get(*bank as usize).ok_or(SimError::OutOfBounds {
+                        space: "const-bank",
+                        addr: *bank as usize,
+                        limit: kernel.const_banks.len(),
+                    })?;
+                let mut vals = [0f64; WARP_SIZE];
+                let mut lines: Vec<u64> = Vec::new();
+                for l in 0..WARP_SIZE {
+                    let i = ival(iregs, idx, l)? as usize;
+                    vals[l] = *bankv.get(i).ok_or(SimError::OutOfBounds {
+                        space: "const",
+                        addr: i,
+                        limit: bankv.len(),
+                    })?;
+                    // One cache access per distinct line, in first-touch
+                    // order (lanes reading the same constant broadcast).
+                    let line = (self.bank_base[*bank as usize] + (i * 8) as u64) / 64;
+                    if !lines.contains(&line) {
+                        lines.push(line);
+                    }
+                }
+                let vidx = self.push_f64x(vals);
+                let lstart = self.lines.len() as u32;
+                let n_lines = lines.len() as u32;
+                self.lines.extend_from_slice(&lines);
+                self.uops.push(UOp::ConstV { dst: base_d(*dst), vals: vidx, lines: lstart, n_lines });
+            }
+            Instr::Idx(ii) => match ii {
+                IdxInstr::Mov { dst, src } => {
+                    chk_i(*dst)?;
+                    for l in 0..WARP_SIZE {
+                        iregs[*dst as usize * WARP_SIZE + l] = ival(iregs, src, l)?;
+                    }
+                }
+                IdxInstr::Add { dst, a, b } => {
+                    chk_i(*dst)?;
+                    for l in 0..WARP_SIZE {
+                        iregs[*dst as usize * WARP_SIZE + l] =
+                            ival(iregs, a, l)?.wrapping_add(ival(iregs, b, l)?);
+                    }
+                }
+                IdxInstr::Mul { dst, a, b } => {
+                    chk_i(*dst)?;
+                    for l in 0..WARP_SIZE {
+                        iregs[*dst as usize * WARP_SIZE + l] =
+                            ival(iregs, a, l)?.wrapping_mul(ival(iregs, b, l)?);
+                    }
+                }
+                IdxInstr::LaneId { dst } => {
+                    chk_i(*dst)?;
+                    for l in 0..WARP_SIZE {
+                        iregs[*dst as usize * WARP_SIZE + l] = l as u32;
+                    }
+                }
+                IdxInstr::WarpId { dst } => {
+                    chk_i(*dst)?;
+                    for l in 0..WARP_SIZE {
+                        iregs[*dst as usize * WARP_SIZE + l] = wid as u32;
+                    }
+                }
+                IdxInstr::LdConst { dst, bank, idx } => {
+                    chk_i(*dst)?;
+                    let bankv =
+                        kernel.iconst_banks.get(*bank as usize).ok_or(SimError::OutOfBounds {
+                            space: "iconst-bank",
+                            addr: *bank as usize,
+                            limit: kernel.iconst_banks.len(),
+                        })?;
+                    for l in 0..WARP_SIZE {
+                        let i = ival(iregs, idx, l)? as usize;
+                        iregs[*dst as usize * WARP_SIZE + l] =
+                            *bankv.get(i).ok_or(SimError::OutOfBounds {
+                                space: "iconst",
+                                addr: i,
+                                limit: bankv.len(),
+                            })?;
+                    }
+                }
+                IdxInstr::Shfl { dst, src, lane } => {
+                    chk_i(*dst)?;
+                    chk_i(*src)?;
+                    // Raw index like the interpreter (a >=32 lane reads
+                    // across registers deterministically; replicate it).
+                    let raw = *src as usize * WARP_SIZE + *lane as usize;
+                    let v = *iregs.get(raw).ok_or(SimError::OutOfBounds {
+                        space: "ireg",
+                        addr: *src as usize,
+                        limit: ni,
+                    })?;
+                    for l in 0..WARP_SIZE {
+                        iregs[*dst as usize * WARP_SIZE + l] = v;
+                    }
+                }
+            },
+            _ => unreachable!("only slow-path instructions reach lower_slow"),
+        }
+        Ok(())
+    }
+}
+
+/// Per-warp runtime state: SoA register/local lanes plus the segment
+/// cursor and scheduler flags.
+struct EngWarp {
+    dregs: Vec<f64>,
+    local: Vec<f64>,
+    seg: usize,
+    done: bool,
+    blocked: Option<(u8, u64)>,
+}
+
+/// Execute one CTA on a lowered program. Mirrors
+/// [`crate::interp::run_cta_profiled`] (without a profiler) bit-for-bit:
+/// same outputs, same [`EventCounts`], same errors.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_cta_engine(
+    kernel: &Kernel,
+    eng: &EngineProgram,
+    prog: &FlatProgram,
+    inputs: &[&[f64]],
+    total_points: usize,
+    cta: usize,
+    collect: bool,
+    arch: &crate::arch::GpuArch,
+) -> SimResult<CtaResult> {
+    let nw = kernel.warps_per_cta;
+    let base_point = cta * kernel.points_per_cta;
+    let mut counts = EventCounts::default();
+
+    let mut shared = vec![0.0f64; kernel.shared_words];
+    let mut barriers: Vec<BarrierState> =
+        vec![BarrierState::default(); kernel.barriers_used.max(16)];
+    let mut ccache = ConstCache::new(arch.const_cache_bytes);
+
+    let mut out_buffers: Vec<Vec<f64>> = kernel
+        .global_arrays
+        .iter()
+        .map(|a| if a.output { vec![0.0; a.rows * kernel.points_per_cta] } else { Vec::new() })
+        .collect();
+
+    let mut warps: Vec<EngWarp> = (0..nw)
+        .map(|_| EngWarp {
+            dregs: vec![0.0; kernel.dregs_per_thread * WARP_SIZE],
+            local: vec![0.0; kernel.local_words_per_thread * WARP_SIZE],
+            seg: 0,
+            done: false,
+            blocked: None,
+        })
+        .collect();
+
+    // Cooperative scheduler: an exact replay of the interpreter's
+    // round-robin (segments stand in for uninterruptible instruction
+    // runs — a warp can only block at a segment terminator).
+    loop {
+        let mut progressed = false;
+        let mut all_done = true;
+        for w in 0..nw {
+            if warps[w].done {
+                continue;
+            }
+            all_done = false;
+            if let Some((b, gen)) = warps[w].blocked {
+                if barriers[b as usize].generation > gen {
+                    warps[w].blocked = None;
+                } else {
+                    continue;
+                }
+            }
+            let ran = run_warp(
+                kernel, eng, w, &mut warps[w], inputs, total_points, base_point, &mut shared,
+                &mut barriers, &mut out_buffers, &mut ccache, collect, &mut counts,
+            )?;
+            progressed |= ran;
+        }
+        if all_done {
+            break;
+        }
+        if !progressed {
+            let blocked: Vec<(usize, u8)> = warps
+                .iter()
+                .enumerate()
+                .filter(|(_, ws)| !ws.done)
+                .map(|(i, ws)| (i, ws.blocked.map(|(b, _)| b).unwrap_or(255)))
+                .collect();
+            if blocked.is_empty() {
+                break;
+            }
+            return Err(SimError::Deadlock { cta, blocked });
+        }
+    }
+
+    if collect {
+        counts.const_hits = ccache.hits();
+        counts.const_misses = ccache.misses();
+        let fp = interleaved_fetch_profile(
+            &prog.addr_streams,
+            arch.instr_bytes,
+            arch.icache_bytes,
+            arch.icache_line_bytes,
+            arch.icache_assoc,
+            128,
+        );
+        counts.icache_fetches = fp.fetches;
+        counts.icache_misses = fp.misses;
+    }
+
+    Ok(CtaResult { out_buffers, counts })
+}
+
+/// Run one warp's segments until it blocks or finishes. Returns whether
+/// any segment executed (the interpreter's `ran`).
+#[allow(clippy::too_many_arguments)]
+fn run_warp(
+    kernel: &Kernel,
+    eng: &EngineProgram,
+    w: usize,
+    warp: &mut EngWarp,
+    inputs: &[&[f64]],
+    total_points: usize,
+    base_point: usize,
+    shared: &mut [f64],
+    barriers: &mut [BarrierState],
+    out_buffers: &mut [Vec<f64>],
+    ccache: &mut ConstCache,
+    collect: bool,
+    counts: &mut EventCounts,
+) -> SimResult<bool> {
+    let segs = &eng.warps[w];
+    let mut ran = false;
+    loop {
+        let Some(seg) = segs.get(warp.seg) else {
+            warp.done = true;
+            return Ok(ran);
+        };
+        if collect {
+            seg.bulk.apply(counts);
+        }
+        for uop in &eng.uops[seg.uops.start as usize..seg.uops.end as usize] {
+            exec_uop(
+                eng, uop, kernel, inputs, total_points, base_point, warp, shared, out_buffers,
+                ccache, collect, counts,
+            )?;
+        }
+        warp.seg += 1;
+        ran = true;
+        match seg.term {
+            SegTerm::End => {}
+            SegTerm::Arrive { bar, expected } => {
+                barrier_arrive(barriers, bar, expected)?;
+            }
+            SegTerm::Sync { bar, expected } => {
+                // Generation snapshot *before* arriving: if our own
+                // arrival completes the barrier we are not blocked.
+                let gen = barriers[bar as usize].generation;
+                let released = barrier_arrive(barriers, bar, expected)?;
+                if !released {
+                    warp.blocked = Some((bar, gen));
+                    if collect {
+                        counts.barrier_stall_switches += 1;
+                    }
+                    return Ok(ran);
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn exec_uop(
+    eng: &EngineProgram,
+    uop: &UOp,
+    kernel: &Kernel,
+    inputs: &[&[f64]],
+    total_points: usize,
+    base_point: usize,
+    warp: &mut EngWarp,
+    shared: &mut [f64],
+    out_buffers: &mut [Vec<f64>],
+    ccache: &mut ConstCache,
+    collect: bool,
+    counts: &mut EventCounts,
+) -> SimResult<()> {
+    match *uop {
+        // Event counts for fast ops were folded into the segment bulk;
+        // run the op itself with collection off.
+        UOp::Fast(dec) => exec_fast(dec, &mut warp.dregs, &mut warp.local, false, counts)?,
+        UOp::ConstV { dst, vals, lines, n_lines } => {
+            let v = &eng.f64x[vals as usize * WARP_SIZE..][..WARP_SIZE];
+            warp.dregs[dst as usize..dst as usize + WARP_SIZE].copy_from_slice(v);
+            if collect {
+                for &line in &eng.lines[lines as usize..(lines + n_lines) as usize] {
+                    ccache.access(line * 64);
+                }
+            }
+        }
+        UOp::LdShared { dst, addrs } => {
+            let a = &eng.u32x[addrs as usize * WARP_SIZE..][..WARP_SIZE];
+            let out = &mut warp.dregs[dst as usize..dst as usize + WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                out[l] = shared[a[l] as usize];
+            }
+        }
+        UOp::StShared { src, addrs, lane } => {
+            let a = &eng.u32x[addrs as usize * WARP_SIZE..][..WARP_SIZE];
+            let sv = src_vals(&warp.dregs, src);
+            if lane == u32::MAX {
+                for l in 0..WARP_SIZE {
+                    shared[a[l] as usize] = sv[l];
+                }
+            } else if (lane as usize) < WARP_SIZE {
+                shared[a[lane as usize] as usize] = sv[lane as usize];
+            }
+        }
+        UOp::LdGlobal { dst, array, rows, pts } => {
+            let ai = array as usize;
+            let idxs = gidx(eng, rows, pts, total_points, base_point);
+            let decl = &kernel.global_arrays[ai];
+            for l in 0..WARP_SIZE {
+                let idx = idxs[l];
+                let v = if decl.output {
+                    let local = local_out_index(idx, total_points, base_point, kernel)?;
+                    out_buffers[ai][local]
+                } else {
+                    *inputs[ai].get(idx).ok_or(SimError::OutOfBounds {
+                        space: "global",
+                        addr: idx,
+                        limit: inputs[ai].len(),
+                    })?
+                };
+                warp.dregs[dst as usize + l] = v;
+            }
+            if collect {
+                let (tx, bytes) = coalesce(&idxs);
+                counts.global_transactions += tx;
+                counts.global_bytes += bytes;
+            }
+        }
+        UOp::StGlobal { src, array, rows, pts } => {
+            let ai = array as usize;
+            let idxs = gidx(eng, rows, pts, total_points, base_point);
+            let sv = src_vals(&warp.dregs, src);
+            for l in 0..WARP_SIZE {
+                let local = local_out_index(idxs[l], total_points, base_point, kernel)?;
+                let buf = &mut out_buffers[ai];
+                if local >= buf.len() {
+                    return Err(SimError::OutOfBounds {
+                        space: "global-out",
+                        addr: local,
+                        limit: buf.len(),
+                    });
+                }
+                buf[local] = sv[l];
+            }
+            if collect {
+                let (tx, bytes) = coalesce(&idxs);
+                counts.global_transactions += tx;
+                counts.global_bytes += bytes;
+            }
+        }
+        UOp::Trap(t) => return Err(eng.traps[t as usize].clone()),
+    }
+    Ok(())
+}
+
+/// Complete pre-resolved global addressing with the runtime grid
+/// placement: `idx[l] = rows[l] * total_points + point(l)`.
+#[inline]
+fn gidx(
+    eng: &EngineProgram,
+    rows: u32,
+    pts: PtsRef,
+    total_points: usize,
+    base_point: usize,
+) -> [usize; WARP_SIZE] {
+    let r = &eng.u32x[rows as usize * WARP_SIZE..][..WARP_SIZE];
+    let mut idxs = [0usize; WARP_SIZE];
+    match pts {
+        PtsRef::Rel(d) => {
+            let b = base_point + d as usize;
+            for l in 0..WARP_SIZE {
+                idxs[l] = r[l] as usize * total_points + b + l;
+            }
+        }
+        PtsRef::Abs(p) => {
+            let pv = &eng.u32x[p as usize * WARP_SIZE..][..WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                idxs[l] = r[l] as usize * total_points + pv[l] as usize;
+            }
+        }
+    }
+    idxs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::GpuArch;
+    use crate::interp::{flatten, run_cta_profiled};
+
+    fn base_kernel(warps: usize) -> Kernel {
+        Kernel {
+            name: "eng-t".into(),
+            body: vec![],
+            warps_per_cta: warps,
+            points_per_cta: 32,
+            dregs_per_thread: 8,
+            iregs_per_thread: 4,
+            shared_words: 128,
+            local_words_per_thread: 2,
+            const_banks: vec![vec![1.5, 2.5, 3.5, 4.5]],
+            iconst_banks: vec![vec![7, 8, 9]],
+            barriers_used: 4,
+            global_arrays: vec![
+                ArrayDecl { name: "in".into(), rows: 2, output: false },
+                ArrayDecl { name: "out".into(), rows: 1, output: true },
+            ],
+            spilled_bytes_per_thread: 0,
+            exp_const_from_registers: false,
+        }
+    }
+
+    /// Run a kernel through both paths and assert bit-identical results
+    /// (outputs + EventCounts) or identical errors.
+    fn differential(kernel: &Kernel, inputs: &[&[f64]], total_points: usize, cta: usize) {
+        let prog = flatten(kernel);
+        let eng = lower(kernel, &prog);
+        for arch in [GpuArch::fermi_c2070(), GpuArch::kepler_k20c()] {
+            for collect in [false, true] {
+                let i =
+                    run_cta_profiled(kernel, &prog, inputs, total_points, cta, collect, &arch, None);
+                let e =
+                    run_cta_engine(kernel, &eng, &prog, inputs, total_points, cta, collect, &arch);
+                match (i, e) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a.counts, b.counts, "counts (collect={collect})");
+                        assert_eq!(
+                            a.out_buffers.len(),
+                            b.out_buffers.len(),
+                            "buffer count (collect={collect})"
+                        );
+                        for (x, y) in a.out_buffers.iter().zip(&b.out_buffers) {
+                            assert_eq!(x.len(), y.len());
+                            for (va, vb) in x.iter().zip(y) {
+                                assert_eq!(va.to_bits(), vb.to_bits(), "output bits");
+                            }
+                        }
+                    }
+                    (Err(a), Err(b)) => assert_eq!(a, b, "errors (collect={collect})"),
+                    (i, e) => panic!("paths disagree: interp={i:?} engine={e:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn differential_producer_consumer() {
+        // Figure-2 style protocol over named barriers with shared memory,
+        // constants and index registers in play.
+        let mut k = base_kernel(2);
+        k.body = vec![
+            Node::WarpIf {
+                mask: 0b10,
+                body: vec![Node::Op(Instr::BarArrive { bar: 1, warps: 2 })],
+            },
+            Node::WarpIf {
+                mask: 0b01,
+                body: vec![
+                    Node::Op(Instr::BarSync { bar: 1, warps: 2 }),
+                    Node::Op(Instr::LdGlobal {
+                        dst: 0,
+                        addr: GAddr { array: GlobalId(0), row: IdxOp::Imm(0), point: PointRef::Lane },
+                        ldg: false,
+                    }),
+                    Node::Op(Instr::LdConst { dst: 1, bank: 0, idx: IdxOp::Imm(2) }),
+                    Node::Op(Instr::DMul { dst: 0, a: Op::Reg(0), b: Op::Reg(1) }),
+                    Node::Op(Instr::StShared { src: Op::Reg(0), addr: SAddr::lane(0), lane_pred: None }),
+                    Node::Op(Instr::BarArrive { bar: 0, warps: 2 }),
+                ],
+            },
+            Node::WarpIf {
+                mask: 0b10,
+                body: vec![
+                    Node::Op(Instr::BarSync { bar: 0, warps: 2 }),
+                    Node::Op(Instr::LdShared { dst: 1, addr: SAddr::lane(0) }),
+                    Node::Op(Instr::StGlobal {
+                        src: Op::Reg(1),
+                        addr: GAddr { array: GlobalId(1), row: IdxOp::Imm(0), point: PointRef::Lane },
+                    }),
+                ],
+            },
+        ];
+        let input: Vec<f64> = (0..64).map(|i| i as f64 * 0.25).collect();
+        differential(&k, &[&input, &[]], 32, 0);
+    }
+
+    #[test]
+    fn differential_index_isa_and_point_refs() {
+        // Exercise statically-evaluated index registers: lane/warp ids,
+        // iconst loads, arithmetic, and PointRef::Reg addressing.
+        let mut k = base_kernel(1);
+        k.iconst_banks = vec![vec![0, 1, 2, 3]];
+        k.body = vec![
+            Node::Op(Instr::Idx(IdxInstr::LaneId { dst: 0 })),
+            Node::Op(Instr::Idx(IdxInstr::LdConst { dst: 1, bank: 0, idx: IdxOp::Imm(1) })),
+            Node::Op(Instr::Idx(IdxInstr::Mul { dst: 2, a: IdxOp::Reg(0), b: IdxOp::Imm(1) })),
+            Node::Op(Instr::Idx(IdxInstr::Add { dst: 2, a: IdxOp::Reg(2), b: IdxOp::Imm(0) })),
+            Node::Op(Instr::LdGlobal {
+                dst: 0,
+                addr: GAddr { array: GlobalId(0), row: IdxOp::Reg(1), point: PointRef::Reg(2) },
+                ldg: false,
+            }),
+            Node::Op(Instr::DAdd { dst: 1, a: Op::Reg(0), b: Op::Imm(1.0) }),
+            Node::Op(Instr::StGlobal {
+                src: Op::Reg(1),
+                addr: GAddr { array: GlobalId(1), row: IdxOp::Imm(0), point: PointRef::Thread },
+            }),
+        ];
+        let input: Vec<f64> = (0..64).map(|i| (i * i) as f64).collect();
+        differential(&k, &[&input, &[]], 32, 0);
+    }
+
+    #[test]
+    fn differential_point_loop_multi_cta() {
+        // Streaming point loop over two point sets, executed as CTA 1 of
+        // a larger grid (base_point != 0 exercises Rel addressing).
+        let mut k = base_kernel(1);
+        k.points_per_cta = 64;
+        k.body = vec![Node::PointLoop {
+            iters: 2,
+            body: vec![
+                Node::Op(Instr::LdGlobal {
+                    dst: 0,
+                    addr: GAddr { array: GlobalId(0), row: IdxOp::Imm(1), point: PointRef::Lane },
+                    ldg: false,
+                }),
+                Node::Op(Instr::DFma {
+                    dst: 1,
+                    a: Op::Reg(0),
+                    b: Op::Imm(3.0),
+                    c: Op::Imm(-0.5),
+                    const_c: false,
+                }),
+                Node::Op(Instr::StGlobal {
+                    src: Op::Reg(1),
+                    addr: GAddr { array: GlobalId(1), row: IdxOp::Imm(0), point: PointRef::Lane },
+                }),
+            ],
+        }];
+        let total = 192;
+        let input: Vec<f64> = (0..2 * total).map(|i| i as f64 * 0.125).collect();
+        differential(&k, &[&input, &[]], total, 1);
+    }
+
+    #[test]
+    fn differential_errors_and_deadlock() {
+        // Deadlock: two warps syncing on different barriers.
+        let mut k = base_kernel(2);
+        k.body = vec![
+            Node::WarpIf { mask: 0b01, body: vec![Node::Op(Instr::BarSync { bar: 0, warps: 2 })] },
+            Node::WarpIf { mask: 0b10, body: vec![Node::Op(Instr::BarSync { bar: 1, warps: 2 })] },
+        ];
+        let input = vec![0.0; 64];
+        differential(&k, &[&input, &[]], 32, 0);
+
+        // Shared overrun, discovered at lowering, delivered as the
+        // interpreter's execution-time error.
+        let mut k = base_kernel(1);
+        k.body = vec![Node::Op(Instr::LdShared {
+            dst: 0,
+            addr: SAddr { base: None, imm: 1000, lane_stride: 1 },
+        })];
+        differential(&k, &[&input, &[]], 32, 0);
+
+        // Store to a non-output array.
+        let mut k = base_kernel(1);
+        k.body = vec![Node::Op(Instr::StGlobal {
+            src: Op::Imm(1.0),
+            addr: GAddr { array: GlobalId(0), row: IdxOp::Imm(0), point: PointRef::Lane },
+        })];
+        differential(&k, &[&input, &[]], 32, 0);
+
+        // Const index out of range.
+        let mut k = base_kernel(1);
+        k.body = vec![Node::Op(Instr::LdConst { dst: 0, bank: 0, idx: IdxOp::Imm(99) })];
+        differential(&k, &[&input, &[]], 32, 0);
+
+        // Static dreg overrun (decode-time Invalid -> trap).
+        let mut k = base_kernel(1);
+        k.body = vec![Node::Op(Instr::DMov { dst: 200, src: Op::Imm(0.0) })];
+        differential(&k, &[&input, &[]], 32, 0);
+    }
+
+    #[test]
+    fn trap_after_barrier_is_not_reached_on_deadlock() {
+        // Warp 0 deadlocks on barrier 0 before its OOB const load; warp 1
+        // syncs on barrier 1. The deadlock must win, as in the interpreter.
+        let mut k = base_kernel(2);
+        k.body = vec![
+            Node::WarpIf {
+                mask: 0b01,
+                body: vec![
+                    Node::Op(Instr::BarSync { bar: 0, warps: 2 }),
+                    Node::Op(Instr::LdConst { dst: 0, bank: 0, idx: IdxOp::Imm(99) }),
+                ],
+            },
+            Node::WarpIf { mask: 0b10, body: vec![Node::Op(Instr::BarSync { bar: 1, warps: 2 })] },
+        ];
+        let input = vec![0.0; 64];
+        differential(&k, &[&input, &[]], 32, 0);
+    }
+
+    #[test]
+    fn lowering_drops_index_ops_but_keeps_their_cost() {
+        let mut k = base_kernel(1);
+        k.body = vec![
+            Node::Op(Instr::Idx(IdxInstr::LaneId { dst: 0 })),
+            Node::Op(Instr::Idx(IdxInstr::Add { dst: 0, a: IdxOp::Reg(0), b: IdxOp::Imm(1) })),
+            Node::Op(Instr::DMov { dst: 0, src: Op::Imm(2.0) }),
+        ];
+        let prog = flatten(&k);
+        let eng = lower(&k, &prog);
+        // Index ops evaluate at lowering time: only the DMov survives.
+        assert_eq!(eng.uops.len(), 1);
+        assert!(matches!(eng.uops[0], UOp::Fast(DecodedInstr::Un { .. })));
+        // But their issue slots are still charged in bulk.
+        assert_eq!(eng.warps[0].len(), 1);
+        assert_eq!(eng.warps[0][0].bulk.issue_slots, 3);
+    }
+}

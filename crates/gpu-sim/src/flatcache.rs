@@ -1,10 +1,14 @@
-//! Process-wide memoization of [`crate::interp::flatten`].
+//! Process-wide memoization of [`crate::interp::flatten`] and of the
+//! segment-compiled engine lowering (`crate::engine`).
 //!
 //! Sweep-style workloads (autotuning, the figure harness, the verifier
 //! sweep) launch the same kernel many times; re-flattening on every launch
 //! re-expands every loop and rebuilds the pre-decoded side tables each
 //! time. This cache keys a shared [`FlatProgram`] on a structural
 //! fingerprint of the kernel, so repeated launches reuse one flatten.
+//! Lowered engine programs are memoized by the same fingerprint (lowering
+//! is arch/grid/CTA independent), so every CTA of every launch of one
+//! kernel replays a single compiled artifact.
 //!
 //! The fingerprint covers every kernel field (f64s by bit pattern) and is
 //! two independent 64-bit hashes, making accidental collisions between the
@@ -18,30 +22,55 @@ use std::collections::HashMap;
 use std::hash::Hasher;
 use std::sync::{Arc, Mutex, OnceLock};
 
+use crate::engine::EngineProgram;
 use crate::interp::{flatten, FlatProgram};
 use crate::isa::*;
 
 const MAX_ENTRIES: usize = 256;
 
-type FlatCache = Mutex<HashMap<(u64, u64), Arc<FlatProgram>>>;
+/// One memo slot per fingerprint. Concurrent requests for the same kernel
+/// all block on a single flatten/lower via `OnceLock::get_or_init` instead
+/// of racing to do the work N times (parallel CTA workers hit a new
+/// kernel's slot simultaneously on the first launch).
+type Slot<T> = Arc<OnceLock<Arc<T>>>;
+type MemoCache<T> = Mutex<HashMap<(u64, u64), Slot<T>>>;
 
-static CACHE: OnceLock<FlatCache> = OnceLock::new();
+static CACHE: OnceLock<MemoCache<FlatProgram>> = OnceLock::new();
+
+static ENGINE_CACHE: OnceLock<MemoCache<EngineProgram>> = OnceLock::new();
+
+/// Claim (or join) `key`'s slot under the lock, then run `make` outside it.
+fn memoized<T>(
+    cache: &'static OnceLock<MemoCache<T>>,
+    key: (u64, u64),
+    make: impl FnOnce() -> T,
+) -> Arc<T> {
+    let slot = {
+        let mut g = cache
+            .get_or_init(|| Mutex::new(HashMap::new()))
+            .lock()
+            .expect("kernel memo cache poisoned");
+        if g.len() >= MAX_ENTRIES && !g.contains_key(&key) {
+            g.clear();
+        }
+        g.entry(key).or_default().clone()
+    };
+    slot.get_or_init(|| Arc::new(make())).clone()
+}
 
 /// Flatten `kernel`, reusing a cached [`FlatProgram`] when an identical
 /// kernel was flattened before in this process.
 pub fn flatten_cached(kernel: &Kernel) -> Arc<FlatProgram> {
-    let key = fingerprint(kernel);
-    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    if let Some(hit) = cache.lock().expect("flatten cache poisoned").get(&key) {
-        return hit.clone();
-    }
-    // Flatten outside the lock so parallel sweep workers don't serialize.
-    let prog = Arc::new(flatten(kernel));
-    let mut g = cache.lock().expect("flatten cache poisoned");
-    if g.len() >= MAX_ENTRIES {
-        g.clear();
-    }
-    g.entry(key).or_insert_with(|| prog.clone()).clone()
+    memoized(&CACHE, fingerprint(kernel), || flatten(kernel))
+}
+
+/// Lower `kernel` for the segment-compiled engine, reusing a cached
+/// [`EngineProgram`] when an identical kernel was lowered before in this
+/// process. `prog` must be `kernel`'s flattening (lowering is a pure
+/// function of the kernel, so any equal-fingerprint flattening yields the
+/// same program).
+pub(crate) fn engine_cached(kernel: &Kernel, prog: &FlatProgram) -> Arc<EngineProgram> {
+    memoized(&ENGINE_CACHE, fingerprint(kernel), || crate::engine::lower(kernel, prog))
 }
 
 /// Two independent structural hashes of the kernel. Public so other

@@ -496,11 +496,13 @@ pub fn flatten(kernel: &Kernel) -> FlatProgram {
 /// Named-barrier state. `generation` increments on every completion so a
 /// warp blocked on one use of the barrier is not confused by a subsequent
 /// reuse (barriers are recycled constantly in multi-pass kernels).
+/// Shared with the segment-compiled engine so both paths replay the exact
+/// same barrier semantics.
 #[derive(Debug, Clone, Default)]
-struct BarrierState {
+pub(crate) struct BarrierState {
     arrived: u16,
     expected: Option<u16>,
-    generation: u64,
+    pub(crate) generation: u64,
 }
 
 /// Per-warp execution state.
@@ -530,6 +532,12 @@ pub struct CtaResult {
 /// slices for input arrays (may be empty for pure outputs). `cta` selects
 /// the point range `[cta * points_per_cta, ...)`. When `collect` is true,
 /// event counts (including cache simulations) are gathered.
+///
+/// This is a thin dispatcher: unprofiled runs execute on the
+/// segment-compiled engine (`crate::engine`), which is differential-
+/// tested bit-identical against the interpreter; profiled runs
+/// ([`run_cta_profiled`] with `Some`) stay on the interpreter, whose
+/// per-instruction hooks cycle attribution needs.
 pub fn run_cta(
     kernel: &Kernel,
     prog: &FlatProgram,
@@ -539,14 +547,17 @@ pub fn run_cta(
     collect: bool,
     arch: &crate::arch::GpuArch,
 ) -> SimResult<CtaResult> {
-    run_cta_profiled(kernel, prog, inputs, total_points, cta, collect, arch, None)
+    let eng = crate::flatcache::engine_cached(kernel, prog);
+    crate::engine::run_cta_engine(kernel, &eng, prog, inputs, total_points, cta, collect, arch)
 }
 
-/// [`run_cta`] with an optional cycle-attribution profiler attached
-/// (see [`crate::profile`]). Passing a profiler forces event collection
-/// (attribution needs the cache simulations); passing `None` is exactly
-/// the unprofiled path — the hooks sit behind already-taken branches, so
-/// the disabled overhead is near zero.
+/// [`run_cta`] semantics with an optional cycle-attribution profiler
+/// attached (see [`crate::profile`]). Passing a profiler forces event
+/// collection (attribution needs the cache simulations). Unlike
+/// [`run_cta`], this always runs the per-instruction interpreter — with
+/// `None` it is the engine's differential reference (the legacy
+/// interpreter path), bit-identical to the engine by construction and by
+/// test.
 #[allow(clippy::too_many_arguments)]
 pub fn run_cta_profiled(
     kernel: &Kernel,
@@ -794,8 +805,9 @@ fn step_warp(
                         ran = true;
                     }
                     dec => {
-                        exec_fast(dec, &mut warps[w], collect, counts)?;
-                        warps[w].pc += 1;
+                        let ws = &mut warps[w];
+                        exec_fast(dec, &mut ws.dregs, &mut ws.local, collect, counts)?;
+                        ws.pc += 1;
                         ran = true;
                     }
                 }
@@ -806,7 +818,11 @@ fn step_warp(
 
 /// Register an arrival on a barrier; returns true if the barrier completed
 /// (and was reset) as a result.
-fn barrier_arrive(barriers: &mut [BarrierState], bar: u8, expected: u16) -> SimResult<bool> {
+pub(crate) fn barrier_arrive(
+    barriers: &mut [BarrierState],
+    bar: u8,
+    expected: u16,
+) -> SimResult<bool> {
     let b = barriers
         .get_mut(bar as usize)
         .ok_or(SimError::BarrierMismatch { bar, msg: "barrier id out of range".into() })?;
@@ -835,7 +851,7 @@ fn barrier_arrive(barriers: &mut [BarrierState], bar: u8, expected: u16) -> SimR
 /// Copying first makes destination aliasing trivially safe while keeping
 /// the arithmetic loops over plain contiguous slices.
 #[inline]
-fn src_vals(dregs: &[f64], s: Src) -> [f64; WARP_SIZE] {
+pub(crate) fn src_vals(dregs: &[f64], s: Src) -> [f64; WARP_SIZE] {
     match s {
         Src::Reg(base) => dregs[base..base + WARP_SIZE].try_into().expect("warp slice"),
         Src::Imm(v) => [v; WARP_SIZE],
@@ -844,18 +860,21 @@ fn src_vals(dregs: &[f64], s: Src) -> [f64; WARP_SIZE] {
 
 /// Execute a pre-decoded register-only instruction: the 32-lane loops run
 /// over contiguous register-file slices with no per-lane operand matching
-/// or bounds rederivation.
-fn exec_fast(
+/// or bounds rederivation. Takes the register/local lanes directly so the
+/// segment-compiled engine shares this exact code path (identical
+/// floating-point behavior by construction).
+pub(crate) fn exec_fast(
     dec: DecodedInstr,
-    warp: &mut WarpState,
+    dregs: &mut [f64],
+    local: &mut [f64],
     collect: bool,
     counts: &mut EventCounts,
 ) -> SimResult<()> {
     match dec {
         DecodedInstr::Bin { kind, dst, a, b } => {
-            let av = src_vals(&warp.dregs, a);
-            let bv = src_vals(&warp.dregs, b);
-            let out = &mut warp.dregs[dst..dst + WARP_SIZE];
+            let av = src_vals(dregs, a);
+            let bv = src_vals(dregs, b);
+            let out = &mut dregs[dst..dst + WARP_SIZE];
             match kind {
                 BinKind::Add => {
                     for l in 0..WARP_SIZE {
@@ -895,8 +914,8 @@ fn exec_fast(
             }
         }
         DecodedInstr::Un { kind, dst, a } => {
-            let av = src_vals(&warp.dregs, a);
-            let out = &mut warp.dregs[dst..dst + WARP_SIZE];
+            let av = src_vals(dregs, a);
+            let out = &mut dregs[dst..dst + WARP_SIZE];
             match kind {
                 UnKind::Mov => out.copy_from_slice(&av),
                 UnKind::Sqrt => {
@@ -932,27 +951,27 @@ fn exec_fast(
             }
         }
         DecodedInstr::Fma { dst, a, b, c } => {
-            let av = src_vals(&warp.dregs, a);
-            let bv = src_vals(&warp.dregs, b);
-            let cv = src_vals(&warp.dregs, c);
-            let out = &mut warp.dregs[dst..dst + WARP_SIZE];
+            let av = src_vals(dregs, a);
+            let bv = src_vals(dregs, b);
+            let cv = src_vals(dregs, c);
+            let out = &mut dregs[dst..dst + WARP_SIZE];
             for l in 0..WARP_SIZE {
                 out[l] = av[l].mul_add(bv[l], cv[l]);
             }
         }
         DecodedInstr::Sel { dst, pred, a, b } => {
-            let pv = src_vals(&warp.dregs, Src::Reg(pred));
-            let av = src_vals(&warp.dregs, a);
-            let bv = src_vals(&warp.dregs, b);
-            let out = &mut warp.dregs[dst..dst + WARP_SIZE];
+            let pv = src_vals(dregs, Src::Reg(pred));
+            let av = src_vals(dregs, a);
+            let bv = src_vals(dregs, b);
+            let out = &mut dregs[dst..dst + WARP_SIZE];
             for l in 0..WARP_SIZE {
                 out[l] = if pv[l] != 0.0 { av[l] } else { bv[l] };
             }
         }
         DecodedInstr::CmpOp { dst, cmp, a, b } => {
-            let av = src_vals(&warp.dregs, a);
-            let bv = src_vals(&warp.dregs, b);
-            let out = &mut warp.dregs[dst..dst + WARP_SIZE];
+            let av = src_vals(dregs, a);
+            let bv = src_vals(dregs, b);
+            let out = &mut dregs[dst..dst + WARP_SIZE];
             for l in 0..WARP_SIZE {
                 let (x, y) = (av[l], bv[l]);
                 let t = match cmp {
@@ -967,21 +986,20 @@ fn exec_fast(
             }
         }
         DecodedInstr::Shfl { dst, src, lane } => {
-            let v = warp.dregs[src + lane];
-            for slot in &mut warp.dregs[dst..dst + WARP_SIZE] {
+            let v = dregs[src + lane];
+            for slot in &mut dregs[dst..dst + WARP_SIZE] {
                 *slot = v;
             }
         }
         DecodedInstr::LdLocal { dst, slot } => {
-            let (local, dregs) = (&warp.local, &mut warp.dregs);
             dregs[dst..dst + WARP_SIZE].copy_from_slice(&local[slot..slot + WARP_SIZE]);
             if collect {
                 counts.local_bytes += (WARP_SIZE * 8) as u64;
             }
         }
         DecodedInstr::StLocal { src, slot } => {
-            let sv = src_vals(&warp.dregs, src);
-            warp.local[slot..slot + WARP_SIZE].copy_from_slice(&sv);
+            let sv = src_vals(dregs, src);
+            local[slot..slot + WARP_SIZE].copy_from_slice(&sv);
             if collect {
                 counts.local_bytes += (WARP_SIZE * 8) as u64;
             }
@@ -1420,7 +1438,7 @@ fn exec_slow(
 }
 
 /// Translate a global SoA element index into a CTA output-buffer index.
-fn local_out_index(
+pub(crate) fn local_out_index(
     idx: usize,
     total_points: usize,
     base_point: usize,
@@ -1439,7 +1457,7 @@ fn local_out_index(
 }
 
 /// Count 128-byte global transactions for 32 lane element indices.
-fn coalesce(idxs: &[usize; WARP_SIZE]) -> (u64, u64) {
+pub(crate) fn coalesce(idxs: &[usize; WARP_SIZE]) -> (u64, u64) {
     let mut segs: Vec<usize> = idxs.iter().map(|i| i * 8 / 128).collect();
     segs.sort_unstable();
     segs.dedup();
@@ -1451,7 +1469,7 @@ fn coalesce(idxs: &[usize; WARP_SIZE]) -> (u64, u64) {
 /// replays is the maximum number of *distinct* addresses mapping to one
 /// bank (same-address access broadcasts). Returns `(transactions,
 /// conflict_replays)`.
-fn bank_transactions(addrs: &[usize; WARP_SIZE], lane_pred: Option<u8>) -> (u64, u64) {
+pub(crate) fn bank_transactions(addrs: &[usize; WARP_SIZE], lane_pred: Option<u8>) -> (u64, u64) {
     let mut per_bank: [Vec<usize>; 32] = Default::default();
     for (l, &a) in addrs.iter().enumerate() {
         if let Some(p) = lane_pred {

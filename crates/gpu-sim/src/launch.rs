@@ -1,5 +1,10 @@
 //! Grid launch: run a kernel over all CTAs of a grid (functionally, in
 //! parallel across host threads) and produce outputs plus a timing report.
+//!
+//! Full launches fan independent CTAs out over the deterministic ordered
+//! pool ([`crate::pool::run_ordered`]): results are scattered in CTA
+//! order, so the worker count ([`LaunchConfig::jobs`], `SINGE_JOBS`)
+//! never changes output bytes.
 
 use crate::arch::GpuArch;
 use crate::error::{SimError, SimResult};
@@ -54,11 +59,15 @@ pub struct LaunchConfig {
     /// edges) for Chrome-trace export. Implies nothing unless `profile`
     /// is set.
     pub trace_events: bool,
+    /// Worker threads for the parallel CTA sweep in [`LaunchMode::Full`]
+    /// (`0` = auto: `SINGE_JOBS` or the machine's available parallelism,
+    /// see [`crate::pool::default_jobs`]). Deterministic at any value.
+    pub jobs: usize,
 }
 
 impl Default for LaunchConfig {
     fn default() -> LaunchConfig {
-        LaunchConfig { mode: LaunchMode::Full, profile: false, trace_events: false }
+        LaunchConfig { mode: LaunchMode::Full, profile: false, trace_events: false, jobs: 0 }
     }
 }
 
@@ -133,41 +142,34 @@ pub fn launch_with_config(
         .map(|a| if a.output { vec![0.0; a.rows * total_points] } else { Vec::new() })
         .collect();
 
-    // CTA 0 runs with event collection; scatter its buffers too.
+    // CTA 0 runs with event collection; scatter its buffers too. With a
+    // profiler attached it runs on the interpreter (the profiled slow
+    // path); otherwise `run_cta` dispatches to the segment-compiled
+    // engine.
     let mut profiler = config.profile.then(|| {
         Profiler::new(kernel.warps_per_cta, kernel.barriers_used.max(16), config.trace_events, arch)
     });
-    let first = run_cta_profiled(
-        kernel, &prog, &inputs.arrays, total_points, 0, true, arch, profiler.as_mut(),
-    )?;
+    let first = match profiler.as_mut() {
+        Some(p) => run_cta_profiled(
+            kernel, &prog, &inputs.arrays, total_points, 0, true, arch, Some(p),
+        )?,
+        None => run_cta(kernel, &prog, &inputs.arrays, total_points, 0, true, arch)?,
+    };
     scatter(kernel, total_points, 0, &first, &mut outputs);
     let counts = first.counts;
     let profile = profiler.map(Profiler::finish);
 
     if n_ctas > 1 {
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-        let results: SimResult<Vec<Vec<(usize, CtaResult)>>> = std::thread::scope(|s| {
-            let mut handles = Vec::new();
-            for t in 0..threads {
-                let prog = &prog;
-                let arrays = &inputs.arrays;
-                handles.push(s.spawn(move || -> SimResult<Vec<(usize, CtaResult)>> {
-                    let mut local = Vec::new();
-                    let mut cta = 1 + t;
-                    while cta < n_ctas {
-                        let r = run_cta(kernel, prog, arrays, total_points, cta, false, arch)?;
-                        local.push((cta, r));
-                        cta += threads;
-                    }
-                    Ok(local)
-                }));
-            }
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        });
-        for batch in results? {
-            for (cta, r) in batch {
-                scatter(kernel, total_points, cta, &r, &mut outputs);
-            }
+        // Remaining CTAs are independent: fan them out over the ordered
+        // pool and scatter in CTA order. The first error (in CTA order)
+        // wins, exactly as a serial loop would report it.
+        let jobs = if config.jobs == 0 { crate::pool::default_jobs() } else { config.jobs };
+        let results: Vec<SimResult<CtaResult>> =
+            crate::pool::run_ordered(jobs, n_ctas - 1, |i| {
+                run_cta(kernel, &prog, &inputs.arrays, total_points, 1 + i, false, arch)
+            });
+        for (i, r) in results.into_iter().enumerate() {
+            scatter(kernel, total_points, 1 + i, &r?, &mut outputs);
         }
     }
 
@@ -275,7 +277,7 @@ mod tests {
         let arch = GpuArch::kepler_k20c();
         let points = 32 * 4;
         let input: Vec<f64> = (0..2 * points).map(|i| i as f64).collect();
-        let cfg = LaunchConfig { mode: LaunchMode::Full, profile: true, trace_events: true };
+        let cfg = LaunchConfig { mode: LaunchMode::Full, profile: true, trace_events: true, jobs: 0 };
         let out =
             launch_with_config(&k, &arch, &LaunchInputs { arrays: vec![&input, &[]] }, points, cfg)
                 .unwrap();

@@ -29,6 +29,7 @@
 pub mod arch;
 pub mod ccache;
 pub mod counts;
+pub(crate) mod engine;
 pub mod error;
 pub mod flatcache;
 pub mod icache;
@@ -37,6 +38,7 @@ pub mod isa;
 pub mod launch;
 pub mod model;
 pub mod occupancy;
+pub mod pool;
 pub mod profile;
 pub mod timing;
 

@@ -1,11 +1,12 @@
 //! Dependency-free, order-preserving work pool for sweep workloads.
 //!
-//! Autotuning, the figure harness, and the verifier sweep all evaluate a
-//! known list of independent candidates. [`run_ordered`] fans the list out
-//! over `std::thread::scope` workers and commits results **in input
-//! order**, so callers observe exactly the sequence a serial loop would
-//! have produced — parallelism never changes output bytes, row order, or
-//! winner selection.
+//! Autotuning, the figure harness, the verifier sweep, and full-grid
+//! launches ([`crate::launch_with_config`] fans independent CTAs out over
+//! the same pool) all evaluate a known list of independent work items.
+//! [`run_ordered`] distributes the list over `std::thread::scope` workers
+//! and commits results **in input order**, so callers observe exactly the
+//! sequence a serial loop would have produced — parallelism never changes
+//! output bytes, row order, or winner selection.
 //!
 //! The worker count comes from the caller (a `--jobs` flag), the
 //! `SINGE_JOBS` environment variable, or the machine's available
@@ -33,11 +34,19 @@ pub fn default_jobs() -> usize {
 /// `jobs <= 1` (or `n <= 1`) runs inline on the caller's thread with no
 /// thread or lock overhead, so `--jobs 1` is byte-for-byte the serial
 /// path. Worker panics propagate to the caller via `std::thread::scope`.
+///
+/// The spawned thread count is additionally capped at the machine's
+/// available parallelism: results are committed in input order no matter
+/// how many workers run, so extra threads beyond the core count can only
+/// add scheduling overhead, never change output. `--jobs 8` on a 1-core
+/// box therefore runs inline, byte-identical to `--jobs 1`.
 pub fn run_ordered<R, F>(jobs: usize, n: usize, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let jobs = jobs.min(cores);
     if jobs <= 1 || n <= 1 {
         return (0..n).map(f).collect();
     }

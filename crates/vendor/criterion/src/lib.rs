@@ -80,7 +80,14 @@ impl BenchmarkGroup<'_> {
         let best = bencher.samples.iter().cloned().fold(f64::INFINITY, f64::min);
         let rate = match (self.throughput, best.is_finite() && best > 0.0) {
             (Some(Throughput::Elements(e)), true) => {
-                format!(", {:.1} Melem/s", e as f64 / best / 1e6)
+                // Scale to the rate: low-element benches (e.g. points per
+                // CTA) would round to 0.0 Melem/s.
+                let eps = e as f64 / best;
+                if eps >= 1e6 {
+                    format!(", {:.1} Melem/s", eps / 1e6)
+                } else {
+                    format!(", {:.1} Kelem/s", eps / 1e3)
+                }
             }
             (Some(Throughput::Bytes(b)), true) => {
                 format!(", {:.1} MiB/s", b as f64 / best / (1024.0 * 1024.0))
