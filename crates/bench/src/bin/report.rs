@@ -15,6 +15,10 @@
 //! for every kernel × variant × architecture, writes `target/model.json`,
 //! and exits non-zero if the accuracy gate (Spearman ≥ 0.8, ratio within
 //! 2x) fails; like `profile` it runs solo, never under `all`.
+//! `engine-bench` times the segment-compiled engine against the legacy
+//! interpreter on one warp-specialized DME viscosity CTA and records
+//! lanes/second into the `engine` line of `BENCH_report.json` (preserved
+//! across `report all` rewrites); it too runs solo.
 //!
 //! Figures are computed on a worker pool (`--jobs`, `SINGE_JOBS`, default
 //! = available parallelism) but every figure renders into its own buffer
@@ -35,7 +39,7 @@ use singe_bench::*;
 const FIGURES: &[&str] = &[
     "mechanisms", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
     "fig15", "fig16", "gflops", "ablate-barriers", "spills", "verify",
-    "profile", "model", "all",
+    "profile", "model", "engine-bench", "all",
 ];
 
 /// Wall-clock of the serial `report all` before the fast-path/memoization/
@@ -102,6 +106,14 @@ fn main() {
             eprintln!("\nmodel accuracy gate FAILED");
             std::process::exit(1);
         }
+        return;
+    }
+
+    // `engine-bench` also runs solo: it is a throughput probe of the
+    // execution engine itself, not a paper figure, and must not shift the
+    // figure wall-clocks `BENCH_report.json` tracks.
+    if which == "engine-bench" {
+        engine_bench_report(&dme, &archs[1]);
         return;
     }
 
@@ -243,6 +255,17 @@ fn bench_report_json(
     let _ = writeln!(out, "  \"total_seconds\": {total_seconds:.3},");
     let _ = writeln!(out, "  \"pre_pr_sequential_seconds\": {baseline:.3},");
     let _ = writeln!(out, "  \"speedup_vs_pre_pr\": {:.2},", baseline / total_seconds);
+    // Carry the `report engine-bench` entry forward: like every `runs`
+    // entry, it is a single line this binary wrote (`"engine": {...}`).
+    if let Some(prior) = prior {
+        for line in prior.lines() {
+            let entry = line.trim().trim_end_matches(',');
+            if entry.starts_with("\"engine\": {") && entry.ends_with('}') {
+                let _ = writeln!(out, "  {entry},");
+                break;
+            }
+        }
+    }
     out.push_str("  \"runs\": [\n");
     for (i, (_, entry)) in runs.iter().enumerate() {
         let _ = write!(out, "    {entry}");
@@ -259,6 +282,102 @@ fn bench_report_json(
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+/// `engine-bench`: wall-clock smoke of the segment-compiled engine vs the
+/// legacy per-instruction interpreter on one warp-specialized DME
+/// viscosity CTA. Best-of-N timing (the minimum absorbs scheduler noise on
+/// shared CI machines); throughput is reported as executed *lanes* per
+/// second (warp instructions × 32). The result lands on stdout and, unless
+/// `SINGE_BENCH_JSON=0`, as the single-line `engine` key of
+/// `BENCH_report.json`, which `report all` preserves when it rewrites the
+/// file — so the engine's throughput trajectory is tracked alongside the
+/// figure wall-clocks.
+fn engine_bench_report(mech: &Mechanism, arch: &GpuArch) {
+    use chemkin::state::{GridDims, GridState};
+    use gpu_sim::interp::{run_cta, run_cta_profiled};
+    use gpu_sim::{flatten_cached, WARP_SIZE};
+    use singe::kernels::launch_arrays;
+
+    let built = build(Kind::Viscosity, mech, arch, Variant::WarpSpecialized);
+    let prog = flatten_cached(&built.kernel);
+    let points = built.kernel.points_per_cta;
+    let grid = GridState::random(GridDims { nx: points, ny: 1, nz: 1 }, built.n_species, 1234);
+    let arrays = launch_arrays(&built.kernel.global_arrays, &grid).expect("known arrays");
+    let lanes: u64 =
+        (0..prog.n_warps()).map(|w| prog.stream_len(w) as u64).sum::<u64>() * WARP_SIZE as u64;
+
+    let time_best = |n: usize, f: &dyn Fn()| {
+        for _ in 0..3 {
+            f();
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..n {
+            let t = Instant::now();
+            f();
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let eng = time_best(30, &|| {
+        run_cta(&built.kernel, &prog, &arrays, points, 0, false, arch).expect("engine CTA");
+    });
+    let interp = time_best(10, &|| {
+        run_cta_profiled(&built.kernel, &prog, &arrays, points, 0, false, arch, None)
+            .expect("interp CTA");
+    });
+    let lanes_per_sec = lanes as f64 / eng;
+    let speedup = interp / eng;
+    println!("== engine throughput (dme viscosity ws, {}) ==", arch.name);
+    println!("engine : {:8.3} ms/CTA  ({:.1} Mlanes/s)", eng * 1e3, lanes_per_sec / 1e6);
+    println!("interp : {:8.3} ms/CTA", interp * 1e3);
+    println!("speedup: {speedup:7.2}x");
+
+    if std::env::var("SINGE_BENCH_JSON").as_deref() == Ok("0") {
+        return;
+    }
+    let entry = format!(
+        "\"engine\": {{\"kernel\": \"dme-viscosity-ws\", \"arch\": \"{}\", \
+         \"lanes_per_sec\": {lanes_per_sec:.0}, \"engine_seconds\": {eng:.6}, \
+         \"interp_seconds\": {interp:.6}, \"speedup_vs_interp\": {speedup:.2}}}",
+        arch.name.split_whitespace().last().unwrap_or(arch.name),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_report.json");
+    let doc = match std::fs::read_to_string(path) {
+        Ok(prior) => {
+            // Replace the existing engine line, or place a new one right
+            // after `speedup_vs_pre_pr` (where `bench_report_json` keeps
+            // it on rewrite).
+            let mut out = String::new();
+            let mut placed = false;
+            for line in prior.lines() {
+                let key = line.trim_start();
+                if key.starts_with("\"engine\": {") {
+                    if !placed {
+                        let _ = writeln!(out, "  {entry},");
+                        placed = true;
+                    }
+                    continue;
+                }
+                out.push_str(line);
+                out.push('\n');
+                if !placed && key.starts_with("\"speedup_vs_pre_pr\":") {
+                    let _ = writeln!(out, "  {entry},");
+                    placed = true;
+                }
+            }
+            if !placed {
+                eprintln!("[unrecognized {path} layout; file left unchanged]");
+                return;
+            }
+            out
+        }
+        Err(_) => format!("{{\n  {entry}\n}}\n"),
+    };
+    match std::fs::write(path, &doc) {
+        Ok(()) => eprintln!("[wrote engine entry to {path}]"),
+        Err(e) => eprintln!("[could not write {path}: {e}]"),
+    }
 }
 
 /// Figure 3: mechanism characteristics table.

@@ -46,6 +46,18 @@ impl ConstCache {
         }
     }
 
+    /// Replay a pre-resolved line-tag script (one entry per cache access,
+    /// in access order) in a single pass. Used by the segment engine,
+    /// which hoists the per-access LRU walk out of its inner loop by
+    /// recording each segment's line sequence at lowering time; hit/miss
+    /// totals and the final LRU state are identical to issuing the same
+    /// accesses one at a time through [`ConstCache::access`].
+    pub fn access_script(&mut self, line_tags: &[u64]) {
+        for &tag in line_tags {
+            self.access(tag * self.line_bytes as u64);
+        }
+    }
+
     /// Hits so far.
     pub fn hits(&self) -> u64 {
         self.hits

@@ -41,6 +41,19 @@
 //! structured `OutOfBounds { space: "ireg", .. }` trap instead — no
 //! compiler in this repo emits such code.)
 //!
+//! After lowering, each warp's micro-op stream runs a
+//! bit-identity-preserving optimization pipeline (`optimize_warp`, pass
+//! order is load-bearing): shuffles reading a lowering-time-known
+//! constant chunk fold to immediates, mov chains are copy-propagated, a
+//! mul feeding its sole add/sub consumer fuses into one two-destination
+//! micro-op, stride-0 shared reads and gather+single-lane-shuffle pairs
+//! collapse to one-word broadcasts, dead micro-ops fall to backward
+//! liveness, and remaining immediate operands are rewritten to chunks of
+//! a shared read-only constant tail addressed past the architectural
+//! register file. Set `SINGE_ENGINE_STATS=1` for a post-optimization
+//! micro-op histogram on stderr, plus `SINGE_ENGINE_DUMP=<warp>` to dump
+//! that warp's segments and micro-ops.
+//!
 //! Lowered programs are cached process-wide by the kernel's structural
 //! fingerprint (see [`crate::flatcache::engine_cached`]); lowering is
 //! independent of the grid, the architecture, and the CTA index. The
@@ -56,10 +69,11 @@ use crate::counts::{EventCounts, StaticSegCounts};
 use crate::error::{SimError, SimResult};
 use crate::icache::interleaved_fetch_profile;
 use crate::interp::{
-    bank_transactions, barrier_arrive, coalesce, exec_fast, local_out_index, src_vals,
-    BarrierState, CtaResult, DecodedInstr, FlatOp, FlatProgram, Src,
+    bank_transactions, barrier_arrive, coalesce, exec_fast, local_out_index, operand, out_chunk,
+    src_vals, BarrierState, BinKind, CtaResult, DecodedInstr, FlatOp, FlatProgram, Src, UnKind,
 };
 use crate::isa::*;
+use crate::lanes;
 use crate::WARP_SIZE;
 
 /// How a segment ends: the end of the warp's stream, or a named-barrier
@@ -75,10 +89,17 @@ enum SegTerm {
 }
 
 /// One barrier-separated superblock of a warp's stream: a dense micro-op
-/// range, its statically-known event counts, and its terminator.
+/// range, its statically-known event counts, its pre-resolved
+/// constant-cache line script, and its terminator.
 #[derive(Debug)]
 struct Segment {
     uops: std::ops::Range<u32>,
+    /// Concatenated constant-cache line sequence of every constant load in
+    /// this segment, in access order (range into [`EngineProgram::lines`]).
+    /// Segments are uninterruptible, so replaying the whole script once
+    /// per segment preserves the global LRU access order exactly — the
+    /// per-access walk leaves the inner loop entirely.
+    lines: std::ops::Range<u32>,
     bulk: StaticSegCounts,
     term: SegTerm,
 }
@@ -102,14 +123,26 @@ enum UOp {
     /// Register-only instruction, executed by the interpreter's own
     /// [`exec_fast`] (guaranteeing identical floating-point behavior).
     Fast(DecodedInstr),
+    /// Fused `t = a * b; d = t <op> c` pair produced by the lowering
+    /// peephole. Both roundings are kept (product rounds, then the second
+    /// op rounds) and both destinations are written, so the result is
+    /// bit-identical to the two unfused instructions the interpreter
+    /// executes — no gating needed for the differential tests.
+    FusedMulBin { kind: lanes::FusedBin, t: u32, d: u32, a: Src, b: Src, c: Src },
     /// Constant load with values fully resolved: copy a 32-lane chunk
-    /// from the f64 arena, then replay the precomputed distinct
-    /// cache-line list (collect path only).
-    ConstV { dst: u32, vals: u32, lines: u32, n_lines: u32 },
+    /// from the f64 arena. The cache-line walk moved to the segment's
+    /// line script ([`Segment::lines`]).
+    ConstV { dst: u32, vals: u32 },
     /// Shared load from pre-resolved, pre-validated addresses.
     LdShared { dst: u32, addrs: u32 },
+    /// Fused stage-and-broadcast: read one pre-validated shared word and
+    /// splat it across the destination chunk. Produced by the DCE pass
+    /// from an `LdShared` gather whose only consumer was a single-lane
+    /// `Shfl` — the warp-specialized kernels' staple pattern — replacing
+    /// a 32-lane gather plus a broadcast with one load.
+    LdSharedBcast { dst: u32, addr: u32 },
     /// Shared store; `lane == u32::MAX` stores all lanes, otherwise only
-    /// the predicated lane (out-of-range predicates store nothing).
+    /// the predicated lane (lowering rejects `lane >= WARP_SIZE`).
     StShared { src: Src, addrs: u32, lane: u32 },
     /// Global load: `idx[l] = rows[l] * total_points + point(l)`.
     LdGlobal { dst: u32, array: u32, rows: u32, pts: PtsRef },
@@ -117,6 +150,9 @@ enum UOp {
     StGlobal { src: Src, array: u32, rows: u32, pts: PtsRef },
     /// Deferred execution-time error discovered at lowering time.
     Trap(u32),
+    /// Tombstone left by the optimization passes (fused second halves,
+    /// dead copies); compaction removes every one before execution.
+    Nop,
 }
 
 /// A lowered CTA program: per-warp segment lists over shared micro-op and
@@ -131,9 +167,16 @@ pub(crate) struct EngineProgram {
     u32x: Vec<u32>,
     /// 32-lane f64 chunks (resolved constant loads), deduplicated.
     f64x: Vec<f64>,
-    /// Ordered distinct constant-cache line lists, referenced by
-    /// `(start, len)` from [`UOp::ConstV`].
+    /// Ordered constant-cache line scripts, referenced per segment by
+    /// [`Segment::lines`].
     lines: Vec<u64>,
+    /// Pre-splatted immediate chunks forming a read-only *constant tail*
+    /// shared by every warp: operand resolution treats register indices at
+    /// or past the architectural register file as offsets into this
+    /// vector. Operands the lowering rewrote from `Src::Imm` point here,
+    /// turning a per-use 32-lane splat into a plain chunk read without
+    /// growing any warp's register file.
+    dreg_tail: Vec<f64>,
     /// Deferred errors referenced by [`UOp::Trap`].
     traps: Vec<SimError>,
 }
@@ -145,9 +188,14 @@ struct Lowerer<'k> {
     u32x: Vec<u32>,
     f64x: Vec<f64>,
     lines: Vec<u64>,
+    /// Constant-cache lines touched by the segment currently being
+    /// lowered; drained into `lines` when the segment flushes.
+    cur_lines: Vec<u64>,
     traps: Vec<SimError>,
     u32_dedup: HashMap<[u32; WARP_SIZE], u32>,
     f64_dedup: HashMap<[u64; WARP_SIZE], u32>,
+    dreg_tail: Vec<f64>,
+    imm_dedup: HashMap<u64, u32>,
 }
 
 /// Lower a flattened program into its segment-compiled form. Infallible:
@@ -168,18 +216,83 @@ pub(crate) fn lower(kernel: &Kernel, prog: &FlatProgram) -> EngineProgram {
         u32x: Vec::new(),
         f64x: Vec::new(),
         lines: Vec::new(),
+        cur_lines: Vec::new(),
         traps: Vec::new(),
         u32_dedup: HashMap::new(),
         f64_dedup: HashMap::new(),
+        dreg_tail: Vec::new(),
+        imm_dedup: HashMap::new(),
     };
     let warps: Vec<Vec<Segment>> =
         (0..prog.n_warps()).map(|w| lw.lower_warp(prog, w)).collect();
+    if std::env::var_os("SINGE_ENGINE_STATS").is_some() {
+        let mut hist: HashMap<&'static str, usize> = HashMap::new();
+        for u in &lw.uops {
+            let k = match u {
+                UOp::Fast(DecodedInstr::Bin { kind, .. }) => match kind {
+                    BinKind::Add => "bin.add",
+                    BinKind::Sub => "bin.sub",
+                    BinKind::Mul => "bin.mul",
+                    BinKind::Div => "bin.div",
+                    BinKind::Pow => "bin.pow",
+                    BinKind::Max => "bin.max",
+                    BinKind::Min => "bin.min",
+                },
+                UOp::Fast(DecodedInstr::Un { kind, .. }) => match kind {
+                    UnKind::Mov => "un.mov",
+                    UnKind::Sqrt => "un.sqrt",
+                    UnKind::Neg => "un.neg",
+                    UnKind::Exp => "un.exp",
+                    UnKind::Log => "un.log",
+                    UnKind::Log10 => "un.log10",
+                    UnKind::Cbrt => "un.cbrt",
+                },
+                UOp::Fast(DecodedInstr::Fma { .. }) => "fma",
+                UOp::Fast(DecodedInstr::Sel { .. }) => "sel",
+                UOp::Fast(DecodedInstr::CmpOp { .. }) => "cmp",
+                UOp::Fast(DecodedInstr::Shfl { .. }) => "shfl",
+                UOp::Fast(DecodedInstr::LdLocal { .. }) => "ldlocal",
+                UOp::Fast(DecodedInstr::StLocal { .. }) => "stlocal",
+                UOp::Fast(_) => "fast.other",
+                UOp::FusedMulBin { .. } => "fused_mul_bin",
+                UOp::ConstV { .. } => "constv",
+                UOp::LdShared { .. } => "ldshared",
+                UOp::LdSharedBcast { .. } => "ldshared_bcast",
+                UOp::StShared { .. } => "stshared",
+                UOp::LdGlobal { .. } => "ldglobal",
+                UOp::StGlobal { .. } => "stglobal",
+                UOp::Trap(_) => "trap",
+                UOp::Nop => "nop",
+            };
+            *hist.entry(k).or_default() += 1;
+        }
+        let mut v: Vec<_> = hist.into_iter().collect();
+        v.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+        eprintln!(
+            "engine stats: {} uops total, {} splatted immediates",
+            lw.uops.len(),
+            lw.dreg_tail.len() / WARP_SIZE
+        );
+        for (k, n) in v {
+            eprintln!("  {k:14} {n}");
+        }
+        if let Ok(w) = std::env::var("SINGE_ENGINE_DUMP") {
+            let w: usize = w.parse().unwrap_or(0);
+            for (si, seg) in warps.get(w).map_or(&[][..], |v| v).iter().enumerate() {
+                eprintln!("-- warp {w} seg {si} ({:?})", seg.uops);
+                for u in &lw.uops[seg.uops.start as usize..seg.uops.end as usize] {
+                    eprintln!("  {u:?}");
+                }
+            }
+        }
+    }
     EngineProgram {
         warps,
         uops: lw.uops,
         u32x: lw.u32x,
         f64x: lw.f64x,
         lines: lw.lines,
+        dreg_tail: lw.dreg_tail,
         traps: lw.traps,
     }
 }
@@ -206,80 +319,135 @@ impl Lowerer<'_> {
         idx
     }
 
+    /// Close the current segment: commit its uop range, drain its
+    /// accumulated constant-line script, and take its bulk counts.
+    fn flush_seg(
+        &mut self,
+        segs: &mut Vec<Segment>,
+        seg_start: &mut u32,
+        bulk: &mut StaticSegCounts,
+        term: SegTerm,
+    ) {
+        let range = *seg_start..self.uops.len() as u32;
+        // A trailing empty segment would make a finished warp look
+        // like it still ran an instruction; skip it (a warp whose
+        // stream ends exactly at a barrier, or is empty, has no
+        // trailing work — matching the interpreter's `ran` logic).
+        let keep = !range.is_empty()
+            || *bulk != StaticSegCounts::default()
+            || !matches!(term, SegTerm::End);
+        if keep {
+            let lstart = self.lines.len() as u32;
+            self.lines.append(&mut self.cur_lines);
+            let lines = lstart..self.lines.len() as u32;
+            segs.push(Segment { uops: range, lines, bulk: std::mem::take(bulk), term });
+        } else {
+            // Lines only accumulate from constant loads, which push uops.
+            debug_assert!(self.cur_lines.is_empty());
+        }
+        *seg_start = self.uops.len() as u32;
+    }
+
     fn lower_warp(&mut self, prog: &FlatProgram, w: usize) -> Vec<Segment> {
         let kernel = self.kernel;
+        let warp_start = self.uops.len();
         // Concrete per-warp index-register state, abstractly interpreted
         // in stream order. Values are CTA-invariant (see module docs).
         let mut iregs = vec![0u32; kernel.iregs_per_thread * WARP_SIZE];
         let mut segs: Vec<Segment> = Vec::new();
         let mut seg_start = self.uops.len() as u32;
         let mut bulk = StaticSegCounts::default();
-        let flush = |uops: &[UOp], segs: &mut Vec<Segment>,
-                         seg_start: &mut u32, bulk: &mut StaticSegCounts, term: SegTerm| {
-            let range = *seg_start..uops.len() as u32;
-            // A trailing empty segment would make a finished warp look
-            // like it still ran an instruction; skip it (a warp whose
-            // stream ends exactly at a barrier, or is empty, has no
-            // trailing work — matching the interpreter's `ran` logic).
-            let keep = !range.is_empty()
-                || *bulk != StaticSegCounts::default()
-                || !matches!(term, SegTerm::End);
-            if keep {
-                segs.push(Segment { uops: range, bulk: std::mem::take(bulk), term });
-            }
-            *seg_start = uops.len() as u32;
-        };
-        for op in &prog.streams[w] {
-            match *op {
-                FlatOp::Branch { .. } => {
-                    bulk.issue_slots += 1;
-                    bulk.warp_branches += 1;
-                }
-                FlatOp::Exec { instr, pset, .. } => {
-                    let i = instr as usize;
-                    let cost = prog.costs[i];
-                    bulk.issue_slots += cost.slots;
-                    if cost.dp {
-                        bulk.dp_slots += cost.slots;
-                        bulk.flops += cost.flops_warp;
-                        bulk.dp_const_slots += cost.const_slots;
+        'stream: {
+            for op in &prog.streams[w] {
+                match *op {
+                    FlatOp::Branch { .. } => {
+                        bulk.issue_slots += 1;
+                        bulk.warp_branches += 1;
                     }
-                    match prog.decoded[i] {
-                        DecodedInstr::BarArrive { bar, expected } => {
-                            bulk.barrier_arrives += 1;
-                            flush(&self.uops, &mut segs, &mut seg_start, &mut bulk,
-                                  SegTerm::Arrive { bar, expected });
+                    FlatOp::Exec { instr, pset, .. } => {
+                        let i = instr as usize;
+                        let cost = prog.costs[i];
+                        bulk.issue_slots += cost.slots;
+                        if cost.dp {
+                            bulk.dp_slots += cost.slots;
+                            bulk.flops += cost.flops_warp;
+                            bulk.dp_const_slots += cost.const_slots;
                         }
-                        DecodedInstr::BarSync { bar, expected } => {
-                            bulk.barrier_syncs += 1;
-                            flush(&self.uops, &mut segs, &mut seg_start, &mut bulk,
-                                  SegTerm::Sync { bar, expected });
-                        }
-                        DecodedInstr::Invalid { space, addr, limit } => {
-                            self.trap(SimError::OutOfBounds { space, addr, limit });
-                            flush(&self.uops, &mut segs, &mut seg_start, &mut bulk, SegTerm::End);
-                            return segs;
-                        }
-                        DecodedInstr::Slow => {
-                            if let Err(e) =
-                                self.lower_slow(&prog.instrs[i], pset, w, &mut iregs, &mut bulk)
-                            {
-                                self.trap(e);
-                                flush(&self.uops, &mut segs, &mut seg_start, &mut bulk, SegTerm::End);
-                                return segs;
+                        match prog.decoded[i] {
+                            DecodedInstr::BarArrive { bar, expected } => {
+                                bulk.barrier_arrives += 1;
+                                self.flush_seg(&mut segs, &mut seg_start, &mut bulk,
+                                      SegTerm::Arrive { bar, expected });
                             }
+                            DecodedInstr::BarSync { bar, expected } => {
+                                bulk.barrier_syncs += 1;
+                                self.flush_seg(&mut segs, &mut seg_start, &mut bulk,
+                                      SegTerm::Sync { bar, expected });
+                            }
+                            DecodedInstr::Invalid { space, addr, limit } => {
+                                self.trap(SimError::OutOfBounds { space, addr, limit });
+                                self.flush_seg(&mut segs, &mut seg_start, &mut bulk, SegTerm::End);
+                                break 'stream;
+                            }
+                            DecodedInstr::Slow => {
+                                if let Err(e) =
+                                    self.lower_slow(&prog.instrs[i], pset, w, &mut iregs, &mut bulk)
+                                {
+                                    self.trap(e);
+                                    self.flush_seg(&mut segs, &mut seg_start, &mut bulk, SegTerm::End);
+                                    break 'stream;
+                                }
+                            }
+                            dec @ (DecodedInstr::LdLocal { .. } | DecodedInstr::StLocal { .. }) => {
+                                bulk.local_bytes += (WARP_SIZE * 8) as u64;
+                                self.uops.push(UOp::Fast(dec));
+                            }
+                            dec => self.uops.push(UOp::Fast(dec)),
                         }
-                        dec @ (DecodedInstr::LdLocal { .. } | DecodedInstr::StLocal { .. }) => {
-                            bulk.local_bytes += (WARP_SIZE * 8) as u64;
-                            self.uops.push(UOp::Fast(dec));
-                        }
-                        dec => self.uops.push(UOp::Fast(dec)),
                     }
                 }
+            }
+            self.flush_seg(&mut segs, &mut seg_start, &mut bulk, SegTerm::End);
+        }
+        self.optimize_warp(warp_start, &mut segs);
+        segs
+    }
+
+    /// Post-lowering optimization over one warp's uops: copy propagation,
+    /// the mul→add/sub fusion peephole, dead-code elimination, and
+    /// compaction. Bulk counts derive from the *pre*-fusion instruction
+    /// stream and are untouched, so `EventCounts` stay bit-identical to
+    /// the interpreter's per-instruction bookkeeping; every rewrite below
+    /// preserves observable values bit-for-bit (registers are warp-private
+    /// and only observable through stores, outputs, and errors).
+    fn optimize_warp(&mut self, warp_start: usize, segs: &mut [Segment]) {
+        let dreg_len = self.kernel.dregs_per_thread * WARP_SIZE;
+        let uops = &mut self.uops[warp_start..];
+        fold_const_shuffles(uops, &self.f64x);
+        copy_propagate(uops);
+        fuse_mul_bin(uops, segs, warp_start as u32);
+        eliminate_dead_uops(uops, dreg_len, &self.u32x, segs, warp_start as u32);
+        // Last, after liveness: the virtual bases it introduces sit past
+        // `dreg_len` and must never reach the DCE's range checks.
+        splat_immediates(uops, dreg_len, &mut self.dreg_tail, &mut self.imm_dedup);
+        // Compact tombstones out and remap segment ranges.
+        let tail: Vec<UOp> = self.uops.drain(warp_start..).collect();
+        let mut new_index = vec![0u32; tail.len() + 1];
+        let mut kept = 0u32;
+        for (i, u) in tail.iter().enumerate() {
+            new_index[i] = kept;
+            if !matches!(u, UOp::Nop) {
+                kept += 1;
             }
         }
-        flush(&self.uops, &mut segs, &mut seg_start, &mut bulk, SegTerm::End);
-        segs
+        new_index[tail.len()] = kept;
+        for seg in segs.iter_mut() {
+            let s = seg.uops.start as usize - warp_start;
+            let e = seg.uops.end as usize - warp_start;
+            seg.uops =
+                (warp_start as u32 + new_index[s])..(warp_start as u32 + new_index[e]);
+        }
+        self.uops.extend(tail.into_iter().filter(|u| !matches!(u, UOp::Nop)));
     }
 
     fn trap(&mut self, e: SimError) {
@@ -416,10 +584,31 @@ impl Lowerer<'_> {
                 bulk.shared_accesses += tx;
                 bulk.shared_conflicts += conf;
                 let a32: [u32; WARP_SIZE] = std::array::from_fn(|l| addrs[l] as u32);
-                let addrs = self.push_u32x(a32);
-                self.uops.push(UOp::LdShared { dst: base_d(*dst), addrs });
+                if a32.iter().all(|&a| a == a32[0]) {
+                    // Every lane reads the same word (a `lane_stride: 0`
+                    // broadcast, the warp-specialized queues' bread and
+                    // butter): one load + splat instead of a 32-lane
+                    // gather. Bulk counts above already modeled the full
+                    // access, so `EventCounts` are unchanged.
+                    self.uops.push(UOp::LdSharedBcast { dst: base_d(*dst), addr: a32[0] });
+                } else {
+                    let addrs = self.push_u32x(a32);
+                    self.uops.push(UOp::LdShared { dst: base_d(*dst), addrs });
+                }
             }
             Instr::StShared { src: s, addr, lane_pred } => {
+                // A predicate naming a lane outside the warp is a typed
+                // error (it used to silently drop the store); checked
+                // before the address walk, mirroring `exec_slow`.
+                if let Some(p) = lane_pred {
+                    if *p as usize >= WARP_SIZE {
+                        return Err(SimError::OutOfBounds {
+                            space: "lane-pred",
+                            addr: *p as usize,
+                            limit: WARP_SIZE,
+                        });
+                    }
+                }
                 let addrs = saddrs!(addr);
                 for (l, &a) in addrs.iter().enumerate() {
                     if let Some(p) = lane_pred {
@@ -475,10 +664,8 @@ impl Lowerer<'_> {
                     }
                 }
                 let vidx = self.push_f64x(vals);
-                let lstart = self.lines.len() as u32;
-                let n_lines = lines.len() as u32;
-                self.lines.extend_from_slice(&lines);
-                self.uops.push(UOp::ConstV { dst: base_d(*dst), vals: vidx, lines: lstart, n_lines });
+                self.cur_lines.extend_from_slice(&lines);
+                self.uops.push(UOp::ConstV { dst: base_d(*dst), vals: vidx });
             }
             Instr::Idx(ii) => match ii {
                 IdxInstr::Mov { dst, src } => {
@@ -553,6 +740,478 @@ impl Lowerer<'_> {
     }
 }
 
+/// Forward copy propagation over one warp's uops: a `Mov dst, src`
+/// records that `dst` currently holds exactly `src`'s bits, and later
+/// full-chunk operand reads of `dst` are rewritten to read `src` (or the
+/// immediate) directly. Sound because register chunks are warp-private —
+/// a rewritten read observes bit-identical values, and any write to
+/// either side of a recorded copy invalidates it. Shfl's cross-chunk
+/// element read is never rewritten (it is not a full-chunk read), so it
+/// only participates as an invalidation barrier via its destination.
+/// Forward constant tracking over one warp's uops: a `ConstV` chunk holds
+/// a vector known at lowering time, so a `Shfl` that broadcasts one of
+/// its elements produces a compile-time constant — rewrite it as a `Mov`
+/// from an immediate. This is bit-identical by construction: the
+/// interpreter's shuffle reads exactly the value the `ConstV` wrote
+/// (registers are warp-private, and any intervening write to the chunk
+/// clears its entry). Copy propagation then folds the immediate into the
+/// consumers, and dead-code elimination removes the mov and — once every
+/// reader has folded — the staging `ConstV` itself. In the
+/// warp-specialized kernels this erases the entire shuffle-broadcast
+/// traffic for register-staged constants.
+fn fold_const_shuffles(uops: &mut [UOp], f64x: &[f64]) {
+    #[derive(Clone, Copy)]
+    enum Known {
+        /// Chunk mirrors `f64x[idx*32..][..32]`.
+        Table(u32),
+        /// Chunk is a splat of one value (a folded shuffle's output).
+        Splat(f64),
+    }
+    let mut known: HashMap<usize, Known> = HashMap::new();
+    for uop in uops.iter_mut() {
+        match uop {
+            UOp::ConstV { dst, vals } => {
+                known.insert(*dst as usize, Known::Table(*vals));
+            }
+            UOp::Fast(DecodedInstr::Shfl { dst, src, lane }) => {
+                let elem = *src + *lane;
+                let chunk = elem / WARP_SIZE * WARP_SIZE;
+                let d = *dst;
+                match known.get(&chunk).copied() {
+                    Some(k) => {
+                        let v = match k {
+                            Known::Table(vi) => f64x[vi as usize * WARP_SIZE + (elem - chunk)],
+                            Known::Splat(v) => v,
+                        };
+                        *uop = UOp::Fast(DecodedInstr::Un {
+                            kind: UnKind::Mov,
+                            dst: d,
+                            a: Src::Imm(v),
+                        });
+                        known.insert(d, Known::Splat(v));
+                    }
+                    None => {
+                        known.remove(&d);
+                    }
+                }
+            }
+            UOp::Fast(DecodedInstr::Un { kind: UnKind::Mov, dst, a: Src::Imm(v) }) => {
+                known.insert(*dst, Known::Splat(*v));
+            }
+            UOp::Fast(dec) => match dec {
+                DecodedInstr::Bin { dst, .. }
+                | DecodedInstr::CmpOp { dst, .. }
+                | DecodedInstr::Un { dst, .. }
+                | DecodedInstr::Fma { dst, .. }
+                | DecodedInstr::Sel { dst, .. }
+                | DecodedInstr::LdLocal { dst, .. } => {
+                    known.remove(dst);
+                }
+                DecodedInstr::StLocal { .. } | DecodedInstr::Invalid { .. } => {}
+                DecodedInstr::Shfl { .. } => unreachable!("handled above"),
+                DecodedInstr::BarArrive { .. }
+                | DecodedInstr::BarSync { .. }
+                | DecodedInstr::Slow => unreachable!("never lowered into uops"),
+            },
+            UOp::FusedMulBin { t, d, .. } => {
+                known.remove(&(*t as usize));
+                known.remove(&(*d as usize));
+            }
+            UOp::LdShared { dst, .. }
+            | UOp::LdSharedBcast { dst, .. }
+            | UOp::LdGlobal { dst, .. } => {
+                known.remove(&(*dst as usize));
+            }
+            UOp::StShared { .. } | UOp::StGlobal { .. } | UOp::Trap(_) | UOp::Nop => {}
+        }
+    }
+}
+
+fn copy_propagate(uops: &mut [UOp]) {
+    let mut copies: HashMap<usize, Src> = HashMap::new();
+    fn resolve(copies: &HashMap<usize, Src>, s: Src) -> Src {
+        if let Src::Reg(b) = s {
+            if let Some(&r) = copies.get(&b) {
+                return r;
+            }
+        }
+        s
+    }
+    fn invalidate(copies: &mut HashMap<usize, Src>, w: usize) {
+        copies.remove(&w);
+        copies.retain(|_, v| !matches!(v, Src::Reg(b) if *b == w));
+    }
+    for uop in uops.iter_mut() {
+        match uop {
+            UOp::Fast(dec) => match dec {
+                DecodedInstr::Un { kind: UnKind::Mov, dst, a } => {
+                    let src = resolve(&copies, *a);
+                    *a = src;
+                    invalidate(&mut copies, *dst);
+                    if !matches!(src, Src::Reg(b) if b == *dst) {
+                        copies.insert(*dst, src);
+                    }
+                }
+                DecodedInstr::Bin { a, b, dst, .. } | DecodedInstr::CmpOp { a, b, dst, .. } => {
+                    *a = resolve(&copies, *a);
+                    *b = resolve(&copies, *b);
+                    invalidate(&mut copies, *dst);
+                }
+                DecodedInstr::Un { a, dst, .. } => {
+                    *a = resolve(&copies, *a);
+                    invalidate(&mut copies, *dst);
+                }
+                DecodedInstr::Fma { a, b, c, dst } => {
+                    *a = resolve(&copies, *a);
+                    *b = resolve(&copies, *b);
+                    *c = resolve(&copies, *c);
+                    invalidate(&mut copies, *dst);
+                }
+                DecodedInstr::Sel { pred, a, b, dst } => {
+                    // The predicate is a raw register base; it can only be
+                    // redirected to another register, not an immediate.
+                    if let Some(&Src::Reg(p2)) = copies.get(pred) {
+                        *pred = p2;
+                    }
+                    *a = resolve(&copies, *a);
+                    *b = resolve(&copies, *b);
+                    invalidate(&mut copies, *dst);
+                }
+                DecodedInstr::Shfl { dst, .. } | DecodedInstr::LdLocal { dst, .. } => {
+                    let dst = *dst;
+                    invalidate(&mut copies, dst);
+                }
+                DecodedInstr::StLocal { src, .. } => *src = resolve(&copies, *src),
+                DecodedInstr::Invalid { .. } => {}
+                DecodedInstr::BarArrive { .. }
+                | DecodedInstr::BarSync { .. }
+                | DecodedInstr::Slow => unreachable!("never lowered into uops"),
+            },
+            UOp::FusedMulBin { a, b, c, t, d, .. } => {
+                *a = resolve(&copies, *a);
+                *b = resolve(&copies, *b);
+                *c = resolve(&copies, *c);
+                let (t, d) = (*t as usize, *d as usize);
+                invalidate(&mut copies, t);
+                invalidate(&mut copies, d);
+            }
+            UOp::ConstV { dst, .. }
+            | UOp::LdShared { dst, .. }
+            | UOp::LdSharedBcast { dst, .. }
+            | UOp::LdGlobal { dst, .. } => {
+                let dst = *dst as usize;
+                invalidate(&mut copies, dst);
+            }
+            UOp::StShared { src, .. } | UOp::StGlobal { src, .. } => {
+                *src = resolve(&copies, *src);
+            }
+            UOp::Trap(_) | UOp::Nop => {}
+        }
+    }
+}
+
+/// Peephole fusion of adjacent `Mul t, a, b; Add/Sub d, ·, ·` pairs within
+/// a segment where the second op consumes `t`. The fused uop keeps both
+/// roundings, writes both destinations, and preserves the second op's
+/// operand order (x86 propagates the first operand's NaN payload), so it
+/// is bit-identical to the unfused pair. Pairs where the product feeds
+/// *both* operands (`d = t ± t`) are left alone.
+fn fuse_mul_bin(uops: &mut [UOp], segs: &[Segment], warp_start: u32) {
+    for seg in segs {
+        let s = (seg.uops.start - warp_start) as usize;
+        let e = (seg.uops.end - warp_start) as usize;
+        let mut i = s;
+        while i + 1 < e {
+            let fused = match (&uops[i], &uops[i + 1]) {
+                (
+                    &UOp::Fast(DecodedInstr::Bin { kind: BinKind::Mul, dst: t, a, b }),
+                    &UOp::Fast(DecodedInstr::Bin {
+                        kind: k2 @ (BinKind::Add | BinKind::Sub),
+                        dst: d,
+                        a: x,
+                        b: y,
+                    }),
+                ) => {
+                    let xt = matches!(x, Src::Reg(r) if r == t);
+                    let yt = matches!(y, Src::Reg(r) if r == t);
+                    let kc = match (k2, xt, yt) {
+                        (_, true, true) => None,
+                        (BinKind::Add, true, false) => Some((lanes::FusedBin::AddPC, y)),
+                        (BinKind::Add, false, true) => Some((lanes::FusedBin::AddCP, x)),
+                        (BinKind::Sub, true, false) => Some((lanes::FusedBin::SubPC, y)),
+                        (BinKind::Sub, false, true) => Some((lanes::FusedBin::SubCP, x)),
+                        _ => None,
+                    };
+                    kc.map(|(kind, c)| UOp::FusedMulBin {
+                        kind,
+                        t: t as u32,
+                        d: d as u32,
+                        a,
+                        b,
+                        c,
+                    })
+                }
+                _ => None,
+            };
+            if let Some(f) = fused {
+                uops[i] = f;
+                uops[i + 1] = UOp::Nop;
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Backward liveness over one warp's uops; any *pure register-writing* op
+/// whose destinations are never read again (before being overwritten or
+/// the stream ending) is dead: registers are warp-private and discarded at
+/// CTA end, so removing the computation is unobservable. This covers
+/// moves, arithmetic (including the libm transcendentals — no observed
+/// side effects), compares, selects, shuffles, pre-splatted constant
+/// loads, and shared-memory *reads* (lowering already bounds-checked
+/// their addresses, so they cannot fail at run time). In the
+/// warp-specialized kernels this kills the staging gathers whose only
+/// remaining consumer was a single-lane `Shfl` broadcast.
+///
+/// The same liveness information drives the *stage-and-broadcast* fusion:
+/// an `LdShared` gather immediately followed (in the same segment) by a
+/// `Shfl` that is the gather chunk's only consumer collapses into one
+/// [`UOp::LdSharedBcast`] — read the one shared word the shuffle selects
+/// and splat it. This is the warp-specialized kernels' staple pattern
+/// (a gather stages 32 words, then 32 shuffles broadcast them one at a
+/// time), and each fused pair replaces 33 lane-writes plus a gather with
+/// a single load. Values are bit-identical: the interpreter's shuffle
+/// reads `dregs[src+lane] = shared[addrs[src+lane-chunk]]`, exactly the
+/// word the fused op loads. The pair must share a segment — a barrier
+/// between them could change shared-memory visibility.
+///
+/// Ops that can fail at run time keep executing: global loads (their
+/// bounds depend on the runtime grid placement), and any candidate with
+/// an out-of-range operand register, so the engine still fails exactly
+/// where the interpreter would. Event counts are unaffected by
+/// construction — segment bulk counts are derived from the
+/// pre-optimization instruction stream.
+fn eliminate_dead_uops(
+    uops: &mut [UOp],
+    dreg_len: usize,
+    u32x: &[u32],
+    segs: &[Segment],
+    warp_start: u32,
+) {
+    use std::collections::HashSet;
+    // Uop indices (warp-relative) that begin a segment: a fusion pair may
+    // not straddle one of these boundaries.
+    let seg_starts: HashSet<usize> =
+        segs.iter().map(|s| (s.uops.start - warp_start) as usize).collect();
+    // A `Shfl` at index `i + 1` eligible for fusion with an `LdShared` at
+    // index `i`: (shfl index, gather chunk base, element offset in chunk,
+    // shfl dst).
+    let mut pending: Option<(usize, usize, usize, usize)> = None;
+    let mut live: HashSet<usize> = HashSet::new();
+    let reg_ok = |b: usize| b + WARP_SIZE <= dreg_len;
+    let src_ok = |s: Src| match s {
+        Src::Imm(_) => true,
+        Src::Reg(b) => reg_ok(b),
+    };
+    for i in (0..uops.len()).rev() {
+        // Stage-and-broadcast fusion: the previous iteration saw a `Shfl`
+        // whose source chunk dies here; if this op is the adjacent
+        // staging gather, collapse the pair.
+        if let Some((shfl_idx, chunk, elem, shfl_dst)) = pending.take() {
+            if shfl_idx == i + 1 && !seg_starts.contains(&shfl_idx) {
+                if let UOp::LdShared { dst, addrs } = uops[i] {
+                    if dst as usize == chunk {
+                        let addr = u32x[addrs as usize * WARP_SIZE + elem];
+                        uops[i] = UOp::Nop;
+                        uops[shfl_idx] = UOp::LdSharedBcast { dst: shfl_dst as u32, addr };
+                        // The shuffle no longer reads the chunk, so
+                        // earlier writers of it can cascade-die.
+                        live.remove(&chunk);
+                        continue;
+                    }
+                }
+            }
+        }
+        let uop = &mut uops[i];
+        // An eliminated op's reads are *not* genned, so a chain of
+        // computation feeding only dead results unravels in this one
+        // backward pass.
+        let dead = match uop {
+            UOp::Fast(DecodedInstr::Bin { dst, a, b, .. })
+            | UOp::Fast(DecodedInstr::CmpOp { dst, a, b, .. }) => {
+                !live.contains(dst) && src_ok(*a) && src_ok(*b)
+            }
+            UOp::Fast(DecodedInstr::Un { dst, a, .. }) => !live.contains(dst) && src_ok(*a),
+            UOp::Fast(DecodedInstr::Fma { dst, a, b, c }) => {
+                !live.contains(dst) && src_ok(*a) && src_ok(*b) && src_ok(*c)
+            }
+            UOp::Fast(DecodedInstr::Sel { dst, pred, a, b }) => {
+                !live.contains(dst) && reg_ok(*pred) && src_ok(*a) && src_ok(*b)
+            }
+            UOp::Fast(DecodedInstr::Shfl { dst, src, lane }) => {
+                // The element read indexes a single dreg slot.
+                !live.contains(dst) && *src + *lane < dreg_len
+            }
+            UOp::FusedMulBin { t, d, a, b, c, .. } => {
+                !live.contains(&(*t as usize))
+                    && !live.contains(&(*d as usize))
+                    && src_ok(*a)
+                    && src_ok(*b)
+                    && src_ok(*c)
+            }
+            UOp::ConstV { dst, .. }
+            | UOp::LdShared { dst, .. }
+            | UOp::LdSharedBcast { dst, .. } => !live.contains(&(*dst as usize)),
+            _ => false,
+        };
+        if dead {
+            *uop = UOp::Nop;
+            continue;
+        }
+        // Kill this op's writes, then gen its reads.
+        match uop {
+            UOp::Fast(dec) => match dec {
+                DecodedInstr::Bin { dst, a, b, .. } | DecodedInstr::CmpOp { dst, a, b, .. } => {
+                    live.remove(dst);
+                    gen_src(&mut live, *a);
+                    gen_src(&mut live, *b);
+                }
+                DecodedInstr::Un { dst, a, .. } => {
+                    live.remove(dst);
+                    gen_src(&mut live, *a);
+                }
+                DecodedInstr::Fma { dst, a, b, c } => {
+                    live.remove(dst);
+                    gen_src(&mut live, *a);
+                    gen_src(&mut live, *b);
+                    gen_src(&mut live, *c);
+                }
+                DecodedInstr::Sel { dst, pred, a, b } => {
+                    live.remove(dst);
+                    live.insert(*pred);
+                    gen_src(&mut live, *a);
+                    gen_src(&mut live, *b);
+                }
+                DecodedInstr::Shfl { dst, src, lane } => {
+                    let d2 = *dst;
+                    let elem = *src + *lane;
+                    live.remove(&d2);
+                    // Element read: mark the chunk the element lands in
+                    // (a >= 32 lane deterministically reads across
+                    // registers — see exec_fast). The destination kill
+                    // comes first so a shuffle within one chunk
+                    // (`chunk == dst`) still counts as the sole reader.
+                    let chunk = elem / WARP_SIZE * WARP_SIZE;
+                    let sole_reader = !live.contains(&chunk);
+                    live.insert(chunk);
+                    if sole_reader && elem < dreg_len {
+                        pending = Some((i, chunk, elem - chunk, d2));
+                    }
+                }
+                DecodedInstr::LdLocal { dst, .. } => {
+                    live.remove(dst);
+                }
+                DecodedInstr::StLocal { src, .. } => gen_src(&mut live, *src),
+                DecodedInstr::Invalid { .. } => {}
+                DecodedInstr::BarArrive { .. }
+                | DecodedInstr::BarSync { .. }
+                | DecodedInstr::Slow => unreachable!("never lowered into uops"),
+            },
+            UOp::FusedMulBin { t, d, a, b, c, .. } => {
+                live.remove(&(*t as usize));
+                live.remove(&(*d as usize));
+                gen_src(&mut live, *a);
+                gen_src(&mut live, *b);
+                gen_src(&mut live, *c);
+            }
+            UOp::ConstV { dst, .. }
+            | UOp::LdShared { dst, .. }
+            | UOp::LdSharedBcast { dst, .. }
+            | UOp::LdGlobal { dst, .. } => {
+                live.remove(&(*dst as usize));
+            }
+            UOp::StShared { src, .. } | UOp::StGlobal { src, .. } => gen_src(&mut live, *src),
+            UOp::Trap(_) | UOp::Nop => {}
+        }
+    }
+}
+
+fn gen_src(live: &mut std::collections::HashSet<usize>, s: Src) {
+    if let Src::Reg(b) = s {
+        live.insert(b);
+    }
+}
+
+/// Rewrite every remaining immediate operand into a read of a
+/// pre-splatted chunk in the *constant tail* — a read-only vector of
+/// 32-lane chunks shared by all warps, addressed by register indices at
+/// or past the architectural file (see [`EngineProgram::dreg_tail`]).
+/// Executing a `Src::Imm` materializes a 32-lane splat on each use (~40%
+/// overhead on an add, measured); a tail read is an ordinary borrow.
+/// Values are bit-preserved (deduplication keys on the raw bits),
+/// destinations are always architectural, and the tail is immutable after
+/// lowering, so results are unchanged. Must run *after* dead-code
+/// elimination: the virtual bases sit past `dreg_len` and would trip its
+/// operand range checks.
+fn splat_immediates(
+    uops: &mut [UOp],
+    dreg_len: usize,
+    tail: &mut Vec<f64>,
+    dedup: &mut HashMap<u64, u32>,
+) {
+    let mut fix = |s: &mut Src| {
+        if let Src::Imm(v) = *s {
+            let idx = *dedup.entry(v.to_bits()).or_insert_with(|| {
+                let i = (tail.len() / WARP_SIZE) as u32;
+                tail.extend(std::iter::repeat_n(v, WARP_SIZE));
+                i
+            });
+            *s = Src::Reg(dreg_len + idx as usize * WARP_SIZE);
+        }
+    };
+    for uop in uops.iter_mut() {
+        match uop {
+            UOp::Fast(dec) => match dec {
+                DecodedInstr::Bin { a, b, .. } | DecodedInstr::CmpOp { a, b, .. } => {
+                    fix(a);
+                    fix(b);
+                }
+                DecodedInstr::Un { a, .. } => fix(a),
+                DecodedInstr::Fma { a, b, c, .. } => {
+                    fix(a);
+                    fix(b);
+                    fix(c);
+                }
+                DecodedInstr::Sel { a, b, .. } => {
+                    fix(a);
+                    fix(b);
+                }
+                DecodedInstr::StLocal { src, .. } => fix(src),
+                DecodedInstr::Shfl { .. }
+                | DecodedInstr::LdLocal { .. }
+                | DecodedInstr::Invalid { .. } => {}
+                DecodedInstr::BarArrive { .. }
+                | DecodedInstr::BarSync { .. }
+                | DecodedInstr::Slow => unreachable!("never lowered into uops"),
+            },
+            UOp::FusedMulBin { a, b, c, .. } => {
+                fix(a);
+                fix(b);
+                fix(c);
+            }
+            UOp::StShared { src, .. } | UOp::StGlobal { src, .. } => fix(src),
+            UOp::ConstV { .. }
+            | UOp::LdShared { .. }
+            | UOp::LdSharedBcast { .. }
+            | UOp::LdGlobal { .. }
+            | UOp::Trap(_)
+            | UOp::Nop => {}
+        }
+    }
+}
+
 /// Per-warp runtime state: SoA register/local lanes plus the segment
 /// cursor and scheduler flags.
 struct EngWarp {
@@ -593,12 +1252,17 @@ pub(crate) fn run_cta_engine(
         .collect();
 
     let mut warps: Vec<EngWarp> = (0..nw)
-        .map(|_| EngWarp {
-            dregs: vec![0.0; kernel.dregs_per_thread * WARP_SIZE],
-            local: vec![0.0; kernel.local_words_per_thread * WARP_SIZE],
-            seg: 0,
-            done: false,
-            blocked: None,
+        .map(|_| {
+            // Architectural registers only; the constant tail of
+            // pre-splatted immediates stays in `eng.dreg_tail`, shared
+            // read-only by every warp (see `splat_immediates`).
+            EngWarp {
+                dregs: vec![0.0; kernel.dregs_per_thread * WARP_SIZE],
+                local: vec![0.0; kernel.local_words_per_thread * WARP_SIZE],
+                seg: 0,
+                done: false,
+                blocked: None,
+            }
         })
         .collect();
 
@@ -688,11 +1352,16 @@ fn run_warp(
         };
         if collect {
             seg.bulk.apply(counts);
+            // Replay the segment's pre-resolved constant-line script in
+            // one pass: segments are uninterruptible and constant loads
+            // are the only cache accesses, so replaying at segment entry
+            // preserves the interleaved LRU order across warps exactly.
+            ccache.access_script(&eng.lines[seg.lines.start as usize..seg.lines.end as usize]);
         }
         for uop in &eng.uops[seg.uops.start as usize..seg.uops.end as usize] {
             exec_uop(
                 eng, uop, kernel, inputs, total_points, base_point, warp, shared, out_buffers,
-                ccache, collect, counts,
+                collect, counts,
             )?;
         }
         warp.seg += 1;
@@ -731,38 +1400,72 @@ fn exec_uop(
     warp: &mut EngWarp,
     shared: &mut [f64],
     out_buffers: &mut [Vec<f64>],
-    ccache: &mut ConstCache,
     collect: bool,
     counts: &mut EventCounts,
 ) -> SimResult<()> {
     match *uop {
         // Event counts for fast ops were folded into the segment bulk;
         // run the op itself with collection off.
-        UOp::Fast(dec) => exec_fast(dec, &mut warp.dregs, &mut warp.local, false, counts)?,
-        UOp::ConstV { dst, vals, lines, n_lines } => {
-            let v = &eng.f64x[vals as usize * WARP_SIZE..][..WARP_SIZE];
-            warp.dregs[dst as usize..dst as usize + WARP_SIZE].copy_from_slice(v);
-            if collect {
-                for &line in &eng.lines[lines as usize..(lines + n_lines) as usize] {
-                    ccache.access(line * 64);
+        UOp::Fast(dec) => {
+            exec_fast(dec, &mut warp.dregs, &eng.dreg_tail, &mut warp.local, false, counts)?
+        }
+        UOp::FusedMulBin { kind, t, d, a, b, c } => {
+            let dregs = &mut warp.dregs[..];
+            let len = dregs.len();
+            let ptr = dregs.as_mut_ptr();
+            let (t, d) = (t as usize, d as usize);
+            // SAFETY: same discipline as `exec_fast` — operands whose
+            // chunk intersects either destination are snapshotted, so the
+            // mutable destination views are the only live references to
+            // their chunks; `t != d` implies disjoint chunks (both are
+            // decode-validated register bases).
+            unsafe {
+                let av = operand(ptr, len, &eng.dreg_tail, a, [t, d]);
+                let bv = operand(ptr, len, &eng.dreg_tail, b, [t, d]);
+                let cv = operand(ptr, len, &eng.dreg_tail, c, [t, d]);
+                if t == d {
+                    lanes::mul_then_bin_same(
+                        kind, av.get(), bv.get(), cv.get(), out_chunk(ptr, len, d),
+                    );
+                } else {
+                    lanes::mul_then_bin_both(
+                        kind, av.get(), bv.get(), cv.get(),
+                        out_chunk(ptr, len, t), out_chunk(ptr, len, d),
+                    );
                 }
             }
+        }
+        UOp::ConstV { dst, vals } => {
+            let v = &eng.f64x[vals as usize * WARP_SIZE..][..WARP_SIZE];
+            warp.dregs[dst as usize..dst as usize + WARP_SIZE].copy_from_slice(v);
         }
         UOp::LdShared { dst, addrs } => {
             let a = &eng.u32x[addrs as usize * WARP_SIZE..][..WARP_SIZE];
             let out = &mut warp.dregs[dst as usize..dst as usize + WARP_SIZE];
             for l in 0..WARP_SIZE {
-                out[l] = shared[a[l] as usize];
+                // SAFETY: lowering bounds-checked every address against
+                // `kernel.shared_words == shared.len()`.
+                out[l] = unsafe { *shared.get_unchecked(a[l] as usize) };
             }
+        }
+        UOp::LdSharedBcast { dst, addr } => {
+            // SAFETY: the address came from a lowering-bounds-checked
+            // `LdShared` gather before fusion.
+            let v = unsafe { *shared.get_unchecked(addr as usize) };
+            warp.dregs[dst as usize..dst as usize + WARP_SIZE].fill(v);
         }
         UOp::StShared { src, addrs, lane } => {
             let a = &eng.u32x[addrs as usize * WARP_SIZE..][..WARP_SIZE];
-            let sv = src_vals(&warp.dregs, src);
+            let sv = src_vals(&warp.dregs, &eng.dreg_tail, src);
             if lane == u32::MAX {
                 for l in 0..WARP_SIZE {
-                    shared[a[l] as usize] = sv[l];
+                    // SAFETY: all lanes bounds-checked at lowering.
+                    unsafe { *shared.get_unchecked_mut(a[l] as usize) = sv[l] };
                 }
-            } else if (lane as usize) < WARP_SIZE {
+            } else {
+                // Lowering rejected `lane >= WARP_SIZE` with a typed
+                // error and bounds-checked the predicated lane's address.
+                debug_assert!((lane as usize) < WARP_SIZE);
                 shared[a[lane as usize] as usize] = sv[lane as usize];
             }
         }
@@ -770,19 +1473,22 @@ fn exec_uop(
             let ai = array as usize;
             let idxs = gidx(eng, rows, pts, total_points, base_point);
             let decl = &kernel.global_arrays[ai];
-            for l in 0..WARP_SIZE {
-                let idx = idxs[l];
-                let v = if decl.output {
-                    let local = local_out_index(idx, total_points, base_point, kernel)?;
-                    out_buffers[ai][local]
-                } else {
-                    *inputs[ai].get(idx).ok_or(SimError::OutOfBounds {
+            let out = &mut warp.dregs[dst as usize..dst as usize + WARP_SIZE];
+            if decl.output {
+                for l in 0..WARP_SIZE {
+                    let local = local_out_index(idxs[l], total_points, base_point, kernel)?;
+                    out[l] = out_buffers[ai][local];
+                }
+            } else {
+                let input = inputs[ai];
+                for l in 0..WARP_SIZE {
+                    let idx = idxs[l];
+                    out[l] = *input.get(idx).ok_or(SimError::OutOfBounds {
                         space: "global",
                         addr: idx,
-                        limit: inputs[ai].len(),
-                    })?
-                };
-                warp.dregs[dst as usize + l] = v;
+                        limit: input.len(),
+                    })?;
+                }
             }
             if collect {
                 let (tx, bytes) = coalesce(&idxs);
@@ -793,7 +1499,7 @@ fn exec_uop(
         UOp::StGlobal { src, array, rows, pts } => {
             let ai = array as usize;
             let idxs = gidx(eng, rows, pts, total_points, base_point);
-            let sv = src_vals(&warp.dregs, src);
+            let sv = src_vals(&warp.dregs, &eng.dreg_tail, src);
             for l in 0..WARP_SIZE {
                 let local = local_out_index(idxs[l], total_points, base_point, kernel)?;
                 let buf = &mut out_buffers[ai];
@@ -813,6 +1519,7 @@ fn exec_uop(
             }
         }
         UOp::Trap(t) => return Err(eng.traps[t as usize].clone()),
+        UOp::Nop => unreachable!("tombstones are compacted out at lowering"),
     }
     Ok(())
 }
@@ -1074,11 +1781,280 @@ mod tests {
         ];
         let prog = flatten(&k);
         let eng = lower(&k, &prog);
-        // Index ops evaluate at lowering time: only the DMov survives.
-        assert_eq!(eng.uops.len(), 1);
-        assert!(matches!(eng.uops[0], UOp::Fast(DecodedInstr::Un { .. })));
-        // But their issue slots are still charged in bulk.
+        // Index ops evaluate at lowering time, and the never-read DMov is
+        // eliminated as a dead copy: no uops survive at all.
+        assert_eq!(eng.uops.len(), 0);
+        // But every issue slot is still charged in bulk.
         assert_eq!(eng.warps[0].len(), 1);
         assert_eq!(eng.warps[0][0].bulk.issue_slots, 3);
+    }
+
+    #[test]
+    fn mul_add_pairs_fuse_and_stay_bit_identical() {
+        // r2 = r0 * r1; r3 = r2 + r0  — a fusable pair; plus a pair whose
+        // product register is also the final destination (t == d), and a
+        // reversed-operand subtraction (c - p). All must fuse into
+        // double-rounded uops that match the interpreter bit-for-bit.
+        let mut k = base_kernel(1);
+        k.body = vec![
+            Node::Op(Instr::LdGlobal {
+                dst: 0,
+                addr: GAddr { array: GlobalId(0), row: IdxOp::Imm(0), point: PointRef::Lane },
+                ldg: false,
+            }),
+            Node::Op(Instr::LdGlobal {
+                dst: 1,
+                addr: GAddr { array: GlobalId(0), row: IdxOp::Imm(1), point: PointRef::Lane },
+                ldg: false,
+            }),
+            // t != d, p + c
+            Node::Op(Instr::DMul { dst: 2, a: Op::Reg(0), b: Op::Reg(1) }),
+            Node::Op(Instr::DAdd { dst: 3, a: Op::Reg(2), b: Op::Reg(0) }),
+            // t == d, c - p (reversed operands)
+            Node::Op(Instr::DMul { dst: 4, a: Op::Reg(1), b: Op::Imm(1.0000001) }),
+            Node::Op(Instr::DSub { dst: 4, a: Op::Reg(3), b: Op::Reg(4) }),
+            Node::Op(Instr::DAdd { dst: 3, a: Op::Reg(3), b: Op::Reg(4) }),
+            Node::Op(Instr::StGlobal {
+                src: Op::Reg(3),
+                addr: GAddr { array: GlobalId(1), row: IdxOp::Imm(0), point: PointRef::Lane },
+            }),
+        ];
+        let prog = flatten(&k);
+        let eng = lower(&k, &prog);
+        let n_fused = eng
+            .uops
+            .iter()
+            .filter(|u| matches!(u, UOp::FusedMulBin { .. }))
+            .count();
+        assert_eq!(n_fused, 2, "both mul->add/sub pairs fuse");
+        let input: Vec<f64> = (0..64).map(|i| (i as f64) * 0.37 + 0.001).collect();
+        differential(&k, &[&input, &[]], 32, 0);
+    }
+
+    #[test]
+    fn copy_propagation_and_dead_mov_elimination_are_invisible() {
+        // r1 = r0; r2 = r1 + 1  — the Mov is propagated into the Add and
+        // then eliminated; an Imm Mov chain propagates too. Outputs and
+        // counts must still match the interpreter exactly (bulk counts
+        // derive from the pre-fusion stream).
+        let mut k = base_kernel(1);
+        k.body = vec![
+            Node::Op(Instr::LdGlobal {
+                dst: 0,
+                addr: GAddr { array: GlobalId(0), row: IdxOp::Imm(0), point: PointRef::Lane },
+                ldg: false,
+            }),
+            Node::Op(Instr::DMov { dst: 1, src: Op::Reg(0) }),
+            Node::Op(Instr::DAdd { dst: 2, a: Op::Reg(1), b: Op::Imm(1.0) }),
+            Node::Op(Instr::DMov { dst: 3, src: Op::Imm(2.5) }),
+            Node::Op(Instr::DMul { dst: 2, a: Op::Reg(2), b: Op::Reg(3) }),
+            Node::Op(Instr::StGlobal {
+                src: Op::Reg(2),
+                addr: GAddr { array: GlobalId(1), row: IdxOp::Imm(0), point: PointRef::Lane },
+            }),
+        ];
+        let prog = flatten(&k);
+        let eng = lower(&k, &prog);
+        // Both Movs become dead after propagation.
+        assert!(
+            !eng.uops.iter().any(|u| matches!(
+                u,
+                UOp::Fast(DecodedInstr::Un { kind: UnKind::Mov, .. })
+            )),
+            "movs should be propagated away: {:?}",
+            eng.uops
+        );
+        let input: Vec<f64> = (0..64).map(|i| (i as f64) - 11.5).collect();
+        differential(&k, &[&input, &[]], 32, 0);
+    }
+
+    #[test]
+    fn const_staged_shuffles_fold_to_immediates() {
+        // The warp-specialization staple: a lane-indexed constant load
+        // stages 32 constants in one register chunk, then shuffles
+        // broadcast single elements at each use. The staged chunk is known
+        // at lowering, so every shuffle folds to an immediate and the
+        // staging ConstV dies — while values stay bit-identical.
+        let mut k = base_kernel(1);
+        k.const_banks = vec![(0..32).map(|i| 0.75 + i as f64 * 1.25).collect()];
+        k.body = vec![
+            Node::Op(Instr::Idx(IdxInstr::LaneId { dst: 0 })),
+            Node::Op(Instr::LdConst { dst: 4, bank: 0, idx: IdxOp::Reg(0) }),
+            Node::Op(Instr::LdGlobal {
+                dst: 0,
+                addr: GAddr { array: GlobalId(0), row: IdxOp::Imm(0), point: PointRef::Lane },
+                ldg: false,
+            }),
+            Node::Op(Instr::Shfl { dst: 1, src: 4, lane: 3 }),
+            Node::Op(Instr::DMul { dst: 2, a: Op::Reg(0), b: Op::Reg(1) }),
+            Node::Op(Instr::Shfl { dst: 1, src: 4, lane: 29 }),
+            Node::Op(Instr::DAdd { dst: 2, a: Op::Reg(2), b: Op::Reg(1) }),
+            Node::Op(Instr::StGlobal {
+                src: Op::Reg(2),
+                addr: GAddr { array: GlobalId(1), row: IdxOp::Imm(0), point: PointRef::Lane },
+            }),
+        ];
+        let prog = flatten(&k);
+        let eng = lower(&k, &prog);
+        assert!(
+            !eng.uops.iter().any(|u| matches!(u, UOp::Fast(DecodedInstr::Shfl { .. }))),
+            "shuffles off a ConstV chunk must fold: {:?}",
+            eng.uops
+        );
+        assert!(
+            !eng.uops.iter().any(|u| matches!(u, UOp::ConstV { .. })),
+            "the staging ConstV must die once all its readers fold: {:?}",
+            eng.uops
+        );
+        let input: Vec<f64> = (0..64).map(|i| (i as f64) * 0.85 + 0.01).collect();
+        differential(&k, &[&input, &[]], 32, 0);
+    }
+
+    #[test]
+    fn uniform_shared_loads_lower_to_broadcast() {
+        // Listing-2 mirror reads: one predicated lane stores a word, every
+        // lane loads it back through a stride-0 address. The load lowers
+        // straight to a single-word broadcast uop.
+        let mut k = base_kernel(1);
+        let mirror = SAddr { base: None, imm: 7, lane_stride: 0 };
+        k.body = vec![
+            Node::Op(Instr::LdGlobal {
+                dst: 0,
+                addr: GAddr { array: GlobalId(0), row: IdxOp::Imm(0), point: PointRef::Lane },
+                ldg: false,
+            }),
+            Node::Op(Instr::StShared { src: Op::Reg(0), addr: mirror, lane_pred: Some(5) }),
+            Node::Op(Instr::LdShared { dst: 1, addr: mirror }),
+            Node::Op(Instr::DAdd { dst: 2, a: Op::Reg(1), b: Op::Reg(0) }),
+            Node::Op(Instr::StGlobal {
+                src: Op::Reg(2),
+                addr: GAddr { array: GlobalId(1), row: IdxOp::Imm(0), point: PointRef::Lane },
+            }),
+        ];
+        let prog = flatten(&k);
+        let eng = lower(&k, &prog);
+        assert!(
+            eng.uops.iter().any(|u| matches!(u, UOp::LdSharedBcast { .. })),
+            "stride-0 load must lower to a broadcast: {:?}",
+            eng.uops
+        );
+        assert!(!eng.uops.iter().any(|u| matches!(u, UOp::LdShared { .. })));
+        let input: Vec<f64> = (0..64).map(|i| (i as f64) * 1.75 - 3.0).collect();
+        differential(&k, &[&input, &[]], 32, 0);
+    }
+
+    #[test]
+    fn staged_gather_feeding_single_shuffle_fuses_to_broadcast() {
+        // A lane-strided gather whose chunk's only consumer is one
+        // single-lane shuffle collapses into a broadcast of the one shared
+        // word the shuffle selects; the gather dies.
+        let mut k = base_kernel(1);
+        k.body = vec![
+            Node::Op(Instr::LdGlobal {
+                dst: 0,
+                addr: GAddr { array: GlobalId(0), row: IdxOp::Imm(0), point: PointRef::Lane },
+                ldg: false,
+            }),
+            Node::Op(Instr::StShared { src: Op::Reg(0), addr: SAddr::lane(0), lane_pred: None }),
+            Node::Op(Instr::LdShared { dst: 4, addr: SAddr::lane(0) }),
+            Node::Op(Instr::Shfl { dst: 1, src: 4, lane: 11 }),
+            Node::Op(Instr::DAdd { dst: 2, a: Op::Reg(1), b: Op::Reg(0) }),
+            Node::Op(Instr::StGlobal {
+                src: Op::Reg(2),
+                addr: GAddr { array: GlobalId(1), row: IdxOp::Imm(0), point: PointRef::Lane },
+            }),
+        ];
+        let prog = flatten(&k);
+        let eng = lower(&k, &prog);
+        assert!(
+            eng.uops.iter().any(|u| matches!(u, UOp::LdSharedBcast { .. })),
+            "gather + sole-consumer shuffle must fuse: {:?}",
+            eng.uops
+        );
+        assert!(
+            !eng.uops.iter().any(|u| matches!(
+                u,
+                UOp::LdShared { .. } | UOp::Fast(DecodedInstr::Shfl { .. })
+            )),
+            "the staging gather and the shuffle are both gone: {:?}",
+            eng.uops
+        );
+        let input: Vec<f64> = (0..64).map(|i| (i as f64).sin() * 9.5).collect();
+        differential(&k, &[&input, &[]], 32, 0);
+    }
+
+    #[test]
+    fn stshared_lane_pred_out_of_range_is_typed_error() {
+        // Regression (used to silently drop the store): both paths must
+        // now report the same OutOfBounds error for lane_pred >= 32.
+        let mut k = base_kernel(1);
+        k.body = vec![
+            Node::Op(Instr::DMov { dst: 0, src: Op::Imm(3.0) }),
+            Node::Op(Instr::StShared {
+                src: Op::Reg(0),
+                addr: SAddr::lane(0),
+                lane_pred: Some(40),
+            }),
+        ];
+        let input = vec![0.0; 64];
+        differential(&k, &[&input, &[]], 32, 0);
+        // And pin the exact error shape on the engine path.
+        let prog = flatten(&k);
+        let eng = lower(&k, &prog);
+        let err = run_cta_engine(
+            &k, &eng, &prog, &[&input, &[]], 32, 0, false, &GpuArch::kepler_k20c(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::OutOfBounds { space: "lane-pred", addr: 40, limit: WARP_SIZE }
+        );
+    }
+
+    #[test]
+    fn collect_toggle_never_leaks_cache_state_between_ctas() {
+        // The constant cache is rebuilt per CTA and constant values are
+        // resolved at lowering, so interleaving unprofiled (collect=false)
+        // and profiled (collect=true) CTAs on one shared lowered program
+        // must give every profiled CTA the same counts as a fresh
+        // interpreter run, and identical outputs everywhere.
+        let mut k = base_kernel(1);
+        k.points_per_cta = 32;
+        k.body = vec![
+            Node::Op(Instr::LdGlobal {
+                dst: 0,
+                addr: GAddr { array: GlobalId(0), row: IdxOp::Imm(0), point: PointRef::Lane },
+                ldg: false,
+            }),
+            Node::Op(Instr::LdConst { dst: 1, bank: 0, idx: IdxOp::Imm(1) }),
+            Node::Op(Instr::DFma {
+                dst: 2,
+                a: Op::Reg(0),
+                b: Op::Reg(1),
+                c: Op::Imm(0.5),
+                const_c: false,
+            }),
+            Node::Op(Instr::StGlobal {
+                src: Op::Reg(2),
+                addr: GAddr { array: GlobalId(1), row: IdxOp::Imm(0), point: PointRef::Lane },
+            }),
+        ];
+        let prog = flatten(&k);
+        let eng = lower(&k, &prog);
+        let arch = GpuArch::kepler_k20c();
+        let total = 128; // 4 CTAs
+        let input: Vec<f64> = (0..2 * total).map(|i| i as f64 * 0.5).collect();
+        let inputs: &[&[f64]] = &[&input, &[]];
+        // Alternate collect off/on across CTAs on the shared program.
+        for (cta, collect) in [(0, false), (1, true), (2, false), (3, true)] {
+            let e = run_cta_engine(&k, &eng, &prog, inputs, total, cta, collect, &arch).unwrap();
+            let i = run_cta_profiled(&k, &prog, inputs, total, cta, collect, &arch, None).unwrap();
+            assert_eq!(e.counts, i.counts, "cta {cta} collect {collect}");
+            for (x, y) in e.out_buffers.iter().zip(&i.out_buffers) {
+                for (va, vb) in x.iter().zip(y) {
+                    assert_eq!(va.to_bits(), vb.to_bits());
+                }
+            }
+        }
     }
 }

@@ -37,8 +37,6 @@ type MemoCache<T> = Mutex<HashMap<(u64, u64), Slot<T>>>;
 
 static CACHE: OnceLock<MemoCache<FlatProgram>> = OnceLock::new();
 
-static ENGINE_CACHE: OnceLock<MemoCache<EngineProgram>> = OnceLock::new();
-
 /// Claim (or join) `key`'s slot under the lock, then run `make` outside it.
 fn memoized<T>(
     cache: &'static OnceLock<MemoCache<T>>,
@@ -64,13 +62,17 @@ pub fn flatten_cached(kernel: &Kernel) -> Arc<FlatProgram> {
     memoized(&CACHE, fingerprint(kernel), || flatten(kernel))
 }
 
-/// Lower `kernel` for the segment-compiled engine, reusing a cached
-/// [`EngineProgram`] when an identical kernel was lowered before in this
-/// process. `prog` must be `kernel`'s flattening (lowering is a pure
-/// function of the kernel, so any equal-fingerprint flattening yields the
-/// same program).
+/// Lower `kernel` for the segment-compiled engine. The lowered program is
+/// cached *on the flattening itself* (a `OnceLock` field of
+/// [`FlatProgram`]): lowering is a pure function of the kernel, the
+/// flattening is already memoized by kernel fingerprint, and keying a
+/// second memo by fingerprint would re-hash the whole kernel body on every
+/// `run_cta` call — measured at ~80 ns per body instruction, which
+/// dominated engine dispatch. Tying the artifact to its flattening also
+/// makes staleness impossible by construction: new lowering output always
+/// rides a new `FlatProgram`.
 pub(crate) fn engine_cached(kernel: &Kernel, prog: &FlatProgram) -> Arc<EngineProgram> {
-    memoized(&ENGINE_CACHE, fingerprint(kernel), || crate::engine::lower(kernel, prog))
+    prog.engine.get_or_init(|| Arc::new(crate::engine::lower(kernel, prog))).clone()
 }
 
 /// Two independent structural hashes of the kernel. Public so other

@@ -16,6 +16,7 @@ use crate::counts::EventCounts;
 use crate::error::{SimError, SimResult};
 use crate::icache::interleaved_fetch_profile;
 use crate::isa::*;
+use crate::lanes::{self, Lanes};
 use crate::profile::Profiler;
 use crate::WARP_SIZE;
 
@@ -290,6 +291,12 @@ pub struct FlatProgram {
     pub(crate) sync_streams: Vec<Vec<(u32, u32)>>,
     /// Total static instructions (address space size).
     pub static_size: u32,
+    /// Lazily-lowered segment-engine program for this exact flattening.
+    /// Riding on the `FlatProgram` (instead of a separate fingerprint-keyed
+    /// memo) ties the lowered artifact's lifetime to its flattening and
+    /// keeps kernel re-hashing out of `run_cta`, which is called once per
+    /// CTA per launch.
+    pub(crate) engine: std::sync::OnceLock<std::sync::Arc<crate::engine::EngineProgram>>,
 }
 
 /// One step of a warp's flattened stream, exposed read-only for external
@@ -490,7 +497,16 @@ pub fn flatten(kernel: &Kernel) -> FlatProgram {
         })
         .collect();
 
-    FlatProgram { streams, instrs, decoded, costs, addr_streams, sync_streams, static_size: counter }
+    FlatProgram {
+        streams,
+        instrs,
+        decoded,
+        costs,
+        addr_streams,
+        sync_streams,
+        static_size: counter,
+        engine: std::sync::OnceLock::new(),
+    }
 }
 
 /// Named-barrier state. `generation` increments on every completion so a
@@ -806,7 +822,7 @@ fn step_warp(
                     }
                     dec => {
                         let ws = &mut warps[w];
-                        exec_fast(dec, &mut ws.dregs, &mut ws.local, collect, counts)?;
+                        exec_fast(dec, &mut ws.dregs, &[], &mut ws.local, collect, counts)?;
                         ws.pc += 1;
                         ran = true;
                     }
@@ -849,80 +865,148 @@ pub(crate) fn barrier_arrive(
 
 /// Snapshot an operand's 32 lane values from the contiguous register file.
 /// Copying first makes destination aliasing trivially safe while keeping
-/// the arithmetic loops over plain contiguous slices.
+/// the arithmetic loops over plain contiguous slices. The hot paths use
+/// [`operand`] instead, which borrows the chunk without copying when it
+/// provably cannot alias the destination.
 #[inline]
-pub(crate) fn src_vals(dregs: &[f64], s: Src) -> [f64; WARP_SIZE] {
+pub(crate) fn src_vals(dregs: &[f64], tail: &[f64], s: Src) -> [f64; WARP_SIZE] {
     match s {
-        Src::Reg(base) => dregs[base..base + WARP_SIZE].try_into().expect("warp slice"),
+        Src::Reg(base) if base < dregs.len() => {
+            dregs[base..base + WARP_SIZE].try_into().expect("warp slice")
+        }
+        Src::Reg(base) => {
+            let t = base - dregs.len();
+            tail[t..t + WARP_SIZE].try_into().expect("tail slice")
+        }
         Src::Imm(v) => [v; WARP_SIZE],
     }
 }
 
-/// Execute a pre-decoded register-only instruction: the 32-lane loops run
-/// over contiguous register-file slices with no per-lane operand matching
-/// or bounds rederivation. Takes the register/local lanes directly so the
+/// Resolve one operand for a lane kernel: immediates splat into an owned
+/// chunk, register operands whose range intersects either excluded
+/// destination range are snapshotted, and everything else is handed out as
+/// a zero-copy borrow of the live register file. Register indices at or
+/// past `len` address the engine's shared read-only constant tail of
+/// pre-splatted immediates (`tail`), which no destination can alias; the
+/// interpreter passes an empty tail and never takes that branch.
+///
+/// # Safety
+///
+/// `ptr` must point at a live `[f64; len]` register file with no other
+/// active references. While the returned [`lanes::OpLanes::Ref`] is alive
+/// the caller may create mutable chunk views only at the excluded
+/// destinations (`excl`), which are guaranteed disjoint from it.
+#[inline(always)]
+pub(crate) unsafe fn operand<'a>(
+    ptr: *const f64,
+    len: usize,
+    tail: &'a [f64],
+    s: Src,
+    excl: [usize; 2],
+) -> lanes::OpLanes<'a> {
+    match s {
+        Src::Imm(v) => lanes::OpLanes::Own([v; WARP_SIZE]),
+        Src::Reg(base) if base >= len => {
+            let t = base - len;
+            let chunk: &'a [f64] = &tail[t..t + WARP_SIZE];
+            lanes::OpLanes::Ref(chunk.try_into().expect("tail chunk"))
+        }
+        Src::Reg(base) => {
+            assert!(base + WARP_SIZE <= len, "dreg operand chunk out of range");
+            let r: &'a Lanes = &*(ptr.add(base) as *const Lanes);
+            let hits = |d: usize| base < d + WARP_SIZE && d < base + WARP_SIZE;
+            if hits(excl[0]) || hits(excl[1]) {
+                lanes::OpLanes::Own(*r)
+            } else {
+                lanes::OpLanes::Ref(r)
+            }
+        }
+    }
+}
+
+/// Mutable view of one destination register chunk.
+///
+/// # Safety
+///
+/// `ptr` must point at a live `[f64; len]` register file; the caller must
+/// ensure no other live reference overlaps the `dst` chunk (operands from
+/// [`operand`] with `dst` excluded satisfy this).
+#[inline(always)]
+pub(crate) unsafe fn out_chunk<'a>(ptr: *mut f64, len: usize, dst: usize) -> &'a mut Lanes {
+    assert!(dst + WARP_SIZE <= len, "dreg destination chunk out of range");
+    &mut *(ptr.add(dst) as *mut Lanes)
+}
+
+pub(crate) fn cmp_kind(cmp: Cmp) -> lanes::CmpKind {
+    match cmp {
+        Cmp::Lt => lanes::CmpKind::Lt,
+        Cmp::Le => lanes::CmpKind::Le,
+        Cmp::Gt => lanes::CmpKind::Gt,
+        Cmp::Ge => lanes::CmpKind::Ge,
+        Cmp::Eq => lanes::CmpKind::Eq,
+        Cmp::Ne => lanes::CmpKind::Ne,
+    }
+}
+
+/// Execute a pre-decoded register-only instruction over the fixed-size
+/// lane-chunk kernels in [`crate::lanes`]: exact 32-lane trip counts, no
+/// per-lane bounds checks, zero-copy operands when they cannot alias the
+/// destination, and runtime-dispatched AVX2+FMA bodies for the IEEE-exact
+/// operations. Takes the register/local lanes directly so the
 /// segment-compiled engine shares this exact code path (identical
-/// floating-point behavior by construction).
+/// floating-point behavior by construction). Inlined into both dispatch
+/// loops so the decoded form never round-trips through memory.
+#[inline(always)]
 pub(crate) fn exec_fast(
     dec: DecodedInstr,
     dregs: &mut [f64],
+    tail: &[f64],
     local: &mut [f64],
     collect: bool,
     counts: &mut EventCounts,
 ) -> SimResult<()> {
+    let len = dregs.len();
+    let ptr = dregs.as_mut_ptr();
+    // SAFETY (all blocks below): register chunks are WARP_SIZE-element
+    // regions of one live register file; `operand` snapshots any operand
+    // whose range intersects the destination, so the `out_chunk` view is
+    // the only live mutable reference to that memory, and bounds are
+    // asserted exactly where slice indexing used to panic.
     match dec {
-        DecodedInstr::Bin { kind, dst, a, b } => {
-            let av = src_vals(dregs, a);
-            let bv = src_vals(dregs, b);
-            let out = &mut dregs[dst..dst + WARP_SIZE];
+        DecodedInstr::Bin { kind, dst, a, b } => unsafe {
+            let av = operand(ptr, len, tail, a, [dst, dst]);
+            let bv = operand(ptr, len, tail, b, [dst, dst]);
+            let (av, bv) = (av.get(), bv.get());
+            let out = out_chunk(ptr, len, dst);
             match kind {
-                BinKind::Add => {
-                    for l in 0..WARP_SIZE {
-                        out[l] = av[l] + bv[l];
-                    }
-                }
-                BinKind::Sub => {
-                    for l in 0..WARP_SIZE {
-                        out[l] = av[l] - bv[l];
-                    }
-                }
-                BinKind::Mul => {
-                    for l in 0..WARP_SIZE {
-                        out[l] = av[l] * bv[l];
-                    }
-                }
-                BinKind::Div => {
-                    for l in 0..WARP_SIZE {
-                        out[l] = av[l] / bv[l];
-                    }
-                }
+                BinKind::Add => lanes::add(av, bv, out),
+                BinKind::Sub => lanes::sub(av, bv, out),
+                BinKind::Mul => lanes::mul(av, bv, out),
+                BinKind::Div => lanes::div(av, bv, out),
+                // `powf` is a libm call per lane — opaque to the
+                // vectorizer, so the loop is identical in both compiled
+                // copies of the dispatch loops. `max`/`min` lower to LLVM
+                // intrinsics whose vector forms are not ±0-exact, so they
+                // live behind `#[inline(never)]` in `lanes`.
                 BinKind::Pow => {
                     for l in 0..WARP_SIZE {
                         out[l] = av[l].powf(bv[l]);
                     }
                 }
-                BinKind::Max => {
-                    for l in 0..WARP_SIZE {
-                        out[l] = av[l].max(bv[l]);
-                    }
-                }
-                BinKind::Min => {
-                    for l in 0..WARP_SIZE {
-                        out[l] = av[l].min(bv[l]);
-                    }
-                }
+                BinKind::Max => lanes::max(av, bv, out),
+                BinKind::Min => lanes::min(av, bv, out),
             }
-        }
-        DecodedInstr::Un { kind, dst, a } => {
-            let av = src_vals(dregs, a);
-            let out = &mut dregs[dst..dst + WARP_SIZE];
+        },
+        DecodedInstr::Un { kind, dst, a } => unsafe {
+            let av = operand(ptr, len, tail, a, [dst, dst]);
+            let av = av.get();
+            let out = out_chunk(ptr, len, dst);
             match kind {
-                UnKind::Mov => out.copy_from_slice(&av),
-                UnKind::Sqrt => {
-                    for l in 0..WARP_SIZE {
-                        out[l] = av[l].sqrt();
-                    }
-                }
+                UnKind::Mov => *out = *av,
+                UnKind::Sqrt => lanes::sqrt(av, out),
+                UnKind::Neg => lanes::neg(av, out),
+                // Transcendentals are libm calls whose results define the
+                // simulator's numerics; they must not be re-vectorized.
                 UnKind::Exp => {
                     for l in 0..WARP_SIZE {
                         out[l] = av[l].exp();
@@ -943,53 +1027,28 @@ pub(crate) fn exec_fast(
                         out[l] = av[l].cbrt();
                     }
                 }
-                UnKind::Neg => {
-                    for l in 0..WARP_SIZE {
-                        out[l] = -av[l];
-                    }
-                }
             }
-        }
-        DecodedInstr::Fma { dst, a, b, c } => {
-            let av = src_vals(dregs, a);
-            let bv = src_vals(dregs, b);
-            let cv = src_vals(dregs, c);
-            let out = &mut dregs[dst..dst + WARP_SIZE];
-            for l in 0..WARP_SIZE {
-                out[l] = av[l].mul_add(bv[l], cv[l]);
-            }
-        }
-        DecodedInstr::Sel { dst, pred, a, b } => {
-            let pv = src_vals(dregs, Src::Reg(pred));
-            let av = src_vals(dregs, a);
-            let bv = src_vals(dregs, b);
-            let out = &mut dregs[dst..dst + WARP_SIZE];
-            for l in 0..WARP_SIZE {
-                out[l] = if pv[l] != 0.0 { av[l] } else { bv[l] };
-            }
-        }
-        DecodedInstr::CmpOp { dst, cmp, a, b } => {
-            let av = src_vals(dregs, a);
-            let bv = src_vals(dregs, b);
-            let out = &mut dregs[dst..dst + WARP_SIZE];
-            for l in 0..WARP_SIZE {
-                let (x, y) = (av[l], bv[l]);
-                let t = match cmp {
-                    Cmp::Lt => x < y,
-                    Cmp::Le => x <= y,
-                    Cmp::Gt => x > y,
-                    Cmp::Ge => x >= y,
-                    Cmp::Eq => x == y,
-                    Cmp::Ne => x != y,
-                };
-                out[l] = if t { 1.0 } else { 0.0 };
-            }
-        }
+        },
+        DecodedInstr::Fma { dst, a, b, c } => unsafe {
+            let av = operand(ptr, len, tail, a, [dst, dst]);
+            let bv = operand(ptr, len, tail, b, [dst, dst]);
+            let cv = operand(ptr, len, tail, c, [dst, dst]);
+            lanes::fma(av.get(), bv.get(), cv.get(), out_chunk(ptr, len, dst));
+        },
+        DecodedInstr::Sel { dst, pred, a, b } => unsafe {
+            let pv = operand(ptr, len, tail, Src::Reg(pred), [dst, dst]);
+            let av = operand(ptr, len, tail, a, [dst, dst]);
+            let bv = operand(ptr, len, tail, b, [dst, dst]);
+            lanes::sel(pv.get(), av.get(), bv.get(), out_chunk(ptr, len, dst));
+        },
+        DecodedInstr::CmpOp { dst, cmp, a, b } => unsafe {
+            let av = operand(ptr, len, tail, a, [dst, dst]);
+            let bv = operand(ptr, len, tail, b, [dst, dst]);
+            lanes::cmp(cmp_kind(cmp), av.get(), bv.get(), out_chunk(ptr, len, dst));
+        },
         DecodedInstr::Shfl { dst, src, lane } => {
             let v = dregs[src + lane];
-            for slot in &mut dregs[dst..dst + WARP_SIZE] {
-                *slot = v;
-            }
+            dregs[dst..dst + WARP_SIZE].fill(v);
         }
         DecodedInstr::LdLocal { dst, slot } => {
             dregs[dst..dst + WARP_SIZE].copy_from_slice(&local[slot..slot + WARP_SIZE]);
@@ -998,7 +1057,7 @@ pub(crate) fn exec_fast(
             }
         }
         DecodedInstr::StLocal { src, slot } => {
-            let sv = src_vals(dregs, src);
+            let sv = src_vals(dregs, tail, src);
             local[slot..slot + WARP_SIZE].copy_from_slice(&sv);
             if collect {
                 counts.local_bytes += (WARP_SIZE * 8) as u64;
@@ -1281,6 +1340,18 @@ fn exec_slow(
             }
         }
         Instr::StShared { src, addr, lane_pred } => {
+            // A predicate naming a lane outside the warp used to silently
+            // drop the store; it is a typed error now (the engine's
+            // lowering raises the same error at the same point).
+            if let Some(p) = lane_pred {
+                if *p as usize >= WARP_SIZE {
+                    return Err(SimError::OutOfBounds {
+                        space: "lane-pred",
+                        addr: *p as usize,
+                        limit: WARP_SIZE,
+                    });
+                }
+            }
             let mut addrs = [0usize; WARP_SIZE];
             for (l, slot) in addrs.iter_mut().enumerate() {
                 let base = addr.base.map(|r| ival(warp, &IdxOp::Reg(r), l)).unwrap_or(0) as usize;

@@ -1,0 +1,352 @@
+//! Fixed-size 32-lane chunk kernels for the SIMT inner loops.
+//!
+//! Both the interpreter's fast path ([`crate::interp::exec_fast`]) and the
+//! segment-compiled engine ([`crate::engine`]) execute every instruction
+//! over all 32 lanes of a warp. This module gives those loops one shared,
+//! autovectorization-friendly shape:
+//!
+//! * every kernel works on `[f64; WARP_SIZE]` chunks (the *lane chunk*),
+//!   so LLVM sees exact trip counts and needs no bounds checks or runtime
+//!   alias analysis inside the loop;
+//! * on x86-64 each kernel also has an AVX2+FMA specialization (the same
+//!   scalar body compiled under `#[target_feature]`, so `a.mul_add(b, c)`
+//!   lowers to `vfmadd` instead of a libm call and the elementwise loops
+//!   vectorize 4 lanes wide), selected by a runtime-CPUID branch per call.
+//!   Keeping each specialization a small standalone function is load-
+//!   bearing: an experiment that instead compiled the entire dispatch
+//!   loops under `#[target_feature]` (to remove the per-call branch) made
+//!   LLVM fully unroll the lane loops to *scalar* code — the noalias facts
+//!   carried by the `&Lanes` parameters are what let the vectorizer work;
+//! * results are **bit-identical** between the scalar and vector paths:
+//!   only IEEE-exact operations (+, -, *, /, sqrt, fused multiply-add,
+//!   negation, compares, selects, copies) are specialized. Operations
+//!   whose vectorized lowering is *not* pinned down to the bit
+//!   (`max`/`min` signed-zero ordering) live in `#[inline(never)]`
+//!   helpers so every caller shares one machine-code copy; libm calls
+//!   (`powf`, `exp`, `ln`, `log10`, `cbrt`) stay scalar in the callers.
+//!
+//! Operand order is preserved exactly as written in each kernel body:
+//! IEEE addition is commutative in value but x86 propagates the *first*
+//! operand's payload when both inputs are NaN, so callers that need
+//! `c + p` rather than `p + c` get their own kernel variant.
+
+use crate::WARP_SIZE;
+
+/// One warp's worth of f64 lanes — the unit every kernel operates on.
+pub(crate) type Lanes = [f64; WARP_SIZE];
+
+/// Whether the AVX2+FMA specializations are usable on this machine.
+/// Detected once; a relaxed atomic read afterwards.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn simd_ok() -> bool {
+    use std::sync::OnceLock;
+    static OK: OnceLock<bool> = OnceLock::new();
+    *OK.get_or_init(|| {
+        std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma")
+    })
+}
+
+/// Define one lane kernel: a single scalar body, compiled twice — once at
+/// the crate's baseline target features, once under AVX2+FMA — with a
+/// runtime dispatch on the detected CPU. The two compilations are
+/// bit-identical for the IEEE-exact operations this module restricts
+/// itself to, so the dispatch is invisible to differential tests.
+macro_rules! lane_kernel {
+    ($(#[$meta:meta])* $name:ident, ($($p:ident : $t:ty),*), $body:block) => {
+        $(#[$meta])*
+        #[inline]
+        pub(crate) fn $name($($p: $t),*) {
+            #[inline(always)]
+            fn body($($p: $t),*) $body
+            #[cfg(target_arch = "x86_64")]
+            {
+                #[target_feature(enable = "avx2", enable = "fma")]
+                unsafe fn vect($($p: $t),*) {
+                    body($($p),*)
+                }
+                if simd_ok() {
+                    // SAFETY: `simd_ok` verified AVX2+FMA via CPUID.
+                    return unsafe { vect($($p),*) };
+                }
+            }
+            body($($p),*)
+        }
+    };
+}
+
+lane_kernel!(add, (a: &Lanes, b: &Lanes, out: &mut Lanes), {
+    for l in 0..WARP_SIZE {
+        out[l] = a[l] + b[l];
+    }
+});
+
+lane_kernel!(sub, (a: &Lanes, b: &Lanes, out: &mut Lanes), {
+    for l in 0..WARP_SIZE {
+        out[l] = a[l] - b[l];
+    }
+});
+
+lane_kernel!(mul, (a: &Lanes, b: &Lanes, out: &mut Lanes), {
+    for l in 0..WARP_SIZE {
+        out[l] = a[l] * b[l];
+    }
+});
+
+lane_kernel!(div, (a: &Lanes, b: &Lanes, out: &mut Lanes), {
+    for l in 0..WARP_SIZE {
+        out[l] = a[l] / b[l];
+    }
+});
+
+lane_kernel!(
+    /// Fused multiply-add (single rounding), as `f64::mul_add`.
+    fma,
+    (a: &Lanes, b: &Lanes, c: &Lanes, out: &mut Lanes),
+    {
+        for l in 0..WARP_SIZE {
+            out[l] = a[l].mul_add(b[l], c[l]);
+        }
+    }
+);
+
+lane_kernel!(sqrt, (a: &Lanes, out: &mut Lanes), {
+    for l in 0..WARP_SIZE {
+        out[l] = a[l].sqrt();
+    }
+});
+
+lane_kernel!(neg, (a: &Lanes, out: &mut Lanes), {
+    for l in 0..WARP_SIZE {
+        out[l] = -a[l];
+    }
+});
+
+lane_kernel!(
+    /// Branch-free select: `out[l] = if pred[l] != 0.0 { a[l] } else { b[l] }`.
+    sel,
+    (pred: &Lanes, a: &Lanes, b: &Lanes, out: &mut Lanes),
+    {
+        for l in 0..WARP_SIZE {
+            out[l] = if pred[l] != 0.0 { a[l] } else { b[l] };
+        }
+    }
+);
+
+/// IEEE maxNum per lane. `#[inline(never)]`: `f64::max` lowers to an LLVM
+/// intrinsic whose vectorized form may order +0.0/-0.0 differently from
+/// the scalar form, so the engine's AVX2-compiled loop and the
+/// interpreter's baseline loop must share this single machine-code copy to
+/// stay bit-identical on signed-zero operands.
+#[inline(never)]
+pub(crate) fn max(a: &Lanes, b: &Lanes, out: &mut Lanes) {
+    for l in 0..WARP_SIZE {
+        out[l] = a[l].max(b[l]);
+    }
+}
+
+/// IEEE minNum per lane; see [`max`] for why this is `#[inline(never)]`.
+#[inline(never)]
+pub(crate) fn min(a: &Lanes, b: &Lanes, out: &mut Lanes) {
+    for l in 0..WARP_SIZE {
+        out[l] = a[l].min(b[l]);
+    }
+}
+
+/// Comparison kind for [`cmp`], mirroring [`crate::isa::Cmp`] without
+/// dragging the ISA into this leaf module.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum CmpKind {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+lane_kernel!(
+    /// Compare producing 0.0/1.0 per lane. The kind match sits outside the
+    /// lane loop so each arm is an independently vectorizable loop.
+    cmp,
+    (kind: CmpKind, a: &Lanes, b: &Lanes, out: &mut Lanes),
+    {
+        macro_rules! arm {
+            ($op:tt) => {
+                for l in 0..WARP_SIZE {
+                    out[l] = if a[l] $op b[l] { 1.0 } else { 0.0 };
+                }
+            };
+        }
+        match kind {
+            CmpKind::Lt => arm!(<),
+            CmpKind::Le => arm!(<=),
+            CmpKind::Gt => arm!(>),
+            CmpKind::Ge => arm!(>=),
+            CmpKind::Eq => arm!(==),
+            CmpKind::Ne => arm!(!=),
+        }
+    }
+);
+
+/// Two-rounding fused micro-op shapes for the engine's mul→add/sub fusion
+/// (see `crate::engine`): the product `p = a*b` rounds once, then the
+/// second operation rounds again — exactly the two instructions the
+/// interpreter would execute, just without the dispatch in between.
+/// Operand order encodes x86 NaN-payload propagation: `AddPC` is `p + c`,
+/// `AddCP` is `c + p`, and likewise for subtraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FusedBin {
+    AddPC,
+    AddCP,
+    SubPC,
+    SubCP,
+}
+
+lane_kernel!(
+    /// `t[l] = a[l]*b[l]; d[l] = t[l] <op> c[l]` with separate roundings,
+    /// writing both the intermediate product chunk and the result chunk
+    /// (the product register stays architecturally visible).
+    mul_then_bin_both,
+    (kind: FusedBin, a: &Lanes, b: &Lanes, c: &Lanes, t: &mut Lanes, d: &mut Lanes),
+    {
+        macro_rules! arm {
+            (|$p:ident, $cv:ident| $e:expr) => {
+                for l in 0..WARP_SIZE {
+                    let $p = a[l] * b[l];
+                    t[l] = $p;
+                    let $cv = c[l];
+                    d[l] = $e;
+                }
+            };
+        }
+        match kind {
+            FusedBin::AddPC => arm!(|p, cv| p + cv),
+            FusedBin::AddCP => arm!(|p, cv| cv + p),
+            FusedBin::SubPC => arm!(|p, cv| p - cv),
+            FusedBin::SubCP => arm!(|p, cv| cv - p),
+        }
+    }
+);
+
+lane_kernel!(
+    /// [`mul_then_bin_both`] for the case where the product register and
+    /// the result register are the same chunk: the intermediate write is
+    /// immediately overwritten, so only the final value lands.
+    mul_then_bin_same,
+    (kind: FusedBin, a: &Lanes, b: &Lanes, c: &Lanes, d: &mut Lanes),
+    {
+        macro_rules! arm {
+            (|$p:ident, $cv:ident| $e:expr) => {
+                for l in 0..WARP_SIZE {
+                    let $p = a[l] * b[l];
+                    let $cv = c[l];
+                    d[l] = $e;
+                }
+            };
+        }
+        match kind {
+            FusedBin::AddPC => arm!(|p, cv| p + cv),
+            FusedBin::AddCP => arm!(|p, cv| cv + p),
+            FusedBin::SubPC => arm!(|p, cv| p - cv),
+            FusedBin::SubCP => arm!(|p, cv| cv - p),
+        }
+    }
+);
+
+/// A resolved operand: either a shared reference to a live register chunk
+/// (proven disjoint from every destination chunk of the current op) or an
+/// owned snapshot (immediates, and operands that alias a destination).
+/// The size gap between the variants is the point: `Own` keeps the
+/// snapshot on the stack of the op being executed — boxing it would put a
+/// heap allocation on the hottest path in the simulator.
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum OpLanes<'a> {
+    Ref(&'a Lanes),
+    Own(Lanes),
+}
+
+impl OpLanes<'_> {
+    #[inline(always)]
+    pub(crate) fn get(&self) -> &Lanes {
+        match self {
+            OpLanes::Ref(r) => r,
+            OpLanes::Own(v) => v,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(off: f64) -> Lanes {
+        std::array::from_fn(|l| off + l as f64 * 0.5)
+    }
+
+    #[test]
+    fn kernels_match_scalar_reference() {
+        let a = seq(1.0);
+        let b = seq(-3.0);
+        let c = seq(0.25);
+        let mut out = [0.0; WARP_SIZE];
+
+        add(&a, &b, &mut out);
+        for l in 0..WARP_SIZE {
+            assert_eq!(out[l].to_bits(), (a[l] + b[l]).to_bits());
+        }
+        fma(&a, &b, &c, &mut out);
+        for l in 0..WARP_SIZE {
+            assert_eq!(out[l].to_bits(), a[l].mul_add(b[l], c[l]).to_bits());
+        }
+        cmp(CmpKind::Lt, &a, &b, &mut out);
+        for l in 0..WARP_SIZE {
+            assert_eq!(out[l], if a[l] < b[l] { 1.0 } else { 0.0 });
+        }
+    }
+
+    #[test]
+    fn fused_double_rounding_matches_two_ops() {
+        // The fused kernels must round twice — NOT like mul_add.
+        let a = seq(1.0e8);
+        let b = seq(3.0e-9);
+        let c = seq(1.0);
+        let mut t = [0.0; WARP_SIZE];
+        let mut d = [0.0; WARP_SIZE];
+        mul_then_bin_both(FusedBin::AddPC, &a, &b, &c, &mut t, &mut d);
+        for l in 0..WARP_SIZE {
+            let p = a[l] * b[l];
+            assert_eq!(t[l].to_bits(), p.to_bits());
+            assert_eq!(d[l].to_bits(), (p + c[l]).to_bits());
+        }
+        let mut d2 = [0.0; WARP_SIZE];
+        mul_then_bin_same(FusedBin::SubCP, &a, &b, &c, &mut d2);
+        for l in 0..WARP_SIZE {
+            assert_eq!(d2[l].to_bits(), (c[l] - a[l] * b[l]).to_bits());
+        }
+    }
+
+    #[test]
+    fn special_values_roundtrip_bitwise() {
+        // NaN / Inf / denormal / negative zero flow through unchanged
+        // between the scalar and (when available) vector paths — both run
+        // the same IEEE ops, so comparing against inline scalar compute
+        // covers whichever path dispatched.
+        let mut a = seq(0.0);
+        a[0] = f64::NAN;
+        a[1] = f64::INFINITY;
+        a[2] = f64::NEG_INFINITY;
+        a[3] = -0.0;
+        a[4] = f64::MIN_POSITIVE / 2.0; // denormal
+        let b = seq(1.0);
+        let mut out = [0.0; WARP_SIZE];
+        mul(&a, &b, &mut out);
+        for l in 0..WARP_SIZE {
+            assert_eq!(out[l].to_bits(), (a[l] * b[l]).to_bits(), "lane {l}");
+        }
+        sub(&a, &a, &mut out);
+        assert!(out[0].is_nan());
+        assert!(out[1].is_nan()); // inf - inf
+        assert_eq!(out[3].to_bits(), (-0.0f64 - -0.0f64).to_bits());
+    }
+}

@@ -35,6 +35,7 @@ pub mod flatcache;
 pub mod icache;
 pub mod interp;
 pub mod isa;
+pub(crate) mod lanes;
 pub mod launch;
 pub mod model;
 pub mod occupancy;

@@ -9,7 +9,13 @@
 //!   exactly;
 //! * full-grid launches are byte-identical between `jobs = 1` and
 //!   `jobs = 8` with the parallel CTA fan-out enabled — the ordered pool
-//!   must never let worker count leak into results.
+//!   must never let worker count leak into results;
+//! * randomly synthesized instruction streams whose operands, immediates,
+//!   constant banks, and global inputs are saturated with IEEE-754 edge
+//!   cases (NaN with payload, ±∞, subnormals, ±0) stay bit-identical
+//!   through the engine's whole optimization pipeline — constant-shuffle
+//!   folding, copy propagation, mul+add/sub fusion, dead-code
+//!   elimination, and immediate splatting.
 
 use chemkin::reference::tables::{DiffusionTables, ViscosityTables};
 use chemkin::state::{GridDims, GridState};
@@ -135,6 +141,174 @@ proptest! {
             prop_assert_eq!(oa.len(), ob.len());
             for (x, y) in oa.iter().zip(ob.iter()) {
                 prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Special-value operand streams.
+// ---------------------------------------------------------------------------
+
+use gpu_sim::isa::{
+    ArrayDecl, GAddr, GlobalId, IdxInstr, IdxOp, Instr, Kernel, Node, Op, PointRef, SAddr,
+};
+
+/// Every awkward IEEE-754 citizen plus a few ordinary values. Selected by
+/// index so a single `u64` drawn by proptest picks one; the engine's
+/// optimizer must carry each through folding, fusion, copy propagation,
+/// and immediate splatting bit-identically — including the NaN payload.
+fn special(sel: u64) -> f64 {
+    const SPECIALS: [u64; 13] = [
+        0x7ff8_0000_0000_0000, // canonical quiet NaN
+        0x7ff8_dead_beef_0001, // quiet NaN with a payload
+        0x7ff0_0000_0000_0000, // +inf
+        0xfff0_0000_0000_0000, // -inf
+        0x8000_0000_0000_0000, // -0.0
+        0x0000_0000_0000_0000, // +0.0
+        0x0000_0000_0000_0001, // smallest positive subnormal
+        0x8000_0000_0000_0001, // smallest-magnitude negative subnormal
+        0x000f_ffff_ffff_ffff, // largest subnormal
+        0x0010_0000_0000_0000, // smallest normal
+        0x3ff0_0000_0000_0000, // 1.0
+        0xbff8_0000_0000_0000, // -1.5
+        0x7e37_e43c_8800_759c, // 1e300
+    ];
+    f64::from_bits(SPECIALS[(sel % SPECIALS.len() as u64) as usize])
+}
+
+/// One-warp kernel skeleton with a constant bank full of special values
+/// (staged through a lane-indexed `LdConst`, so shuffles off it hit the
+/// constant-fold path) and one input / one output global array.
+fn stream_kernel(name: String, body: Vec<Node>, bank_seed: u64) -> Kernel {
+    Kernel {
+        name,
+        body,
+        warps_per_cta: 1,
+        points_per_cta: 32,
+        dregs_per_thread: 8,
+        iregs_per_thread: 4,
+        shared_words: 64,
+        local_words_per_thread: 2,
+        const_banks: vec![(0..32).map(|i| special(bank_seed.wrapping_add(i))).collect()],
+        iconst_banks: vec![],
+        barriers_used: 1,
+        global_arrays: vec![
+            ArrayDecl { name: "in".into(), rows: 1, output: false },
+            ArrayDecl { name: "out".into(), rows: 1, output: true },
+        ],
+        spilled_bytes_per_thread: 0,
+        exp_const_from_registers: false,
+    }
+}
+
+/// Decode one drawn `u64` into a short instruction burst. Bursts are
+/// chosen to hit every optimizer path: mul feeding add/sub (fusion),
+/// chained movs (copy propagation), shuffles off the staged constant
+/// chunk (constant folding), writes to a register the tail never reads
+/// (dead-code elimination), and immediate operands (splatting).
+fn burst(v: u64) -> Vec<Instr> {
+    // Registers: 0 = global input, 7 = staged constants, 1..=6 general.
+    let dst = 1 + ((v >> 8) % 6) as u16;
+    let t = 1 + ((v >> 12) % 6) as u16;
+    let ra = ((v >> 16) % 8) as u16;
+    let rb = ((v >> 20) % 8) as u16;
+    let a = if (v >> 32) & 1 == 0 { Op::Reg(ra) } else { Op::Imm(special(v >> 33)) };
+    let b = if (v >> 40) & 1 == 0 { Op::Reg(rb) } else { Op::Imm(special(v >> 41)) };
+    match v % 10 {
+        // A guaranteed-fusable mul→add / mul→sub pair through a staging
+        // register (the engine's FusedMulBin path).
+        0 => vec![
+            Instr::DMul { dst: t, a, b },
+            Instr::DAdd { dst, a: Op::Reg(t), b },
+        ],
+        1 => vec![
+            Instr::DMul { dst: t, a, b },
+            Instr::DSub { dst, a: Op::Reg(t), b: Op::Reg(ra) },
+        ],
+        // A mov chain (copy propagation food).
+        2 => vec![
+            Instr::DMov { dst: t, src: a },
+            Instr::DMov { dst, src: Op::Reg(t) },
+        ],
+        3 => vec![Instr::DAdd { dst, a, b }],
+        4 => vec![Instr::DDiv { dst, a, b }],
+        5 => vec![Instr::DFma { dst, a, b, c: Op::Reg(ra), const_c: false }],
+        6 => vec![Instr::DMax { dst, a, b }, Instr::DMin { dst: t, a: Op::Reg(dst), b }],
+        7 => vec![Instr::DNeg { dst, a }, Instr::DSqrt { dst: t, a: Op::Reg(dst) }],
+        // Broadcast one special constant out of the staged chunk — folds
+        // to an immediate at lowering, then splats.
+        8 => vec![
+            Instr::Shfl { dst, src: 7, lane: ((v >> 24) % 32) as u8 },
+            Instr::DMul { dst: t, a: Op::Reg(dst), b },
+        ],
+        // A single-lane store to a stride-0 mirror address read back by
+        // all lanes (the LdSharedBcast path), with special values in it.
+        _ => vec![
+            Instr::StShared {
+                src: a,
+                addr: SAddr { base: None, imm: 9, lane_stride: 0 },
+                lane_pred: Some(((v >> 24) % 32) as u8),
+            },
+            Instr::LdShared { dst, addr: SAddr { base: None, imm: 9, lane_stride: 0 } },
+        ],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Engine and interpreter agree bit-for-bit — NaN payloads included —
+    /// on randomly synthesized streams saturated with IEEE-754 edge
+    /// cases in every operand position: immediates (splatting), constant
+    /// banks (shuffle folding), and global inputs.
+    #[test]
+    fn special_value_streams_match_interpreter_bit_for_bit(
+        bursts in proptest::collection::vec(0u64..u64::MAX, 6..24),
+        bank_seed in 0u64..1000,
+        input_seed in 0u64..1000,
+    ) {
+        let mut body = vec![
+            // Stage the special-value constant bank into register 7 via a
+            // lane-indexed load: shuffles off it are lowering-time known.
+            Node::Op(Instr::Idx(IdxInstr::LaneId { dst: 0 })),
+            Node::Op(Instr::LdConst { dst: 7, bank: 0, idx: IdxOp::Reg(0) }),
+            Node::Op(Instr::LdGlobal {
+                dst: 0,
+                addr: GAddr { array: GlobalId(0), row: IdxOp::Imm(0), point: PointRef::Lane },
+                ldg: false,
+            }),
+        ];
+        for &v in &bursts {
+            body.extend(burst(v).into_iter().map(Node::Op));
+        }
+        // Fold registers 1..=3 into the stored value; registers 4..=6 may
+        // end up dead, which the engine's DCE must not let change results.
+        body.push(Node::Op(Instr::DAdd { dst: 1, a: Op::Reg(1), b: Op::Reg(2) }));
+        body.push(Node::Op(Instr::DMul { dst: 1, a: Op::Reg(1), b: Op::Reg(3) }));
+        body.push(Node::Op(Instr::StGlobal {
+            src: Op::Reg(1),
+            addr: GAddr { array: GlobalId(1), row: IdxOp::Imm(0), point: PointRef::Lane },
+        }));
+
+        let kernel = stream_kernel(format!("special{bank_seed}_{input_seed}"), body, bank_seed);
+        let prog = flatten_cached(&kernel);
+        let input: Vec<f64> =
+            (0..32).map(|i| special(input_seed.wrapping_add(i * 7))).collect();
+        let arrays: Vec<&[f64]> = vec![&input, &[]];
+        let arch = GpuArch::kepler_k20c();
+
+        for collect in [false, true] {
+            let eng = run_cta(&kernel, &prog, &arrays, 32, 0, collect, &arch)
+                .expect("engine runs");
+            let itp = run_cta_profiled(&kernel, &prog, &arrays, 32, 0, collect, &arch, None)
+                .expect("interpreter runs");
+            prop_assert_eq!(&eng.counts, &itp.counts);
+            for (a, b) in eng.out_buffers.iter().zip(&itp.out_buffers) {
+                prop_assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(b.iter()) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
             }
         }
     }
