@@ -1,0 +1,26 @@
+//! Profiling harness: run the primary engine CTA (DME viscosity,
+//! warp-specialized, Kepler) in a loop so a sampling profiler can see
+//! where the time goes (debug aid).
+
+use chemkin::state::{GridDims, GridState};
+use gpu_sim::interp::run_cta;
+use gpu_sim::{flatten_cached, GpuArch};
+use singe::kernels::launch_arrays;
+use singe_bench::{build, Kind, Variant};
+
+fn main() {
+    let mech = chemkin::synth::dme();
+    let arch = GpuArch::kepler_k20c();
+    let built = build(Kind::Viscosity, &mech, &arch, Variant::WarpSpecialized);
+    let prog = flatten_cached(&built.kernel);
+    let points = built.kernel.points_per_cta;
+    let grid = GridState::random(GridDims { nx: points, ny: 1, nz: 1 }, built.n_species, 1234);
+    let arrays = launch_arrays(&built.kernel.global_arrays, &grid).expect("known arrays");
+    let reps: usize = std::env::var("REPS").ok().and_then(|s| s.parse().ok()).unwrap_or(2000);
+    let t = std::time::Instant::now();
+    for _ in 0..reps {
+        run_cta(&built.kernel, &prog, &arrays, points, 0, false, &arch).expect("engine CTA");
+    }
+    let dt = t.elapsed().as_secs_f64();
+    println!("{reps} reps, {:.3} ms/CTA", dt / reps as f64 * 1e3);
+}

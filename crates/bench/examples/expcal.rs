@@ -1,0 +1,46 @@
+//! Quick calibration probe for the per-lane exp cost (debug aid).
+//!
+//! Measures both a long contiguous slice (amortized cost) and repeated
+//! 32-lane calls (the engine's actual call pattern for unbatched exp
+//! uops), so per-call dispatch overhead is visible.
+
+use std::time::Instant;
+
+fn main() {
+    let xs: Vec<f64> = (0..4096).map(|i| (i as f64) * 0.0043 - 8.0).collect();
+    let out = std::cell::RefCell::new(vec![0.0f64; xs.len()]);
+    for _ in 0..3 {
+        gpu_sim::vmath::exp_slice(&xs, &mut out.borrow_mut());
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..20 {
+        let t = Instant::now();
+        gpu_sim::vmath::exp_slice(std::hint::black_box(&xs), &mut out.borrow_mut());
+        std::hint::black_box(&mut out.borrow_mut()[0]);
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    println!(
+        "bulk 4096:  best {:.3} us, {:.3} ns/lane, checksum {}",
+        best * 1e6,
+        best / xs.len() as f64 * 1e9,
+        out.borrow().iter().sum::<f64>()
+    );
+
+    // Engine call pattern: one 32-lane call per exp uop.
+    let mut best32 = f64::INFINITY;
+    for _ in 0..20 {
+        let t = Instant::now();
+        for c in 0..xs.len() / 32 {
+            let o = &mut out.borrow_mut()[c * 32..(c + 1) * 32];
+            gpu_sim::vmath::exp_slice(std::hint::black_box(&xs[c * 32..(c + 1) * 32]), o);
+        }
+        std::hint::black_box(&mut out.borrow_mut()[0]);
+        best32 = best32.min(t.elapsed().as_secs_f64());
+    }
+    println!(
+        "32-at-a-time: best {:.3} us, {:.3} ns/lane, checksum {}",
+        best32 * 1e6,
+        best32 / xs.len() as f64 * 1e9,
+        out.borrow().iter().sum::<f64>()
+    );
+}

@@ -150,6 +150,19 @@ enum UOp {
     StGlobal { src: Src, array: u32, rows: u32, pts: PtsRef },
     /// Deferred execution-time error discovered at lowering time.
     Trap(u32),
+    /// A run of independent `Exp` micro-ops batched at lowering time
+    /// (`pairs..pairs+n` into [`EngineProgram::exp_pairs`]): execution
+    /// gathers every member's source chunk into one contiguous SoA
+    /// buffer, evaluates it with a single [`crate::vmath::exp_slice`]
+    /// call, and scatters the results to the destination chunks. The
+    /// batching pass proved the members independent of each other and
+    /// of every intervening op (see `batch_exps`), so gather-then-
+    /// scatter is bit-identical to the original op-at-a-time order.
+    /// `Exp` uops are always full-warp (the only predicated micro-op in
+    /// this IR is the `StShared` lane form, which is never batched), so
+    /// exactly the architectural lanes each original op would write are
+    /// evaluated — no masked lanes exist to leak into.
+    ExpBatch { pairs: u32, n: u32 },
     /// Tombstone left by the optimization passes (fused second halves,
     /// dead copies); compaction removes every one before execution.
     Nop,
@@ -179,6 +192,48 @@ pub(crate) struct EngineProgram {
     dreg_tail: Vec<f64>,
     /// Deferred errors referenced by [`UOp::Trap`].
     traps: Vec<SimError>,
+    /// `(dst, src)` register-chunk bases of batched exp members,
+    /// referenced by [`UOp::ExpBatch`] ranges. Sources may address the
+    /// constant tail (base past the architectural file).
+    exp_pairs: Vec<(u32, u32)>,
+    /// Lowering statistics: per-op mix and what the exp passes did.
+    stats: EngineStats,
+}
+
+/// What the lowering's transcendental passes found and did — the per-op
+/// mix `report engine-bench` and [`crate::model::OpMix`] surface, plus
+/// the applied/rejected ledger of the exp-chain rewriter.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// Micro-ops surviving optimization and compaction.
+    pub uops: u64,
+    /// Scalar-equivalent exp micro-ops in the final program (unbatched
+    /// `Exp` uops plus every batched member).
+    pub exp_ops: u64,
+    /// Of [`Self::exp_ops`], how many were folded into `UOp::ExpBatch`.
+    pub exp_batched: u64,
+    /// Number of `ExpBatch` uops emitted.
+    pub exp_batches: u64,
+    /// Repeated-operand exps replaced by register copies (always
+    /// bit-identical: `exp` is a pure function of the operand chunk).
+    pub exp_cse: u64,
+    /// `exp(a)*exp(b) → exp(a+b)` rewrites applied — every one passed
+    /// the lowering-time bit-identity gate (`exp_mul_rewrite_ok`).
+    pub exp_mul_applied: u64,
+    /// Structural `exp(a)*exp(b)` candidates rejected because the
+    /// differential corpus (or the provability condition) showed the
+    /// rewrite would change output bits.
+    pub exp_mul_rejected: u64,
+    /// Structural candidates rejected for scheduling reasons (an
+    /// operand or result register is live elsewhere), before the
+    /// numeric gate was consulted.
+    pub exp_mul_infeasible: u64,
+}
+
+impl EngineProgram {
+    pub(crate) fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
 }
 
 struct Lowerer<'k> {
@@ -196,6 +251,8 @@ struct Lowerer<'k> {
     f64_dedup: HashMap<[u64; WARP_SIZE], u32>,
     dreg_tail: Vec<f64>,
     imm_dedup: HashMap<u64, u32>,
+    exp_pairs: Vec<(u32, u32)>,
+    stats: EngineStats,
 }
 
 /// Lower a flattened program into its segment-compiled form. Infallible:
@@ -222,9 +279,24 @@ pub(crate) fn lower(kernel: &Kernel, prog: &FlatProgram) -> EngineProgram {
         f64_dedup: HashMap::new(),
         dreg_tail: Vec::new(),
         imm_dedup: HashMap::new(),
+        exp_pairs: Vec::new(),
+        stats: EngineStats::default(),
     };
     let warps: Vec<Vec<Segment>> =
         (0..prog.n_warps()).map(|w| lw.lower_warp(prog, w)).collect();
+    let mut stats = std::mem::take(&mut lw.stats);
+    stats.uops = lw.uops.len() as u64;
+    for u in &lw.uops {
+        match u {
+            UOp::Fast(DecodedInstr::Un { kind: UnKind::Exp, .. }) => stats.exp_ops += 1,
+            UOp::ExpBatch { n, .. } => {
+                stats.exp_ops += *n as u64;
+                stats.exp_batched += *n as u64;
+                stats.exp_batches += 1;
+            }
+            _ => {}
+        }
+    }
     if std::env::var_os("SINGE_ENGINE_STATS").is_some() {
         let mut hist: HashMap<&'static str, usize> = HashMap::new();
         for u in &lw.uops {
@@ -262,6 +334,7 @@ pub(crate) fn lower(kernel: &Kernel, prog: &FlatProgram) -> EngineProgram {
                 UOp::LdGlobal { .. } => "ldglobal",
                 UOp::StGlobal { .. } => "stglobal",
                 UOp::Trap(_) => "trap",
+                UOp::ExpBatch { .. } => "exp_batch",
                 UOp::Nop => "nop",
             };
             *hist.entry(k).or_default() += 1;
@@ -276,6 +349,18 @@ pub(crate) fn lower(kernel: &Kernel, prog: &FlatProgram) -> EngineProgram {
         for (k, n) in v {
             eprintln!("  {k:14} {n}");
         }
+        eprintln!(
+            "engine exp: {} scalar-equivalent ops, {} batched into {} batches; \
+             cse {}, exp-mul rewrites applied {}, rejected by bit-identity gate {}, \
+             scheduling-infeasible {}",
+            stats.exp_ops,
+            stats.exp_batched,
+            stats.exp_batches,
+            stats.exp_cse,
+            stats.exp_mul_applied,
+            stats.exp_mul_rejected,
+            stats.exp_mul_infeasible,
+        );
         if let Ok(w) = std::env::var("SINGE_ENGINE_DUMP") {
             let w: usize = w.parse().unwrap_or(0);
             for (si, seg) in warps.get(w).map_or(&[][..], |v| v).iter().enumerate() {
@@ -294,6 +379,8 @@ pub(crate) fn lower(kernel: &Kernel, prog: &FlatProgram) -> EngineProgram {
         lines: lw.lines,
         dreg_tail: lw.dreg_tail,
         traps: lw.traps,
+        exp_pairs: lw.exp_pairs,
+        stats,
     }
 }
 
@@ -414,7 +501,9 @@ impl Lowerer<'_> {
     }
 
     /// Post-lowering optimization over one warp's uops: copy propagation,
-    /// the mul→add/sub fusion peephole, dead-code elimination, and
+    /// exp-chain rewriting (CSE plus the bit-identity-gated
+    /// `exp(a)*exp(b) → exp(a+b)`), the mul→add/sub fusion peephole,
+    /// dead-code elimination, immediate splatting, exp batching, and
     /// compaction. Bulk counts derive from the *pre*-fusion instruction
     /// stream and are untouched, so `EventCounts` stay bit-identical to
     /// the interpreter's per-instruction bookkeeping; every rewrite below
@@ -425,11 +514,19 @@ impl Lowerer<'_> {
         let uops = &mut self.uops[warp_start..];
         fold_const_shuffles(uops, &self.f64x);
         copy_propagate(uops);
+        // After copy propagation (so lowering-time-known exp operands
+        // have been folded to immediates the rewrite gate can evaluate),
+        // before fusion (so the product mul is still a plain `Bin`).
+        rewrite_exp_chains(uops, &mut self.stats);
         fuse_mul_bin(uops, segs, warp_start as u32);
         eliminate_dead_uops(uops, dreg_len, &self.u32x, segs, warp_start as u32);
-        // Last, after liveness: the virtual bases it introduces sit past
+        // After liveness: the virtual bases it introduces sit past
         // `dreg_len` and must never reach the DCE's range checks.
         splat_immediates(uops, dreg_len, &mut self.dreg_tail, &mut self.imm_dedup);
+        // Last before compaction: batches index the final operand form
+        // (every source a register or constant-tail chunk), and the pass
+        // steps over tombstones rather than remapping them.
+        batch_exps(uops, segs, warp_start as u32, &mut self.exp_pairs);
         // Compact tombstones out and remap segment ranges.
         let tail: Vec<UOp> = self.uops.drain(warp_start..).collect();
         let mut new_index = vec![0u32; tail.len() + 1];
@@ -823,6 +920,7 @@ fn fold_const_shuffles(uops: &mut [UOp], f64x: &[f64]) {
                 known.remove(&(*dst as usize));
             }
             UOp::StShared { .. } | UOp::StGlobal { .. } | UOp::Trap(_) | UOp::Nop => {}
+            UOp::ExpBatch { .. } => unreachable!("batching runs after this pass"),
         }
     }
 }
@@ -906,7 +1004,457 @@ fn copy_propagate(uops: &mut [UOp]) {
                 *src = resolve(&copies, *src);
             }
             UOp::Trap(_) | UOp::Nop => {}
+            UOp::ExpBatch { .. } => unreachable!("batching runs after this pass"),
         }
+    }
+}
+
+/// Invoke `f` with the chunk base of every register chunk this uop
+/// reads — architectural or constant-tail (tail bases are immutable, so
+/// callers tracking writes may include them harmlessly). Element reads
+/// (`Shfl`) report the containing chunk; `Sel` predicates are raw chunk
+/// bases.
+fn for_each_read_chunk(u: &UOp, pairs: &[(u32, u32)], f: &mut dyn FnMut(usize)) {
+    fn s(f: &mut dyn FnMut(usize), src: Src) {
+        if let Src::Reg(b) = src {
+            f(b);
+        }
+    }
+    match *u {
+        UOp::Fast(dec) => match dec {
+            DecodedInstr::Bin { a, b, .. } | DecodedInstr::CmpOp { a, b, .. } => {
+                s(f, a);
+                s(f, b);
+            }
+            DecodedInstr::Un { a, .. } => s(f, a),
+            DecodedInstr::Fma { a, b, c, .. } => {
+                s(f, a);
+                s(f, b);
+                s(f, c);
+            }
+            DecodedInstr::Sel { pred, a, b, .. } => {
+                f(pred);
+                s(f, a);
+                s(f, b);
+            }
+            DecodedInstr::Shfl { src, lane, .. } => f((src + lane) / WARP_SIZE * WARP_SIZE),
+            DecodedInstr::StLocal { src, .. } => s(f, src),
+            DecodedInstr::LdLocal { .. } | DecodedInstr::Invalid { .. } => {}
+            DecodedInstr::BarArrive { .. } | DecodedInstr::BarSync { .. } | DecodedInstr::Slow => {
+                unreachable!("never lowered into uops")
+            }
+        },
+        UOp::FusedMulBin { a, b, c, .. } => {
+            s(f, a);
+            s(f, b);
+            s(f, c);
+        }
+        UOp::StShared { src, .. } | UOp::StGlobal { src, .. } => s(f, src),
+        UOp::ExpBatch { pairs: p, n } => {
+            for &(_, src) in &pairs[p as usize..(p + n) as usize] {
+                f(src as usize);
+            }
+        }
+        UOp::ConstV { .. }
+        | UOp::LdShared { .. }
+        | UOp::LdSharedBcast { .. }
+        | UOp::LdGlobal { .. }
+        | UOp::Trap(_)
+        | UOp::Nop => {}
+    }
+}
+
+/// Invoke `f` with the chunk base of every architectural register chunk
+/// this uop writes (every register write in this IR covers a full
+/// 32-lane chunk).
+fn for_each_write_chunk(u: &UOp, pairs: &[(u32, u32)], f: &mut dyn FnMut(usize)) {
+    match *u {
+        UOp::Fast(dec) => match dec {
+            DecodedInstr::Bin { dst, .. }
+            | DecodedInstr::CmpOp { dst, .. }
+            | DecodedInstr::Un { dst, .. }
+            | DecodedInstr::Fma { dst, .. }
+            | DecodedInstr::Sel { dst, .. }
+            | DecodedInstr::Shfl { dst, .. }
+            | DecodedInstr::LdLocal { dst, .. } => f(dst),
+            DecodedInstr::StLocal { .. } | DecodedInstr::Invalid { .. } => {}
+            DecodedInstr::BarArrive { .. } | DecodedInstr::BarSync { .. } | DecodedInstr::Slow => {
+                unreachable!("never lowered into uops")
+            }
+        },
+        UOp::FusedMulBin { t, d, .. } => {
+            f(t as usize);
+            f(d as usize);
+        }
+        UOp::ConstV { dst, .. }
+        | UOp::LdShared { dst, .. }
+        | UOp::LdSharedBcast { dst, .. }
+        | UOp::LdGlobal { dst, .. } => f(dst as usize),
+        UOp::ExpBatch { pairs: p, n } => {
+            for &(dst, _) in &pairs[p as usize..(p + n) as usize] {
+                f(dst as usize);
+            }
+        }
+        UOp::StShared { .. } | UOp::StGlobal { .. } | UOp::Trap(_) | UOp::Nop => {}
+    }
+}
+
+/// Differential corpus for the exp-chain rewrite gate: every
+/// special-value class the engine's differential proptests push through
+/// `exp` (NaN payloads, ±inf, ±0, subnormals, huge/tiny normals) plus a
+/// spread of magnitudes across the exp range — the overflow edge, the
+/// subnormal-result band, and ordinary Arrhenius-sized arguments. A
+/// candidate rewrite is evaluated on this corpus with the *runtime's
+/// own* exp ([`crate::vmath::exp1`] follows the per-process dispatch),
+/// so a pass/fail verdict at lowering time is a verdict about the bits
+/// execution would produce.
+const EXP_REWRITE_CORPUS: [f64; 36] = [
+    f64::from_bits(0x0000_0000_0000_0000), // +0.0
+    f64::from_bits(0x8000_0000_0000_0000), // -0.0
+    f64::from_bits(0x0000_0000_0000_0001), // smallest subnormal
+    f64::from_bits(0x8000_0000_0000_0001), // -smallest subnormal
+    f64::from_bits(0x000f_ffff_ffff_ffff), // largest subnormal
+    f64::from_bits(0x7fef_ffff_ffff_ffff), // f64::MAX
+    f64::from_bits(0xffef_ffff_ffff_ffff), // -f64::MAX
+    f64::from_bits(0x7ff0_0000_0000_0000), // +inf
+    f64::from_bits(0xfff0_0000_0000_0000), // -inf
+    f64::from_bits(0x7ff8_0000_0000_0000), // canonical quiet NaN
+    f64::from_bits(0x7ff8_dead_beef_0001), // quiet NaN with a payload
+    f64::from_bits(0x7e37_e43c_8800_759c), // 1e300
+    1.0,
+    -1.0,
+    0.5,
+    -0.5,
+    1.5,
+    -1.5,
+    3.75,
+    -3.75,
+    19.3,
+    -19.3,
+    88.7,
+    -88.7,
+    350.0,
+    -350.0,
+    700.1,
+    -700.1,
+    709.78,
+    710.0,
+    -708.4,
+    -745.0,
+    -745.2,
+    1e-300,
+    -1e-300,
+    6.25e-3,
+];
+
+/// Decide whether rewriting `exp(a) * exp(b)` (operand order exactly as
+/// in the original mul) into `exp(a + b)` is bit-identical for every
+/// input the kernel can produce, using the runtime's own exp:
+///
+/// * both operands lowering-time constants — evaluate both forms on the
+///   actual values; the "corpus" is the exact input.
+/// * one constant `c` — sample the corpus for the unknown side AND
+///   require the identity to be input-independent, which holds only for
+///   `c == ±0.0`: `x + ±0.0` bit-equals `x` (apart from `-0.0 → +0.0`,
+///   where exp agrees), and `exp(±0.0) == 1.0` exactly, so multiplying
+///   by it is the identity. The provability condition keeps a finite
+///   sample from admitting a rewrite that differs on some runtime input
+///   outside the corpus.
+/// * both unknown — always rejected: `exp(a)*exp(b)` and `exp(a+b)`
+///   genuinely differ in the last ulp for most argument pairs.
+fn exp_mul_rewrite_ok(a: Option<f64>, b: Option<f64>) -> bool {
+    let check = |x: f64, y: f64| {
+        let orig = crate::vmath::exp1(x) * crate::vmath::exp1(y);
+        let new = crate::vmath::exp1(x + y);
+        orig.to_bits() == new.to_bits()
+    };
+    match (a, b) {
+        (Some(ca), Some(cb)) => check(ca, cb),
+        (Some(c), None) => c == 0.0 && EXP_REWRITE_CORPUS.iter().all(|&x| check(c, x)),
+        (None, Some(c)) => c == 0.0 && EXP_REWRITE_CORPUS.iter().all(|&x| check(x, c)),
+        (None, None) => false,
+    }
+}
+
+/// Whether register chunk `reg` is dead from `uops[from..]` onward: a
+/// warp's uop stream is the register's entire lifetime (registers are
+/// warp-private and discarded at CTA end), so "overwritten before read,
+/// or never touched again" is an exact answer, not an approximation.
+fn reg_dead_after(uops: &[UOp], pairs: &[(u32, u32)], from: usize, reg: usize) -> bool {
+    for u in &uops[from..] {
+        let mut read = false;
+        for_each_read_chunk(u, pairs, &mut |r| read |= r == reg);
+        if read {
+            return false;
+        }
+        let mut written = false;
+        for_each_write_chunk(u, pairs, &mut |w| written |= w == reg);
+        if written {
+            return true;
+        }
+    }
+    true
+}
+
+/// The exp-chain rewriter: recognize the repeated-operand and
+/// `exp(a)*exp(b)` patterns the chemistry frontends emit, and rewrite
+/// them **only** where the result is provably bit-identical. Everything
+/// else is rejected and logged ([`EngineStats::exp_mul_rejected`] /
+/// [`EngineStats::exp_mul_infeasible`]; `SINGE_ENGINE_STATS=1` prints
+/// the ledger). Runs over the whole warp stream — barriers order shared
+/// memory, not the warp-private registers these rewrites touch.
+fn rewrite_exp_chains(uops: &mut [UOp], stats: &mut EngineStats) {
+    // CSE first: a repeated-operand pair like `exp(a) * exp(a)` becomes a
+    // copy, rather than reaching the mul rewriter as an unknown×unknown
+    // pair it would (correctly, but noisily) reject.
+    cse_exps(uops, stats);
+    rewrite_exp_mul(uops, stats);
+}
+
+/// `exp(a) * exp(b) → exp(a + b)`, gated by [`exp_mul_rewrite_ok`]. The
+/// structural pattern is `Exp r1, A; …; Exp r2, B; …; Mul d, p, q` with
+/// `{p, q} = {r1, r2}` (each exp the last write of its register before
+/// the mul). The rewrite reuses the three slots:
+///
+/// ```text
+/// earlier def slot:  Add r1, A, B     (operand order = mul order)
+/// later def slot:    Exp r2, r1
+/// mul slot:          Mov d,  r2
+/// ```
+///
+/// Scheduling feasibility (checked before the numeric gate): `A`/`B`
+/// unchanged between the slot where they were read and where they are
+/// read now; `r1`/`r2` read by nothing but this pattern until dead; the
+/// whole lifetime check is exact because a warp's stream is the
+/// register's lifetime.
+fn rewrite_exp_mul(uops: &mut [UOp], stats: &mut EngineStats) {
+    let no_pairs: &[(u32, u32)] = &[];
+    for k in 0..uops.len() {
+        let UOp::Fast(DecodedInstr::Bin {
+            kind: BinKind::Mul,
+            dst: d,
+            a: Src::Reg(p),
+            b: Src::Reg(q),
+        }) = uops[k]
+        else {
+            continue;
+        };
+        if p == q {
+            continue; // exp(a)^2: CSE territory, and the gate would reject it.
+        }
+        // Last write of `reg` before `k`, if it is an Exp into `reg`.
+        let find_exp_def = |reg: usize| -> Option<(usize, Src)> {
+            for i in (0..k).rev() {
+                let mut writes = false;
+                for_each_write_chunk(&uops[i], no_pairs, &mut |w| writes |= w == reg);
+                if writes {
+                    if let UOp::Fast(DecodedInstr::Un { kind: UnKind::Exp, dst, a }) = uops[i] {
+                        if dst == reg {
+                            return Some((i, a));
+                        }
+                    }
+                    return None;
+                }
+            }
+            None
+        };
+        let (Some((def_p, arg_p)), Some((def_q, arg_q))) = (find_exp_def(p), find_exp_def(q))
+        else {
+            continue; // not the structural pattern — nothing to log.
+        };
+        if def_p == def_q {
+            continue;
+        }
+        let (i1, i2) = (def_p.min(def_q), def_p.max(def_q));
+        let (r1, r2) = if def_p < def_q { (p, q) } else { (q, p) };
+
+        // -- scheduling feasibility --------------------------------------
+        let mut feasible = true;
+        // The operand whose exp sat at i2 is now read at i1: its chunk
+        // must be unchanged in (i1, i2). (The i1 operand keeps its read
+        // position.)
+        let moved_arg = if def_p == i2 { arg_p } else { arg_q };
+        if let Src::Reg(mb) = moved_arg {
+            for u in &uops[i1 + 1..i2] {
+                for_each_write_chunk(u, no_pairs, &mut |w| feasible &= w != mb);
+            }
+        }
+        // r1 and r2 may be read only by this pattern's own ops between
+        // their defs and the mul…
+        for (i, u) in uops.iter().enumerate().take(k).skip(i1 + 1) {
+            if i == i2 {
+                continue;
+            }
+            for_each_read_chunk(u, no_pairs, &mut |r| feasible &= r != p && r != q);
+        }
+        // …and must be dead after it (their architectural values change
+        // under the rewrite). A register that *is* the mul destination
+        // holds the identical product either way.
+        feasible = feasible
+            && (p == d || reg_dead_after(uops, no_pairs, k + 1, p))
+            && (q == d || reg_dead_after(uops, no_pairs, k + 1, q));
+        if !feasible {
+            stats.exp_mul_infeasible += 1;
+            continue;
+        }
+
+        // -- numeric gate ------------------------------------------------
+        let known = |s: Src| match s {
+            Src::Imm(v) => Some(v),
+            Src::Reg(_) => None,
+        };
+        if !exp_mul_rewrite_ok(known(arg_p), known(arg_q)) {
+            stats.exp_mul_rejected += 1;
+            continue;
+        }
+
+        // -- apply -------------------------------------------------------
+        // Add operand order mirrors the mul's (p's argument first): the
+        // gate evaluated exactly this expression tree.
+        uops[i1] = UOp::Fast(DecodedInstr::Bin {
+            kind: BinKind::Add,
+            dst: r1,
+            a: arg_p,
+            b: arg_q,
+        });
+        uops[i2] = UOp::Fast(DecodedInstr::Un {
+            kind: UnKind::Exp,
+            dst: r2,
+            a: Src::Reg(r1),
+        });
+        uops[k] = UOp::Fast(DecodedInstr::Un { kind: UnKind::Mov, dst: d, a: Src::Reg(r2) });
+        stats.exp_mul_applied += 1;
+    }
+}
+
+/// Repeated-operand exp CSE: a second `Exp dst2, a` whose operand chunk
+/// is unchanged since an earlier `Exp dst1, a` (with `dst1` also
+/// unchanged) becomes `Mov dst2, dst1`. Unconditionally bit-identical —
+/// `exp` is a pure function, so the register already holds exactly the
+/// bits the recomputation would produce; the trivial corpus check
+/// (`exp(x) == exp(x)`) is an identity, so no gate is consulted.
+fn cse_exps(uops: &mut [UOp], stats: &mut EngineStats) {
+    // Operand identity → register currently holding exp(operand).
+    #[derive(PartialEq, Eq, Hash, Clone, Copy)]
+    enum Key {
+        Reg(usize),
+        Imm(u64),
+    }
+    let key = |s: Src| match s {
+        Src::Reg(b) => Key::Reg(b),
+        Src::Imm(v) => Key::Imm(v.to_bits()),
+    };
+    let no_pairs: &[(u32, u32)] = &[];
+    let mut memo: HashMap<Key, usize> = HashMap::new();
+    for i in 0..uops.len() {
+        let hit = match uops[i] {
+            UOp::Fast(DecodedInstr::Un { kind: UnKind::Exp, dst, a }) => {
+                memo.get(&key(a)).map(|&prev| (dst, a, prev))
+            }
+            _ => None,
+        };
+        if let Some((dst, a, prev)) = hit {
+            uops[i] = if prev == dst {
+                // The register already holds this exact value.
+                UOp::Nop
+            } else {
+                UOp::Fast(DecodedInstr::Un { kind: UnKind::Mov, dst, a: Src::Reg(prev) })
+            };
+            stats.exp_cse += 1;
+            // The op (now a copy) still "defines" exp(a) in dst.
+            memo.retain(|k, v| *v != dst && !matches!(k, Key::Reg(b) if *b == dst));
+            if key(a) != Key::Reg(dst) {
+                memo.insert(key(a), dst);
+            }
+            continue;
+        }
+        // Writes invalidate memo entries whose operand or result chunk
+        // they touch; a fresh Exp then records its own result.
+        let mut wrote: Vec<usize> = Vec::new();
+        for_each_write_chunk(&uops[i], no_pairs, &mut |w| wrote.push(w));
+        for w in wrote {
+            memo.retain(|k, v| *v != w && !matches!(k, Key::Reg(b) if *b == w));
+        }
+        if let UOp::Fast(DecodedInstr::Un { kind: UnKind::Exp, dst, a }) = uops[i] {
+            if key(a) != Key::Reg(dst) {
+                memo.insert(key(a), dst);
+            }
+        }
+    }
+}
+
+/// Fold independent `Exp` uops into [`UOp::ExpBatch`] runs, per
+/// segment. A batch executes at its first member's slot: every member's
+/// source is gathered, one [`crate::vmath::exp_slice`] call evaluates
+/// the whole SoA buffer, and the results scatter to the destinations.
+/// Hoisting member `j` to the anchor slot is bit-invisible iff, over
+/// the intervening ops: `j`'s source chunk is unwritten (same gathered
+/// bits), `j`'s destination chunk is unread (nothing observes the early
+/// write) and unwritten (nothing is lost to the early write) — tracked
+/// with read/written chunk sets reset at each batch anchor. Members are
+/// mutually independent by the same sets (a member's source and
+/// destination join them), so gather-then-scatter preserves op-at-a-time
+/// semantics. Intervening ops are never reordered among themselves;
+/// runs of one stay scalar `Exp` uops.
+///
+/// Predication: `Exp` is warp-wide in this IR — the only lane-predicated
+/// micro-op is the `StShared` single-lane form, which is never batched —
+/// so a batch evaluates exactly the architectural lanes each original
+/// op would have, and no predicated-off lane is ever evaluated or
+/// stored.
+fn batch_exps(uops: &mut [UOp], segs: &[Segment], warp_start: u32, pairs: &mut Vec<(u32, u32)>) {
+    use std::collections::HashSet;
+    let no_pairs: &[(u32, u32)] = &[];
+    for seg in segs {
+        let s = (seg.uops.start - warp_start) as usize;
+        let e = (seg.uops.end - warp_start) as usize;
+        let mut read: HashSet<usize> = HashSet::new();
+        let mut written: HashSet<usize> = HashSet::new();
+        // (uop index, dst, src) of the current batch's members.
+        let mut batch: Vec<(usize, u32, u32)> = Vec::new();
+        let flush = |batch: &mut Vec<(usize, u32, u32)>, uops: &mut [UOp], pairs: &mut Vec<(u32, u32)>| {
+            if batch.len() >= 2 {
+                let start = pairs.len() as u32;
+                pairs.extend(batch.iter().map(|&(_, d, sr)| (d, sr)));
+                uops[batch[0].0] = UOp::ExpBatch { pairs: start, n: batch.len() as u32 };
+                for &(idx, _, _) in &batch[1..] {
+                    uops[idx] = UOp::Nop;
+                }
+            }
+            batch.clear();
+        };
+        for i in s..e {
+            match uops[i] {
+                UOp::Nop => {}
+                UOp::Fast(DecodedInstr::Un { kind: UnKind::Exp, dst, a: Src::Reg(src) }) => {
+                    let joins = batch.is_empty()
+                        || (!written.contains(&src)
+                            && !read.contains(&dst)
+                            && !written.contains(&dst));
+                    if !joins {
+                        flush(&mut batch, uops, pairs);
+                    }
+                    if batch.is_empty() {
+                        read.clear();
+                        written.clear();
+                    }
+                    batch.push((i, dst as u32, src as u32));
+                    read.insert(src);
+                    written.insert(dst);
+                }
+                ref u => {
+                    if !batch.is_empty() {
+                        for_each_read_chunk(u, no_pairs, &mut |r| {
+                            read.insert(r);
+                        });
+                        for_each_write_chunk(u, no_pairs, &mut |w| {
+                            written.insert(w);
+                        });
+                    }
+                }
+            }
+        }
+        flush(&mut batch, uops, pairs);
     }
 }
 
@@ -1134,6 +1682,7 @@ fn eliminate_dead_uops(
             }
             UOp::StShared { src, .. } | UOp::StGlobal { src, .. } => gen_src(&mut live, *src),
             UOp::Trap(_) | UOp::Nop => {}
+            UOp::ExpBatch { .. } => unreachable!("batching runs after this pass"),
         }
     }
 }
@@ -1208,6 +1757,7 @@ fn splat_immediates(
             | UOp::LdGlobal { .. }
             | UOp::Trap(_)
             | UOp::Nop => {}
+            UOp::ExpBatch { .. } => unreachable!("batching runs after this pass"),
         }
     }
 }
@@ -1217,6 +1767,10 @@ fn splat_immediates(
 struct EngWarp {
     dregs: Vec<f64>,
     local: Vec<f64>,
+    /// Gather/scatter staging for [`UOp::ExpBatch`]: first half inputs,
+    /// second half outputs. Grown lazily to the largest batch seen, so
+    /// warps that never batch pay nothing.
+    scratch: Vec<f64>,
     seg: usize,
     done: bool,
     blocked: Option<(u8, u64)>,
@@ -1259,6 +1813,7 @@ pub(crate) fn run_cta_engine(
             EngWarp {
                 dregs: vec![0.0; kernel.dregs_per_thread * WARP_SIZE],
                 local: vec![0.0; kernel.local_words_per_thread * WARP_SIZE],
+                scratch: Vec::new(),
                 seg: 0,
                 done: false,
                 blocked: None,
@@ -1408,6 +1963,35 @@ fn exec_uop(
         // run the op itself with collection off.
         UOp::Fast(dec) => {
             exec_fast(dec, &mut warp.dregs, &eng.dreg_tail, &mut warp.local, false, counts)?
+        }
+        UOp::ExpBatch { pairs, n } => {
+            // Gather every member's source chunk into one contiguous SoA
+            // buffer, evaluate it with a single `exp_slice` call, scatter
+            // to the destinations. `batch_exps` proved the members
+            // independent, so gather-all-then-scatter-all matches
+            // op-at-a-time execution bit-for-bit; event counts were folded
+            // into the segment bulk like any other fast op.
+            let ps = &eng.exp_pairs[pairs as usize..(pairs + n) as usize];
+            let nn = ps.len() * WARP_SIZE;
+            if warp.scratch.len() < 2 * nn {
+                warp.scratch.resize(2 * nn, 0.0);
+            }
+            let dregs = &mut warp.dregs;
+            let (inb, outb) = warp.scratch.split_at_mut(nn);
+            for (j, &(_, src)) in ps.iter().enumerate() {
+                let s = src as usize;
+                let chunk = if s < dregs.len() {
+                    &dregs[s..s + WARP_SIZE]
+                } else {
+                    &eng.dreg_tail[s - dregs.len()..][..WARP_SIZE]
+                };
+                inb[j * WARP_SIZE..(j + 1) * WARP_SIZE].copy_from_slice(chunk);
+            }
+            crate::vmath::exp_slice(&inb[..nn], &mut outb[..nn]);
+            for (j, &(dst, _)) in ps.iter().enumerate() {
+                let d = dst as usize;
+                dregs[d..d + WARP_SIZE].copy_from_slice(&outb[j * WARP_SIZE..(j + 1) * WARP_SIZE]);
+            }
         }
         UOp::FusedMulBin { kind, t, d, a, b, c } => {
             let dregs = &mut warp.dregs[..];
@@ -2056,5 +2640,181 @@ mod tests {
                 }
             }
         }
+    }
+
+    fn ld(dst: Reg, row: u32) -> Node {
+        Node::Op(Instr::LdGlobal {
+            dst,
+            addr: GAddr { array: GlobalId(0), row: IdxOp::Imm(row), point: PointRef::Lane },
+            ldg: false,
+        })
+    }
+
+    fn st(src: Reg) -> Node {
+        Node::Op(Instr::StGlobal {
+            src: Op::Reg(src),
+            addr: GAddr { array: GlobalId(1), row: IdxOp::Imm(0), point: PointRef::Lane },
+        })
+    }
+
+    #[test]
+    fn independent_exps_batch_and_stay_bit_identical() {
+        // Two loads, two independent exps, a sum: the exps fold into one
+        // ExpBatch of 2 and the batch's gather/exp_slice/scatter matches
+        // the interpreter's op-at-a-time execution bit-for-bit.
+        let mut k = base_kernel(1);
+        k.body = vec![
+            ld(0, 0),
+            ld(1, 1),
+            Node::Op(Instr::DExp { dst: 2, a: Op::Reg(0) }),
+            Node::Op(Instr::DExp { dst: 3, a: Op::Reg(1) }),
+            Node::Op(Instr::DAdd { dst: 4, a: Op::Reg(2), b: Op::Reg(3) }),
+            st(4),
+        ];
+        let prog = flatten(&k);
+        let eng = lower(&k, &prog);
+        assert!(
+            eng.uops.iter().any(|u| matches!(u, UOp::ExpBatch { n: 2, .. })),
+            "independent exps must batch: {:?}",
+            eng.uops
+        );
+        let s = eng.stats();
+        assert_eq!((s.exp_ops, s.exp_batched, s.exp_batches), (2, 2, 1), "{s:?}");
+        // Inputs span the special-value classes the batch must preserve.
+        let mut input: Vec<f64> = (0..64).map(|i| (i as f64) * 0.31 - 9.5).collect();
+        input[3] = f64::NAN;
+        input[7] = f64::INFINITY;
+        input[11] = f64::NEG_INFINITY;
+        input[13] = -0.0;
+        input[17] = 710.0;
+        input[19] = -745.2;
+        input[23] = f64::from_bits(1); // smallest subnormal
+        differential(&k, &[&input, &[]], 32, 0);
+    }
+
+    #[test]
+    fn dependent_exp_chain_never_batches() {
+        // exp(exp(exp(x))): each op reads the previous destination, so no
+        // two may share a batch; all stay scalar uops.
+        let mut k = base_kernel(1);
+        k.body = vec![
+            ld(0, 0),
+            Node::Op(Instr::DExp { dst: 1, a: Op::Reg(0) }),
+            Node::Op(Instr::DExp { dst: 2, a: Op::Reg(1) }),
+            Node::Op(Instr::DExp { dst: 3, a: Op::Reg(2) }),
+            st(3),
+        ];
+        let prog = flatten(&k);
+        let eng = lower(&k, &prog);
+        assert!(
+            !eng.uops.iter().any(|u| matches!(u, UOp::ExpBatch { .. })),
+            "dependent exps must not batch: {:?}",
+            eng.uops
+        );
+        let s = eng.stats();
+        assert_eq!((s.exp_ops, s.exp_batched, s.exp_batches), (3, 0, 0), "{s:?}");
+        let input: Vec<f64> = (0..64).map(|i| (i as f64) * 0.02 - 0.5).collect();
+        differential(&k, &[&input, &[]], 32, 0);
+    }
+
+    #[test]
+    fn repeated_operand_exp_is_csed() {
+        // exp(x) computed twice with the operand unchanged: the second
+        // becomes a register copy, and the engine still matches the
+        // interpreter (which computes it twice) bit-for-bit because exp is
+        // a pure function of the bits.
+        let mut k = base_kernel(1);
+        k.body = vec![
+            ld(0, 0),
+            Node::Op(Instr::DExp { dst: 1, a: Op::Reg(0) }),
+            Node::Op(Instr::DExp { dst: 2, a: Op::Reg(0) }),
+            Node::Op(Instr::DMul { dst: 3, a: Op::Reg(1), b: Op::Reg(2) }),
+            st(3),
+        ];
+        let prog = flatten(&k);
+        let eng = lower(&k, &prog);
+        let s = eng.stats();
+        assert_eq!(s.exp_cse, 1, "{s:?}");
+        assert_eq!(s.exp_ops, 1, "one exp survives: {:?}", eng.uops);
+        // The CSE also kept the mul rewriter quiet: exp(a)*exp(a) is not
+        // an exp*exp pattern once one side is a copy.
+        assert_eq!((s.exp_mul_applied, s.exp_mul_rejected), (0, 0), "{s:?}");
+        let input: Vec<f64> = (0..64).map(|i| (i as f64) * 0.17 - 3.0).collect();
+        differential(&k, &[&input, &[]], 32, 0);
+    }
+
+    #[test]
+    fn exp_mul_rewrite_applied_only_when_provably_bit_identical() {
+        // exp(x) * exp(0.0): multiplying by exp(0) == 1.0 is the identity
+        // and x + 0.0 preserves bits (up to -0.0 -> +0.0, where exp
+        // agrees), so the rewrite gate accepts — and the rewritten program
+        // must still match the interpreter (which runs the original
+        // two-exp form) bit-for-bit on special values.
+        let body = |c: f64| {
+            vec![
+                ld(0, 0),
+                Node::Op(Instr::DExp { dst: 1, a: Op::Reg(0) }),
+                Node::Op(Instr::DExp { dst: 2, a: Op::Imm(c) }),
+                Node::Op(Instr::DMul { dst: 3, a: Op::Reg(1), b: Op::Reg(2) }),
+                st(3),
+            ]
+        };
+        let mut input: Vec<f64> = (0..64).map(|i| (i as f64) * 0.43 - 13.0).collect();
+        input[5] = f64::NAN;
+        input[9] = f64::INFINITY;
+        input[21] = f64::NEG_INFINITY;
+        input[27] = -0.0;
+        input[31] = 709.9;
+
+        let mut k = base_kernel(1);
+        k.body = body(0.0);
+        let prog = flatten(&k);
+        let eng = lower(&k, &prog);
+        let s = eng.stats();
+        assert_eq!(s.exp_mul_applied, 1, "{s:?}");
+        assert_eq!(s.exp_mul_rejected, 0, "{s:?}");
+        assert_eq!(s.exp_ops, 1, "the pair collapsed to one exp: {:?}", eng.uops);
+        differential(&k, &[&input, &[]], 32, 0);
+
+        // exp(x) * exp(1.5): not provably bit-identical for unknown x
+        // (the product double-rounds), so the gate must reject and log.
+        let mut k = base_kernel(1);
+        k.name = "eng-t-rej".into();
+        k.body = body(1.5);
+        let prog = flatten(&k);
+        let eng = lower(&k, &prog);
+        let s = eng.stats();
+        assert_eq!(s.exp_mul_applied, 0, "{s:?}");
+        assert_eq!(s.exp_mul_rejected, 1, "{s:?}");
+        assert_eq!(s.exp_ops, 2, "both exps survive rejection: {:?}", eng.uops);
+        differential(&k, &[&input, &[]], 32, 0);
+    }
+
+    #[test]
+    fn exp_mul_rewrite_skipped_when_operand_still_live() {
+        // exp(a)'s result is also stored directly, so rewriting would
+        // change its architectural value: the feasibility check must
+        // refuse before the numeric gate is even consulted.
+        let mut k = base_kernel(1);
+        k.points_per_cta = 32;
+        k.global_arrays.push(ArrayDecl { name: "out2".into(), rows: 1, output: true });
+        k.body = vec![
+            ld(0, 0),
+            Node::Op(Instr::DExp { dst: 1, a: Op::Reg(0) }),
+            Node::Op(Instr::DExp { dst: 2, a: Op::Imm(0.0) }),
+            Node::Op(Instr::DMul { dst: 3, a: Op::Reg(1), b: Op::Reg(2) }),
+            st(3),
+            Node::Op(Instr::StGlobal {
+                src: Op::Reg(1),
+                addr: GAddr { array: GlobalId(2), row: IdxOp::Imm(0), point: PointRef::Lane },
+            }),
+        ];
+        let prog = flatten(&k);
+        let eng = lower(&k, &prog);
+        let s = eng.stats();
+        assert_eq!(s.exp_mul_applied, 0, "{s:?}");
+        assert_eq!(s.exp_mul_infeasible, 1, "{s:?}");
+        let input: Vec<f64> = (0..64).map(|i| (i as f64) * 0.11 - 2.0).collect();
+        differential(&k, &[&input, &[]], 32, 0);
     }
 }

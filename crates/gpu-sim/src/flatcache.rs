@@ -75,6 +75,15 @@ pub(crate) fn engine_cached(kernel: &Kernel, prog: &FlatProgram) -> Arc<EnginePr
     prog.engine.get_or_init(|| Arc::new(crate::engine::lower(kernel, prog))).clone()
 }
 
+/// Lowering-time statistics of the engine program for `kernel` (uop
+/// counts, exp batching coverage, exp-chain rewrite ledger). Lowers and
+/// caches the program if this is the first request. This is the public
+/// window the benchmark harness and the perf model use to report the
+/// per-op exp mix without reaching into the engine internals.
+pub fn engine_stats(kernel: &Kernel, prog: &FlatProgram) -> crate::engine::EngineStats {
+    engine_cached(kernel, prog).stats().clone()
+}
+
 /// Two independent structural hashes of the kernel. Public so other
 /// deterministic per-kernel memos (e.g. the schedule verifier's) can share
 /// one identity scheme instead of re-walking the IR their own way.

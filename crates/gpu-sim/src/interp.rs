@@ -974,27 +974,58 @@ pub(crate) fn exec_fast(
     // asserted exactly where slice indexing used to panic.
     match dec {
         DecodedInstr::Bin { kind, dst, a, b } => unsafe {
-            let av = operand(ptr, len, tail, a, [dst, dst]);
-            let bv = operand(ptr, len, tail, b, [dst, dst]);
-            let (av, bv) = (av.get(), bv.get());
-            let out = out_chunk(ptr, len, dst);
-            match kind {
-                BinKind::Add => lanes::add(av, bv, out),
-                BinKind::Sub => lanes::sub(av, bv, out),
-                BinKind::Mul => lanes::mul(av, bv, out),
-                BinKind::Div => lanes::div(av, bv, out),
-                // `powf` is a libm call per lane — opaque to the
-                // vectorizer, so the loop is identical in both compiled
-                // copies of the dispatch loops. `max`/`min` lower to LLVM
-                // intrinsics whose vector forms are not ±0-exact, so they
-                // live behind `#[inline(never)]` in `lanes`.
-                BinKind::Pow => {
-                    for l in 0..WARP_SIZE {
-                        out[l] = av[l].powf(bv[l]);
+            // Register chunks are WARP_SIZE-aligned, so a register
+            // operand either *is* the destination chunk or is disjoint
+            // from it. The lowered DME streams are accumulator-heavy
+            // (two thirds of register operands alias their destination),
+            // so the IEEE-exact kinds route aliased shapes to in-place
+            // kernels instead of snapshotting 256 bytes per operand.
+            let arith = match kind {
+                BinKind::Add => Some(lanes::ArithKind::Add),
+                BinKind::Sub => Some(lanes::ArithKind::Sub),
+                BinKind::Mul => Some(lanes::ArithKind::Mul),
+                BinKind::Div => Some(lanes::ArithKind::Div),
+                BinKind::Pow | BinKind::Max | BinKind::Min => None,
+            };
+            let a_is_d = matches!(a, Src::Reg(r) if r == dst);
+            let b_is_d = matches!(b, Src::Reg(r) if r == dst);
+            match (arith, a_is_d, b_is_d) {
+                (Some(k), true, false) => {
+                    let bv = operand(ptr, len, tail, b, [dst, dst]);
+                    lanes::bin_in_a(k, out_chunk(ptr, len, dst), bv.get());
+                }
+                (Some(k), false, true) => {
+                    let av = operand(ptr, len, tail, a, [dst, dst]);
+                    lanes::bin_in_b(k, av.get(), out_chunk(ptr, len, dst));
+                }
+                (Some(k), true, true) => {
+                    lanes::bin_in_aa(k, out_chunk(ptr, len, dst));
+                }
+                _ => {
+                    let av = operand(ptr, len, tail, a, [dst, dst]);
+                    let bv = operand(ptr, len, tail, b, [dst, dst]);
+                    let (av, bv) = (av.get(), bv.get());
+                    let out = out_chunk(ptr, len, dst);
+                    match kind {
+                        BinKind::Add => lanes::add(av, bv, out),
+                        BinKind::Sub => lanes::sub(av, bv, out),
+                        BinKind::Mul => lanes::mul(av, bv, out),
+                        BinKind::Div => lanes::div(av, bv, out),
+                        // `powf` is a libm call per lane — opaque to the
+                        // vectorizer, so the loop is identical in both
+                        // compiled copies of the dispatch loops.
+                        // `max`/`min` lower to LLVM intrinsics whose
+                        // vector forms are not ±0-exact, so they live
+                        // behind `#[inline(never)]` in `lanes`.
+                        BinKind::Pow => {
+                            for l in 0..WARP_SIZE {
+                                out[l] = av[l].powf(bv[l]);
+                            }
+                        }
+                        BinKind::Max => lanes::max(av, bv, out),
+                        BinKind::Min => lanes::min(av, bv, out),
                     }
                 }
-                BinKind::Max => lanes::max(av, bv, out),
-                BinKind::Min => lanes::min(av, bv, out),
             }
         },
         DecodedInstr::Un { kind, dst, a } => unsafe {
@@ -1005,13 +1036,14 @@ pub(crate) fn exec_fast(
                 UnKind::Mov => *out = *av,
                 UnKind::Sqrt => lanes::sqrt(av, out),
                 UnKind::Neg => lanes::neg(av, out),
-                // Transcendentals are libm calls whose results define the
-                // simulator's numerics; they must not be re-vectorized.
-                UnKind::Exp => {
-                    for l in 0..WARP_SIZE {
-                        out[l] = av[l].exp();
-                    }
-                }
+                // Transcendentals define the simulator's numerics. `exp`
+                // routes through `vmath` so every call site (this fast
+                // path, the engine's scalar and batched exp uops, and the
+                // lowering rewrite gate) shares one per-process
+                // implementation — libm by default, the polynomial AVX2
+                // family when the `vexp` feature selects it. The rest
+                // stay scalar libm.
+                UnKind::Exp => crate::vmath::exp_lanes(av, out),
                 UnKind::Log => {
                     for l in 0..WARP_SIZE {
                         out[l] = av[l].ln();
@@ -1030,10 +1062,29 @@ pub(crate) fn exec_fast(
             }
         },
         DecodedInstr::Fma { dst, a, b, c } => unsafe {
-            let av = operand(ptr, len, tail, a, [dst, dst]);
-            let bv = operand(ptr, len, tail, b, [dst, dst]);
-            let cv = operand(ptr, len, tail, c, [dst, dst]);
-            lanes::fma(av.get(), bv.get(), cv.get(), out_chunk(ptr, len, dst));
+            // Same aliasing structure as `Bin`: route the two dominant
+            // multiply-accumulate shapes in place, snapshot the rest.
+            let a_is_d = matches!(a, Src::Reg(r) if r == dst);
+            let b_is_d = matches!(b, Src::Reg(r) if r == dst);
+            let c_is_d = matches!(c, Src::Reg(r) if r == dst);
+            match (a_is_d, b_is_d, c_is_d) {
+                (false, false, true) => {
+                    let av = operand(ptr, len, tail, a, [dst, dst]);
+                    let bv = operand(ptr, len, tail, b, [dst, dst]);
+                    lanes::fma_in_c(av.get(), bv.get(), out_chunk(ptr, len, dst));
+                }
+                (true, false, false) => {
+                    let bv = operand(ptr, len, tail, b, [dst, dst]);
+                    let cv = operand(ptr, len, tail, c, [dst, dst]);
+                    lanes::fma_in_a(out_chunk(ptr, len, dst), bv.get(), cv.get());
+                }
+                _ => {
+                    let av = operand(ptr, len, tail, a, [dst, dst]);
+                    let bv = operand(ptr, len, tail, b, [dst, dst]);
+                    let cv = operand(ptr, len, tail, c, [dst, dst]);
+                    lanes::fma(av.get(), bv.get(), cv.get(), out_chunk(ptr, len, dst));
+                }
+            }
         },
         DecodedInstr::Sel { dst, pred, a, b } => unsafe {
             let pv = operand(ptr, len, tail, Src::Reg(pred), [dst, dst]);

@@ -8,10 +8,11 @@
 //! * every kernel works on `[f64; WARP_SIZE]` chunks (the *lane chunk*),
 //!   so LLVM sees exact trip counts and needs no bounds checks or runtime
 //!   alias analysis inside the loop;
-//! * on x86-64 each kernel also has an AVX2+FMA specialization (the same
-//!   scalar body compiled under `#[target_feature]`, so `a.mul_add(b, c)`
-//!   lowers to `vfmadd` instead of a libm call and the elementwise loops
-//!   vectorize 4 lanes wide), selected by a runtime-CPUID branch per call.
+//! * on x86-64 each kernel also has AVX2+FMA and AVX-512 specializations
+//!   (the same scalar body compiled under `#[target_feature]`, so
+//!   `a.mul_add(b, c)` lowers to `vfmadd` instead of a libm call and the
+//!   elementwise loops vectorize 4 or 8 lanes wide), selected by a
+//!   runtime-CPUID branch per call.
 //!   Keeping each specialization a small standalone function is load-
 //!   bearing: an experiment that instead compiled the entire dispatch
 //!   loops under `#[target_feature]` (to remove the per-call branch) made
@@ -36,10 +37,11 @@ use crate::WARP_SIZE;
 pub(crate) type Lanes = [f64; WARP_SIZE];
 
 /// Whether the AVX2+FMA specializations are usable on this machine.
-/// Detected once; a relaxed atomic read afterwards.
+/// Detected once; a relaxed atomic read afterwards. Shared with
+/// [`crate::vmath`], which gates its polynomial exp on the same check.
 #[cfg(target_arch = "x86_64")]
 #[inline(always)]
-fn simd_ok() -> bool {
+pub(crate) fn simd_ok() -> bool {
     use std::sync::OnceLock;
     static OK: OnceLock<bool> = OnceLock::new();
     *OK.get_or_init(|| {
@@ -47,11 +49,38 @@ fn simd_ok() -> bool {
     })
 }
 
-/// Define one lane kernel: a single scalar body, compiled twice — once at
-/// the crate's baseline target features, once under AVX2+FMA — with a
-/// runtime dispatch on the detected CPU. The two compilations are
+#[cfg(not(target_arch = "x86_64"))]
+#[inline(always)]
+pub(crate) fn simd_ok() -> bool {
+    false
+}
+
+/// Whether the AVX-512 specializations are usable on this machine
+/// (F for the 8-wide f64 ops, DQ for `vcvtqq2pd` in the vmath exp).
+/// Same once-detected pattern as [`simd_ok`].
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+pub(crate) fn simd512_ok() -> bool {
+    use std::sync::OnceLock;
+    static OK: OnceLock<bool> = OnceLock::new();
+    *OK.get_or_init(|| {
+        std::is_x86_feature_detected!("avx512f") && std::is_x86_feature_detected!("avx512dq")
+    })
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[inline(always)]
+pub(crate) fn simd512_ok() -> bool {
+    false
+}
+
+/// Define one lane kernel: a single scalar body, compiled three times —
+/// at the crate's baseline target features, under AVX2+FMA, and under
+/// AVX-512 (8-wide f64, halving the trip count of every lane loop) —
+/// with a runtime dispatch on the detected CPU. The compilations are
 /// bit-identical for the IEEE-exact operations this module restricts
-/// itself to, so the dispatch is invisible to differential tests.
+/// itself to (vector width never changes an exactly rounded elementwise
+/// result), so the dispatch is invisible to differential tests.
 macro_rules! lane_kernel {
     ($(#[$meta:meta])* $name:ident, ($($p:ident : $t:ty),*), $body:block) => {
         $(#[$meta])*
@@ -61,9 +90,17 @@ macro_rules! lane_kernel {
             fn body($($p: $t),*) $body
             #[cfg(target_arch = "x86_64")]
             {
+                #[target_feature(enable = "avx512f", enable = "avx512dq")]
+                unsafe fn vect512($($p: $t),*) {
+                    body($($p),*)
+                }
                 #[target_feature(enable = "avx2", enable = "fma")]
                 unsafe fn vect($($p: $t),*) {
                     body($($p),*)
+                }
+                if simd512_ok() {
+                    // SAFETY: `simd512_ok` verified AVX-512 via CPUID.
+                    return unsafe { vect512($($p),*) };
                 }
                 if simd_ok() {
                     // SAFETY: `simd_ok` verified AVX2+FMA via CPUID.
@@ -129,6 +166,122 @@ lane_kernel!(
     {
         for l in 0..WARP_SIZE {
             out[l] = if pred[l] != 0.0 { a[l] } else { b[l] };
+        }
+    }
+);
+
+/// Arithmetic kind for the in-place binary kernels, mirroring the
+/// IEEE-exact subset of the decoded `BinKind` (the ±0-sensitive
+/// `max`/`min` and libm `pow` stay on the snapshotting path).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ArithKind {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+lane_kernel!(
+    /// `d[l] = d[l] <op> b[l]` — the accumulator shape `d = d op x`.
+    /// Register chunks are WARP_SIZE-aligned, so an operand chunk either
+    /// *is* the destination chunk or is disjoint from it; these in-place
+    /// forms replace the 256-byte operand snapshot the generic path
+    /// takes when the left operand aliases the destination. Identical
+    /// IEEE ops in identical order — bit-identical to snapshot-then-op.
+    bin_in_a,
+    (kind: ArithKind, d: &mut Lanes, b: &Lanes),
+    {
+        macro_rules! arm {
+            ($op:tt) => {{
+                // Not `d[l] $op= b[l]`: the compound form changes the
+                // LLVM IR shape enough that release codegen commutes the
+                // operands of the (mathematically commutative) add/mul,
+                // which flips NaN-payload propagation and breaks the
+                // engine-vs-interpreter bit-identity proptests. Keep the
+                // exact expression the snapshot path evaluates.
+                #[allow(clippy::assign_op_pattern)]
+                for l in 0..WARP_SIZE {
+                    d[l] = d[l] $op b[l];
+                }
+            }};
+        }
+        match kind {
+            ArithKind::Add => arm!(+),
+            ArithKind::Sub => arm!(-),
+            ArithKind::Mul => arm!(*),
+            ArithKind::Div => arm!(/),
+        }
+    }
+);
+
+lane_kernel!(
+    /// `d[l] = a[l] <op> d[l]` — the right operand aliases the
+    /// destination. Operand order is preserved (x86 NaN-payload
+    /// propagation follows the first operand), so this is not
+    /// [`bin_in_a`] with arguments swapped.
+    bin_in_b,
+    (kind: ArithKind, a: &Lanes, d: &mut Lanes),
+    {
+        macro_rules! arm {
+            ($op:tt) => {{
+                // Not an `op=`: the lint's rewrite would swap operand
+                // order, which changes NaN-payload propagation.
+                #[allow(clippy::assign_op_pattern)]
+                for l in 0..WARP_SIZE {
+                    d[l] = a[l] $op d[l];
+                }
+            }};
+        }
+        match kind {
+            ArithKind::Add => arm!(+),
+            ArithKind::Sub => arm!(-),
+            ArithKind::Mul => arm!(*),
+            ArithKind::Div => arm!(/),
+        }
+    }
+);
+
+lane_kernel!(
+    /// `d[l] = d[l] <op> d[l]` — both operands alias the destination.
+    bin_in_aa,
+    (kind: ArithKind, d: &mut Lanes),
+    {
+        macro_rules! arm {
+            ($op:tt) => {
+                for l in 0..WARP_SIZE {
+                    d[l] = d[l] $op d[l];
+                }
+            };
+        }
+        match kind {
+            ArithKind::Add => arm!(+),
+            ArithKind::Sub => arm!(-),
+            ArithKind::Mul => arm!(*),
+            ArithKind::Div => arm!(/),
+        }
+    }
+);
+
+lane_kernel!(
+    /// `d[l] = fma(a[l], b[l], d[l])` — the multiply-accumulate shape
+    /// with the addend aliasing the destination.
+    fma_in_c,
+    (a: &Lanes, b: &Lanes, d: &mut Lanes),
+    {
+        for l in 0..WARP_SIZE {
+            d[l] = a[l].mul_add(b[l], d[l]);
+        }
+    }
+);
+
+lane_kernel!(
+    /// `d[l] = fma(d[l], b[l], c[l])` — the first factor aliases the
+    /// destination.
+    fma_in_a,
+    (d: &mut Lanes, b: &Lanes, c: &Lanes),
+    {
+        for l in 0..WARP_SIZE {
+            d[l] = d[l].mul_add(b[l], c[l]);
         }
     }
 );

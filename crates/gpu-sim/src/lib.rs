@@ -42,16 +42,18 @@ pub mod occupancy;
 pub mod pool;
 pub mod profile;
 pub mod timing;
+pub mod vmath;
 
 pub use arch::GpuArch;
 pub use counts::EventCounts;
+pub use engine::EngineStats;
 pub use flatcache::flatten_cached;
 pub use error::{SimError, SimResult};
 pub use isa::{
     ArrayDecl, GAddr, GlobalId, IdxInstr, IdxOp, Instr, Kernel, Node, Op, PointRef, Reg, SAddr,
 };
 pub use launch::{launch, launch_with_config, LaunchConfig, LaunchInputs, LaunchMode, LaunchOutput};
-pub use model::{ModelProfile, WarpGroup};
+pub use model::{ModelProfile, OpMix, WarpGroup};
 pub use occupancy::Occupancy;
 pub use profile::{chrome_trace_json, CtaProfile, Profiler, TraceEvent, WarpCycles};
 pub use timing::{SimReport, TimingBreakdown};

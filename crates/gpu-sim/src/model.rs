@@ -54,6 +54,27 @@ pub struct WarpGroup {
     pub cycles: WarpCycles,
 }
 
+/// Static per-op mix features for the transcendental floor: how much of
+/// the kernel is `exp`, and how much of that the engine lowering managed
+/// to batch into contiguous `vmath::exp_slice` calls. Counted from the
+/// pre-optimization stream (`exp_ops` is exactly what the interpreter
+/// executes) plus the cached engine program's lowering statistics, so
+/// `report engine-bench` measures the win instead of asserting it.
+#[derive(Debug, Clone, Default)]
+pub struct OpMix {
+    /// Warp-wide `exp` micro-ops executed per CTA (pre-optimization).
+    pub exp_ops: u64,
+    /// `exp_ops * WARP_SIZE`: scalar exp evaluations per CTA.
+    pub exp_lanes: u64,
+    /// Scalar-equivalent exp uops surviving in the lowered engine
+    /// program (after CSE / chain rewrites removed some).
+    pub engine_exp_uops: u64,
+    /// Of those, how many were folded into batched `ExpBatch` uops.
+    pub engine_exp_batched: u64,
+    /// `engine_exp_batched / engine_exp_uops` (0 when there are none).
+    pub batched_fraction: f64,
+}
+
 /// The model's output: a predicted per-warp cycle attribution in the
 /// same shape the runtime profiler produces, plus predicted event
 /// counts and the per-warp-group rollup.
@@ -67,6 +88,8 @@ pub struct ModelProfile {
     pub counts: EventCounts,
     /// Per-warp-group attribution, grouped by identical static streams.
     pub groups: Vec<WarpGroup>,
+    /// Per-op mix features (exp count, engine batched fraction).
+    pub mix: OpMix,
 }
 
 impl ModelProfile {
@@ -250,6 +273,7 @@ pub fn predict_flat(
 
     // Pass 1: collapse each warp's stream into barrier-separated
     // segments, accumulating the static-exact event counts as we go.
+    let mut exp_ops = 0u64;
     let mut segs: Vec<Vec<Segment>> = vec![Vec::new(); nw];
     for (w, stream) in prog.streams.iter().enumerate() {
         let mut cur = Segment::default();
@@ -307,6 +331,10 @@ pub fn predict_flat(
                         Instr::LdLocal { .. } | Instr::StLocal { .. } => {
                             cur.issue += cost.slots;
                             counts.local_bytes += (crate::WARP_SIZE * 8) as u64;
+                        }
+                        Instr::DExp { .. } => {
+                            cur.issue += cost.slots;
+                            exp_ops += 1;
                         }
                         _ => cur.issue += cost.slots,
                     }
@@ -463,7 +491,23 @@ pub fn predict_flat(
         })
         .collect();
 
-    Ok(ModelProfile { cta, counts, groups })
+    // Per-op mix: pre-optimization exp counts from the stream walk
+    // above, batching effectiveness from the (cached) engine lowering —
+    // any execution of this program lowers it anyway.
+    let estats = crate::flatcache::engine_cached(kernel, prog).stats().clone();
+    let mix = OpMix {
+        exp_ops,
+        exp_lanes: exp_ops * crate::WARP_SIZE as u64,
+        engine_exp_uops: estats.exp_ops,
+        engine_exp_batched: estats.exp_batched,
+        batched_fraction: if estats.exp_ops > 0 {
+            estats.exp_batched as f64 / estats.exp_ops as f64
+        } else {
+            0.0
+        },
+    };
+
+    Ok(ModelProfile { cta, counts, groups, mix })
 }
 
 #[cfg(test)]

@@ -255,6 +255,79 @@ fn burst(v: u64) -> Vec<Instr> {
     }
 }
 
+/// Decode one drawn `u64` into an exp-heavy burst aimed at the engine's
+/// transcendental paths: adjacent independent exps (the `ExpBatch`
+/// grouping), dependent exp-of-exp chains (must never batch), repeated
+/// operands (exp CSE), `exp(a)*exp(b)` shapes with immediate operands
+/// (the lowering rewrite gate — applied only when provably
+/// bit-identical, rejected otherwise), exps of special immediates
+/// (±inf, NaN payloads, subnormals, overflow/underflow edges), and a
+/// lane-predicated shared-memory stage feeding an exp.
+fn exp_burst(v: u64) -> Vec<Instr> {
+    // Registers: 0 = global input, 7 = staged constants, 1..=6 general.
+    let dst = 1 + ((v >> 8) % 6) as u16;
+    let t = 1 + ((v >> 12) % 6) as u16;
+    let ra = ((v >> 16) % 8) as u16;
+    let a = if (v >> 32) & 1 == 0 { Op::Reg(ra) } else { Op::Imm(special(v >> 33)) };
+    match v % 8 {
+        // Adjacent independent exps: batchable when dst/src chunks stay
+        // disjoint, and the batched evaluation must be bit-identical to
+        // the interpreter's one-at-a-time order.
+        0 => vec![
+            Instr::DExp { dst, a },
+            Instr::DExp { dst: t, a: Op::Reg(7) },
+        ],
+        // Dependent chain exp(exp(x)) — the batcher must flush between
+        // the two (overflow saturation and NaN pass through both hops).
+        1 => vec![
+            Instr::DExp { dst: t, a },
+            Instr::DExp { dst, a: Op::Reg(t) },
+        ],
+        // Repeated operand — exp CSE rewrites the second into a mov.
+        2 => vec![
+            Instr::DExp { dst: t, a },
+            Instr::DExp { dst, a },
+        ],
+        // exp(0)*exp(b): the one input-independent shape the mul rewrite
+        // gate may accept (±0.0 operand, corpus-checked); the engine must
+        // be bit-identical whether it rewrote or not.
+        3 => vec![
+            Instr::DExp { dst: t, a: Op::Imm(if (v >> 24) & 1 == 0 { 0.0 } else { -0.0 }) },
+            Instr::DExp { dst, a },
+            Instr::DMul { dst, a: Op::Reg(t), b: Op::Reg(dst) },
+        ],
+        // exp(c)*exp(b) with a non-zero (often special) immediate — the
+        // gate almost always rejects this; rejection must not perturb
+        // results.
+        4 => vec![
+            Instr::DExp { dst: t, a: Op::Imm(special(v >> 25)) },
+            Instr::DExp { dst, a },
+            Instr::DMul { dst, a: Op::Reg(dst), b: Op::Reg(t) },
+        ],
+        // Special immediate straight into exp: saturation edges
+        // (±709.78.., ±745.13..) and non-finite inputs.
+        5 => vec![Instr::DExp { dst, a: Op::Imm(special(v >> 33)) }],
+        // Lane-predicated single-lane store, broadcast back, then exp —
+        // predication must mask exactly the same lanes in both engines.
+        6 => vec![
+            Instr::StShared {
+                src: a,
+                addr: SAddr { base: None, imm: 11, lane_stride: 0 },
+                lane_pred: Some(((v >> 24) % 32) as u8),
+            },
+            Instr::LdShared { dst, addr: SAddr { base: None, imm: 11, lane_stride: 0 } },
+            Instr::DExp { dst: t, a: Op::Reg(dst) },
+        ],
+        // exp feeding the fused mul→add path (FusedMulBin after an
+        // ExpBatch member's scatter).
+        _ => vec![
+            Instr::DExp { dst: t, a },
+            Instr::DMul { dst, a: Op::Reg(t), b: Op::Reg(ra) },
+            Instr::DAdd { dst, a: Op::Reg(dst), b: Op::Reg(t) },
+        ],
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -295,6 +368,68 @@ proptest! {
         let prog = flatten_cached(&kernel);
         let input: Vec<f64> =
             (0..32).map(|i| special(input_seed.wrapping_add(i * 7))).collect();
+        let arrays: Vec<&[f64]> = vec![&input, &[]];
+        let arch = GpuArch::kepler_k20c();
+
+        for collect in [false, true] {
+            let eng = run_cta(&kernel, &prog, &arrays, 32, 0, collect, &arch)
+                .expect("engine runs");
+            let itp = run_cta_profiled(&kernel, &prog, &arrays, 32, 0, collect, &arch, None)
+                .expect("interpreter runs");
+            prop_assert_eq!(&eng.counts, &itp.counts);
+            for (a, b) in eng.out_buffers.iter().zip(&itp.out_buffers) {
+                prop_assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(b.iter()) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
+    }
+
+    /// Exp-heavy streams: batched groups, dependent chains, CSE'd
+    /// repeats, gated `exp(a)*exp(b)` rewrites, saturation edges, and
+    /// predicated lanes all stay bit-identical — EventCounts included —
+    /// between the engine and the profiled interpreter. Runs under
+    /// whichever exp family the build selected (libm by default, the
+    /// vectorized vmath kernel with `--features vexp`); CI exercises
+    /// both, and within a process the two executors must always agree.
+    #[test]
+    fn exp_heavy_streams_match_interpreter_bit_for_bit(
+        bursts in proptest::collection::vec(0u64..u64::MAX, 4..20),
+        bank_seed in 0u64..1000,
+        input_seed in 0u64..1000,
+    ) {
+        let mut body = vec![
+            Node::Op(Instr::Idx(IdxInstr::LaneId { dst: 0 })),
+            Node::Op(Instr::LdConst { dst: 7, bank: 0, idx: IdxOp::Reg(0) }),
+            Node::Op(Instr::LdGlobal {
+                dst: 0,
+                addr: GAddr { array: GlobalId(0), row: IdxOp::Imm(0), point: PointRef::Lane },
+                ldg: false,
+            }),
+        ];
+        for &v in &bursts {
+            body.extend(exp_burst(v).into_iter().map(Node::Op));
+        }
+        body.push(Node::Op(Instr::DAdd { dst: 1, a: Op::Reg(1), b: Op::Reg(2) }));
+        body.push(Node::Op(Instr::DMul { dst: 1, a: Op::Reg(1), b: Op::Reg(3) }));
+        body.push(Node::Op(Instr::StGlobal {
+            src: Op::Reg(1),
+            addr: GAddr { array: GlobalId(1), row: IdxOp::Imm(0), point: PointRef::Lane },
+        }));
+
+        let kernel = stream_kernel(format!("expheavy{bank_seed}_{input_seed}"), body, bank_seed);
+        let prog = flatten_cached(&kernel);
+        // Inputs biased toward exp's interesting range: saturation edges,
+        // subnormal-producing arguments, and raw special bit patterns.
+        let input: Vec<f64> = (0..32)
+            .map(|i| match i % 4 {
+                0 => special(input_seed.wrapping_add(i * 7)),
+                1 => 709.0 + (i as f64) * 0.1,  // straddles the +inf edge
+                2 => -744.0 - (i as f64) * 0.1, // straddles deep underflow
+                _ => (i as f64) * 0.37 - 6.0,   // ordinary magnitudes
+            })
+            .collect();
         let arrays: Vec<&[f64]> = vec![&input, &[]];
         let arch = GpuArch::kepler_k20c();
 
