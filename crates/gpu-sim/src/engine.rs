@@ -1274,13 +1274,24 @@ fn rewrite_exp_mul(uops: &mut [UOp], stats: &mut EngineStats) {
         // must be unchanged in (i1, i2). (The i1 operand keeps its read
         // position.)
         let moved_arg = if def_p == i2 { arg_p } else { arg_q };
+        // A dependent chain — the later exp consuming one of the pattern's
+        // own destinations, e.g. `r1 = exp(A); r2 = exp(r1); d = r1 * r2`
+        // — is not the two-independent-exp shape: the moved read would
+        // observe i1's new Add result instead of the exp it replaced, and
+        // exempting i2 from the read scan below is only sound when i2's
+        // read is not of p/q. Reject before either scan.
+        if matches!(moved_arg, Src::Reg(b) if b == p || b == q) {
+            stats.exp_mul_infeasible += 1;
+            continue;
+        }
         if let Src::Reg(mb) = moved_arg {
             for u in &uops[i1 + 1..i2] {
                 for_each_write_chunk(u, no_pairs, &mut |w| feasible &= w != mb);
             }
         }
         // r1 and r2 may be read only by this pattern's own ops between
-        // their defs and the mul…
+        // their defs and the mul… (skipping i2 is sound: its only read is
+        // `moved_arg`, which the dependent-chain guard proved is not p/q)
         for (i, u) in uops.iter().enumerate().take(k).skip(i1 + 1) {
             if i == i2 {
                 continue;
@@ -2815,6 +2826,53 @@ mod tests {
         assert_eq!(s.exp_mul_applied, 0, "{s:?}");
         assert_eq!(s.exp_mul_infeasible, 1, "{s:?}");
         let input: Vec<f64> = (0..64).map(|i| (i as f64) * 0.11 - 2.0).collect();
+        differential(&k, &[&input, &[]], 32, 0);
+    }
+
+    #[test]
+    fn exp_mul_rewrite_skipped_on_dependent_chain() {
+        // r1 = exp(0.0); r2 = exp(r1); d = r1 * r2 — the second exp
+        // consumes the first's result, so moving its read to the first's
+        // slot would observe the rewritten Add instead of exp(0.0), and
+        // r1 is read (by i2) between the defs and the mul. The numeric
+        // gate would accept (one operand is 0.0), so only the dependent-
+        // chain feasibility guard stands between this and a miscompile:
+        // the interpreter yields exp(0)*exp(exp(0)) = e, the broken
+        // rewrite yielded 1.0.
+        let mut k = base_kernel(1);
+        k.body = vec![
+            Node::Op(Instr::DExp { dst: 1, a: Op::Imm(0.0) }),
+            Node::Op(Instr::DExp { dst: 2, a: Op::Reg(1) }),
+            Node::Op(Instr::DMul { dst: 3, a: Op::Reg(1), b: Op::Reg(2) }),
+            st(3),
+        ];
+        let prog = flatten(&k);
+        let eng = lower(&k, &prog);
+        let s = eng.stats();
+        assert_eq!(s.exp_mul_applied, 0, "{s:?}");
+        assert_eq!(s.exp_mul_infeasible, 1, "{s:?}");
+        assert_eq!(s.exp_ops, 2, "both exps survive: {:?}", eng.uops);
+        let input: Vec<f64> = (0..64).map(|i| (i as f64) * 0.07 - 1.0).collect();
+        differential(&k, &[&input, &[]], 32, 0);
+
+        // Same chain with the mul destination aliasing the second exp's
+        // register (the exp_burst proptest's case-3 shape when ra == t):
+        // d == q changes nothing about the hazard, so it must still be
+        // rejected as infeasible.
+        let mut k = base_kernel(1);
+        k.name = "eng-t-chain2".into();
+        k.body = vec![
+            Node::Op(Instr::DExp { dst: 1, a: Op::Imm(0.0) }),
+            Node::Op(Instr::DExp { dst: 2, a: Op::Reg(1) }),
+            Node::Op(Instr::DMul { dst: 2, a: Op::Reg(1), b: Op::Reg(2) }),
+            st(2),
+        ];
+        let prog = flatten(&k);
+        let eng = lower(&k, &prog);
+        let s = eng.stats();
+        assert_eq!(s.exp_mul_applied, 0, "{s:?}");
+        assert_eq!(s.exp_mul_infeasible, 1, "{s:?}");
+        let input: Vec<f64> = (0..64).map(|i| (i as f64) * 0.07 - 1.0).collect();
         differential(&k, &[&input, &[]], 32, 0);
     }
 }
