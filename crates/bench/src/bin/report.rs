@@ -18,7 +18,13 @@
 //! `engine-bench` times the segment-compiled engine against the legacy
 //! interpreter on one warp-specialized DME viscosity CTA and records
 //! lanes/second into the `engine` line of `BENCH_report.json` (preserved
-//! across `report all` rewrites); it too runs solo.
+//! across `report all` rewrites); it too runs solo. `serve-bench`
+//! measures the compile-farm service layer — cold vs warm (post-restart)
+//! compile latency, sustained compiles/second across a fleet of synth
+//! mechanisms, cache hit rate, and in-flight dedup — and records the
+//! `serve` line of `BENCH_report.json` (also carried across rewrites);
+//! `--kernel`/`--arch` select the primary combination (typed ids: an
+//! unknown name lists the valid ones).
 //!
 //! Figures are computed on a worker pool (`--jobs`, `SINGE_JOBS`, default
 //! = available parallelism) but every figure renders into its own buffer
@@ -39,7 +45,7 @@ use singe_bench::*;
 const FIGURES: &[&str] = &[
     "mechanisms", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
     "fig15", "fig16", "gflops", "ablate-barriers", "spills", "verify",
-    "profile", "model", "engine-bench", "all",
+    "profile", "model", "engine-bench", "serve-bench", "all",
 ];
 
 /// Wall-clock of the serial `report all` before the fast-path/memoization/
@@ -59,6 +65,10 @@ struct FigOutput {
 fn main() {
     let mut which: Option<String> = None;
     let mut jobs: Option<usize> = None;
+    // `serve-bench` selectors; typed parses so a typo prints the valid
+    // ids instead of silently benchmarking the wrong thing.
+    let mut sb_kernel = KernelId::Viscosity;
+    let mut sb_arch = ArchId::Kepler;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--jobs" {
@@ -67,6 +77,22 @@ fn main() {
                 Ok(n) if n >= 1 => jobs = Some(n),
                 _ => {
                     eprintln!("--jobs expects a positive integer, got '{v}'");
+                    std::process::exit(2);
+                }
+            }
+        } else if a == "--kernel" {
+            match args.next().unwrap_or_default().parse::<KernelId>() {
+                Ok(k) => sb_kernel = k,
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            }
+        } else if a == "--arch" {
+            match args.next().unwrap_or_default().parse::<ArchId>() {
+                Ok(a) => sb_arch = a,
+                Err(e) => {
+                    eprintln!("{e}");
                     std::process::exit(2);
                 }
             }
@@ -114,6 +140,13 @@ fn main() {
     // figure wall-clocks `BENCH_report.json` tracks.
     if which == "engine-bench" {
         engine_bench_report(&dme, &archs);
+        return;
+    }
+
+    // `serve-bench` also runs solo: it measures the compile-farm service
+    // layer, not a paper figure.
+    if which == "serve-bench" {
+        serve_bench_report(sb_kernel, sb_arch, jobs);
         return;
     }
 
@@ -255,14 +288,17 @@ fn bench_report_json(
     let _ = writeln!(out, "  \"total_seconds\": {total_seconds:.3},");
     let _ = writeln!(out, "  \"pre_pr_sequential_seconds\": {baseline:.3},");
     let _ = writeln!(out, "  \"speedup_vs_pre_pr\": {:.2},", baseline / total_seconds);
-    // Carry the `report engine-bench` entry forward: like every `runs`
-    // entry, it is a single line this binary wrote (`"engine": {...}`).
+    // Carry the solo-benchmark entries forward: like every `runs` entry,
+    // each is a single line this binary wrote (`"engine": {...}` from
+    // `report engine-bench`, `"serve": {...}` from `report serve-bench`).
     if let Some(prior) = prior {
-        for line in prior.lines() {
-            let entry = line.trim().trim_end_matches(',');
-            if entry.starts_with("\"engine\": {") && entry.ends_with('}') {
-                let _ = writeln!(out, "  {entry},");
-                break;
+        for key in ["\"engine\": {", "\"serve\": {"] {
+            for line in prior.lines() {
+                let entry = line.trim().trim_end_matches(',');
+                if entry.starts_with(key) && entry.ends_with('}') {
+                    let _ = writeln!(out, "  {entry},");
+                    break;
+                }
             }
         }
     }
@@ -473,17 +509,24 @@ fn engine_bench_report(mech: &Mechanism, archs: &[GpuArch]) {
         prim.arch, prim.exp_uops, prim.exp_batched, prim.exp_share,
         prim.stats.exp_cse, prim.stats.exp_mul_applied, prim.stats.exp_mul_rejected,
     );
+    upsert_solo_entry("engine", &entry);
+}
+
+/// Insert or replace a solo benchmark's single-line entry (`"engine":
+/// {...}` / `"serve": {...}`) in `BENCH_report.json`: replace the
+/// existing line, or place a new one right after `speedup_vs_pre_pr`
+/// (where `bench_report_json` keeps it on rewrite). Creates a minimal
+/// document if the file doesn't exist yet.
+fn upsert_solo_entry(key: &str, entry: &str) {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_report.json");
+    let prefix = format!("\"{key}\": {{");
     let doc = match std::fs::read_to_string(path) {
         Ok(prior) => {
-            // Replace the existing engine line, or place a new one right
-            // after `speedup_vs_pre_pr` (where `bench_report_json` keeps
-            // it on rewrite).
             let mut out = String::new();
             let mut placed = false;
             for line in prior.lines() {
-                let key = line.trim_start();
-                if key.starts_with("\"engine\": {") {
+                let k = line.trim_start();
+                if k.starts_with(&prefix) {
                     if !placed {
                         let _ = writeln!(out, "  {entry},");
                         placed = true;
@@ -492,7 +535,7 @@ fn engine_bench_report(mech: &Mechanism, archs: &[GpuArch]) {
                 }
                 out.push_str(line);
                 out.push('\n');
-                if !placed && key.starts_with("\"speedup_vs_pre_pr\":") {
+                if !placed && k.starts_with("\"speedup_vs_pre_pr\":") {
                     let _ = writeln!(out, "  {entry},");
                     placed = true;
                 }
@@ -506,8 +549,198 @@ fn engine_bench_report(mech: &Mechanism, archs: &[GpuArch]) {
         Err(_) => format!("{{\n  {entry}\n}}\n"),
     };
     match std::fs::write(path, &doc) {
-        Ok(()) => eprintln!("[wrote engine entry to {path}]"),
+        Ok(()) => eprintln!("[wrote {key} entry to {path}]"),
         Err(e) => eprintln!("[could not write {path}: {e}]"),
+    }
+}
+
+/// `serve-bench`: measure the compile-farm service layer end to end and
+/// record the single-line `serve` key of `BENCH_report.json` (preserved
+/// across `report all` rewrites, like `engine`). Three phases, each in a
+/// fresh cache directory under `target/`:
+///
+/// 1. **Latency** — cold compile of the primary combination (the
+///    artifact is deleted between reps) vs warm load through a *new*
+///    session over the same cache (simulating a process restart);
+///    best-of-N for both. Exits non-zero if warm isn't at least 2x
+///    faster than cold (the committed trajectory expects far more).
+/// 2. **Farm throughput** — a fleet of small synthetic mechanisms
+///    compiled through the sharded scheduler, cold pass then
+///    post-restart warm pass; sustained compiles/second and hit rate.
+/// 3. **In-flight dedup** — N identical concurrent requests must
+///    trigger exactly one compiler run (exit non-zero otherwise).
+fn serve_bench_report(kernel: KernelId, arch: ArchId, jobs: usize) {
+    use chemkin::synth::SynthConfig;
+    use singe_serve::{ArtifactSource, CompileRequest, ServeSession};
+
+    let root = std::path::PathBuf::from(format!("target/serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let variant = Variant::WarpSpecialized;
+    let mk_req = |mech: &str| {
+        CompileRequest::new(mech.parse().expect("valid mechanism id"), kernel, variant, arch)
+    };
+    let open = |dir: &std::path::Path| {
+        ServeSession::builder(dir).jobs(jobs).builtins(false).open().expect("open serve session")
+    };
+    let primary = format!("dme-{}-ws", kernel.name());
+    let arch_short = {
+        let name = arch.arch().name;
+        name.split_whitespace().last().unwrap_or(name).to_string()
+    };
+
+    // -- Phase 1: cold vs warm latency on the primary combination -------
+    let lat_dir = root.join("latency");
+    let reps = 7;
+    let session = open(&lat_dir);
+    session.register_synth(&synth::dme_config()).expect("register dme");
+    let req = mk_req("dme");
+    let t0 = Instant::now();
+    let first = session.compile(&req).expect("cold compile");
+    let cold_first = t0.elapsed().as_secs_f64();
+    assert_eq!(first.source, ArtifactSource::ColdCompile, "fresh cache must compile cold");
+    let artifact_path = session.cache_dir().join(first.key.file_name());
+    let mut cold_best = cold_first;
+    for _ in 1..reps {
+        std::fs::remove_file(&artifact_path).expect("cold rep: remove artifact");
+        let t0 = Instant::now();
+        let h = session.compile(&req).expect("cold compile");
+        assert_eq!(h.source, ArtifactSource::ColdCompile);
+        cold_best = cold_best.min(t0.elapsed().as_secs_f64());
+    }
+    drop(session);
+    let mut warm_best = f64::INFINITY;
+    for _ in 0..reps {
+        // A fresh session over the same cache dir = a process restart as
+        // far as the artifact store is concerned.
+        let session = open(&lat_dir);
+        session.register_synth(&synth::dme_config()).expect("register dme");
+        let t0 = Instant::now();
+        let h = session.compile(&req).expect("warm compile");
+        warm_best = warm_best.min(t0.elapsed().as_secs_f64());
+        assert_eq!(h.source, ArtifactSource::WarmDisk, "artifact must survive the restart");
+        assert_eq!(
+            format!("{:?}", h.artifact.kernel),
+            format!("{:?}", first.artifact.kernel),
+            "warm artifact must be identical to the cold compile"
+        );
+    }
+    let warm_speedup = cold_best / warm_best;
+
+    // -- Phase 2: farm throughput over a fleet of small mechanisms ------
+    let farm_dir = root.join("farm");
+    let n_farm = 24usize;
+    let cfgs: Vec<SynthConfig> = (0..n_farm)
+        .map(|i| SynthConfig {
+            name: format!("farm{i:02}"),
+            n_species: 10 + (i % 6),
+            n_reactions: 20 + 2 * (i % 5),
+            n_qssa: i % 3,
+            n_stiff: 2 + (i % 4),
+            seed: 9000 + i as u64,
+        })
+        .collect();
+    let farm_pass = |expect_warm: bool| -> (f64, f64) {
+        let session = open(&farm_dir);
+        for cfg in &cfgs {
+            session.register_synth(cfg).expect("register farm mechanism");
+        }
+        let t0 = Instant::now();
+        let tickets: Vec<_> = cfgs
+            .iter()
+            .map(|c| session.submit(&mk_req(&c.name).with_tenant(&c.name)).expect("submit"))
+            .collect();
+        for t in tickets {
+            t.wait().expect("farm compile");
+        }
+        let seconds = t0.elapsed().as_secs_f64();
+        let stats = session.stats();
+        if expect_warm {
+            assert_eq!(stats.warm_hits as usize, n_farm, "warm pass must be all disk hits");
+        }
+        (seconds, stats.hit_rate().unwrap_or(0.0))
+    };
+    let (farm_cold_s, _) = farm_pass(false);
+    let (farm_warm_s, warm_hit_rate) = farm_pass(true);
+
+    // -- Phase 3: in-flight dedup ---------------------------------------
+    let dedup_dir = root.join("dedup");
+    let n_dedup = 8usize;
+    let session = ServeSession::builder(&dedup_dir)
+        .jobs(jobs.max(4))
+        .builtins(false)
+        .open()
+        .expect("open serve session");
+    session
+        .register_synth(&SynthConfig { name: "dedup".into(), seed: 0xded, ..synth::dme_config() })
+        .expect("register dedup mechanism");
+    let dreq = mk_req("dedup");
+    let tickets: Vec<_> =
+        (0..n_dedup).map(|_| session.submit(&dreq).expect("submit")).collect();
+    for t in tickets {
+        t.wait().expect("dedup compile");
+    }
+    let dstats = session.stats();
+    drop(session);
+    let _ = std::fs::remove_dir_all(&root);
+
+    println!("== serve-bench (compile-farm service layer) ==");
+    println!("primary: {primary} on {} (jobs={jobs})", arch.arch().name);
+    println!("  cold first         {:>9.3} ms", cold_first * 1e3);
+    println!("  cold best-of-{reps}     {:>9.3} ms", cold_best * 1e3);
+    println!(
+        "  warm best-of-{reps}     {:>9.3} ms   ({warm_speedup:.1}x vs cold, post-restart)",
+        warm_best * 1e3
+    );
+    println!("farm: {n_farm} mechanisms through the sharded scheduler");
+    println!(
+        "  cold pass          {:>9.3} s    ({:.1} compiles/s)",
+        farm_cold_s,
+        n_farm as f64 / farm_cold_s
+    );
+    println!(
+        "  warm pass          {:>9.3} s    ({:.1} compiles/s, hit rate {:.2})",
+        farm_warm_s,
+        n_farm as f64 / farm_warm_s,
+        warm_hit_rate
+    );
+    println!(
+        "dedup: {n_dedup} identical concurrent requests -> {} cold compile(s), \
+         {} joined, {} warm",
+        dstats.cold_compiles, dstats.inflight_joins, dstats.warm_hits
+    );
+
+    let mut failed = false;
+    if dstats.cold_compiles != 1 {
+        eprintln!(
+            "serve-bench FAILED: expected exactly 1 cold compile under dedup, got {}",
+            dstats.cold_compiles
+        );
+        failed = true;
+    }
+    if warm_speedup < 2.0 {
+        eprintln!("serve-bench FAILED: warm speedup {warm_speedup:.2}x < 2x");
+        failed = true;
+    }
+
+    if std::env::var("SINGE_BENCH_JSON").as_deref() != Ok("0") {
+        let entry = format!(
+            "\"serve\": {{\"kernel\": \"{primary}\", \"arch\": \"{arch_short}\", \
+             \"cold_first_ms\": {:.3}, \"cold_ms\": {:.3}, \"warm_ms\": {:.3}, \
+             \"warm_speedup\": {warm_speedup:.1}, \"farm_mechs\": {n_farm}, \
+             \"cold_compiles_per_sec\": {:.1}, \"warm_compiles_per_sec\": {:.1}, \
+             \"warm_hit_rate\": {warm_hit_rate:.2}, \"dedup_requests\": {n_dedup}, \
+             \"dedup_cold_compiles\": {}}}",
+            cold_first * 1e3,
+            cold_best * 1e3,
+            warm_best * 1e3,
+            n_farm as f64 / farm_cold_s,
+            n_farm as f64 / farm_warm_s,
+            dstats.cold_compiles,
+        );
+        upsert_solo_entry("serve", &entry);
+    }
+    if failed {
+        std::process::exit(1);
     }
 }
 

@@ -76,6 +76,20 @@ use crate::isa::*;
 use crate::lanes;
 use crate::WARP_SIZE;
 
+/// Version of the flatten/lowering/optimizer semantics. Bump this on ANY
+/// change that can alter what `lower` (or `interp::flatten`)
+/// produces for an unchanged kernel — new peephole passes, changed µop
+/// encodings, different trap placement, rewrite-gate tweaks.
+///
+/// The constant is folded into every structural kernel fingerprint
+/// ([`crate::flatcache::fingerprint`]), which keys both the in-memory
+/// flatten/lowering memos and the on-disk compiled-kernel artifacts of the
+/// serve layer. Without it, keying is purely structural: a semantics bump
+/// would silently replay stale lowered programs cached under the old
+/// semantics (in-memory across test-harness reconfigurations, on-disk
+/// across process restarts).
+pub const LOWERING_VERSION: u32 = 8;
+
 /// How a segment ends: the end of the warp's stream, or a named-barrier
 /// operation handled at scheduler level.
 #[derive(Debug, Clone, Copy)]

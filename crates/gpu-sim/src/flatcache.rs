@@ -84,15 +84,31 @@ pub fn engine_stats(kernel: &Kernel, prog: &FlatProgram) -> crate::engine::Engin
     engine_cached(kernel, prog).stats().clone()
 }
 
-/// Two independent structural hashes of the kernel. Public so other
-/// deterministic per-kernel memos (e.g. the schedule verifier's) can share
-/// one identity scheme instead of re-walking the IR their own way.
+/// Two independent structural hashes of the kernel, salted with
+/// [`crate::engine::LOWERING_VERSION`]. Public so other deterministic
+/// per-kernel memos (e.g. the schedule verifier's) can share one identity
+/// scheme instead of re-walking the IR their own way.
+///
+/// Folding the lowering version in means a semantics bump changes every
+/// fingerprint, so stale flattened/lowered programs can never be replayed
+/// from either the in-memory memos here or the serve layer's on-disk
+/// artifact cache (which keys files by this same fingerprint).
 pub fn fingerprint(k: &Kernel) -> (u64, u64) {
+    fingerprint_versioned(k, crate::engine::LOWERING_VERSION)
+}
+
+/// [`fingerprint`] at an explicit lowering version. Exists so tests (and
+/// migration tooling) can prove that a version bump misses every cache
+/// keyed on the fingerprint; production callers always want
+/// [`fingerprint`].
+pub fn fingerprint_versioned(k: &Kernel, lowering_version: u32) -> (u64, u64) {
     let mut h1 = DefaultHasher::new();
     let mut h2 = DefaultHasher::new();
     // Distinct prefixes decorrelate the two hash streams.
     h1.write_u8(0x51);
     h2.write_u8(0xa7);
+    h1.write_u32(lowering_version);
+    h2.write_u32(lowering_version);
     hash_kernel(k, &mut h1);
     hash_kernel(k, &mut h2);
     (h1.finish(), h2.finish())
@@ -478,6 +494,26 @@ mod tests {
         let b = flatten_cached(&kernel(2.5));
         assert!(!Arc::ptr_eq(&a, &b));
         assert_ne!(fingerprint(&kernel(1.25)), fingerprint(&kernel(2.5)));
+    }
+
+    #[test]
+    fn lowering_version_bump_misses_the_cache() {
+        // The memo tables key on `fingerprint`, so proving the fingerprint
+        // changes under a version bump proves a bump can never replay a
+        // stale in-memory (or on-disk) entry lowered under old semantics.
+        let k = kernel(3.5);
+        let v = crate::engine::LOWERING_VERSION;
+        assert_eq!(fingerprint(&k), fingerprint_versioned(&k, v));
+        assert_ne!(
+            fingerprint_versioned(&k, v),
+            fingerprint_versioned(&k, v + 1),
+            "a LOWERING_VERSION bump must change every kernel fingerprint"
+        );
+        // And the live cache entry for the current version is keyed by the
+        // salted fingerprint (same kernel, same version => same slot).
+        let a = flatten_cached(&k);
+        let b = flatten_cached(&k);
+        assert!(Arc::ptr_eq(&a, &b));
     }
 
     #[test]
