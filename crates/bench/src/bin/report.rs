@@ -24,7 +24,12 @@
 //! mechanisms, cache hit rate, and in-flight dedup — and records the
 //! `serve` line of `BENCH_report.json` (also carried across rewrites);
 //! `--kernel`/`--arch` select the primary combination (typed ids: an
-//! unknown name lists the valid ones).
+//! unknown name lists the valid ones). `pipeline` sweeps the software
+//! pipeline depth K=1..4 for the warp-specialized DME viscosity kernel on
+//! the Hopper-class architecture, records the per-CTA cycle trajectory as
+//! the `pipeline` line of `BENCH_report.json` (also carried across
+//! rewrites), and exits non-zero unless some K>1 beats the single-buffered
+//! schedule — the simulator is deterministic, so this is an exact gate.
 //!
 //! Figures are computed on a worker pool (`--jobs`, `SINGE_JOBS`, default
 //! = available parallelism) but every figure renders into its own buffer
@@ -45,7 +50,7 @@ use singe_bench::*;
 const FIGURES: &[&str] = &[
     "mechanisms", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
     "fig15", "fig16", "gflops", "ablate-barriers", "spills", "verify",
-    "profile", "model", "engine-bench", "serve-bench", "all",
+    "profile", "model", "engine-bench", "serve-bench", "pipeline", "all",
 ];
 
 /// Wall-clock of the serial `report all` before the fast-path/memoization/
@@ -112,7 +117,7 @@ fn main() {
 
     let dme = synth::dme();
     let heptane = synth::heptane();
-    let archs = [GpuArch::fermi_c2070(), GpuArch::kepler_k20c()];
+    let archs = [GpuArch::fermi_c2070(), GpuArch::kepler_k20c(), GpuArch::hopper()];
 
     // `profile` runs solo (never under `all`): its probe launches would
     // shift the wall-clock figures `BENCH_report.json` tracks.
@@ -147,6 +152,16 @@ fn main() {
     // layer, not a paper figure.
     if which == "serve-bench" {
         serve_bench_report(sb_kernel, sb_arch, jobs);
+        return;
+    }
+
+    // `pipeline` also runs solo: its profiled depth-sweep launches would
+    // shift the figure wall-clocks `BENCH_report.json` tracks.
+    if which == "pipeline" {
+        if !pipeline_report(&dme) {
+            eprintln!("\npipeline depth sweep: no K>1 win over the single-buffered schedule");
+            std::process::exit(1);
+        }
         return;
     }
 
@@ -290,9 +305,10 @@ fn bench_report_json(
     let _ = writeln!(out, "  \"speedup_vs_pre_pr\": {:.2},", baseline / total_seconds);
     // Carry the solo-benchmark entries forward: like every `runs` entry,
     // each is a single line this binary wrote (`"engine": {...}` from
-    // `report engine-bench`, `"serve": {...}` from `report serve-bench`).
+    // `report engine-bench`, `"serve": {...}` from `report serve-bench`,
+    // `"pipeline": {...}` from `report pipeline`).
     if let Some(prior) = prior {
-        for key in ["\"engine\": {", "\"serve\": {"] {
+        for key in ["\"engine\": {", "\"serve\": {", "\"pipeline\": {"] {
             for line in prior.lines() {
                 let entry = line.trim().trim_end_matches(',');
                 if entry.starts_with(key) && entry.ends_with('}') {
@@ -322,7 +338,7 @@ fn bench_report_json(
 
 /// `engine-bench`: wall-clock sweep of the segment-compiled engine vs the
 /// legacy per-instruction interpreter across both DME transport kernels ×
-/// both architectures × warp-specialized/baseline. Best-of-N timing (the
+/// every architecture × warp-specialized/baseline. Best-of-N timing (the
 /// minimum absorbs scheduler noise on shared CI machines); throughput is
 /// reported as executed *lanes* per second (warp instructions × 32). Each
 /// row also carries the kernel's exp profile: how many exp uops the
@@ -332,7 +348,7 @@ fn bench_report_json(
 /// cost ÷ measured seconds — an estimate, not a measurement, since exp is
 /// not timed in situ). The result lands on stdout and, unless
 /// `SINGE_BENCH_JSON=0`, as the single-line `engine` key of
-/// `BENCH_report.json` (primary fields = the DME-viscosity/WS/Kepler row,
+/// `BENCH_report.json` (primary fields = the DME-viscosity/WS/Hopper row,
 /// keeping the key's schema backward compatible; the sweep rides in
 /// `rows`), which `report all` preserves when it rewrites the file — so
 /// the engine's throughput trajectory is tracked alongside the figure
@@ -454,7 +470,7 @@ fn engine_bench_report(mech: &Mechanism, archs: &[GpuArch]) {
             batched_pct
         );
     }
-    // The primary row: viscosity/WS on the last (Kepler) arch.
+    // The primary row: viscosity/WS on the last (Hopper) arch.
     let p = rows
         .iter()
         .rposition(|r| {
@@ -552,6 +568,119 @@ fn upsert_solo_entry(key: &str, entry: &str) {
         Ok(()) => eprintln!("[wrote {key} entry to {path}]"),
         Err(e) => eprintln!("[could not write {path}: {e}]"),
     }
+}
+
+/// `pipeline`: sweep the software pipeline depth K=1..4 for the
+/// warp-specialized DME viscosity kernel on the Hopper-class architecture
+/// (the only built-in arch whose barrier file fits a K-deep schedule for
+/// the DME kernels) and record the per-CTA cycle trajectory as the
+/// single-line `pipeline` key of `BENCH_report.json` (preserved across
+/// `report all` rewrites, like `engine` and `serve`). Every depth runs
+/// the full simulated CTA under the cycle profiler at the serve-layer
+/// default configuration, so cycles and barrier-wait are deterministic —
+/// the returned gate (some K>1 strictly beats K=1 on per-CTA cycles) is
+/// exact, not statistical.
+fn pipeline_report(dme: &Mechanism) -> bool {
+    use chemkin::state::{GridDims, GridState};
+    use gpu_sim::launch::{launch_with_config, LaunchConfig, LaunchInputs, LaunchMode};
+    use singe::kernels::launch_arrays;
+    use singe::Variant;
+
+    let arch = GpuArch::hopper();
+    let base_opts = ws_options(Kind::Viscosity, dme.n_transported(), &arch);
+    println!(
+        "== pipeline depth sweep (dme viscosity ws, {}, {} warps, {} iters) ==",
+        arch.name, base_opts.warps, base_opts.point_iters
+    );
+    println!(
+        "{:<4} {:>5} {:>10} {:>8} {:>12} {:>12}",
+        "K", "depth", "cycles", "delta", "barrier-wait", "issue-slots"
+    );
+    struct DepthRow {
+        k_requested: usize,
+        depth: usize,
+        cycles: u64,
+        barrier_wait: u64,
+        issue_slots: u64,
+        shared_slots: usize,
+        barriers: usize,
+    }
+    let mut rows: Vec<DepthRow> = Vec::new();
+    for k in 1..=4usize {
+        let mut opts = base_opts.clone();
+        opts.pipeline_depth = k;
+        let built =
+            build_with_options(Kind::Viscosity, dme, &arch, Variant::WarpSpecialized, &opts)
+                .expect("viscosity compiles at every requested depth");
+        let stats = built.stats.as_ref().expect("ws build carries stats");
+        let points = built.kernel.points_per_cta;
+        let grid = GridState::random(GridDims { nx: points, ny: 1, nz: 1 }, built.n_species, 1234);
+        let arrays = launch_arrays(&built.kernel.global_arrays, &grid).expect("known arrays");
+        let out = launch_with_config(
+            &built.kernel,
+            &arch,
+            &LaunchInputs { arrays },
+            points,
+            LaunchConfig { mode: LaunchMode::Full, profile: true, trace_events: false, jobs: 0 },
+        )
+        .expect("profiled CTA launch");
+        let prof = out.profile.expect("profile requested");
+        let row = DepthRow {
+            k_requested: k,
+            depth: stats.pipeline_depth,
+            cycles: prof.total_cycles,
+            barrier_wait: prof.totals().barrier_wait_total(),
+            issue_slots: out.report.counts.issue_slots,
+            shared_slots: stats.shared_slots,
+            barriers: built.kernel.barriers_used,
+        };
+        let delta = row.cycles as i64 - rows.first().map_or(row.cycles, |r| r.cycles) as i64;
+        println!(
+            "{:<4} {:>5} {:>10} {:>+8} {:>12} {:>12}",
+            row.k_requested, row.depth, row.cycles, delta, row.barrier_wait, row.issue_slots
+        );
+        rows.push(row);
+    }
+    let k1 = &rows[0];
+    let best = rows.iter().min_by_key(|r| r.cycles).expect("sweep non-empty");
+    let win = best.depth > 1 && best.cycles < k1.cycles;
+    println!(
+        "best: K={} at {} cycles ({:+} vs single-buffered)",
+        best.depth,
+        best.cycles,
+        best.cycles as i64 - k1.cycles as i64
+    );
+
+    if std::env::var("SINGE_BENCH_JSON").as_deref() == Ok("0") {
+        return win;
+    }
+    let sweep = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"k_requested\": {}, \"depth\": {}, \"cta_cycles\": {}, \
+                 \"barrier_wait_cycles\": {}, \"issue_slots\": {}, \
+                 \"shared_slots\": {}, \"kernel_barriers\": {}}}",
+                r.k_requested, r.depth, r.cycles, r.barrier_wait, r.issue_slots,
+                r.shared_slots, r.barriers
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    let entry = format!(
+        "\"pipeline\": {{\"kernel\": \"dme-viscosity-ws\", \"arch\": \"{}\", \
+         \"warps\": {}, \"point_iters\": {}, \"k1_cycles\": {}, \"best_depth\": {}, \
+         \"best_cycles\": {}, \"delta_cycles\": {}, \"win\": {win}, \"rows\": [{sweep}]}}",
+        arch.name,
+        base_opts.warps,
+        base_opts.point_iters,
+        k1.cycles,
+        best.depth,
+        best.cycles,
+        best.cycles as i64 - k1.cycles as i64,
+    );
+    upsert_solo_entry("pipeline", &entry);
+    win
 }
 
 /// `serve-bench`: measure the compile-farm service layer end to end and

@@ -117,6 +117,35 @@ pub fn candidate_grid_extended(placement: Placement) -> Vec<CompileOptions> {
     v
 }
 
+/// [`candidate_grid`] with the pipeline-depth axis unlocked (§5.2 K-stage
+/// multi-buffered schedules). Depth only matters on streamed schedules, so
+/// K > 1 candidates are generated only where `point_iters` can absorb the
+/// depth; the depth menu is wider on architectures with a large
+/// named-barrier file (every sync color costs K ids instead of one).
+/// Candidates whose rotated-barrier demand still exceeds the file are
+/// legal probes — they record a `Compile` failure and lose.
+pub fn candidate_grid_pipelined(placement: Placement, arch: &GpuArch) -> Vec<CompileOptions> {
+    let depths: &[usize] = if arch.named_barriers_per_sm >= 64 { &[1, 2, 4] } else { &[1, 2] };
+    let mut v = Vec::new();
+    for &warps in &[2usize, 3, 4, 6, 8, 10, 12, 16] {
+        for &iters in &[1u32, 4] {
+            for &k in depths {
+                if k as u32 > iters {
+                    continue; // the compiler would clamp K to the stream depth
+                }
+                v.push(CompileOptions {
+                    warps,
+                    point_iters: iters,
+                    placement,
+                    pipeline_depth: k,
+                    ..Default::default()
+                });
+            }
+        }
+    }
+    v
+}
+
 /// Default number of top-ranked candidates [`autotune_guided`] simulates.
 pub const GUIDED_TOP_K: usize = 5;
 
@@ -479,6 +508,54 @@ mod tests {
         assert!(l.starts_with("compiled but failed to run:"), "{l}");
         // And the winner is the valid probe, not a failed one.
         assert_eq!(r.best_options.warps, 3);
+    }
+
+    #[test]
+    fn pipelined_grid_scales_depth_menu_with_the_barrier_file() {
+        let hopper = candidate_grid_pipelined(Placement::Store, &GpuArch::hopper());
+        let kepler = candidate_grid_pipelined(Placement::Store, &GpuArch::kepler_k20c());
+        // 8 warp counts x (iters=1 -> K=1 only, iters=4 -> full menu).
+        assert_eq!(hopper.len(), 8 * (1 + 3));
+        assert_eq!(kepler.len(), 8 * (1 + 2));
+        assert!(hopper.iter().any(|o| o.pipeline_depth == 4));
+        assert!(kepler.iter().all(|o| o.pipeline_depth <= 2));
+        // Depth never exceeds what the stream can absorb.
+        for o in hopper.iter().chain(&kepler) {
+            assert!(o.pipeline_depth as u32 <= o.point_iters.max(1));
+        }
+    }
+
+    #[test]
+    fn autotune_probes_the_pipeline_depth_axis() {
+        let m = synth::via_text(&synth::SynthConfig {
+            name: "atp".into(),
+            n_species: 6,
+            n_reactions: 8,
+            n_qssa: 0,
+            n_stiff: 0,
+            seed: 4,
+        });
+        let t = ViscosityTables::build(&m);
+        let d = viscosity_dfg(&t, 3);
+        let arch = GpuArch::hopper();
+        let cands = vec![
+            CompileOptions::builder().warps(3).point_iters(4).pipeline_depth(1).build(),
+            CompileOptions::builder().warps(3).point_iters(4).pipeline_depth(2).build(),
+            CompileOptions::builder().warps(3).point_iters(4).pipeline_depth(4).build(),
+        ];
+        let r = autotune(&d, &arch, &cands, 256, &|k, pts| {
+            let g = GridState::random(GridDims { nx: pts, ny: 1, nz: 1 }, 6, 1);
+            launch_arrays(&k.global_arrays, &g)
+                .expect("known arrays")
+                .iter()
+                .map(|s| s.to_vec())
+                .collect()
+        })
+        .unwrap();
+        // Every depth compiles and runs on Hopper; the winner is whichever
+        // depth the timing model scores best — the axis is genuinely live.
+        assert!(r.points.iter().all(|p| p.seconds.is_some()), "{:?}", r.points);
+        assert!(r.best_options.pipeline_depth >= 1);
     }
 
     #[test]

@@ -8,14 +8,18 @@
 //! its producer's arrive to its last consumer's wait, and is safely
 //! recyclable after the first full-CTA pass barrier following that wait
 //! (once every warp has passed a full barrier, no stale arrival can race
-//! with a new use). Physical barrier 15 is reserved for the pass barriers
-//! themselves. The scheduler's pressure pass guarantees 15 colors suffice.
+//! with a new use). The last physical barrier (15 on a 16-barrier part,
+//! 63 on Hopper) is reserved for the pass barriers themselves. The
+//! scheduler's pressure pass runs with the same capacity, guaranteeing
+//! the available colors suffice.
 
 use crate::sync::Schedule;
 use crate::{CResult, CompileError};
 
-/// Maximum physical barriers available for pairwise sync points (one of
-/// the 16 may be claimed by the full-CTA pass barrier).
+/// Maximum physical barriers available for pairwise sync points on a
+/// 16-barrier (Fermi/Kepler-class) part — one of the 16 may be claimed by
+/// the full-CTA pass barrier. Architectures with larger barrier files
+/// (Hopper's 64 entries) pass their own capacity to [`allocate`].
 pub const MAX_SYNC_BARRIERS: u8 = 15;
 
 /// Result of barrier allocation.
@@ -32,11 +36,17 @@ pub struct BarrierAssignment {
 }
 
 /// Allocate physical barriers for a schedule.
-pub fn allocate(schedule: &Schedule) -> CResult<BarrierAssignment> {
+///
+/// `max_sync_barriers` is the color budget for pairwise sync points (the
+/// arch's barrier-file size minus one reserved for pass barriers). The
+/// scheduler's pressure pass is run with the same limit, which guarantees
+/// allocation succeeds.
+pub fn allocate(schedule: &Schedule, max_sync_barriers: u8) -> CResult<BarrierAssignment> {
+    let cap = max_sync_barriers.max(1);
     let mut of_sync = vec![0u8; schedule.sync_points.len()];
     // Active intervals: (release_key, physical barrier).
     let mut active: Vec<(u64, u8)> = Vec::new();
-    let mut free: Vec<u8> = (0..MAX_SYNC_BARRIERS).rev().collect();
+    let mut free: Vec<u8> = (0..cap).rev().collect();
     let mut used_max = 0usize;
 
     for sp in &schedule.sync_points {
@@ -60,8 +70,9 @@ pub fn allocate(schedule: &Schedule) -> CResult<BarrierAssignment> {
         }
         let phys = free.pop().ok_or_else(|| {
             CompileError::ResourceExhausted(format!(
-                "out of named barriers at sync point {} (16 per SM)",
-                sp.id
+                "out of named barriers at sync point {} ({} sync colors available)",
+                sp.id,
+                cap
             ))
         })?;
         of_sync[sp.id] = phys;
@@ -76,7 +87,7 @@ pub fn allocate(schedule: &Schedule) -> CResult<BarrierAssignment> {
             .find(|&b| b > sp.wait_key)
             .unwrap_or(u64::MAX);
         active.push((release, phys));
-        used_max = used_max.max((MAX_SYNC_BARRIERS as usize) - free.len());
+        used_max = used_max.max((cap as usize) - free.len());
     }
 
     // Pass barriers take the first color never used by a sync point.
@@ -119,14 +130,14 @@ mod tests {
     fn disjoint_syncs_reuse_after_full_barrier() {
         // Two sequential syncs separated by a full barrier reuse a barrier.
         let s = schedule_with(vec![sp(0, 10, 20), sp(1, 40, 50)], vec![30]);
-        let a = allocate(&s).unwrap();
+        let a = allocate(&s, MAX_SYNC_BARRIERS).unwrap();
         assert_eq!(a.of_sync[0], a.of_sync[1]);
     }
 
     #[test]
     fn overlapping_syncs_get_distinct_barriers() {
         let s = schedule_with(vec![sp(0, 10, 100), sp(1, 20, 110)], vec![200]);
-        let a = allocate(&s).unwrap();
+        let a = allocate(&s, MAX_SYNC_BARRIERS).unwrap();
         assert_ne!(a.of_sync[0], a.of_sync[1]);
     }
 
@@ -135,7 +146,7 @@ mod tests {
         // Without any full barrier, intervals never release.
         let syncs: Vec<SyncPoint> = (0..10).map(|i| sp(i, 10 * i as u64 + 10, 10 * i as u64 + 15)).collect();
         let s = schedule_with(syncs, vec![]);
-        let a = allocate(&s).unwrap();
+        let a = allocate(&s, MAX_SYNC_BARRIERS).unwrap();
         let mut ids: Vec<u8> = a.of_sync.clone();
         ids.sort_unstable();
         ids.dedup();
@@ -146,7 +157,7 @@ mod tests {
     fn fifteen_live_syncs_exhaust() {
         let syncs: Vec<SyncPoint> = (0..16).map(|i| sp(i, 10, 1000)).collect();
         let s = schedule_with(syncs, vec![]);
-        assert!(allocate(&s).is_err());
+        assert!(allocate(&s, MAX_SYNC_BARRIERS).is_err());
     }
 
     #[test]
@@ -155,7 +166,7 @@ mod tests {
         let syncs: Vec<SyncPoint> = (0..100).map(|i| sp(i, 100 * i as u64 + 50, 100 * i as u64 + 60)).collect();
         let fulls: Vec<u64> = (0..100).map(|i| 100 * i as u64 + 90).collect();
         let s = schedule_with(syncs, fulls);
-        let a = allocate(&s).unwrap();
+        let a = allocate(&s, MAX_SYNC_BARRIERS).unwrap();
         assert!(a.barriers_used <= 16);
         assert!(a.of_sync.iter().all(|&b| b < MAX_SYNC_BARRIERS));
         assert!(a.full_barrier >= *a.of_sync.iter().max().unwrap());

@@ -26,7 +26,7 @@
 use crate::barrier_alloc::{allocate, BarrierAssignment};
 use crate::config::CompileOptions;
 use crate::dfg::{Dfg, OpId};
-use crate::expr::{emit_stmts, EmitCtx, RowRef, VarId};
+use crate::expr::{emit_stmts, EmitCtx, Expr, RowRef, Stmt, VarId};
 use crate::mapping::{map_ops, Mapping};
 use crate::sync::{schedule, Item, Schedule};
 use crate::{CResult, CompileError};
@@ -59,6 +59,13 @@ pub struct CompileStats {
     pub const_array_len: usize,
     /// FLOP imbalance of the mapping (max/mean).
     pub flop_imbalance: f64,
+    /// Effective pipeline depth K after clamping and fallback gates
+    /// (1 = classic single-buffered protocol).
+    pub pipeline_depth: usize,
+    /// Full CTA-wide pass barriers in the schedule. When non-zero the
+    /// schedule already rendezvouses every warp and pipelining is
+    /// disabled (`pipeline_depth` reads 1 regardless of the request).
+    pub full_barriers: usize,
 }
 
 /// A compiled kernel plus its statistics.
@@ -82,12 +89,30 @@ const IR_CBASE: u16 = 2;
 const IR_IBASE: u16 = 3;
 const IR_SCRATCH: u16 = 4;
 const N_IREGS: usize = 6;
+/// Pipeline ring offset `(pset % K) * n_slots * 32`, written by a
+/// `PipeOff` at the top of each point iteration. Only allocated when the
+/// pipeline depth K > 1.
+const IR_PIPE: u16 = 6;
+/// Pipelined warp-index segment anchor: `warp * K * istride`, computed in
+/// the preamble. Each point iteration rebases `IR_IBASE` to
+/// `IR_IPIPE + (pset % K) * istride`, selecting the stage-r copy of the
+/// warp's index-constant segment (slot offsets pre-displaced by
+/// `r * n_slots * 32`), so warp-indexed shared reads cost exactly the
+/// same instructions as the single-buffered protocol.
+const IR_IPIPE: u16 = 7;
 
 /// Where a var's home value lives in its producer warp.
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum VarHome {
     Reg(u16),
     Spill(u32),
+}
+
+/// Named-barrier colors available to pairwise sync points on `arch`: the
+/// barrier file minus one entry reserved for full-CTA pass barriers,
+/// clamped to the `u8` id space of the ISA's barrier operands.
+pub(crate) fn sync_barrier_budget(arch: &GpuArch) -> u8 {
+    arch.named_barriers_per_sm.saturating_sub(1).clamp(1, 255) as u8
 }
 
 /// Compile a dataflow graph into a warp-specialized kernel, optionally
@@ -104,11 +129,12 @@ pub(crate) fn compile_warp_specialized(
     timer.mark("validate");
     let mapping = map_ops(dfg, options)?;
     timer.mark("mapping");
-    let sched = schedule(dfg, &mapping, options)?;
+    let max_sync = sync_barrier_budget(arch);
+    let sched = schedule(dfg, &mapping, options, max_sync as usize)?;
     timer.mark("schedule");
     sched.verify(dfg)?;
     timer.mark("schedule-verify");
-    let barriers = allocate(&sched)?;
+    let barriers = allocate(&sched, max_sync)?;
     timer.mark("barrier-alloc");
     let compiled = emit(dfg, &mapping, &sched, &barriers, options, arch)?;
     timer.mark("emit");
@@ -361,6 +387,9 @@ impl<'a> EmitCtx for WsCtx<'a> {
                 bank: 0,
                 idx: IdxOp::Reg(IR_SCRATCH),
             })));
+            // Pipelined schedules need no extra displacement here: IR_IBASE
+            // already points at the stage-r segment copy, whose slot-offset
+            // entries are pre-displaced into ring entry r.
             let tmp = self.alloc_temp()?;
             code.push(Node::Op(Instr::LdShared {
                 dst: tmp,
@@ -434,9 +463,62 @@ fn emit(
         .map(|wi| plan_registers(dfg, mapping, sched, wi, var_budget, uniform_reads))
         .collect::<CResult<Vec<_>>>()?;
 
-    let mirror_word = (sched.n_slots * WARP_SIZE) as u32;
+    // --- Pipeline depth (K-stage multi-buffered producer/consumer). ---
+    // K > 1 replicates every communicated slot K times and rotates per-
+    // stage full/empty barrier pairs so producers may run up to K point
+    // sets ahead of consumers. Schedules that already rendezvous the whole
+    // CTA (pass barriers), have nothing to communicate, or ablate barriers
+    // away fall back to the classic single-buffered protocol. The depth is
+    // a *request*: it is lowered to the largest value the arch's barrier
+    // file and shared memory can actually host, so an autotuner may probe
+    // aggressive depths without tripping resource errors.
+    let k_pipe = {
+        let mut k = options.pipeline_depth.max(1).min(options.point_iters.max(1) as usize);
+        if sched.sync_points.is_empty()
+            || !sched.full_barriers.is_empty()
+            || options.unsafe_remove_barriers
+            || options.point_iters <= 1
+        {
+            k = 1;
+        }
+        // K rotated ids per sync-point color plus the K-entry empty ring
+        // must fit the barrier file; K copies of every slot must fit SMEM.
+        while k > 1
+            && ((barriers.barriers_used + 1) * k > arch.named_barriers_per_sm
+                || k * sched.n_slots * WARP_SIZE * 8 > arch.shared_per_sm)
+        {
+            k -= 1;
+        }
+        k
+    };
+    let pipelined = k_pipe > 1;
+
+    let mirror_word = (k_pipe * sched.n_slots * WARP_SIZE) as u32;
     let needs_mirror = arch.broadcast == BroadcastKind::SharedMirror;
-    let shared_words = sched.n_slots * WARP_SIZE + if needs_mirror { w } else { 0 };
+    let shared_words = k_pipe * sched.n_slots * WARP_SIZE + if needs_mirror { w } else { 0 };
+
+    // Ring-recycling participants: writers fill slots (StoreVar items),
+    // readers consume them (sync-point consumer warps). The empty-barrier
+    // ring is a rendezvous of exactly this set — pure compute warps are
+    // excluded so they cannot be lapped by the pipeline.
+    let mut writer_mask = 0u64;
+    for (wi, list) in sched.items.iter().enumerate() {
+        if list.iter().any(|(_, it)| matches!(it, Item::StoreVar(_))) {
+            writer_mask |= 1 << wi;
+        }
+    }
+    let mut reader_mask = 0u64;
+    for sp in &sched.sync_points {
+        for &cw in &sp.consumer_warps {
+            reader_mask |= 1 << cw;
+        }
+    }
+    let reader_only_mask = reader_mask & !writer_mask;
+    let ring_expected = (writer_mask | reader_mask).count_ones() as u16;
+    // Stage-rotated barrier layout: sync point `s` owns the K ids starting
+    // at `of_sync[s] * K`; the buffer-empty ring owns the K ids starting
+    // at `barriers_used * K`.
+    let empty_base = (barriers.barriers_used * k_pipe) as u8;
 
     // Walker state.
     let mut cursors = vec![0usize; w];
@@ -445,6 +527,11 @@ fn emit(
     let mut iconst_arrays: Vec<Vec<u32>> = vec![Vec::new(); w];
     let mut layout_len = 0usize;
     let mut ilayout_len = 0usize;
+    // Which index-constant layout entries hold shared slot offsets (vs
+    // global row indices). Pipelined kernels replicate each warp's segment
+    // K times with slot entries displaced into ring entry r; row entries
+    // must stay identical across copies.
+    let mut islot_flags: Vec<bool> = Vec::new();
     let mut stats = CompileStats {
         sync_points: sched.sync_points.len(),
         merged_syncs: sched.merged_syncs,
@@ -452,6 +539,7 @@ fn emit(
         shared_slots: sched.n_slots,
         spilled_vars: plans.iter().map(|p| p.n_spill).sum(),
         flop_imbalance: mapping.flop_imbalance(),
+        full_barriers: sched.full_barriers.len(),
         ..Default::default()
     };
     let all_mask: u64 = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
@@ -518,10 +606,16 @@ fn emit(
                 }
                 if !options.unsafe_remove_barriers {
                     let sp = &sched.sync_points[s];
-                    let node = Node::Op(Instr::BarSync {
-                        bar: barriers.of_sync[s],
-                        warps: sp.warps().len() as u16,
-                    });
+                    let warps = sp.warps().len() as u16;
+                    let node = if pipelined {
+                        Node::Op(Instr::BarSyncStage {
+                            base: (usize::from(barriers.of_sync[s]) * k_pipe) as u8,
+                            k: k_pipe as u8,
+                            warps,
+                        })
+                    } else {
+                        Node::Op(Instr::BarSync { bar: barriers.of_sync[s], warps })
+                    };
                     push_guarded(&mut body, mask, all_mask, node);
                 }
             }
@@ -529,10 +623,16 @@ fn emit(
                 cursors[seed_w] += 1;
                 if !options.unsafe_remove_barriers {
                     let sp = &sched.sync_points[s];
-                    let node = Node::Op(Instr::BarArrive {
-                        bar: barriers.of_sync[s],
-                        warps: sp.warps().len() as u16,
-                    });
+                    let warps = sp.warps().len() as u16;
+                    let node = if pipelined {
+                        Node::Op(Instr::BarArriveStage {
+                            base: (usize::from(barriers.of_sync[s]) * k_pipe) as u8,
+                            k: k_pipe as u8,
+                            warps,
+                        })
+                    } else {
+                        Node::Op(Instr::BarArrive { bar: barriers.of_sync[s], warps })
+                    };
                     push_guarded(&mut body, 1 << seed_w, all_mask, node);
                 }
             }
@@ -541,21 +641,47 @@ fn emit(
                 let slot = sched.var_slot[v as usize].ok_or_else(|| {
                     CompileError::Internal(format!("stored var {v} lacks a slot"))
                 })?;
-                let mut code = Vec::new();
-                let mut ctx = emit_ctx(seed_w, 0, 0, max_var_regs);
-                // The value must come from its register/spill home — the
-                // shared slot is exactly what this item is about to fill.
-                ctx.cur_outputs = vec![v];
-                let (src, tmp) = ctx.read_var(v, &mut code)?;
-                code.push(Node::Op(Instr::StShared {
-                    src,
-                    addr: SAddr::lane((slot * WARP_SIZE) as u32),
-                    lane_pred: None,
-                }));
-                if let Some(t) = tmp {
-                    ctx.free_temp(t);
+                let addr = if pipelined {
+                    SAddr { base: Some(IR_PIPE), imm: (slot * WARP_SIZE) as u32, lane_stride: 1 }
+                } else {
+                    SAddr::lane((slot * WARP_SIZE) as u32)
+                };
+                // Async-copy fill (Hopper): when the communicated value is
+                // a raw global load, copy global -> shared directly instead
+                // of bouncing through the producer's register file.
+                let cp_src = if pipelined && arch.has_async_copy {
+                    dfg.ops[producers[v as usize]].body.iter().find_map(|st| match st {
+                        Stmt::DefVar(dv, Expr::Input { array, row: RowRef::Fixed(r) })
+                            if *dv == v =>
+                        {
+                            Some((*array, *r))
+                        }
+                        _ => None,
+                    })
+                } else {
+                    None
+                };
+                if let Some((array, row)) = cp_src {
+                    let node = Node::Op(Instr::CpAsync {
+                        addr,
+                        array: GlobalId(array as usize),
+                        row: IdxOp::Imm(row),
+                        point: PointRef::Lane,
+                    });
+                    push_guarded(&mut body, 1 << seed_w, all_mask, node);
+                } else {
+                    let mut code = Vec::new();
+                    let mut ctx = emit_ctx(seed_w, 0, 0, max_var_regs);
+                    // The value must come from its register/spill home — the
+                    // shared slot is exactly what this item is about to fill.
+                    ctx.cur_outputs = vec![v];
+                    let (src, tmp) = ctx.read_var(v, &mut code)?;
+                    code.push(Node::Op(Instr::StShared { src, addr, lane_pred: None }));
+                    if let Some(t) = tmp {
+                        ctx.free_temp(t);
+                    }
+                    push_all_guarded(&mut body, 1 << seed_w, all_mask, code);
                 }
-                push_all_guarded(&mut body, 1 << seed_w, all_mask, code);
             }
             Item::Op(seed_op) => {
                 // Tentatively emit the seed's code, then try to overlay
@@ -604,6 +730,8 @@ fn emit(
                 let ilen = op.irows.len() + members[0].2.len();
                 layout_len += clen;
                 ilayout_len += ilen;
+                islot_flags.extend(std::iter::repeat_n(false, op.irows.len()));
+                islot_flags.extend(std::iter::repeat_n(true, members[0].2.len()));
                 for wi in 0..w {
                     let member = members.iter().find(|(mw, _, _)| *mw == wi);
                     match member {
@@ -663,22 +791,113 @@ fn emit(
         }
     }
     if istride > 0 {
-        preamble.push(Node::Op(Instr::Idx(IdxInstr::Mul {
-            dst: IR_IBASE,
-            a: IdxOp::Reg(IR_WARP),
-            b: IdxOp::Imm(istride as u32),
-        })));
+        if pipelined {
+            // Anchor of the warp's K stage-segment copies; IR_IBASE itself
+            // is rebased to the stage-r copy at the top of each iteration.
+            preamble.push(Node::Op(Instr::Idx(IdxInstr::Mul {
+                dst: IR_IPIPE,
+                a: IdxOp::Reg(IR_WARP),
+                b: IdxOp::Imm((istride * k_pipe) as u32),
+            })));
+        } else {
+            preamble.push(Node::Op(Instr::Idx(IdxInstr::Mul {
+                dst: IR_IBASE,
+                a: IdxOp::Reg(IR_WARP),
+                b: IdxOp::Imm(istride as u32),
+            })));
+        }
     }
 
-    // End-of-iteration barrier so shared slots can be reused by the next
-    // point set without racing ahead.
-    let mut loop_body = body;
-    if !sched.sync_points.is_empty() && !options.unsafe_remove_barriers && options.point_iters > 1
-    {
-        loop_body.push(Node::Op(Instr::BarSync { bar: barriers.full_barrier, warps: w as u16 }));
+    let mut loop_body;
+    if pipelined {
+        // K-stage protocol: no end-of-iteration rendezvous. Each iteration
+        // selects ring entry `pset % K` (PipeOff), writers block on the
+        // entry's buffer-empty barrier (readers freed it K iterations ago),
+        // and pure readers signal it free again once their reads are done.
+        loop_body = vec![Node::Op(Instr::Idx(IdxInstr::PipeOff {
+            dst: IR_PIPE,
+            k: k_pipe as u8,
+            stride: (sched.n_slots * WARP_SIZE) as u32,
+        }))];
+        if istride > 0 {
+            // Rebase IR_IBASE to this iteration's stage-segment copy, so
+            // every warp-indexed read below is stage-correct for free.
+            loop_body.push(Node::Op(Instr::Idx(IdxInstr::PipeOff {
+                dst: IR_IBASE,
+                k: k_pipe as u8,
+                stride: istride as u32,
+            })));
+            loop_body.push(Node::Op(Instr::Idx(IdxInstr::Add {
+                dst: IR_IBASE,
+                a: IdxOp::Reg(IR_IBASE),
+                b: IdxOp::Reg(IR_IPIPE),
+            })));
+        }
+        push_guarded(
+            &mut loop_body,
+            writer_mask,
+            all_mask,
+            Node::Op(Instr::BarSyncStage {
+                base: empty_base,
+                k: k_pipe as u8,
+                warps: ring_expected,
+            }),
+        );
+        loop_body.extend(body);
+        if reader_only_mask != 0 {
+            push_guarded(
+                &mut loop_body,
+                reader_only_mask,
+                all_mask,
+                Node::Op(Instr::BarArriveStage {
+                    base: empty_base,
+                    k: k_pipe as u8,
+                    warps: ring_expected,
+                }),
+            );
+        }
+    } else {
+        // End-of-iteration barrier so shared slots can be reused by the
+        // next point set without racing ahead.
+        loop_body = body;
+        if !sched.sync_points.is_empty()
+            && !options.unsafe_remove_barriers
+            && options.point_iters > 1
+        {
+            loop_body
+                .push(Node::Op(Instr::BarSync { bar: barriers.full_barrier, warps: w as u16 }));
+        }
     }
     let mut full_body = preamble;
+    if pipelined && reader_only_mask != 0 {
+        // Prologue: every ring entry starts out free — pure readers
+        // pre-arrive once per entry so writers' first K iterations do not
+        // block on reads that never happened.
+        for r in 0..k_pipe {
+            push_guarded(
+                &mut full_body,
+                reader_only_mask,
+                all_mask,
+                Node::Op(Instr::BarArrive {
+                    bar: empty_base + r as u8,
+                    warps: ring_expected,
+                }),
+            );
+        }
+    }
     full_body.push(Node::PointLoop { iters: options.point_iters, body: loop_body });
+    if pipelined && reader_only_mask != 0 {
+        // Epilogue: drain the readers' final free-signals so every barrier
+        // ends a completed generation (no dangling arrivals).
+        for r in 0..k_pipe {
+            push_guarded(
+                &mut full_body,
+                writer_mask,
+                all_mask,
+                Node::Op(Instr::BarSync { bar: empty_base + r as u8, warps: ring_expected }),
+            );
+        }
+    }
 
     // --- Register remap: scratch | locals | vars | cregs. ---
     let n_locals_regs = max_locals;
@@ -708,19 +927,46 @@ fn emit(
     for (wi, arr) in const_arrays.iter().enumerate() {
         bank[wi * cstride..wi * cstride + arr.len()].copy_from_slice(arr);
     }
-    let mut ibank = vec![0u32; istride * w];
+    let mut ibank = vec![0u32; istride * w * k_pipe];
     for (wi, arr) in iconst_arrays.iter().enumerate() {
-        ibank[wi * istride..wi * istride + arr.len()].copy_from_slice(arr);
+        for r in 0..k_pipe {
+            // Stage-r copy of the warp's segment: shared slot offsets are
+            // pre-displaced into ring entry r; global row indices repeat
+            // verbatim (K = 1 degenerates to the classic flat layout).
+            let base = (wi * k_pipe + r) * istride;
+            for (j, &v) in arr.iter().enumerate() {
+                ibank[base + j] = if islot_flags[j] {
+                    v + (r * sched.n_slots * WARP_SIZE) as u32
+                } else {
+                    v
+                };
+            }
+        }
     }
 
     stats.const_regs_per_thread = n_cregs;
     stats.const_array_len = cstride;
-    let uses_full = !sched.full_barriers.is_empty()
-        || (!sched.sync_points.is_empty()
-            && !options.unsafe_remove_barriers
-            && options.point_iters > 1);
-    let kernel_barriers = (barriers.barriers_used + usize::from(uses_full)).max(1);
+    let kernel_barriers = if pipelined {
+        // K rotated ids per sync-point color plus the K-entry empty ring.
+        // The depth clamp above already bounded this by the barrier file.
+        let n = (barriers.barriers_used + 1) * k_pipe;
+        if n > arch.named_barriers_per_sm {
+            return Err(CompileError::ResourceExhausted(format!(
+                "pipeline depth {} needs {} named barriers ({} sync colors + the empty \
+                 ring) but {} has only {}",
+                k_pipe, n, barriers.barriers_used, arch.name, arch.named_barriers_per_sm
+            )));
+        }
+        n
+    } else {
+        let uses_full = !sched.full_barriers.is_empty()
+            || (!sched.sync_points.is_empty()
+                && !options.unsafe_remove_barriers
+                && options.point_iters > 1);
+        (barriers.barriers_used + usize::from(uses_full)).max(1).min(arch.named_barriers_per_sm)
+    };
     stats.barriers_used = kernel_barriers;
+    stats.pipeline_depth = k_pipe;
 
     let kernel = Kernel {
         name: format!("{}_ws", dfg.name),
@@ -728,12 +974,12 @@ fn emit(
         warps_per_cta: w,
         points_per_cta: WARP_SIZE * options.point_iters as usize,
         dregs_per_thread: dregs,
-        iregs_per_thread: N_IREGS,
+        iregs_per_thread: if pipelined { N_IREGS + 2 } else { N_IREGS },
         shared_words,
         local_words_per_thread: n_spill,
         const_banks: if bank.is_empty() { vec![] } else { vec![bank] },
         iconst_banks: if ibank.is_empty() { vec![] } else { vec![ibank] },
-        barriers_used: kernel_barriers.min(16),
+        barriers_used: kernel_barriers,
         global_arrays: dfg.arrays.clone(),
         spilled_bytes_per_thread: n_spill * 8,
         exp_const_from_registers: options.exp_const_from_registers,
@@ -839,7 +1085,12 @@ fn remap_instr(i: &mut Instr, f: &dyn Fn(Reg) -> Reg) {
             *dst = f(*dst);
             *src = f(*src);
         }
-        Instr::Idx(_) | Instr::BarArrive { .. } | Instr::BarSync { .. } => {}
+        Instr::Idx(_)
+        | Instr::BarArrive { .. }
+        | Instr::BarSync { .. }
+        | Instr::BarArriveStage { .. }
+        | Instr::BarSyncStage { .. }
+        | Instr::CpAsync { .. } => {}
     }
 }
 

@@ -55,6 +55,14 @@ pub struct CompileOptions {
     /// Post-codegen schedule verification (independent re-check of the
     /// barrier protocol, shared-memory ordering, and resource limits).
     pub verify: VerifyLevel,
+    /// Pipeline depth K: how many point-set generations may be in flight
+    /// in the shared-memory ring at once. K = 1 is the classic §4.2
+    /// single-buffered protocol; K > 1 multi-buffers every communicated
+    /// slot and rotates per-stage full/empty barriers so producers run
+    /// ahead of consumers (Hopper-style async pipelines). Clamped to
+    /// `point_iters`; falls back to 1 when the schedule needs full-CTA
+    /// rendezvous or barriers are ablated away.
+    pub pipeline_depth: usize,
 }
 
 impl Default for CompileOptions {
@@ -71,6 +79,7 @@ impl Default for CompileOptions {
             exp_const_from_registers: false,
             unsafe_remove_barriers: false,
             verify: VerifyLevel::Basic,
+            pipeline_depth: 1,
         }
     }
 }
@@ -163,6 +172,12 @@ impl CompileOptionsBuilder {
         self
     }
 
+    /// Pipeline depth K (multi-buffered producer/consumer generations).
+    pub fn pipeline_depth(mut self, k: usize) -> Self {
+        self.opts.pipeline_depth = k;
+        self
+    }
+
     /// Finish, yielding the configured [`CompileOptions`].
     pub fn build(self) -> CompileOptions {
         self.opts
@@ -179,6 +194,13 @@ mod tests {
         assert!(o.warps >= 2);
         assert!(o.point_iters >= 1);
         assert!(!o.unsafe_remove_barriers);
+        assert_eq!(o.pipeline_depth, 1);
+    }
+
+    #[test]
+    fn builder_sets_pipeline_depth() {
+        let o = CompileOptions::builder().pipeline_depth(3).build();
+        assert_eq!(o.pipeline_depth, 3);
     }
 
     #[test]

@@ -118,9 +118,10 @@ impl<'a> EmitCtx for NaiveCtx<'a> {
 pub(crate) fn naive_impl(dfg: &Dfg, options: &CompileOptions, arch: &GpuArch) -> CResult<Compiled> {
     dfg.validate()?;
     let mapping = map_ops(dfg, options)?;
-    let sched = schedule(dfg, &mapping, options)?;
+    let max_sync = crate::codegen::sync_barrier_budget(arch);
+    let sched = schedule(dfg, &mapping, options, max_sync as usize)?;
     sched.verify(dfg)?;
-    let barriers = allocate(&sched)?;
+    let barriers = allocate(&sched, max_sync)?;
     let producers = dfg.producers()?;
     let w = options.warps;
 
@@ -235,7 +236,7 @@ pub(crate) fn naive_impl(dfg: &Dfg, options: &CompileOptions, arch: &GpuArch) ->
         local_words_per_thread: 0,
         const_banks: vec![],
         iconst_banks: vec![],
-        barriers_used: kernel_barriers.min(16),
+        barriers_used: kernel_barriers.min(arch.named_barriers_per_sm),
         global_arrays: dfg.arrays.clone(),
         spilled_bytes_per_thread: 0,
         exp_const_from_registers: options.exp_const_from_registers,

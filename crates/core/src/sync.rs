@@ -105,7 +105,21 @@ pub struct Schedule {
 const STRIDE: u64 = 16;
 
 /// Build the schedule for a mapped dataflow graph.
-pub fn schedule(dfg: &Dfg, mapping: &Mapping, options: &CompileOptions) -> CResult<Schedule> {
+///
+/// `max_live_syncs` is the number of named-barrier colors the target
+/// architecture offers pairwise sync points (its barrier-file size minus
+/// the one barrier reserved for full-CTA pass barriers). The pressure
+/// pass inserts a pass barrier whenever that many sync points are live at
+/// once, so the §4.2 allocation is guaranteed to succeed. Fermi/Kepler
+/// class parts pass 15; a Hopper-class 64-entry barrier file passes 63
+/// and consequently almost never needs pressure barriers, which is what
+/// lets K-stage pipelining engage on production-size mechanisms.
+pub fn schedule(
+    dfg: &Dfg,
+    mapping: &Mapping,
+    options: &CompileOptions,
+    max_live_syncs: usize,
+) -> CResult<Schedule> {
     let prod = dfg.producers()?;
     let consumers = dfg.consumers();
     let topo = dfg.topo_order()?;
@@ -381,12 +395,13 @@ pub fn schedule(dfg: &Dfg, mapping: &Mapping, options: &CompileOptions) -> CResu
         live.push((die, slot));
     }
 
-    // --- Barrier-pressure pass: the hardware has 16 named barriers per SM
-    // (one reserved here for pass barriers). When 15 sync points are live
-    // at once, insert a pass barrier *at* the triggering sync's arrive key:
-    // every live sync whose wait follows the barrier is subsumed by it
-    // (arrive <= barrier <= wait), including the triggering sync itself,
-    // so the live set stays within the 15 colors the §4.2 allocation has.
+    // --- Barrier-pressure pass: the hardware has a fixed named-barrier
+    // file per SM (one entry reserved here for pass barriers). When
+    // `max_live_syncs` sync points are live at once, insert a pass
+    // barrier *at* the triggering sync's arrive key: every live sync
+    // whose wait follows the barrier is subsumed by it (arrive <=
+    // barrier <= wait), including the triggering sync itself, so the
+    // live set stays within the colors the §4.2 allocation has.
     let mut pressure_subsumed = vec![false; sync_points.len()];
     {
         // Live = (id, wait_key) of unsubsumed syncs not yet released by a
@@ -402,7 +417,7 @@ pub fn schedule(dfg: &Dfg, mapping: &Mapping, options: &CompileOptions) -> CResu
                 pressure_subsumed[sp.id] = true;
                 continue;
             }
-            if live.len() >= 15 {
+            if live.len() >= max_live_syncs.max(1) {
                 let bkey = sp.arrive_key;
                 full_barriers.push(bkey);
                 for &(id, wk) in &live {
@@ -544,7 +559,7 @@ mod tests {
             d2.ops[3].pinned_warp = Some(0);
         }
         let m = map_ops(&d2, &opts).unwrap();
-        let s = schedule(&d2, &m, &opts).unwrap();
+        let s = schedule(&d2, &m, &opts, 15).unwrap();
         s.verify(&d2).unwrap();
         (d2, m, s)
     }
@@ -627,7 +642,7 @@ mod tests {
         let mut opts = CompileOptions::with_warps(3);
         opts.placement = Placement::Buffer(1);
         let m = map_ops(&d2, &opts).unwrap();
-        assert!(schedule(&d2, &m, &opts).is_err());
+        assert!(schedule(&d2, &m, &opts, 15).is_err());
     }
 
     #[test]

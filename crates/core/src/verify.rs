@@ -442,8 +442,9 @@ impl<'a> Verifier<'a> {
         }
     }
 
-    /// Constant-propagate an index instruction for warp `w`.
-    fn exec_idx(&mut self, w: usize, addr: u32, i: IdxInstr) {
+    /// Constant-propagate an index instruction for warp `w`. `pset` is
+    /// the executing point set: pipeline offsets rotate against it.
+    fn exec_idx(&mut self, w: usize, addr: u32, i: IdxInstr, pset: u32) {
         let set = |this: &mut Verifier<'a>, dst: u16, v: Option<[u32; WARP_SIZE]>| {
             if let Some(slot) = this.warps[w].iregs.get_mut(usize::from(dst)) {
                 *slot = v;
@@ -517,6 +518,10 @@ impl<'a> Verifier<'a> {
                     .flatten()
                     .map(|x| [x[usize::from(lane) % WARP_SIZE]; WARP_SIZE]);
                 set(self, dst, v);
+            }
+            IdxInstr::PipeOff { dst, k, stride } => {
+                let v = (pset % u32::from(k.max(1))).wrapping_mul(stride);
+                set(self, dst, Some([v; WARP_SIZE]));
             }
         }
     }
@@ -658,13 +663,30 @@ impl<'a> Verifier<'a> {
     fn run_warp(&mut self, w: usize) -> bool {
         let start = self.warps[w].pc;
         while self.warps[w].pc < self.prog.sync_stream_len(w) {
-            let (addr, instr) = self.prog.sync_step(w, self.warps[w].pc);
-            match instr.clone() {
-                Instr::Idx(i) => self.exec_idx(w, addr, i),
+            let (addr, pset, instr) = self.prog.sync_step(w, self.warps[w].pc);
+            // Stage-rotated barriers resolve to a concrete id against the
+            // executing point set before the ordinary arrive/sync logic.
+            let instr = match *instr {
+                Instr::BarArriveStage { base, k, warps } => Instr::BarArrive {
+                    bar: base + (pset % u32::from(k.max(1))) as u8,
+                    warps,
+                },
+                Instr::BarSyncStage { base, k, warps } => Instr::BarSync {
+                    bar: base + (pset % u32::from(k.max(1))) as u8,
+                    warps,
+                },
+                _ => instr.clone(),
+            };
+            match instr {
+                Instr::Idx(i) => self.exec_idx(w, addr, i, pset),
                 Instr::LdShared { addr: s, .. } => self.shared_read(w, addr, &s),
                 Instr::StShared { addr: s, lane_pred, .. } => {
                     self.shared_write(w, addr, &s, lane_pred)
                 }
+                // An async copy writes global data into shared memory: for
+                // the race analysis it is a shared write (the global side
+                // is read-only input and cannot race).
+                Instr::CpAsync { addr: s, .. } => self.shared_write(w, addr, &s, None),
                 Instr::BarArrive { bar, warps }
                     if self.check_barrier_operands(addr, bar, warps) => {
                         self.arrive(w, addr, usize::from(bar), warps);

@@ -92,6 +92,10 @@ pub struct GpuArch {
     pub has_shfl: bool,
     /// Whether LDG texture-path loads exist (Kepler yes).
     pub has_ldg: bool,
+    /// Whether the architecture has an async-copy engine that moves
+    /// global memory into shared memory without staging through
+    /// registers (Hopper-class `cp.async`; absent on Fermi/Kepler).
+    pub has_async_copy: bool,
     /// Fixed kernel launch overhead in microseconds.
     pub launch_overhead_us: f64,
 }
@@ -131,6 +135,7 @@ impl GpuArch {
             broadcast: BroadcastKind::SharedMirror,
             has_shfl: false,
             has_ldg: false,
+            has_async_copy: false,
             launch_overhead_us: 8.0,
         }
     }
@@ -169,7 +174,57 @@ impl GpuArch {
             broadcast: BroadcastKind::Shuffle,
             has_shfl: true,
             has_ldg: true,
+            has_async_copy: false,
             launch_overhead_us: 6.0,
+        }
+    }
+
+    /// A Hopper-class machine (H100-like composite): much larger shared
+    /// memory, an async-copy engine, a wider double-precision issue path,
+    /// and a deeper named-barrier file (modeling the move to
+    /// shared-memory `mbarrier` objects, which lifts the hard 16-barrier
+    /// ceiling of Fermi/Kepler). Numbers are representative of the
+    /// public H100 specifications rather than tied to one SKU; the
+    /// simulator's K-stage pipelined schedules target this description.
+    pub fn hopper() -> GpuArch {
+        GpuArch {
+            name: "H100 (Hopper)",
+            sms: 114,
+            sm_clock_mhz: 1620.0,
+            dram_clock_mhz: 2619.0,
+            // Twice Kepler's DP lane count: one warp instruction per
+            // cycle through `timing::issue_width` (128 / 16 = 8 slots).
+            dp_lanes_per_cycle: 128,
+            dp_efficiency: 0.70,
+            dp_const_operand_factor: 0.90,
+            max_regs_per_thread: 255,
+            regs_per_sm: 64 * 1024,
+            // 228 KB configurable shared memory per SM.
+            shared_per_sm: 228 * 1024,
+            const_cache_bytes: 64 * 1024,
+            icache_bytes: 128 * 1024,
+            icache_line_bytes: 128,
+            icache_assoc: 4,
+            instr_bytes: 16,
+            max_warps_per_sm: 64,
+            max_ctas_per_sm: 32,
+            // mbarrier objects live in shared memory, so the budget is
+            // far deeper than the 16 hardware named barriers.
+            named_barriers_per_sm: 64,
+            dram_bw_gbs: 2039.0,
+            local_bw_gbs: 800.0,
+            shared_latency: 29.0,
+            shared_throughput: 1.0,
+            global_latency: 600.0,
+            const_miss_latency: 200.0,
+            const_hit_latency: 35.0,
+            icache_miss_penalty: 30.0,
+            barrier_sync_cycles: 20.0,
+            broadcast: BroadcastKind::Shuffle,
+            has_shfl: true,
+            has_ldg: true,
+            has_async_copy: true,
+            launch_overhead_us: 4.0,
         }
     }
 
@@ -249,5 +304,25 @@ mod tests {
             assert_eq!(a.named_barriers_per_sm, 16);
             assert_eq!(a.const_cache_bytes, 8192);
         }
+    }
+
+    #[test]
+    fn only_hopper_has_async_copy() {
+        assert!(GpuArch::hopper().has_async_copy);
+        assert!(!GpuArch::fermi_c2070().has_async_copy);
+        assert!(!GpuArch::kepler_k20c().has_async_copy);
+    }
+
+    #[test]
+    fn hopper_is_strictly_bigger_where_pipelining_needs_it() {
+        let h = GpuArch::hopper();
+        let k = GpuArch::kepler_k20c();
+        // K-stage buffer rings need SMEM headroom and barrier colors.
+        assert!(h.shared_per_sm > 4 * k.shared_per_sm);
+        assert!(h.named_barriers_per_sm >= 4 * k.named_barriers_per_sm);
+        // Wider issue: double Kepler's DP lanes.
+        assert_eq!(h.dp_lanes_per_cycle, 2 * k.dp_lanes_per_cycle);
+        assert_eq!(h.broadcast, BroadcastKind::Shuffle);
+        assert!(h.has_shfl && h.has_ldg);
     }
 }

@@ -88,7 +88,7 @@ use crate::WARP_SIZE;
 /// would silently replay stale lowered programs cached under the old
 /// semantics (in-memory across test-harness reconfigurations, on-disk
 /// across process restarts).
-pub const LOWERING_VERSION: u32 = 8;
+pub const LOWERING_VERSION: u32 = 9;
 
 /// How a segment ends: the end of the warp's stream, or a named-barrier
 /// operation handled at scheduler level.
@@ -162,6 +162,16 @@ enum UOp {
     LdGlobal { dst: u32, array: u32, rows: u32, pts: PtsRef },
     /// Global store, same addressing.
     StGlobal { src: Src, array: u32, rows: u32, pts: PtsRef },
+    /// Async-copy one value per lane global → shared without touching a
+    /// register ([`Instr::CpAsync`]): `shared[addrs[l]] = global[idx(l)]`.
+    /// Addresses are pre-resolved (shared addrs saturated into the u32
+    /// arena like `StShared`); bounds are re-checked per lane at run time
+    /// in the interpreter's exact order (global read, then shared store),
+    /// because the global side depends on the runtime grid placement and
+    /// the first failing lane must report the same error on both paths.
+    /// Side-effecting like `StShared`: never dead, reads and writes no
+    /// registers.
+    CpAsync { addrs: u32, array: u32, rows: u32, pts: PtsRef },
     /// Deferred execution-time error discovered at lowering time.
     Trap(u32),
     /// A run of independent `Exp` micro-ops batched at lowering time
@@ -242,6 +252,9 @@ pub struct EngineStats {
     /// operand or result register is live elsewhere), before the
     /// numeric gate was consulted.
     pub exp_mul_infeasible: u64,
+    /// `CpAsync` micro-ops in the final program — fused global→shared
+    /// copies that bypass the register file (Hopper-class pipelines).
+    pub async_copies: u64,
 }
 
 impl EngineProgram {
@@ -308,6 +321,7 @@ pub(crate) fn lower(kernel: &Kernel, prog: &FlatProgram) -> EngineProgram {
                 stats.exp_batched += *n as u64;
                 stats.exp_batches += 1;
             }
+            UOp::CpAsync { .. } => stats.async_copies += 1,
             _ => {}
         }
     }
@@ -347,6 +361,7 @@ pub(crate) fn lower(kernel: &Kernel, prog: &FlatProgram) -> EngineProgram {
                 UOp::StShared { .. } => "stshared",
                 UOp::LdGlobal { .. } => "ldglobal",
                 UOp::StGlobal { .. } => "stglobal",
+                UOp::CpAsync { .. } => "cp_async",
                 UOp::Trap(_) => "trap",
                 UOp::ExpBatch { .. } => "exp_batch",
                 UOp::Nop => "nop",
@@ -482,6 +497,24 @@ impl Lowerer<'_> {
                             }
                             DecodedInstr::BarSync { bar, expected } => {
                                 bulk.barrier_syncs += 1;
+                                self.flush_seg(&mut segs, &mut seg_start, &mut bulk,
+                                      SegTerm::Sync { bar, expected });
+                            }
+                            // Stage barriers resolve statically: each
+                            // iteration's Exec carries its own pset, so the
+                            // rotated physical barrier is known at lowering
+                            // and the scheduler sees a plain Arrive/Sync —
+                            // the same remap the interpreter applies at
+                            // dispatch (`step_warp`).
+                            DecodedInstr::BarArriveStage { base, k, expected } => {
+                                bulk.barrier_arrives += 1;
+                                let bar = base + (pset % u32::from(k.max(1))) as u8;
+                                self.flush_seg(&mut segs, &mut seg_start, &mut bulk,
+                                      SegTerm::Arrive { bar, expected });
+                            }
+                            DecodedInstr::BarSyncStage { base, k, expected } => {
+                                bulk.barrier_syncs += 1;
+                                let bar = base + (pset % u32::from(k.max(1))) as u8;
                                 self.flush_seg(&mut segs, &mut seg_start, &mut bulk,
                                       SegTerm::Sync { bar, expected });
                             }
@@ -844,7 +877,31 @@ impl Lowerer<'_> {
                         iregs[*dst as usize * WARP_SIZE + l] = v;
                     }
                 }
+                IdxInstr::PipeOff { dst, k, stride } => {
+                    chk_i(*dst)?;
+                    let v = (pset % u32::from((*k).max(1))).wrapping_mul(*stride);
+                    for l in 0..WARP_SIZE {
+                        iregs[*dst as usize * WARP_SIZE + l] = v;
+                    }
+                }
             },
+            Instr::CpAsync { addr, array, row, point } => {
+                let ga = GAddr { array: *array, row: *row, point: *point };
+                let (rows, pts) = gaddr!(&ga);
+                let addrs = saddrs!(addr);
+                // The shared side is bounds-checked at run time, per lane,
+                // interleaved with the global reads — the interpreter
+                // checks `global(l)` then `shared(l)` for each lane in
+                // order, and which side fails first can depend on the
+                // runtime input length. Saturate like `StShared`.
+                let (tx, conf) = bank_transactions(&addrs, None);
+                bulk.shared_accesses += tx;
+                bulk.shared_conflicts += conf;
+                let a32: [u32; WARP_SIZE] =
+                    std::array::from_fn(|l| addrs[l].min(u32::MAX as usize) as u32);
+                let addrs = self.push_u32x(a32);
+                self.uops.push(UOp::CpAsync { addrs, array: array.0 as u32, rows, pts });
+            }
             _ => unreachable!("only slow-path instructions reach lower_slow"),
         }
         Ok(())
@@ -922,6 +979,8 @@ fn fold_const_shuffles(uops: &mut [UOp], f64x: &[f64]) {
                 DecodedInstr::Shfl { .. } => unreachable!("handled above"),
                 DecodedInstr::BarArrive { .. }
                 | DecodedInstr::BarSync { .. }
+                | DecodedInstr::BarArriveStage { .. }
+                | DecodedInstr::BarSyncStage { .. }
                 | DecodedInstr::Slow => unreachable!("never lowered into uops"),
             },
             UOp::FusedMulBin { t, d, .. } => {
@@ -933,7 +992,11 @@ fn fold_const_shuffles(uops: &mut [UOp], f64x: &[f64]) {
             | UOp::LdGlobal { dst, .. } => {
                 known.remove(&(*dst as usize));
             }
-            UOp::StShared { .. } | UOp::StGlobal { .. } | UOp::Trap(_) | UOp::Nop => {}
+            UOp::StShared { .. }
+            | UOp::StGlobal { .. }
+            | UOp::CpAsync { .. }
+            | UOp::Trap(_)
+            | UOp::Nop => {}
             UOp::ExpBatch { .. } => unreachable!("batching runs after this pass"),
         }
     }
@@ -997,6 +1060,8 @@ fn copy_propagate(uops: &mut [UOp]) {
                 DecodedInstr::Invalid { .. } => {}
                 DecodedInstr::BarArrive { .. }
                 | DecodedInstr::BarSync { .. }
+                | DecodedInstr::BarArriveStage { .. }
+                | DecodedInstr::BarSyncStage { .. }
                 | DecodedInstr::Slow => unreachable!("never lowered into uops"),
             },
             UOp::FusedMulBin { a, b, c, t, d, .. } => {
@@ -1017,7 +1082,7 @@ fn copy_propagate(uops: &mut [UOp]) {
             UOp::StShared { src, .. } | UOp::StGlobal { src, .. } => {
                 *src = resolve(&copies, *src);
             }
-            UOp::Trap(_) | UOp::Nop => {}
+            UOp::CpAsync { .. } | UOp::Trap(_) | UOp::Nop => {}
             UOp::ExpBatch { .. } => unreachable!("batching runs after this pass"),
         }
     }
@@ -1054,7 +1119,11 @@ fn for_each_read_chunk(u: &UOp, pairs: &[(u32, u32)], f: &mut dyn FnMut(usize)) 
             DecodedInstr::Shfl { src, lane, .. } => f((src + lane) / WARP_SIZE * WARP_SIZE),
             DecodedInstr::StLocal { src, .. } => s(f, src),
             DecodedInstr::LdLocal { .. } | DecodedInstr::Invalid { .. } => {}
-            DecodedInstr::BarArrive { .. } | DecodedInstr::BarSync { .. } | DecodedInstr::Slow => {
+            DecodedInstr::BarArrive { .. }
+            | DecodedInstr::BarSync { .. }
+            | DecodedInstr::BarArriveStage { .. }
+            | DecodedInstr::BarSyncStage { .. }
+            | DecodedInstr::Slow => {
                 unreachable!("never lowered into uops")
             }
         },
@@ -1073,6 +1142,7 @@ fn for_each_read_chunk(u: &UOp, pairs: &[(u32, u32)], f: &mut dyn FnMut(usize)) 
         | UOp::LdShared { .. }
         | UOp::LdSharedBcast { .. }
         | UOp::LdGlobal { .. }
+        | UOp::CpAsync { .. }
         | UOp::Trap(_)
         | UOp::Nop => {}
     }
@@ -1092,7 +1162,11 @@ fn for_each_write_chunk(u: &UOp, pairs: &[(u32, u32)], f: &mut dyn FnMut(usize))
             | DecodedInstr::Shfl { dst, .. }
             | DecodedInstr::LdLocal { dst, .. } => f(dst),
             DecodedInstr::StLocal { .. } | DecodedInstr::Invalid { .. } => {}
-            DecodedInstr::BarArrive { .. } | DecodedInstr::BarSync { .. } | DecodedInstr::Slow => {
+            DecodedInstr::BarArrive { .. }
+            | DecodedInstr::BarSync { .. }
+            | DecodedInstr::BarArriveStage { .. }
+            | DecodedInstr::BarSyncStage { .. }
+            | DecodedInstr::Slow => {
                 unreachable!("never lowered into uops")
             }
         },
@@ -1109,7 +1183,7 @@ fn for_each_write_chunk(u: &UOp, pairs: &[(u32, u32)], f: &mut dyn FnMut(usize))
                 f(dst as usize);
             }
         }
-        UOp::StShared { .. } | UOp::StGlobal { .. } | UOp::Trap(_) | UOp::Nop => {}
+        UOp::StShared { .. } | UOp::StGlobal { .. } | UOp::CpAsync { .. } | UOp::Trap(_) | UOp::Nop => {}
     }
 }
 
@@ -1690,6 +1764,8 @@ fn eliminate_dead_uops(
                 DecodedInstr::Invalid { .. } => {}
                 DecodedInstr::BarArrive { .. }
                 | DecodedInstr::BarSync { .. }
+                | DecodedInstr::BarArriveStage { .. }
+                | DecodedInstr::BarSyncStage { .. }
                 | DecodedInstr::Slow => unreachable!("never lowered into uops"),
             },
             UOp::FusedMulBin { t, d, a, b, c, .. } => {
@@ -1706,7 +1782,7 @@ fn eliminate_dead_uops(
                 live.remove(&(*dst as usize));
             }
             UOp::StShared { src, .. } | UOp::StGlobal { src, .. } => gen_src(&mut live, *src),
-            UOp::Trap(_) | UOp::Nop => {}
+            UOp::CpAsync { .. } | UOp::Trap(_) | UOp::Nop => {}
             UOp::ExpBatch { .. } => unreachable!("batching runs after this pass"),
         }
     }
@@ -1768,6 +1844,8 @@ fn splat_immediates(
                 | DecodedInstr::Invalid { .. } => {}
                 DecodedInstr::BarArrive { .. }
                 | DecodedInstr::BarSync { .. }
+                | DecodedInstr::BarArriveStage { .. }
+                | DecodedInstr::BarSyncStage { .. }
                 | DecodedInstr::Slow => unreachable!("never lowered into uops"),
             },
             UOp::FusedMulBin { a, b, c, .. } => {
@@ -1780,6 +1858,7 @@ fn splat_immediates(
             | UOp::LdShared { .. }
             | UOp::LdSharedBcast { .. }
             | UOp::LdGlobal { .. }
+            | UOp::CpAsync { .. }
             | UOp::Trap(_)
             | UOp::Nop => {}
             UOp::ExpBatch { .. } => unreachable!("batching runs after this pass"),
@@ -2127,6 +2206,43 @@ fn exec_uop(
                 counts.global_bytes += bytes;
             }
         }
+        UOp::CpAsync { addrs, array, rows, pts } => {
+            // Mirror the interpreter's per-lane order exactly: the global
+            // read (whose bounds depend on the runtime input length /
+            // grid placement) is checked before the shared store, lane by
+            // lane, so the first failing lane reports the same error.
+            let ai = array as usize;
+            let idxs = gidx(eng, rows, pts, total_points, base_point);
+            let a = &eng.u32x[addrs as usize * WARP_SIZE..][..WARP_SIZE];
+            let decl = &kernel.global_arrays[ai];
+            for l in 0..WARP_SIZE {
+                let idx = idxs[l];
+                let v = if decl.output {
+                    let local = local_out_index(idx, total_points, base_point, kernel)?;
+                    out_buffers[ai][local]
+                } else {
+                    *inputs[ai].get(idx).ok_or(SimError::OutOfBounds {
+                        space: "global",
+                        addr: idx,
+                        limit: inputs[ai].len(),
+                    })?
+                };
+                let sa = a[l] as usize;
+                if sa >= shared.len() {
+                    return Err(SimError::OutOfBounds {
+                        space: "shared",
+                        addr: sa,
+                        limit: shared.len(),
+                    });
+                }
+                shared[sa] = v;
+            }
+            if collect {
+                let (tx, bytes) = coalesce(&idxs);
+                counts.global_transactions += tx;
+                counts.global_bytes += bytes;
+            }
+        }
         UOp::Trap(t) => return Err(eng.traps[t as usize].clone()),
         UOp::Nop => unreachable!("tombstones are compacted out at lowering"),
     }
@@ -2195,7 +2311,7 @@ mod tests {
     fn differential(kernel: &Kernel, inputs: &[&[f64]], total_points: usize, cta: usize) {
         let prog = flatten(kernel);
         let eng = lower(kernel, &prog);
-        for arch in [GpuArch::fermi_c2070(), GpuArch::kepler_k20c()] {
+        for arch in [GpuArch::fermi_c2070(), GpuArch::kepler_k20c(), GpuArch::hopper()] {
             for collect in [false, true] {
                 let i =
                     run_cta_profiled(kernel, &prog, inputs, total_points, cta, collect, &arch, None);

@@ -443,6 +443,12 @@ fn hash_instr(i: &Instr, h: &mut impl Hasher) {
                     h.write_u16(*src);
                     h.write_u8(*lane);
                 }
+                IdxInstr::PipeOff { dst, k, stride } => {
+                    h.write_u8(7);
+                    h.write_u16(*dst);
+                    h.write_u8(*k);
+                    h.write_u32(*stride);
+                }
             }
         }
         Instr::BarArrive { bar, warps } => {
@@ -454,6 +460,23 @@ fn hash_instr(i: &Instr, h: &mut impl Hasher) {
             h.write_u8(27);
             h.write_u8(*bar);
             h.write_u16(*warps);
+        }
+        Instr::BarArriveStage { base, k, warps } => {
+            h.write_u8(28);
+            h.write_u8(*base);
+            h.write_u8(*k);
+            h.write_u16(*warps);
+        }
+        Instr::BarSyncStage { base, k, warps } => {
+            h.write_u8(29);
+            h.write_u8(*base);
+            h.write_u8(*k);
+            h.write_u16(*warps);
+        }
+        Instr::CpAsync { addr, array, row, point } => {
+            h.write_u8(30);
+            hash_saddr(addr, h);
+            hash_gaddr(&GAddr { array: *array, row: *row, point: *point }, h);
         }
     }
 }

@@ -99,6 +99,11 @@ pub(crate) enum DecodedInstr {
     BarArrive { bar: u8, expected: u16 },
     /// Blocking named-barrier wait (scheduler-level).
     BarSync { bar: u8, expected: u16 },
+    /// Stage-rotated arrive: resolves to barrier `base + pset % k` at the
+    /// executing point-set (scheduler-level).
+    BarArriveStage { base: u8, k: u8, expected: u16 },
+    /// Stage-rotated sync: resolves to barrier `base + pset % k`.
+    BarSyncStage { base: u8, k: u8, expected: u16 },
     /// A register/slot id is out of range. The error is deferred to
     /// execution time so flatten stays infallible (streams that never run
     /// may legally carry such code, exactly as before pre-decoding).
@@ -266,6 +271,12 @@ fn decode(ins: &Instr, kernel: &Kernel) -> DecodedInstr {
         }
         Instr::BarArrive { bar, warps } => DecodedInstr::BarArrive { bar: *bar, expected: *warps },
         Instr::BarSync { bar, warps } => DecodedInstr::BarSync { bar: *bar, expected: *warps },
+        Instr::BarArriveStage { base, k, warps } => {
+            DecodedInstr::BarArriveStage { base: *base, k: *k, expected: *warps }
+        }
+        Instr::BarSyncStage { base, k, warps } => {
+            DecodedInstr::BarSyncStage { base: *base, k: *k, expected: *warps }
+        }
         _ => DecodedInstr::Slow,
     }
 }
@@ -286,9 +297,11 @@ pub struct FlatProgram {
     /// precomputed so event collection stops rebuilding them per CTA.
     pub(crate) addr_streams: Vec<Vec<u32>>,
     /// Per-warp substreams of only the synchronization-relevant ops
-    /// (index ISA, shared accesses, named barriers) as
-    /// (static address, arena index) pairs.
-    pub(crate) sync_streams: Vec<Vec<(u32, u32)>>,
+    /// (index ISA, shared accesses, async copies, named barriers) as
+    /// (static address, arena index, point set) triples. The point set
+    /// is part of the tuple because stage-rotated barriers and pipeline
+    /// offsets resolve against it.
+    pub(crate) sync_streams: Vec<Vec<(u32, u32, u32)>>,
     /// Total static instructions (address space size).
     pub static_size: u32,
     /// Lazily-lowered segment-engine program for this exact flattening.
@@ -346,12 +359,14 @@ impl FlatProgram {
 
     /// One step of a warp's synchronization-relevant substream — exactly
     /// the ops a barrier-protocol or shared-memory analysis must model
-    /// (index ISA, shared accesses, named barriers), in stream order with
-    /// original static addresses. Everything skipped is arithmetic with no
-    /// effect on index registers, shared memory, or barrier state.
-    pub fn sync_step(&self, warp: usize, pos: usize) -> (u32, &Instr) {
-        let (addr, idx) = self.sync_streams[warp][pos];
-        (addr, &self.instrs[idx as usize])
+    /// (index ISA, shared accesses, async copies, named barriers), in
+    /// stream order with original static addresses and the executing
+    /// point set (stage-rotated barriers resolve against it). Everything
+    /// skipped is arithmetic with no effect on index registers, shared
+    /// memory, or barrier state.
+    pub fn sync_step(&self, warp: usize, pos: usize) -> (u32, u32, &Instr) {
+        let (addr, idx, pset) = self.sync_streams[warp][pos];
+        (addr, pset, &self.instrs[idx as usize])
     }
 }
 
@@ -475,21 +490,24 @@ pub fn flatten(kernel: &Kernel) -> FlatProgram {
     // analyses (the schedule verifier) model index registers, shared
     // memory, and named barriers; pre-filtering here lets them skip the
     // arithmetic bulk of each stream entirely.
-    let sync_streams: Vec<Vec<(u32, u32)>> = streams
+    let sync_streams: Vec<Vec<(u32, u32, u32)>> = streams
         .iter()
         .map(|s| {
             s.iter()
                 .filter_map(|op| match *op {
-                    FlatOp::Exec { addr, instr, .. } => {
+                    FlatOp::Exec { addr, instr, pset } => {
                         let relevant = matches!(
                             instrs[instr as usize],
                             Instr::Idx(_)
                                 | Instr::LdShared { .. }
                                 | Instr::StShared { .. }
+                                | Instr::CpAsync { .. }
                                 | Instr::BarArrive { .. }
                                 | Instr::BarSync { .. }
+                                | Instr::BarArriveStage { .. }
+                                | Instr::BarSyncStage { .. }
                         );
-                        relevant.then_some((addr, instr))
+                        relevant.then_some((addr, instr, pset))
                     }
                     FlatOp::Branch { .. } => None,
                 })
@@ -749,7 +767,10 @@ fn step_warp(
                 if collect {
                     let is_barrier = matches!(
                         prog.decoded[i],
-                        DecodedInstr::BarArrive { .. } | DecodedInstr::BarSync { .. }
+                        DecodedInstr::BarArrive { .. }
+                            | DecodedInstr::BarSync { .. }
+                            | DecodedInstr::BarArriveStage { .. }
+                            | DecodedInstr::BarSyncStage { .. }
                     );
                     let cost = prog.costs[i];
                     counts.issue_slots += cost.slots;
@@ -767,8 +788,21 @@ fn step_warp(
                         }
                     }
                 }
-                // Barriers are handled at scheduler level.
-                match prog.decoded[i] {
+                // Barriers are handled at scheduler level. Stage-rotated
+                // barriers resolve their id against the executing point
+                // set first, then share the plain arrive/sync machinery.
+                let dec = match prog.decoded[i] {
+                    DecodedInstr::BarArriveStage { base, k, expected } => DecodedInstr::BarArrive {
+                        bar: base + (pset % u32::from(k.max(1))) as u8,
+                        expected,
+                    },
+                    DecodedInstr::BarSyncStage { base, k, expected } => DecodedInstr::BarSync {
+                        bar: base + (pset % u32::from(k.max(1))) as u8,
+                        expected,
+                    },
+                    d => d,
+                };
+                match dec {
                     DecodedInstr::BarArrive { bar, expected } => {
                         if collect {
                             counts.barrier_arrives += 1;
@@ -1117,7 +1151,11 @@ pub(crate) fn exec_fast(
         DecodedInstr::Invalid { space, addr, limit } => {
             return Err(SimError::OutOfBounds { space, addr, limit });
         }
-        DecodedInstr::BarArrive { .. } | DecodedInstr::BarSync { .. } | DecodedInstr::Slow => {
+        DecodedInstr::BarArrive { .. }
+        | DecodedInstr::BarSync { .. }
+        | DecodedInstr::BarArriveStage { .. }
+        | DecodedInstr::BarSyncStage { .. }
+        | DecodedInstr::Slow => {
             unreachable!("handled by scheduler / slow path")
         }
     }
@@ -1553,8 +1591,64 @@ fn exec_slow(
                     i32v!(*dst, l) = v;
                 }
             }
+            IdxInstr::PipeOff { dst, k, stride } => {
+                chk_i(*dst)?;
+                let v = (pset % u32::from((*k).max(1))).wrapping_mul(*stride);
+                for l in 0..WARP_SIZE {
+                    i32v!(*dst, l) = v;
+                }
+            }
         },
-        Instr::BarArrive { .. } | Instr::BarSync { .. } => unreachable!("handled by scheduler"),
+        Instr::CpAsync { addr, array, row, point } => {
+            // One value per lane moves global -> shared without touching a
+            // register. Functionally immediate; the copy is costed as one
+            // coalesced global read plus one shared store.
+            let decl = &kernel.global_arrays[array.0];
+            let ga = GAddr { array: *array, row: *row, point: *point };
+            let mut idxs = [0usize; WARP_SIZE];
+            for (l, slot) in idxs.iter_mut().enumerate() {
+                *slot = gindex(warp, &ga, l);
+            }
+            let mut saddrs = [0usize; WARP_SIZE];
+            for (l, slot) in saddrs.iter_mut().enumerate() {
+                let base = addr.base.map(|r| ival(warp, &IdxOp::Reg(r), l)).unwrap_or(0) as usize;
+                *slot = base + addr.imm as usize + addr.lane_stride as usize * l;
+            }
+            for l in 0..WARP_SIZE {
+                let idx = idxs[l];
+                let v = if decl.output {
+                    let local = local_out_index(idx, total_points, base_point, kernel)?;
+                    out_buffers[array.0][local]
+                } else {
+                    *inputs[array.0].get(idx).ok_or(SimError::OutOfBounds {
+                        space: "global",
+                        addr: idx,
+                        limit: inputs[array.0].len(),
+                    })?
+                };
+                let a = saddrs[l];
+                if a >= shared.len() {
+                    return Err(SimError::OutOfBounds {
+                        space: "shared",
+                        addr: a,
+                        limit: shared.len(),
+                    });
+                }
+                shared[a] = v;
+            }
+            if collect {
+                let (tx, bytes) = coalesce(&idxs);
+                counts.global_transactions += tx;
+                counts.global_bytes += bytes;
+                let (tx, conf) = bank_transactions(&saddrs, None);
+                counts.shared_accesses += tx;
+                counts.shared_conflicts += conf;
+            }
+        }
+        Instr::BarArrive { .. }
+        | Instr::BarSync { .. }
+        | Instr::BarArriveStage { .. }
+        | Instr::BarSyncStage { .. } => unreachable!("handled by scheduler"),
     }
     Ok(())
 }

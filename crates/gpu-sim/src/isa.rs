@@ -138,6 +138,10 @@ pub enum IdxInstr {
     LdConst { dst: IdxReg, bank: u16, idx: IdxOp },
     /// Broadcast an index register from a fixed lane (Kepler `__shfl`).
     Shfl { dst: IdxReg, src: IdxReg, lane: u8 },
+    /// `dst = (point_set % k) * stride` — the rotating buffer-region
+    /// offset of a K-stage pipelined schedule. `point_set` is the current
+    /// [`Node::PointLoop`] iteration; all lanes receive the same value.
+    PipeOff { dst: IdxReg, k: u8, stride: u32 },
 }
 
 /// Executable instructions. Each executes for all 32 lanes of a warp in
@@ -204,6 +208,23 @@ pub enum Instr {
     BarArrive { bar: u8, warps: u16 },
     /// Blocking named-barrier wait (PTX `bar.sync`).
     BarSync { bar: u8, warps: u16 },
+    /// Stage-rotated [`Instr::BarArrive`]: arrives at barrier
+    /// `base + point_set % k`, where `point_set` is the current
+    /// [`Node::PointLoop`] iteration. K-stage pipelined schedules use one
+    /// such instruction where a single-buffered schedule uses a fixed
+    /// barrier id, giving each in-flight buffer region its own
+    /// full/empty barrier pair.
+    BarArriveStage { base: u8, k: u8, warps: u16 },
+    /// Stage-rotated [`Instr::BarSync`]: waits on `base + point_set % k`.
+    BarSyncStage { base: u8, k: u8, warps: u16 },
+    /// Async-copy (Hopper-class `cp.async`): move one value per lane from
+    /// global `array[row][point]` directly into shared memory at `addr`
+    /// without staging through a register. Functionally the copy is
+    /// visible immediately (the simulator has no split
+    /// commit/wait-group); ordering against consumers is entirely the
+    /// job of the surrounding barrier protocol, which the schedule
+    /// verifier checks.
+    CpAsync { addr: SAddr, array: GlobalId, row: IdxOp, point: PointRef },
 }
 
 impl Instr {
@@ -411,6 +432,16 @@ impl Kernel {
                     if usize::from(*bar) >= self.barriers_used => {
                         err = Some(format!("barrier {bar} out of declared range"));
                     }
+                Instr::BarArriveStage { base, k, .. } | Instr::BarSyncStage { base, k, .. }
+                    if *k == 0
+                        || usize::from(*base) + usize::from(*k) > self.barriers_used => {
+                        err = Some(format!(
+                            "stage barriers {base}..{base}+{k} out of declared range"
+                        ));
+                    }
+                Instr::CpAsync { array, .. } if array.0 >= self.global_arrays.len() => {
+                    err = Some(format!("global array {} undeclared", array.0));
+                }
                 Instr::LdGlobal { addr, .. } | Instr::StGlobal { addr, .. }
                     if addr.array.0 >= self.global_arrays.len() => {
                         err = Some(format!("global array {} undeclared", addr.array.0));
@@ -537,6 +568,39 @@ mod tests {
         assert!(k.check().is_err());
         k.barriers_used = 4;
         assert!(k.check().is_ok());
+    }
+
+    #[test]
+    fn check_catches_stage_barrier_and_cp_async_ranges() {
+        let mut k = empty_kernel();
+        // base 2 + k 3 needs barriers 2..5 declared.
+        k.body = vec![Node::Op(Instr::BarSyncStage { base: 2, k: 3, warps: 2 })];
+        k.barriers_used = 4;
+        assert!(k.check().is_err());
+        k.barriers_used = 5;
+        assert!(k.check().is_ok());
+        // k = 0 is malformed regardless of the declared budget.
+        k.body = vec![Node::Op(Instr::BarArriveStage { base: 0, k: 0, warps: 2 })];
+        assert!(k.check().is_err());
+        // CpAsync must name a declared array.
+        k.body = vec![Node::Op(Instr::CpAsync {
+            addr: SAddr::lane(0),
+            array: GlobalId(0),
+            row: IdxOp::Imm(0),
+            point: PointRef::Lane,
+        })];
+        assert!(k.check().is_err());
+        k.global_arrays.push(ArrayDecl { name: "a".into(), rows: 1, output: false });
+        assert!(k.check().is_ok());
+        // One issue slot, no flops: a pure memory-engine operation.
+        let cp = Instr::CpAsync {
+            addr: SAddr::lane(0),
+            array: GlobalId(0),
+            row: IdxOp::Imm(0),
+            point: PointRef::Lane,
+        };
+        assert_eq!(cp.issue_slots(), 1);
+        assert_eq!(cp.flops(), 0);
     }
 
     #[test]

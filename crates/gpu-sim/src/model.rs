@@ -284,7 +284,7 @@ pub fn predict_flat(
                     counts.warp_branches += 1;
                     cur.overhead += 1;
                 }
-                FlatOp::Exec { instr, .. } => {
+                FlatOp::Exec { instr, pset, .. } => {
                     let i = instr as usize;
                     let cost = prog.costs[i];
                     counts.issue_slots += cost.slots;
@@ -303,6 +303,31 @@ pub fn predict_flat(
                             counts.barrier_syncs += 1;
                             cur.bar = Some(BarOp { bar: *bar, expected: *warps, sync: true });
                             segs[w].push(std::mem::take(&mut cur));
+                        }
+                        // Stage barriers rotate with the iteration's point
+                        // set, exactly as the interpreter resolves them at
+                        // dispatch — the replay sees plain barrier ops.
+                        Instr::BarArriveStage { base, k, warps } => {
+                            counts.barrier_arrives += 1;
+                            let bar = base + (pset % u32::from((*k).max(1))) as u8;
+                            cur.bar = Some(BarOp { bar, expected: *warps, sync: false });
+                            segs[w].push(std::mem::take(&mut cur));
+                        }
+                        Instr::BarSyncStage { base, k, warps } => {
+                            counts.barrier_syncs += 1;
+                            let bar = base + (pset % u32::from((*k).max(1))) as u8;
+                            cur.bar = Some(BarOp { bar, expected: *warps, sync: true });
+                            segs[w].push(std::mem::take(&mut cur));
+                        }
+                        Instr::CpAsync { addr, .. } => {
+                            cur.issue += cost.slots;
+                            // One coalesced global read plus one shared
+                            // store, registers untouched.
+                            counts.global_transactions += 2;
+                            counts.global_bytes += 256;
+                            let (tx, conf) = shared_tx_estimate(addr, None);
+                            counts.shared_accesses += tx;
+                            counts.shared_conflicts += conf;
                         }
                         Instr::LdConst { bank, idx, .. } => {
                             cur.issue += cost.slots;

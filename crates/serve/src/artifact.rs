@@ -50,7 +50,7 @@ use crate::wire::{self, R, W, WireError};
 
 /// Bump when the byte layout of anything in this file or `wire.rs`
 /// changes. Old files become misses, never decode errors.
-pub const WIRE_FORMAT_VERSION: u32 = 1;
+pub const WIRE_FORMAT_VERSION: u32 = 2;
 
 const MAGIC: &[u8; 8] = b"SNGEART1";
 

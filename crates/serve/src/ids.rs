@@ -102,17 +102,21 @@ pub enum ArchId {
     Fermi,
     /// Kepler-class (Tesla K20c).
     Kepler,
+    /// Hopper-class (H100): async copy, a 64-entry named-barrier file,
+    /// and the K-stage pipeline schedules that exploit both.
+    Hopper,
 }
 
 impl ArchId {
     /// Every arch id, in display order.
-    pub const ALL: [ArchId; 2] = [ArchId::Fermi, ArchId::Kepler];
+    pub const ALL: [ArchId; 3] = [ArchId::Fermi, ArchId::Kepler, ArchId::Hopper];
 
     /// Short name used in CLIs and JSON.
     pub fn name(self) -> &'static str {
         match self {
             ArchId::Fermi => "fermi",
             ArchId::Kepler => "kepler",
+            ArchId::Hopper => "hopper",
         }
     }
 
@@ -121,6 +125,7 @@ impl ArchId {
         match self {
             ArchId::Fermi => GpuArch::fermi_c2070(),
             ArchId::Kepler => GpuArch::kepler_k20c(),
+            ArchId::Hopper => GpuArch::hopper(),
         }
     }
 }
@@ -138,7 +143,7 @@ impl FromStr for ArchId {
         ArchId::ALL
             .into_iter()
             .find(|a| a.name() == s)
-            .ok_or_else(|| UnknownIdError::new("arch", s, &["fermi", "kepler"]))
+            .ok_or_else(|| UnknownIdError::new("arch", s, &["fermi", "kepler", "hopper"]))
     }
 }
 

@@ -59,11 +59,18 @@ pub fn viscosity_warps(n_species: usize) -> usize {
 /// Default warp-specialized options per kernel, sized to the mechanism
 /// and architecture — the paper's per-kernel configurations (§6).
 pub fn default_options(kernel: KernelId, n_species: usize, arch: &GpuArch) -> CompileOptions {
+    // Hopper-class barrier files host K-stage pipelined schedules; depth 2
+    // is the conservative default that measures ahead of single-buffering
+    // on the viscosity kernel (deeper rings add shared-memory footprint
+    // without further per-CTA wins; the compiler clamps depth wherever a
+    // schedule or arch cannot host it).
+    let pipe = if arch.named_barriers_per_sm >= 64 { 2 } else { 1 };
     match kernel {
         KernelId::Viscosity => CompileOptions::builder()
             .warps(viscosity_warps(n_species))
             .point_iters(4)
             .placement(Placement::Store)
+            .pipeline_depth(pipe)
             .build(),
         KernelId::Diffusion => CompileOptions::builder()
             .warps(8)

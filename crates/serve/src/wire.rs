@@ -486,6 +486,12 @@ fn enc_instr(w: &mut W, i: &Instr) {
                     w.u16(*src);
                     w.u8(*lane);
                 }
+                IdxInstr::PipeOff { dst, k, stride } => {
+                    w.u8(7);
+                    w.u16(*dst);
+                    w.u8(*k);
+                    w.u32(*stride);
+                }
             }
         }
         Instr::BarArrive { bar, warps } => {
@@ -497,6 +503,23 @@ fn enc_instr(w: &mut W, i: &Instr) {
             w.u8(27);
             w.u8(*bar);
             w.u16(*warps);
+        }
+        Instr::BarArriveStage { base, k, warps } => {
+            w.u8(28);
+            w.u8(*base);
+            w.u8(*k);
+            w.u16(*warps);
+        }
+        Instr::BarSyncStage { base, k, warps } => {
+            w.u8(29);
+            w.u8(*base);
+            w.u8(*k);
+            w.u16(*warps);
+        }
+        Instr::CpAsync { addr, array, row, point } => {
+            w.u8(30);
+            enc_saddr(w, addr);
+            enc_gaddr(w, &GAddr { array: *array, row: *row, point: *point });
         }
     }
 }
@@ -550,10 +573,18 @@ fn dec_instr(r: &mut R) -> WResult<Instr> {
             4 => IdxInstr::WarpId { dst: r.u16()? },
             5 => IdxInstr::LdConst { dst: r.u16()?, bank: r.u16()?, idx: dec_iop(r)? },
             6 => IdxInstr::Shfl { dst: r.u16()?, src: r.u16()?, lane: r.u8()? },
+            7 => IdxInstr::PipeOff { dst: r.u16()?, k: r.u8()?, stride: r.u32()? },
             _ => return Err(WireError("bad IdxInstr tag")),
         }),
         26 => Instr::BarArrive { bar: r.u8()?, warps: r.u16()? },
         27 => Instr::BarSync { bar: r.u8()?, warps: r.u16()? },
+        28 => Instr::BarArriveStage { base: r.u8()?, k: r.u8()?, warps: r.u16()? },
+        29 => Instr::BarSyncStage { base: r.u8()?, k: r.u8()?, warps: r.u16()? },
+        30 => {
+            let addr = dec_saddr(r)?;
+            let g = dec_gaddr(r)?;
+            Instr::CpAsync { addr, array: g.array, row: g.row, point: g.point }
+        }
         _ => return Err(WireError("bad Instr tag")),
     })
 }
@@ -732,6 +763,8 @@ pub fn enc_stats(w: &mut W, s: &CompileStats) {
     w.usize(s.spilled_vars);
     w.usize(s.const_array_len);
     w.f64(s.flop_imbalance);
+    w.usize(s.pipeline_depth);
+    w.usize(s.full_barriers);
 }
 
 /// Decode [`CompileStats`].
@@ -747,6 +780,8 @@ pub fn dec_stats(r: &mut R) -> WResult<CompileStats> {
         spilled_vars: r.usize()?,
         const_array_len: r.usize()?,
         flop_imbalance: r.f64()?,
+        pipeline_depth: r.usize()?,
+        full_barriers: r.usize()?,
     })
 }
 
@@ -792,6 +827,17 @@ mod tests {
                     ],
                 },
                 Node::Op(Instr::BarSync { bar: 2, warps: 4 }),
+                // The pipelined-schedule instructions: stage barrier
+                // pairs, the per-iteration ring offset, and async copy.
+                Node::Op(Instr::Idx(IdxInstr::PipeOff { dst: 5, k: 3, stride: 2880 })),
+                Node::Op(Instr::BarArriveStage { base: 4, k: 2, warps: 3 }),
+                Node::Op(Instr::BarSyncStage { base: 6, k: 2, warps: 1 }),
+                Node::Op(Instr::CpAsync {
+                    addr: SAddr::dyn_lane(1, 7),
+                    array: GlobalId(0),
+                    row: IdxOp::Reg(2),
+                    point: PointRef::Lane,
+                }),
             ],
             warps_per_cta: 4,
             points_per_cta: 32,
@@ -801,7 +847,7 @@ mod tests {
             local_words_per_thread: 2,
             const_banks: vec![vec![1.5, f64::INFINITY, -0.0], vec![]],
             iconst_banks: vec![vec![7, 0, u32::MAX]],
-            barriers_used: 3,
+            barriers_used: 8,
             global_arrays: vec![
                 ArrayDecl { name: "in".into(), rows: 5, output: false },
                 ArrayDecl { name: "out".into(), rows: 2, output: true },
@@ -868,6 +914,8 @@ mod tests {
             spilled_vars: 0,
             const_array_len: 160,
             flop_imbalance: 1.25,
+            pipeline_depth: 2,
+            full_barriers: 0,
         };
         let mut w = W::new();
         enc_stats(&mut w, &s);

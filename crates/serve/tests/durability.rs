@@ -147,6 +147,76 @@ fn identical_inflight_requests_compile_once() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Hopper artifacts — the K-stage pipelined schedules — must round-trip
+/// the disk cache like any other kernel: cold compile, restart, warm load
+/// byte-identical (including the replicated iconst banks and stage
+/// barrier declarations); and a stale `LOWERING_VERSION` in the container
+/// header must read as a cache miss (cold recompile), never a replay of
+/// an artifact lowered by an older compiler.
+#[test]
+fn hopper_pipelined_artifact_roundtrips_and_rejects_stale_lowering() {
+    let dir = cache_dir("hopper");
+    let req = CompileRequest::new(
+        "dme".parse().unwrap(),
+        KernelId::Viscosity,
+        Variant::WarpSpecialized,
+        ArchId::Hopper,
+    );
+
+    let session = open(&dir);
+    session.register_synth(&synth::dme_config()).unwrap();
+    let cold = session.compile(&req).expect("cold compile");
+    assert_eq!(cold.source, ArtifactSource::ColdCompile);
+    let stats = cold.artifact.stats.as_ref().expect("ws artifact carries stats");
+    assert_eq!(
+        stats.pipeline_depth, 2,
+        "Hopper viscosity defaults must produce a K=2 pipelined schedule"
+    );
+    let cold_counts = session.probe(&req).expect("cold probe");
+    let path = session.cache_dir().join(cold.key.file_name());
+    drop(session);
+
+    // Restart: the pipelined artifact must come back warm and identical.
+    let session = open(&dir);
+    session.register_synth(&synth::dme_config()).unwrap();
+    let warm = session.compile(&req).expect("warm compile");
+    assert_eq!(warm.source, ArtifactSource::WarmDisk, "restart must hit the disk cache");
+    assert_eq!(warm.key, cold.key);
+    assert_eq!(
+        format!("{:?}", warm.artifact.kernel),
+        format!("{:?}", cold.artifact.kernel),
+        "warm pipelined kernel differs from the cold compile"
+    );
+    let warm_counts = session.probe(&req).expect("warm probe");
+    assert_eq!(
+        format!("{warm_counts:?}"),
+        format!("{cold_counts:?}"),
+        "probe launch through the warm pipelined artifact diverged"
+    );
+    assert_eq!(session.stats().cold_compiles, 0, "restart session must never compile cold");
+    drop(session);
+
+    // Stale lowering: bump the `LOWERING_VERSION` field in the container
+    // header (offset 12: 8-byte magic + 4-byte wire-format version). The
+    // payload checksum does not cover the header, so the file is otherwise
+    // pristine — only the version skew can reject it.
+    let mut bytes = std::fs::read(&path).expect("artifact on disk");
+    let v = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    bytes[12..16].copy_from_slice(&(v + 1).to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+    let session = open(&dir);
+    session.register_synth(&synth::dme_config()).unwrap();
+    let fresh = session.compile(&req).expect("compile past the stale artifact");
+    assert_eq!(fresh.source, ArtifactSource::ColdCompile, "stale lowering must recompile");
+    assert_eq!(session.stats().corrupt_reloads, 1, "version skew must count as a fallback");
+    assert_eq!(
+        format!("{:?}", fresh.artifact.kernel),
+        format!("{:?}", cold.artifact.kernel),
+        "recompile after version skew produced a different kernel"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Unknown ids come back as typed errors that list what *would* have been
 /// valid — the redesigned surface never panics or stringly-guesses.
 #[test]
