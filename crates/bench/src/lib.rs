@@ -228,6 +228,18 @@ fn try_serve(
     }
 }
 
+/// Build a kernel kind's dataflow graph at `dfg_warps` warps — the input
+/// the autotuners and the schedule search ([`singe::search`]) take
+/// directly, bypassing the compile memo (they compile many option points
+/// against one dfg).
+pub fn dfg_for(kind: Kind, mech: &Mechanism, dfg_warps: usize) -> singe::Dfg {
+    match kind {
+        Kind::Viscosity => viscosity::viscosity_dfg(&ViscosityTables::build(mech), dfg_warps),
+        Kind::Diffusion => diffusion::diffusion_dfg(&DiffusionTables::build(mech), dfg_warps),
+        Kind::Chemistry => chemistry::chemistry_dfg(&ChemistrySpec::build(mech), dfg_warps),
+    }
+}
+
 /// The single compile path behind [`build`] and [`build_with_options`]:
 /// build the kernel's dfg at `dfg_warps` warps, compile it through the
 /// [`Compiler`] front door, memoize on the unified [`build_key`].
@@ -245,11 +257,7 @@ fn compile_variant(
             return served;
         }
         let n = mech.n_transported();
-        let dfg = match kind {
-            Kind::Viscosity => viscosity::viscosity_dfg(&ViscosityTables::build(mech), dfg_warps),
-            Kind::Diffusion => diffusion::diffusion_dfg(&DiffusionTables::build(mech), dfg_warps),
-            Kind::Chemistry => chemistry::chemistry_dfg(&ChemistrySpec::build(mech), dfg_warps),
-        };
+        let dfg = dfg_for(kind, mech, dfg_warps);
         let c = Compiler::new(arch).options(opts.clone()).compile(&dfg, variant)?;
         // The baseline's unified stats carry only the spill count; keep the
         // historical `None` so report code doesn't mistake them for

@@ -80,55 +80,25 @@ pub struct TuneResult {
     pub best_options: CompileOptions,
 }
 
-/// Build the default candidate grid: warp counts x point iterations,
-/// holding the placement strategy fixed.
-pub fn candidate_grid(placement: Placement) -> Vec<CompileOptions> {
-    let mut v = Vec::new();
-    for &warps in &[2usize, 3, 4, 6, 8, 10, 12, 16] {
-        for &iters in &[1u32, 4] {
-            v.push(CompileOptions {
-                warps,
-                point_iters: iters,
-                placement,
-                ..Default::default()
-            });
-        }
-    }
-    v
-}
+/// The warp-count axis every candidate grid shares (paper §4: "the search
+/// space was never more than a few hundred points").
+pub const GRID_WARPS: &[usize] = &[2, 3, 4, 6, 8, 10, 12, 16];
 
-/// [`candidate_grid`] with a finer streaming-depth axis (24 points:
-/// 8 warp counts x 3 point-iteration depths). The denser grid is what
-/// model-guided search is for — with the default top-K of
-/// [`GUIDED_TOP_K`], [`autotune_guided`] simulates at most `5/24 ≈ 21%`
-/// of it.
-pub fn candidate_grid_extended(placement: Placement) -> Vec<CompileOptions> {
+/// The one grid builder behind every candidate menu: the cartesian product
+/// of `GRID_WARPS` x `iters` x `depths`, holding the placement fixed.
+/// Depth only matters on streamed schedules, so K > 1 candidates are
+/// generated only where `point_iters` can absorb the depth (the compiler
+/// would clamp K to the stream depth anyway, producing duplicates).
+///
+/// [`candidate_grid`], [`candidate_grid_extended`],
+/// [`candidate_grid_pipelined`], and the schedule search's seed beam
+/// ([`crate::search::SearchSpace::seeds`]) are all parameterizations of
+/// this function — a single source of truth for the enumeration order,
+/// which the deterministic tuners depend on for first-best-wins ties.
+pub fn grid_options(placement: Placement, iters: &[u32], depths: &[usize]) -> Vec<CompileOptions> {
     let mut v = Vec::new();
-    for &warps in &[2usize, 3, 4, 6, 8, 10, 12, 16] {
-        for &iters in &[1u32, 2, 4] {
-            v.push(CompileOptions {
-                warps,
-                point_iters: iters,
-                placement,
-                ..Default::default()
-            });
-        }
-    }
-    v
-}
-
-/// [`candidate_grid`] with the pipeline-depth axis unlocked (§5.2 K-stage
-/// multi-buffered schedules). Depth only matters on streamed schedules, so
-/// K > 1 candidates are generated only where `point_iters` can absorb the
-/// depth; the depth menu is wider on architectures with a large
-/// named-barrier file (every sync color costs K ids instead of one).
-/// Candidates whose rotated-barrier demand still exceeds the file are
-/// legal probes — they record a `Compile` failure and lose.
-pub fn candidate_grid_pipelined(placement: Placement, arch: &GpuArch) -> Vec<CompileOptions> {
-    let depths: &[usize] = if arch.named_barriers_per_sm >= 64 { &[1, 2, 4] } else { &[1, 2] };
-    let mut v = Vec::new();
-    for &warps in &[2usize, 3, 4, 6, 8, 10, 12, 16] {
-        for &iters in &[1u32, 4] {
+    for &warps in GRID_WARPS {
+        for &iters in iters {
             for &k in depths {
                 if k as u32 > iters {
                     continue; // the compiler would clamp K to the stream depth
@@ -146,7 +116,43 @@ pub fn candidate_grid_pipelined(placement: Placement, arch: &GpuArch) -> Vec<Com
     v
 }
 
+/// The pipeline-depth menu an architecture's named-barrier file supports:
+/// wider where the file is large (every sync color costs K ids instead of
+/// one). Shared by [`candidate_grid_pipelined`] and the schedule search.
+pub fn depth_menu(arch: &GpuArch) -> &'static [usize] {
+    if arch.named_barriers_per_sm >= 64 {
+        &[1, 2, 4]
+    } else {
+        &[1, 2]
+    }
+}
+
+/// Build the default candidate grid: warp counts x point iterations,
+/// holding the placement strategy fixed.
+pub fn candidate_grid(placement: Placement) -> Vec<CompileOptions> {
+    grid_options(placement, &[1, 4], &[1])
+}
+
+/// [`candidate_grid`] with a finer streaming-depth axis (24 points:
+/// 8 warp counts x 3 point-iteration depths). The denser grid is what
+/// model-guided search is for — with the default top-K of
+/// [`GUIDED_TOP_K`], [`autotune_guided`] simulates at most `5/24 ≈ 21%`
+/// of it.
+pub fn candidate_grid_extended(placement: Placement) -> Vec<CompileOptions> {
+    grid_options(placement, &[1, 2, 4], &[1])
+}
+
+/// [`candidate_grid`] with the pipeline-depth axis unlocked (§5.2 K-stage
+/// multi-buffered schedules); the depth menu comes from [`depth_menu`].
+/// Candidates whose rotated-barrier demand still exceeds the file are
+/// legal probes — they record a `Compile` failure and lose.
+pub fn candidate_grid_pipelined(placement: Placement, arch: &GpuArch) -> Vec<CompileOptions> {
+    grid_options(placement, &[1, 4], depth_menu(arch))
+}
+
 /// Default number of top-ranked candidates [`autotune_guided`] simulates.
+/// [`crate::search::SearchBudget`] defaults its `sim_top_k` to this, so
+/// the budgeted entry points reproduce the historical behavior.
 pub const GUIDED_TOP_K: usize = 5;
 
 /// Exhaustively evaluate `candidates` for `dfg` on `arch`; the probe grid
@@ -269,6 +275,42 @@ pub fn autotune_guided(
     )
 }
 
+/// [`autotune_guided`] with the simulation cap taken from a
+/// [`crate::search::SearchBudget`] instead of a bare integer (`budget.sim_top_k`; the
+/// default budget reproduces [`GUIDED_TOP_K`]). The budget's beam/round
+/// fields are ignored here — they drive [`crate::search`].
+pub fn autotune_guided_budget(
+    dfg: &Dfg,
+    arch: &GpuArch,
+    candidates: &[CompileOptions],
+    probe_points: usize,
+    budget: &crate::search::SearchBudget,
+    inputs_for: &(dyn Fn(&gpu_sim::isa::Kernel, usize) -> Vec<Vec<f64>> + Sync),
+) -> CResult<TuneResult> {
+    autotune_guided_budget_with_jobs(
+        dfg,
+        arch,
+        candidates,
+        probe_points,
+        budget,
+        inputs_for,
+        crate::pool::default_jobs(),
+    )
+}
+
+/// [`autotune_guided_budget`] with an explicit worker count.
+pub fn autotune_guided_budget_with_jobs(
+    dfg: &Dfg,
+    arch: &GpuArch,
+    candidates: &[CompileOptions],
+    probe_points: usize,
+    budget: &crate::search::SearchBudget,
+    inputs_for: &(dyn Fn(&gpu_sim::isa::Kernel, usize) -> Vec<Vec<f64>> + Sync),
+    jobs: usize,
+) -> CResult<TuneResult> {
+    autotune_guided_with_jobs(dfg, arch, candidates, probe_points, budget.sim_top_k, inputs_for, jobs)
+}
+
 /// [`autotune_guided`] with an explicit worker count. Like
 /// [`autotune_with_jobs`], ranking and winner folds are in candidate
 /// input order, so results are identical at any worker count.
@@ -310,7 +352,17 @@ pub fn autotune_guided_with_jobs(
             (None, None) => a.cmp(&b),
         }
     });
+    let compiled_ok = ranked.len();
     let chosen: Vec<usize> = ranked.into_iter().take(top_k).collect();
+    let dropped = compiled_ok - chosen.len();
+    if dropped > 0 {
+        // The pruning decision is an explicit, logged cap — never silent.
+        eprintln!(
+            "[autotune-guided: simulating {} of {compiled_ok} compiled candidates, \
+             {dropped} dropped by the model ranking]",
+            chosen.len()
+        );
+    }
 
     // Phase 2: simulate only the chosen candidates.
     let sims: Vec<Result<f64, String>> = run_ordered(jobs, chosen.len(), |j| {

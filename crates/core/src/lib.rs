@@ -44,6 +44,7 @@ pub mod kernels;
 pub mod mapping;
 pub mod naive;
 pub mod perfmodel;
+pub mod search;
 pub mod sync;
 pub mod verify;
 
@@ -54,6 +55,10 @@ pub use gpu_sim::pool;
 pub use compiler::{Compiler, Variant};
 pub use config::{CompileOptions, CompileOptionsBuilder, Placement};
 pub use perfmodel::ModelReport;
+pub use search::{
+    BeamSearch, ScheduleSearch, SearchBudget, SearchBudgetBuilder, SearchOutcome, SearchResult,
+    SearchSpace, SimulatedAnnealing,
+};
 pub use verify::{VerifyFailure, VerifyLevel, VerifyReport, Violation, ViolationKind};
 pub use dfg::{Dfg, OpId, Operation};
 pub use expr::VarId;

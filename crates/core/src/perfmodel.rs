@@ -49,6 +49,14 @@ pub fn predict(kernel: &Kernel, arch: &GpuArch, grid_points: usize) -> CResult<M
     Ok(ModelReport { profile, report })
 }
 
+/// Scoring hook for search loops ([`crate::search`], guided autotuning):
+/// just the predicted seconds, `None` when the model rejects the kernel
+/// (it never does for verified compiles). One compile + one call of this
+/// is a full model evaluation — microseconds, no interpretation.
+pub fn predict_seconds(kernel: &Kernel, arch: &GpuArch, grid_points: usize) -> Option<f64> {
+    predict(kernel, arch, grid_points).ok().map(|m| m.seconds())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -260,6 +260,14 @@ pub fn predict(kernel: &Kernel, arch: &GpuArch) -> Result<ModelProfile, String> 
     predict_flat(kernel, &prog, arch)
 }
 
+/// Scoring hook for schedule-search loops: the predicted per-CTA cycle
+/// total alone. Same model as [`predict`] (the profile build is what
+/// costs; flattening is cached process-wide), but the single-number
+/// contract is what search cost functions and reports want to rank by.
+pub fn predict_cycles(kernel: &Kernel, arch: &GpuArch) -> Result<u64, String> {
+    predict(kernel, arch).map(|p| p.cta.total_cycles)
+}
+
 /// [`predict`] over an already-flattened program (the model's static
 /// feature source; [`predict`] obtains it from the process-wide cache).
 pub fn predict_flat(

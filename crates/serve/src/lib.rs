@@ -57,3 +57,4 @@ pub use session::{
     default_options, viscosity_warps, ArtifactHandle, ArtifactSource, CompileRequest,
     ServeSession, ServeSessionBuilder,
 };
+pub use singe::search::{SearchBudget, SearchOutcome};

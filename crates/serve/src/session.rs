@@ -35,6 +35,7 @@ use gpu_sim::counts::EventCounts;
 use gpu_sim::launch::{launch, LaunchInputs, LaunchMode};
 use gpu_sim::timing::{estimate, SimReport};
 use singe::kernels::{chemistry, diffusion, launch_arrays, viscosity};
+use singe::search::{SearchBudget, SearchOutcome};
 use singe::{CompileOptions, Compiler, Placement, Variant, VerifyLevel};
 
 use crate::artifact::{Artifact, ArtifactKey, ArtifactMeta, Store, VerifyVerdict};
@@ -433,6 +434,86 @@ impl ServeSession {
             return Err(ServeError::Internal("no autotune candidate compiled".into()));
         }
         Ok((best, seconds))
+    }
+
+    /// Model-driven schedule search ([`singe::search`]) under a
+    /// [`SearchBudget`], instead of a caller-supplied candidate list:
+    /// beam-search the full options space seeded at the request's
+    /// options (or the per-kernel defaults), scoring every candidate
+    /// with the static model over *cached* artifacts — compiles ride
+    /// the scheduler and artifact store exactly like
+    /// [`ServeSession::autotune`], so repeated searches and overlapping
+    /// beams hit warm — and simulating only the top-K survivors through
+    /// the memoized probe ([`ServeSession::predict`]), which reuses the
+    /// artifact cache for the oracle too. Candidates that fail to
+    /// compile score infinity, as in [`ServeSession::autotune`];
+    /// service-level errors (overload, shutdown) abort the search.
+    ///
+    /// Returns the winning options plus the full audit trail.
+    pub fn autotune_search(
+        &self,
+        req: &CompileRequest,
+        budget: &SearchBudget,
+        grid_points: usize,
+    ) -> ServeResult<(CompileOptions, SearchOutcome)> {
+        let n_species = self.n_species_of(&req.mechanism)?;
+        let arch = req.arch.arch();
+        let base = match &req.options {
+            Some(opts) => opts.clone(),
+            None => default_options(req.kernel, n_species, &arch),
+        };
+        let space = singe::search::SearchSpace::for_arch(&arch);
+        // Service-level failures inside the scoring closures surface
+        // here after the search returns.
+        let service_err: Mutex<Option<ServeError>> = Mutex::new(None);
+        let mut score = |cands: &[CompileOptions]| -> Vec<f64> {
+            // Queue the whole batch first so the farm works it
+            // concurrently, then collect and predict in input order.
+            let tickets: Vec<_> = cands
+                .iter()
+                .map(|opts| self.submit(&req.clone().with_options(opts.clone())))
+                .collect();
+            tickets
+                .into_iter()
+                .map(|t| match t.and_then(|t| t.wait()) {
+                    Ok(handle) => {
+                        let ppc = handle.artifact.kernel.points_per_cta;
+                        let grid = grid_points.div_ceil(ppc) * ppc;
+                        singe::perfmodel::predict_seconds(&handle.artifact.kernel, &arch, grid)
+                            .unwrap_or(f64::INFINITY)
+                    }
+                    Err(ServeError::Compile(_)) => f64::INFINITY,
+                    Err(e) => {
+                        service_err.lock().unwrap().get_or_insert(e);
+                        f64::INFINITY
+                    }
+                })
+                .collect()
+        };
+        let mut simulate = |cands: &[CompileOptions]| -> Vec<Result<f64, String>> {
+            cands
+                .iter()
+                .map(|opts| {
+                    let creq = req.clone().with_options(opts.clone());
+                    self.predict(&creq, grid_points)
+                        .map(|r| r.seconds)
+                        .map_err(|e| e.to_string())
+                })
+                .collect()
+        };
+        let outcome = singe::search::run_search(
+            &singe::search::BeamSearch,
+            &space,
+            &base,
+            budget,
+            &mut score,
+            &mut simulate,
+        )
+        .map_err(|e| ServeError::Internal(format!("schedule search: {e}")))?;
+        if let Some(e) = service_err.into_inner().unwrap() {
+            return Err(e);
+        }
+        Ok((outcome.best_options.clone(), outcome))
     }
 
     fn n_species_of(&self, id: &MechanismId) -> ServeResult<usize> {

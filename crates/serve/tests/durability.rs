@@ -281,3 +281,39 @@ fn predict_and_autotune_reuse_cached_artifacts() {
     assert!(seconds[best].is_finite() && seconds[best] > 0.0);
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// The schedule search (beam over the full space, model as cost,
+/// simulation as oracle) runs through the session's farm + artifact
+/// cache: it returns a finite winner, simulates no more than the
+/// budget's top-K, and a repeated identical search answers every
+/// candidate compile from the cache instead of recompiling.
+#[test]
+fn schedule_search_runs_through_the_cache() {
+    let dir = cache_dir("search");
+    let session = open(&dir);
+    session.register_synth(&synth::dme_config()).unwrap();
+    let req = dme_request(KernelId::Viscosity);
+    let budget = singe_serve::SearchBudget::builder()
+        .beam_width(2)
+        .rounds(1)
+        .sim_top_k(2)
+        .max_model_evals(10)
+        .build();
+
+    let (best, outcome) =
+        session.autotune_search(&req, &budget, 64 * 64).expect("search runs");
+    assert!(best.warps > 0);
+    assert!(outcome.best_seconds.is_finite() && outcome.best_seconds > 0.0);
+    assert!(outcome.model_evals <= 10, "eval cap violated: {}", outcome.model_evals);
+    assert!(outcome.simulations <= 2, "simulated past top-K: {}", outcome.simulations);
+
+    // An identical search over the warm cache must not compile anything
+    // new — every candidate is answered from disk or memory.
+    let cold_before = session.stats().cold_compiles;
+    let (best2, outcome2) =
+        session.autotune_search(&req, &budget, 64 * 64).expect("warm search runs");
+    assert_eq!(session.stats().cold_compiles, cold_before, "warm search recompiled");
+    assert_eq!(format!("{best:?}"), format!("{best2:?}"), "search is not deterministic");
+    assert_eq!(outcome.best_seconds.to_bits(), outcome2.best_seconds.to_bits());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -5,20 +5,76 @@
 //! simulates the top-K predictions.
 //!
 //! Run with: `cargo run --release --example autotune_viscosity`
+//!
+//! Pass `--search` to run the model-driven beam search instead: it
+//! explores the full schedule space (warps x iters x placement x
+//! pipeline depth x partition weights x flags), scoring every candidate
+//! with the static model and simulating only the top-K survivors, and
+//! prints the beam trajectory round by round.
 
 use chemkin::reference::tables::ViscosityTables;
 use chemkin::state::{GridDims, GridState};
 use chemkin::synth;
 use gpu_sim::arch::GpuArch;
 use singe::autotune::{autotune, autotune_guided, candidate_grid_extended, GUIDED_TOP_K};
-use singe::config::Placement;
+use singe::config::{CompileOptions, Placement};
 use singe::kernels::launch_arrays;
 use singe::kernels::viscosity::viscosity_dfg;
+use singe::search::{autotune_search, SearchBudget};
+
+/// `--search` mode: beam search over the full schedule space, with the
+/// per-round trajectory (best model prediction vs best oracle time).
+fn search_mode(t: &ViscosityTables, arch: &GpuArch) {
+    let n = t.n;
+    let base = CompileOptions::with_warps(4);
+    let dfg = viscosity_dfg(t, base.warps);
+    let budget = SearchBudget::builder().build();
+    println!(
+        "beam search: width {}, {} rounds, top-{} simulated, <= {} model evals",
+        budget.beam_width, budget.rounds, budget.sim_top_k, budget.max_model_evals
+    );
+    let search = autotune_search(&dfg, arch, &base, &budget, 4096, &|k, pts| {
+        let g = GridState::random(GridDims { nx: pts, ny: 1, nz: 1 }, n, 7);
+        launch_arrays(&k.global_arrays, &g).expect("known arrays").iter().map(|s| s.to_vec()).collect()
+    })
+    .expect("search runs");
+    let o = &search.outcome;
+
+    println!("\n{:>6} {:>10} {:>18} {:>18}", "round", "scored", "best model us", "best sim us");
+    for r in &o.rounds {
+        let pred = r.best_predicted.map_or("-".into(), |s| format!("{:.1}", s * 1e6));
+        let sim = r.best_simulated.map_or("-".into(), |s| format!("{:.1}", s * 1e6));
+        println!("{:>6} {:>10} {:>18} {:>18}", r.round, r.evaluated, pred, sim);
+    }
+    println!(
+        "\nscored {} candidates, simulated {} ({:.0}%)",
+        o.model_evals,
+        o.simulations,
+        100.0 * o.sim_fraction()
+    );
+    let b = &o.best_options;
+    println!(
+        "best: {} warps, {} point iterations, depth {}, {:?} placement -> {:.1} us / 4096pt",
+        b.warps,
+        b.point_iters,
+        b.pipeline_depth,
+        b.placement,
+        o.best_seconds * 1e6
+    );
+}
 
 fn main() {
     let mech = synth::dme();
     let t = ViscosityTables::build(&mech);
     let arch = GpuArch::kepler_k20c();
+    if std::env::args().any(|a| a == "--search") {
+        println!(
+            "schedule search: viscosity for '{}' ({} species) on {}",
+            mech.name, t.n, arch.name
+        );
+        search_mode(&t, &arch);
+        return;
+    }
     println!(
         "autotuning viscosity for '{}' ({} species) on {}",
         mech.name, t.n, arch.name
